@@ -1,0 +1,51 @@
+"""Ablation: data-type width vs compaction benefit.
+
+Paper Section 4.1: "benefits may be higher for wider datatypes (doubles
+and long integers) that take more cycles through the execution pipe."
+A 64-bit instruction takes twice the quad cycles, so every suppressed
+quad saves twice as much: the absolute cycle savings double while the
+relative reduction holds.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.policy import CompactionPolicy, execution_cycles
+from repro.core.stats import CompactionStats
+
+
+def _sweep():
+    masks = [0xF0F0, 0x00F0, 0x1111, 0x00FF, 0x0F0F] * 200
+    rows = []
+    for factor, label in ((1, "32-bit (float/int)"), (2, "64-bit (double/int64)")):
+        stats = CompactionStats(min_cycles=1)
+        for mask in masks:
+            stats.record(mask, 16, dtype_factor=factor)
+        saved = (stats.cycles[CompactionPolicy.IVB]
+                 - stats.cycles[CompactionPolicy.SCC])
+        rows.append((label, stats.cycles[CompactionPolicy.IVB],
+                     stats.cycles[CompactionPolicy.SCC], saved,
+                     stats.reduction_pct(CompactionPolicy.SCC)))
+    return rows
+
+
+def test_ablation_dtype_width(benchmark, emit):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(format_table(
+        ["datatype", "IVB cycles", "SCC cycles", "cycles saved", "reduction"],
+        [[l, i, s, d, f"{r:.1f}%"] for l, i, s, d, r in rows],
+        title="Ablation: datatype width (Section 4.1)",
+    ))
+
+    (_, _, _, saved32, red32), (_, _, _, saved64, red64) = rows
+    assert saved64 == 2 * saved32  # absolute savings double
+    assert abs(red64 - red32) < 1.0  # relative reduction holds
+
+
+def test_dtype_factor_unit_cases(benchmark):
+    def check():
+        assert execution_cycles(0xF0F0, 16, CompactionPolicy.BCC,
+                                dtype_factor=2) == 4
+        assert execution_cycles(0xF0F0, 16, CompactionPolicy.RAW,
+                                dtype_factor=2) == 8
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

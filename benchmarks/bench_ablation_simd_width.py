@@ -1,0 +1,67 @@
+"""Ablation: SIMD width vs divergence and compaction opportunity.
+
+Paper Section 5.4 / conclusions: "SIMD efficiency of GPGPU applications
+reduces with wider SIMD widths ... one can therefore expect a larger
+optimization opportunity and potential benefit from applying intra-warp
+compaction techniques to these other architectures" (NVIDIA's 32-wide,
+AMD's 64-wide warps).  We run the same divergent kernels at SIMD8/16/32
+and measure both effects directly.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.policy import CompactionPolicy
+from repro.gpu.config import GpuConfig
+from repro.kernels.imaging import gaussian_noise
+from repro.kernels.learn import binary_search
+from repro.kernels.misc import eigenvalue
+from repro.kernels.workload import run_workload
+
+WIDTHS = (8, 16, 32)
+
+# Note: the ray tracers cannot join this sweep -- at SIMD32 their
+# register footprint exceeds the 128-register GRF, which is exactly the
+# paper's Section 5.3 observation (the compiler emits SIMD8 RT kernels
+# under register pressure).  tests/test_register_pressure.py pins that.
+
+
+def _factories(width):
+    return {
+        "gnoise": lambda: gaussian_noise(n=512, simd_width=width),
+        "bsearch": lambda: binary_search(num_keys=512, table_size=512,
+                                         simd_width=width),
+        "eigenvalue": lambda: eigenvalue(matrix_dim=8, bisect_iters=12,
+                                         simd_width=width),
+    }
+
+
+def _collect():
+    rows = []
+    for name in ("gnoise", "bsearch", "eigenvalue"):
+        for width in WIDTHS:
+            result = run_workload(_factories(width)[name](), GpuConfig())
+            rows.append((
+                name, width, result.simd_efficiency,
+                result.eu_cycle_reduction_pct(CompactionPolicy.BCC),
+                result.eu_cycle_reduction_pct(CompactionPolicy.SCC),
+            ))
+    return rows
+
+
+def test_ablation_simd_width(benchmark, emit):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    emit(format_table(
+        ["workload", "SIMD width", "efficiency", "BCC reduction",
+         "SCC reduction"],
+        [[n, w, f"{e:.3f}", f"{b:.1f}%", f"{s:.1f}%"]
+         for n, w, e, b, s in rows],
+        title="Ablation: SIMD width vs divergence (Section 5.4/conclusions)",
+    ))
+
+    by_workload = {}
+    for name, width, eff, bcc, scc in rows:
+        by_workload.setdefault(name, {})[width] = (eff, bcc, scc)
+    for name, widths in by_workload.items():
+        # Efficiency falls monotonically with width...
+        assert widths[8][0] >= widths[16][0] >= widths[32][0], name
+        # ...and the SCC opportunity grows from SIMD8 to SIMD32.
+        assert widths[32][2] >= widths[8][2] - 1.0, name

@@ -1,0 +1,20 @@
+"""Regenerates the Section 4.3 register-file area comparison.
+
+Expected: BCC file ~ +10 % vs baseline; the 8-banked per-lane file of
+inter-warp schemes > +40 %; the SCC file is wider but shorter (< 0 %).
+"""
+
+import pytest
+
+from repro.experiments import area as area_exp
+
+
+def test_area_regfile(benchmark, emit):
+    rows = benchmark.pedantic(area_exp.area_data, rounds=1, iterations=1)
+    emit(area_exp.render(rows))
+
+    by_name = {r.config.name: r for r in rows}
+    assert by_name["bcc"].overhead_pct == pytest.approx(10.0, abs=1.0)
+    assert by_name["interwarp-8bank"].overhead_pct > 40.0
+    assert by_name["scc"].overhead_pct < 0.0
+    assert by_name["baseline"].overhead_pct == 0.0

@@ -1,0 +1,80 @@
+"""Baseline comparison: intra-warp (BCC/SCC) vs inter-warp (TBC-class).
+
+Quantifies the paper's central positioning claim (Sections 1 and 6):
+inter-warp compaction can save more EU cycles in principle, but it
+(a) increases memory divergence by mixing threads from different warps
+into one issued warp, and (b) needs an 8-banked per-lane register file
+(> +40 % area vs BCC's +10 %).  Intra-warp compaction "provides the
+bulk of the benefits of more complex approaches" with neither cost —
+here measured as the share of idealized TBC's cycle benefit that SCC
+alone captures across the divergent trace population.
+"""
+
+from repro.analysis.report import format_table
+from repro.area.regfile import bcc_grf, interwarp_grf, overhead_pct
+from repro.baselines.interwarp import compare_on_groups, groups_from_trace
+from repro.trace.workloads import TRACE_PROFILES, trace_events
+
+WARPS_PER_BLOCK = 4  # warps sharing a TBC reconvergence stack
+
+
+def _collect():
+    rows = []
+    for name in sorted(TRACE_PROFILES):
+        comparison = compare_on_groups(
+            groups_from_trace(trace_events(name), group_size=WARPS_PER_BLOCK))
+        rows.append((
+            name,
+            comparison.bcc_reduction_pct,
+            comparison.scc_reduction_pct,
+            comparison.tbc_reduction_pct,
+            comparison.ideal_reduction_pct,
+            comparison.scc_benefit_share_of_tbc,
+            comparison.memory_divergence_increase_pct,
+        ))
+    return rows
+
+
+def test_baseline_interwarp(benchmark, emit):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    shares = [share for *_ignored, share, _mem in rows]
+    mem_increases = [mem for *_ignored, mem in rows]
+    table = format_table(
+        ["trace", "BCC", "SCC", "TBC (ideal)", "lane-oblivious ideal",
+         "SCC share of TBC", "TBC extra mem lines"],
+        [[n, f"{b:.1f}%", f"{s:.1f}%", f"{t:.1f}%", f"{i:.1f}%",
+          f"{sh:.2f}", f"+{m:.0f}%"]
+         for n, b, s, t, i, sh, m in rows],
+        title=(
+            "Intra-warp vs idealized inter-warp compaction "
+            f"({WARPS_PER_BLOCK} warps per block)"
+        ),
+    )
+    avg_scc = sum(r[2] for r in rows) / len(rows)
+    avg_tbc = sum(r[3] for r in rows) / len(rows)
+    footer = (
+        f"\naverage EU-cycle reduction: SCC {avg_scc:.1f}% vs idealized TBC "
+        f"{avg_tbc:.1f}% — lane-position conflicts defeat TBC on repeated "
+        f"divergence patterns (paper Section 3.2), while intra-warp "
+        f"compaction adds 0% memory divergence (TBC adds "
+        f"+{sum(mem_increases) / len(mem_increases):.0f}% line requests on "
+        f"average)\nregister-file cost: BCC "
+        f"{overhead_pct(bcc_grf()):+.0f}% vs inter-warp "
+        f"{overhead_pct(interwarp_grf()):+.0f}%"
+    )
+    emit(table + footer)
+
+    for name, bcc, scc, tbc, ideal, share, mem in rows:
+        # The compaction hierarchy holds per trace.
+        assert scc >= bcc - 1e-9, name
+        assert ideal >= tbc - 1e-9, name
+        # TBC's thread mixing always costs extra line requests on
+        # divergent traces; intra-warp techniques never do.
+        assert mem >= 0.0, name
+    # The headline claim: intra-warp SCC delivers at least the bulk of
+    # the inter-warp benefit (here it exceeds it: independent per-warp
+    # masks give TBC heavy lane conflicts) at zero memory-divergence cost.
+    assert avg_scc > 0.5 * avg_tbc
+    avg_mem = sum(mem_increases) / len(mem_increases)
+    assert avg_mem > 10.0
+    assert shares  # keep the per-trace share column exercised

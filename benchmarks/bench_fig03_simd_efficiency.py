@@ -1,0 +1,24 @@
+"""Regenerates paper Figure 3: SIMD efficiency of the workload population.
+
+Expected shape: linear-algebra/finance kernels at ~1.0 (coherent), ray
+tracing / BFS / lavaMD / LuxMark / face detection well below the 95 %
+line (divergent).
+"""
+
+from repro.experiments import fig03
+
+
+def test_fig03_simd_efficiency(benchmark, emit):
+    data = benchmark.pedantic(fig03.fig3_data, rounds=1, iterations=1)
+    emit(fig03.render(data))
+
+    by_name = {e.name: e for e in data.entries}
+    # Coherent side of the figure.
+    for name in ("va", "mvm", "mm", "bscholes", "mt"):
+        assert by_name[name].simd_efficiency >= 0.95, name
+    # Divergent side of the figure.
+    for name in ("bfs", "lavamd", "rt_ao_al16", "luxmark_sky",
+                 "fd_politicians"):
+        assert by_name[name].simd_efficiency < 0.95, name
+    assert len(data.divergent) >= 10
+    assert len(data.coherent) >= 5

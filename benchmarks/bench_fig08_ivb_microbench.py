@@ -1,0 +1,28 @@
+"""Regenerates paper Figure 8: the Ivy Bridge divergence micro-benchmark.
+
+Expected shape: 0x00FF runs as fast as 0xFFFF (the built-in half-mask
+rewrite), 0xFF0F lands near 150 %, and 0xF0F0 / 0xAAAA pay the full
+divergence penalty — the two cases BCC and SCC respectively recover.
+"""
+
+import pytest
+
+from repro.experiments import fig08
+
+
+def test_fig08_ivb_microbench(benchmark, emit):
+    simulated = benchmark.pedantic(
+        fig08.fig8_simulated, kwargs={"n": 1024}, rounds=1, iterations=1)
+    analytic = fig08.fig8_analytic()
+    emit(
+        fig08.render(analytic, "Figure 8 (analytic arm cycles, IVB policy)")
+        + "\n\n"
+        + fig08.render(simulated, "Figure 8 (simulated kernel time, IVB policy)")
+    )
+
+    for point in analytic:
+        assert point.relative_time == pytest.approx(
+            fig08.PAPER_FIG8_RELATIVE[point.pattern])
+    times = {p.pattern: p.relative_time for p in simulated}
+    assert times[0x00FF] == pytest.approx(times[0xFFFF], rel=0.10)
+    assert times[0xF0F0] > times[0xFF0F] > times[0x00FF]

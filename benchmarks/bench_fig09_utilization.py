@@ -1,0 +1,24 @@
+"""Regenerates paper Figure 9: SIMD utilization breakdown.
+
+Expected shape: divergent workloads have substantial instruction mass in
+the partially-active buckets (1-4, 5-8, 9-12 of 16 lanes; 1-4 of 8);
+the SIMD8-only ray tracers report only the /8 buckets.
+"""
+
+from repro.experiments import fig09
+
+
+def test_fig09_utilization(benchmark, emit):
+    table = benchmark.pedantic(fig09.fig9_data, rounds=1, iterations=1)
+    emit(fig09.render(table))
+
+    assert len(table) >= 10
+    for name, fractions in table.items():
+        total = sum(fractions.values())
+        assert abs(total - 1.0) < 1e-9, name
+    # SIMD8 kernels only populate /8 buckets (paper: LuxMark, RT-AO-*8).
+    ao8 = table.get("rt_ao_al8") or table.get("luxmark_sky")
+    assert ao8 is not None
+    assert ao8["1-4/16"] + ao8["5-8/16"] + ao8["9-12/16"] + ao8["13-16/16"] == 0.0
+    # BFS: almost everything in the deepest-savings bucket.
+    assert table["bfs"]["1-4/16"] > 0.4

@@ -1,0 +1,29 @@
+"""Regenerates paper Figure 11: ray tracing under DC1/DC2 bandwidth.
+
+Expected shape: EU-cycle reductions of 15-40 %; at DC1 the data-cluster
+port absorbs much of it, at DC2 most of the EU benefit shows up in total
+time; achieved DC throughput grows when cycles compress (same traffic in
+less time).
+"""
+
+from repro.experiments import fig11
+
+
+def test_fig11_raytracing(benchmark, emit):
+    rows = benchmark.pedantic(fig11.fig11_data, rounds=1, iterations=1)
+    emit(fig11.render(rows))
+
+    assert len(rows) == 9  # 3 PR + 6 AO bars, as in the paper
+    for row in rows:
+        # SCC subsumes BCC in EU cycles.
+        assert row.scc_eu >= row.bcc_eu - 1e-9, row.name
+        # Total-time reduction can never exceed the EU-cycle reduction
+        # by more than measurement slack.
+        assert row.scc_total_dc2 <= row.scc_eu + 5.0, row.name
+    # On average, DC2 must recover at least as much as DC1.
+    avg_dc1 = sum(r.scc_total_dc1 for r in rows) / len(rows)
+    avg_dc2 = sum(r.scc_total_dc2 for r in rows) / len(rows)
+    assert avg_dc2 >= avg_dc1 - 1.0
+    # The AO kernels are the divergence-heavy ones: meaningful EU savings.
+    ao_rows = [r for r in rows if "AO" in r.name]
+    assert max(r.scc_eu for r in ao_rows) > 10.0

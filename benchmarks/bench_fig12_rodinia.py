@@ -1,0 +1,29 @@
+"""Regenerates paper Figure 12: Rodinia total-time vs EU-cycle reduction.
+
+Expected shape: EU-cycle reductions around 10-25 %, but total-time
+benefits smaller than for ray tracing; BFS (memory-stall dominated)
+barely moves even though its EU cycles shrink the most, and a perfect
+L3 does not rescue lavaMD (imbalance-bound).
+"""
+
+from repro.experiments import fig12
+
+
+def test_fig12_rodinia(benchmark, emit):
+    rows = benchmark.pedantic(fig12.fig12_data, rounds=1, iterations=1)
+    emit(fig12.render(rows))
+
+    by_name = {r.name: r for r in rows}
+    assert set(by_name) == set(fig12.RODINIA_NAMES)
+    for row in rows:
+        assert row.scc_eu >= row.bcc_eu - 1e-9, row.name
+        # Total-time gain does not exceed the EU-cycle gain (plus slack).
+        assert row.scc_total <= row.scc_eu + 5.0, row.name
+    # BFS: large EU-cycle reduction, little total-time benefit (memory).
+    bfs = by_name["bfs"]
+    assert bfs.scc_eu > 15.0
+    assert bfs.scc_total < bfs.scc_eu * 0.6
+    # On average the EU benefit exceeds the realized total-time benefit.
+    avg_eu = sum(r.scc_eu for r in rows) / len(rows)
+    avg_total = sum(r.scc_total for r in rows) / len(rows)
+    assert avg_eu > avg_total

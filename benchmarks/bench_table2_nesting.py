@@ -1,0 +1,32 @@
+"""Regenerates paper Table 2: nested-branch benefit decomposition.
+
+The analytic rows must match the paper exactly (L1: SCC 50 %, L2: SCC
+75 %, L3: BCC 50 % + SCC 25 %, L4: IVB 50 % + BCC 25 %); the simulated
+rows show the same structure diluted by per-path common code.
+"""
+
+import pytest
+
+from repro.experiments import table2
+
+
+def test_table2_nesting(benchmark, emit):
+    simulated = benchmark.pedantic(
+        table2.table2_simulated, kwargs={"n": 512}, rounds=1, iterations=1)
+    analytic = table2.table2_analytic()
+    emit(
+        table2.render(analytic, "Table 2 (analytic, % of raw cycles)")
+        + "\n\n"
+        + table2.render(simulated, "Table 2 (simulated kernels)")
+    )
+
+    for row in analytic:
+        ivb, bcc, scc = table2.PAPER_TABLE2[row.level]
+        assert row.ivb_benefit_pct == pytest.approx(ivb)
+        assert row.bcc_benefit_pct == pytest.approx(bcc)
+        assert row.scc_benefit_pct == pytest.approx(scc)
+    # Simulated structure: deeper nesting -> more total compaction,
+    # BCC appears at L3, IVB at L4.
+    assert simulated[1].scc_benefit_pct > simulated[0].scc_benefit_pct
+    assert simulated[2].bcc_benefit_pct > 10.0
+    assert simulated[3].ivb_benefit_pct > 10.0

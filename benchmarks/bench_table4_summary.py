@@ -1,0 +1,33 @@
+"""Regenerates paper Table 4: summary of BCC/SCC benefits.
+
+Paper values for orientation (max/avg %): GPGenSim EU cycles 36/18 (BCC)
+and 38/24 (SCC); traces 31/12 and 42/18; execution time 21/5 and 21/7 at
+DC1, 28/12 and 36/18 at DC2.  The reproduced shape: SCC >= BCC in every
+row, EU-cycle rows exceed the execution-time rows, and DC2 recovers more
+than DC1.
+"""
+
+from repro.experiments import table4
+
+
+def test_table4_summary(benchmark, emit):
+    rows = benchmark.pedantic(table4.table4_data, rounds=1, iterations=1)
+    emit(table4.render(rows))
+
+    by_label = {r.label: r for r in rows}
+    assert len(rows) == 4
+    for row in rows:
+        assert row.scc_max >= row.bcc_max - 1e-9, row.label
+        assert row.scc_avg >= row.bcc_avg - 1e-9, row.label
+        assert row.bcc_max >= row.bcc_avg
+        assert row.scc_max >= row.scc_avg
+    # Trace population reaches the paper's headline maximum range.
+    traces = by_label["Traces (EU cycles)"]
+    assert 25.0 <= traces.scc_max <= 50.0
+    # DC2 realizes at least as much execution-time benefit as DC1.
+    dc1 = by_label["Execution time (DC1)"]
+    dc2 = by_label["Execution time (DC2)"]
+    assert dc2.scc_avg >= dc1.scc_avg - 1.0
+    # Execution time never beats EU cycles on average.
+    sim = by_label["GPGenSim (EU cycles)"]
+    assert sim.scc_avg >= dc1.scc_avg - 1.0

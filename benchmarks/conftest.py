@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates one paper table or figure.  The rendered text is
+printed (visible with ``pytest -s`` / on failure) and also written to
+``benchmarks/results/<bench>.txt`` so the artifacts survive output
+capture.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(request):
+    """Callable(text): record a bench's rendered table/figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{request.node.name}.txt"
+
+    def _emit(text: str) -> None:
+        print()
+        print(text)
+        path.write_text(text + "\n")
+
+    return _emit
+
+
+def pytest_collection_modifyitems(items):
+    """Benchmarks are ordered by file name (fig/table number)."""
+    items.sort(key=lambda item: item.nodeid)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Ray-tracing divergence study (the paper's Figure 11 scenario).
+
+Runs the ambient-occlusion ray tracer — the paper's most divergent
+workload family — over all four procedural scenes at SIMD8 and SIMD16,
+then shows:
+
+* how SIMD efficiency drops as the SIMD width grows (the paper's
+  argument that wider machines need compaction more);
+* the EU-cycle reduction BCC and SCC deliver per scene; and
+* how the data-cluster bandwidth knob (DC1 vs DC2) gates how much of
+  that shows up in total execution time.
+
+Run:  python examples/raytracing_divergence.py
+"""
+
+from repro.analysis.report import format_table
+from repro.core import CompactionPolicy
+from repro.gpu import GpuConfig, total_time_reduction_pct
+from repro.kernels.raytracing import ambient_occlusion, scene_names
+from repro.kernels.workload import run_workload
+
+
+def main():
+    width_px = 16  # 256 rays per scene keeps the demo quick
+    rows = []
+    for scene in scene_names():
+        for simd_width in (8, 16):
+            result = run_workload(
+                ambient_occlusion(scene, width_px=width_px,
+                                  simd_width=simd_width, ao_samples=3),
+                GpuConfig(),
+            )
+            rows.append([
+                f"RT-AO-{scene.upper()}{simd_width}",
+                f"{result.simd_efficiency:.3f}",
+                f"{result.eu_cycle_reduction_pct(CompactionPolicy.BCC):.1f}%",
+                f"{result.eu_cycle_reduction_pct(CompactionPolicy.SCC):.1f}%",
+                f"{result.memory_divergence:.2f}",
+            ])
+    print(format_table(
+        ["workload", "SIMD efficiency", "BCC EU saving", "SCC EU saving",
+         "lines/message"],
+        rows,
+        title="Ambient occlusion across scenes and SIMD widths",
+    ))
+    print()
+
+    # Bandwidth study on one scene: how much of the EU saving survives
+    # into total time under DC1 vs DC2 (paper Figure 11's main point).
+    scene = "bl"
+    print(f"Bandwidth study, scene {scene!r}, SIMD16:")
+    for dc, label in ((1.0, "DC1 (today)"), (2.0, "DC2 (future)")):
+        results = {}
+        for policy in (CompactionPolicy.IVB, CompactionPolicy.SCC):
+            config = GpuConfig(policy=policy).with_memory(dc_lines_per_cycle=dc)
+            results[policy] = run_workload(
+                ambient_occlusion(scene, width_px=width_px, simd_width=16,
+                                  ao_samples=3),
+                config,
+            )
+        ivb = results[CompactionPolicy.IVB]
+        scc = results[CompactionPolicy.SCC]
+        print(f"  {label}: SCC total-time reduction "
+              f"{total_time_reduction_pct(ivb, scc):5.1f}%   "
+              f"(EU-cycle reduction "
+              f"{ivb.eu_cycle_reduction_pct(CompactionPolicy.SCC):.1f}%, "
+              f"DC throughput {ivb.dc_throughput:.2f} lines/cycle)")
+
+
+if __name__ == "__main__":
+    main()

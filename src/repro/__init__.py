@@ -1,0 +1,52 @@
+"""repro: reproduction of *SIMD Divergence Optimization through
+Intra-Warp Compaction* (Vaidya et al., ISCA 2013).
+
+The library provides:
+
+* :mod:`repro.core` — BCC/SCC/IVB cycle-compression logic (the paper's
+  contribution) as pure, analysable functions on execution masks.
+* :mod:`repro.isa` / :mod:`repro.eu` / :mod:`repro.memory` /
+  :mod:`repro.gpu` — an execution-driven, cycle-level simulator of the
+  Ivy Bridge-like GPU the paper studies.
+* :mod:`repro.kernels` — the divergent and coherent workload suite.
+* :mod:`repro.trace` — the trace-driven methodology, with synthetic
+  generators substituting for proprietary workload traces.
+* :mod:`repro.analysis` / :mod:`repro.area` — SIMD-efficiency reporting
+  and the register-file area model.
+"""
+
+from .core import (
+    CompactionPolicy,
+    CompactionStats,
+    bcc_cycles,
+    bcc_schedule,
+    cycles_all_policies,
+    execution_cycles,
+    ivb_effective,
+    scc_cycles,
+    scc_schedule,
+)
+from .gpu import GpuConfig, GpuSimulator, KernelRunResult
+from .isa import CmpOp, DType, KernelBuilder, Program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CmpOp",
+    "CompactionPolicy",
+    "CompactionStats",
+    "DType",
+    "GpuConfig",
+    "GpuSimulator",
+    "KernelBuilder",
+    "KernelRunResult",
+    "Program",
+    "bcc_cycles",
+    "bcc_schedule",
+    "cycles_all_policies",
+    "execution_cycles",
+    "ivb_effective",
+    "scc_cycles",
+    "scc_schedule",
+    "__version__",
+]

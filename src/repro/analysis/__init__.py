@@ -1,0 +1,24 @@
+"""Analysis utilities: SIMD-efficiency studies and report rendering."""
+
+from .efficiency import (
+    FIG9_BUCKET_ORDER,
+    EfficiencyEntry,
+    classify,
+    simulator_efficiencies,
+    trace_efficiencies,
+    utilization_breakdown,
+)
+from .report import format_series, format_table, pct, reduction_pct
+
+__all__ = [
+    "FIG9_BUCKET_ORDER",
+    "EfficiencyEntry",
+    "classify",
+    "format_series",
+    "format_table",
+    "pct",
+    "reduction_pct",
+    "simulator_efficiencies",
+    "trace_efficiencies",
+    "utilization_breakdown",
+]

@@ -1,0 +1,95 @@
+"""SIMD-efficiency studies: the data behind paper Figures 3 and 9.
+
+Collects per-workload SIMD efficiency from both evaluation paths — the
+execution-driven simulator (:mod:`repro.kernels`) and the trace profiler
+(:mod:`repro.trace`) — classifies workloads into the paper's coherent
+(>= 95 %) / divergent split, and computes the Figure 9 utilization
+breakdown for the divergent subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.stats import CompactionStats, is_divergent
+from ..gpu.config import GpuConfig
+from ..kernels import WORKLOAD_REGISTRY, run_workload
+from ..trace.profiler import profile_trace
+from ..trace.workloads import TRACE_PROFILES, trace_events
+
+#: Figure 9 bucket order (stacked from no-compaction down to 3-cycle savings).
+FIG9_BUCKET_ORDER = ("13-16/16", "9-12/16", "5-8/16", "1-4/16", "5-8/8", "1-4/8")
+
+
+@dataclass
+class EfficiencyEntry:
+    """One workload's Figure 3 data point."""
+
+    name: str
+    source: str  # "simulator" or "trace"
+    simd_efficiency: float
+    stats: CompactionStats
+
+    @property
+    def divergent(self) -> bool:
+        return is_divergent(self.simd_efficiency)
+
+
+def simulator_efficiencies(
+    names: Optional[Iterable[str]] = None,
+    config: Optional[GpuConfig] = None,
+) -> List[EfficiencyEntry]:
+    """Run simulator workloads and collect their SIMD efficiencies."""
+    config = config if config is not None else GpuConfig()
+    entries = []
+    for name in (names if names is not None else WORKLOAD_REGISTRY):
+        result = run_workload(WORKLOAD_REGISTRY[name](), config)
+        entries.append(
+            EfficiencyEntry(
+                name=name,
+                source="simulator",
+                simd_efficiency=result.simd_efficiency,
+                stats=result.simd_stats,
+            )
+        )
+    return entries
+
+
+def trace_efficiencies(names: Optional[Iterable[str]] = None) -> List[EfficiencyEntry]:
+    """Profile synthetic traces and collect their SIMD efficiencies."""
+    entries = []
+    for name in (names if names is not None else TRACE_PROFILES):
+        profile = profile_trace(name, trace_events(name))
+        entries.append(
+            EfficiencyEntry(
+                name=name,
+                source="trace",
+                simd_efficiency=profile.simd_efficiency,
+                stats=profile.stats,
+            )
+        )
+    return entries
+
+
+def classify(entries: Iterable[EfficiencyEntry]) -> Tuple[List[EfficiencyEntry], List[EfficiencyEntry]]:
+    """Split entries into (divergent, coherent) per the 95 % threshold."""
+    divergent, coherent = [], []
+    for entry in entries:
+        (divergent if entry.divergent else coherent).append(entry)
+    return divergent, coherent
+
+
+def utilization_breakdown(entries: Iterable[EfficiencyEntry]) -> Dict[str, Dict[str, float]]:
+    """Per-workload Figure 9 bucket fractions, in FIG9 bucket order.
+
+    Buckets outside the canonical six (odd widths, zero-active) are
+    summed into an ``"other"`` column so every instruction is accounted.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for entry in entries:
+        fractions = entry.stats.bucket_fractions()
+        row = {bucket: fractions.get(bucket, 0.0) for bucket in FIG9_BUCKET_ORDER}
+        row["other"] = max(0.0, 1.0 - sum(row.values()))
+        table[entry.name] = row
+    return table

@@ -1,0 +1,65 @@
+"""Plain-text table/series rendering for experiment reports.
+
+Every benchmark harness prints its figure or table through these
+helpers, so EXPERIMENTS.md and the bench output share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Render an aligned ASCII table.
+
+    Floats are shown with three decimals; everything else via ``str``.
+    """
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, labels: Sequence[str], values: Sequence[float],
+                  unit: str = "") -> str:
+    """Render one figure series as ``label: value`` lines with a bar."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    peak = max((abs(v) for v in values), default=1.0) or 1.0
+    lines = [f"series {name}" + (f" ({unit})" if unit else "")]
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(30 * abs(value) / peak))
+        lines.append(f"  {label:24s} {value:10.3f} {bar}")
+    return "\n".join(lines)
+
+
+def pct(numerator: float, denominator: float) -> float:
+    """Safe percentage; 0.0 when the denominator is zero."""
+    if denominator == 0:
+        return 0.0
+    return 100.0 * numerator / denominator
+
+
+def reduction_pct(baseline: float, optimized: float) -> Optional[float]:
+    """Percent reduction from *baseline* to *optimized* (None if baseline 0)."""
+    if baseline == 0:
+        return None
+    return 100.0 * (baseline - optimized) / baseline

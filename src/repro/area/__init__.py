@@ -1,0 +1,21 @@
+"""Register-file area modelling (paper Section 4.3 CACTI comparison)."""
+
+from .regfile import (
+    RegFileConfig,
+    area,
+    baseline_grf,
+    bcc_grf,
+    interwarp_grf,
+    overhead_pct,
+    scc_grf,
+)
+
+__all__ = [
+    "RegFileConfig",
+    "area",
+    "baseline_grf",
+    "bcc_grf",
+    "interwarp_grf",
+    "overhead_pct",
+    "scc_grf",
+]

@@ -1,0 +1,29 @@
+"""Baseline divergence techniques the paper compares against."""
+
+from .interwarp import (
+    InterWarpComparison,
+    baseline_memory_lines,
+    compare_on_groups,
+    groups_from_trace,
+    ideal_compacted_warps,
+    intra_warp_cycles,
+    lane_occupancy,
+    tbc_compacted_warps,
+    tbc_cycles,
+    tbc_memory_lines,
+    tbc_schedule,
+)
+
+__all__ = [
+    "InterWarpComparison",
+    "baseline_memory_lines",
+    "compare_on_groups",
+    "groups_from_trace",
+    "ideal_compacted_warps",
+    "intra_warp_cycles",
+    "lane_occupancy",
+    "tbc_compacted_warps",
+    "tbc_cycles",
+    "tbc_memory_lines",
+    "tbc_schedule",
+]

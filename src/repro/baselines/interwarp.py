@@ -1,0 +1,234 @@
+"""Idealized inter-warp compaction baseline (TBC/LWM class).
+
+The paper positions BCC/SCC against thread block compaction [11], large
+warps [25], and CAPRI [30]: techniques that *merge active threads across
+warps* of a thread block at divergence points.  This module implements
+an analytic model of that class so the paper's comparison claims can be
+quantified on the same mask streams the intra-warp analysis uses:
+
+* **Lane-preserving compaction** (what TBC-class hardware actually
+  does): a compacted warp can take at most one thread per *home lane*
+  from the group, because the register file is banked by lane.  The
+  compacted warp count for a group of masks is therefore the maximum,
+  over lane positions, of how many warps have that lane active.
+* **Ideal compaction** (a lane-oblivious upper bound): simply
+  ``ceil(total_active / warp_width)`` warps.
+* **Memory-divergence side effect**: merging threads from *k* source
+  warps into one issued warp makes that warp's previously-coalesced
+  memory instruction touch ~*k* distinct line groups (paper Section 1:
+  "combining warps can increase memory divergence ... which can lead to
+  performance loss").  BCC/SCC never move threads between warps, so
+  their line counts are unchanged by construction.
+
+These are deliberately *optimistic* for the inter-warp side (no
+synchronization stalls, perfect candidate availability), which makes the
+reproduction of the paper's claim — intra-warp compaction delivers the
+bulk of the benefit without the memory-divergence and register-file
+costs — conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..core.policy import CompactionPolicy, execution_cycles
+from ..core.quads import QUAD_WIDTH, clamp_mask, popcount, validate_width
+
+
+def lane_occupancy(masks: Sequence[int], width: int) -> List[int]:
+    """Per-lane count of warps (in the group) with that lane active."""
+    validate_width(width)
+    counts = [0] * width
+    for mask in masks:
+        mask = clamp_mask(mask, width)
+        for lane in range(width):
+            if (mask >> lane) & 1:
+                counts[lane] += 1
+    return counts
+
+
+def tbc_compacted_warps(masks: Sequence[int], width: int) -> int:
+    """Warps issued after lane-preserving inter-warp compaction.
+
+    Zero-active groups still issue nothing.  A group where some lane is
+    active in every warp cannot be compacted at all (the paper's
+    motivating observation for SCC: repeating patterns across warps,
+    e.g. 0xAAAA everywhere, defeat TBC because lane positions are
+    preserved).
+    """
+    occupancy = lane_occupancy(masks, width)
+    return max(occupancy) if occupancy else 0
+
+
+def ideal_compacted_warps(masks: Sequence[int], width: int) -> int:
+    """Lane-oblivious lower bound on issued warps."""
+    total = sum(popcount(clamp_mask(m, width)) for m in masks)
+    return -(-total // width)
+
+
+def tbc_schedule(masks: Sequence[int], width: int) -> List[Tuple[int, int]]:
+    """Compacted warps TBC would issue for the group.
+
+    Threads are assigned greedily per home lane in warp order (TBC's
+    priority encoder).  Returns, per issued warp, ``(mask,
+    source_warp_count)`` — the resulting execution mask and how many
+    distinct source warps contributed threads (the memory-divergence
+    mixing degree).
+    """
+    validate_width(width)
+    per_lane: List[List[int]] = [[] for _ in range(width)]
+    for warp_index, mask in enumerate(masks):
+        mask = clamp_mask(mask, width)
+        for lane in range(width):
+            if (mask >> lane) & 1:
+                per_lane[lane].append(warp_index)
+    issued = max((len(queue) for queue in per_lane), default=0)
+    schedule = []
+    for slot in range(issued):
+        mask = 0
+        sources = set()
+        for lane, queue in enumerate(per_lane):
+            if len(queue) > slot:
+                mask |= 1 << lane
+                sources.add(queue[slot])
+        schedule.append((mask, len(sources)))
+    return schedule
+
+
+def tbc_cycles(masks: Sequence[int], width: int, dtype_factor: int = 1) -> int:
+    """Execution cycles for the group under idealized TBC.
+
+    Each compacted warp executes on the same IVB-optimized baseline
+    pipeline the intra-warp techniques start from (inter-warp proposals
+    do not include intra-warp cycle compression).
+    """
+    return sum(
+        execution_cycles(mask, width, CompactionPolicy.IVB, dtype_factor,
+                         min_cycles=1)
+        for mask, _sources in tbc_schedule(masks, width)
+    )
+
+
+def intra_warp_cycles(masks: Sequence[int], width: int,
+                      policy: CompactionPolicy = CompactionPolicy.SCC,
+                      dtype_factor: int = 1) -> int:
+    """Execution cycles for the group under intra-warp compaction."""
+    return sum(
+        execution_cycles(m, width, policy, dtype_factor, min_cycles=1)
+        for m in masks
+    )
+
+
+def tbc_memory_lines(masks: Sequence[int], width: int,
+                     lines_per_warp: int = 1) -> int:
+    """Distinct line requests after compaction, assuming each source
+    warp's accesses were coalesced into ``lines_per_warp`` lines.
+
+    A compacted warp that draws threads from *k* source warps issues
+    requests to all *k* warps' line groups.
+    """
+    return sum(
+        sources * lines_per_warp
+        for _mask, sources in tbc_schedule(masks, width)
+    )
+
+
+def baseline_memory_lines(masks: Sequence[int], width: int,
+                          lines_per_warp: int = 1) -> int:
+    """Line requests without inter-warp mixing (one group per warp)."""
+    return sum(
+        lines_per_warp for m in masks if clamp_mask(m, width) != 0
+    )
+
+
+@dataclass
+class InterWarpComparison:
+    """Aggregate comparison over a stream of warp groups."""
+
+    groups: int = 0
+    baseline_cycles: int = 0  # IVB, no compaction
+    scc_cycles: int = 0
+    bcc_cycles: int = 0
+    tbc_cycles: int = 0
+    ideal_cycles: int = 0
+    baseline_lines: int = 0
+    tbc_lines: int = 0
+
+    def record_group(self, masks: Sequence[int], width: int) -> None:
+        """Fold one warp group (same PC across the block) into the totals."""
+        self.groups += 1
+        self.baseline_cycles += intra_warp_cycles(masks, width,
+                                                  CompactionPolicy.IVB)
+        self.bcc_cycles += intra_warp_cycles(masks, width, CompactionPolicy.BCC)
+        self.scc_cycles += intra_warp_cycles(masks, width, CompactionPolicy.SCC)
+        self.tbc_cycles += tbc_cycles(masks, width)
+        per_warp = max(1, width // QUAD_WIDTH)
+        self.ideal_cycles += ideal_compacted_warps(masks, width) * per_warp
+        self.baseline_lines += baseline_memory_lines(masks, width)
+        self.tbc_lines += tbc_memory_lines(masks, width)
+
+    def reduction_pct(self, cycles: int) -> float:
+        if self.baseline_cycles == 0:
+            return 0.0
+        return 100.0 * (self.baseline_cycles - cycles) / self.baseline_cycles
+
+    @property
+    def scc_reduction_pct(self) -> float:
+        return self.reduction_pct(self.scc_cycles)
+
+    @property
+    def bcc_reduction_pct(self) -> float:
+        return self.reduction_pct(self.bcc_cycles)
+
+    @property
+    def tbc_reduction_pct(self) -> float:
+        return self.reduction_pct(self.tbc_cycles)
+
+    @property
+    def ideal_reduction_pct(self) -> float:
+        return self.reduction_pct(self.ideal_cycles)
+
+    @property
+    def memory_divergence_increase_pct(self) -> float:
+        """Extra line requests TBC's thread mixing generates."""
+        if self.baseline_lines == 0:
+            return 0.0
+        return 100.0 * (self.tbc_lines - self.baseline_lines) / self.baseline_lines
+
+    @property
+    def scc_benefit_share_of_tbc(self) -> float:
+        """Fraction of TBC's cycle benefit that SCC alone captures."""
+        if self.tbc_reduction_pct <= 0:
+            return 1.0
+        return self.scc_reduction_pct / self.tbc_reduction_pct
+
+
+def compare_on_groups(groups: Iterable[Tuple[Sequence[int], int]]) -> InterWarpComparison:
+    """Run the comparison over an iterable of ``(masks, width)`` groups."""
+    comparison = InterWarpComparison()
+    for masks, width in groups:
+        comparison.record_group(masks, width)
+    return comparison
+
+
+def groups_from_trace(events, group_size: int = 4):
+    """Batch a flat trace into warp groups of *group_size* same-width events.
+
+    This emulates a thread block whose warps execute the same instruction
+    stream — the situation TBC's block-wide reconvergence stack creates.
+    Leftover events that cannot fill a group form a smaller final group.
+    """
+    if group_size < 1:
+        raise ValueError("group_size must be positive")
+    pending = {}
+    for event in events:
+        key = (event.width, event.dtype_factor)
+        bucket = pending.setdefault(key, [])
+        bucket.append(event.mask)
+        if len(bucket) == group_size:
+            yield bucket, event.width
+            pending[key] = []
+    for (width, _factor), bucket in pending.items():
+        if bucket:
+            yield bucket, width

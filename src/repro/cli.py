@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — enumerate simulator workloads and synthetic traces;
+* ``run WORKLOAD`` — simulate one workload and print its metrics;
+* ``profile NAME_OR_FILE`` — profile a built-in or on-disk mask trace;
+* ``mask HEX`` — analyse one execution mask: cycles under every policy,
+  the BCC micro-op schedule, and the SCC swizzle schedule;
+* ``experiment NAME`` — regenerate one paper table/figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis.report import format_table
+from .core.bcc import bcc_schedule
+from .core.policy import CompactionPolicy, cycles_all_policies, parse_policy
+from .core.quads import format_mask
+from .core.scc import scc_schedule
+from .gpu.config import GpuConfig
+from .kernels import WORKLOAD_REGISTRY, run_workload
+from .trace.format import read_trace
+from .trace.profiler import profile_trace
+from .trace.workloads import TRACE_PROFILES, trace_events
+
+
+def _cmd_list(_args) -> int:
+    rows = []
+    for name, factory in sorted(WORKLOAD_REGISTRY.items()):
+        workload = factory()
+        rows.append([name, "simulator", workload.category,
+                     workload.description])
+    for name, profile in sorted(TRACE_PROFILES.items()):
+        rows.append([name, "trace", "divergent",
+                     f"synthetic trace, {profile.num_instructions} instructions"])
+    print(format_table(["name", "source", "class", "description"], rows))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.workload not in WORKLOAD_REGISTRY:
+        print(f"unknown workload {args.workload!r}; try `list`", file=sys.stderr)
+        return 2
+    config = GpuConfig(policy=parse_policy(args.policy))
+    if args.dc2:
+        config = config.with_memory(dc_lines_per_cycle=2.0)
+    if args.perfect_l3:
+        config = config.with_memory(perfect_l3=True)
+    result = run_workload(WORKLOAD_REGISTRY[args.workload](), config,
+                          verify=not args.no_verify)
+    rows = [[key, value] for key, value in sorted(result.summary().items())]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.workload} under {config.policy.value}"))
+    for policy in (CompactionPolicy.BCC, CompactionPolicy.SCC):
+        print(f"{policy.value.upper()} EU-cycle reduction vs IVB: "
+              f"{result.eu_cycle_reduction_pct(policy):.1f}%")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    if args.trace in TRACE_PROFILES:
+        events = trace_events(args.trace)
+        name = args.trace
+    elif Path(args.trace).exists():
+        events = read_trace(args.trace)
+        name = Path(args.trace).name
+    else:
+        print(f"no built-in trace or file named {args.trace!r}", file=sys.stderr)
+        return 2
+    if args.widen > 1:
+        from .trace.transform import widen_trace
+
+        events = widen_trace(events, args.widen)
+        name = f"{name} (widened x{args.widen})"
+    profile = profile_trace(name, events)
+    rows = [[key, value] for key, value in sorted(profile.summary().items())]
+    print(format_table(["metric", "value"], rows, title=f"trace {name}"))
+    return 0
+
+
+def _cmd_mask(args) -> int:
+    mask = int(args.mask, 16)
+    width = args.width
+    print(f"mask {format_mask(mask, width)}  (SIMD{width})")
+    cycles = cycles_all_policies(mask, width, min_cycles=1)
+    print(format_table(
+        ["policy", "execution cycles"],
+        [[policy.value, count] for policy, count in cycles.items()],
+    ))
+    schedule = bcc_schedule(mask, width)
+    issued = ", ".join(f"Q{op.quad}(en={op.lane_enable:04b})"
+                       for op in schedule.ops) or "(nothing)"
+    print(f"BCC micro-ops: {issued}; suppressed quads: "
+          f"{list(schedule.suppressed)}")
+    scc = scc_schedule(mask, width)
+    for index, cycle in enumerate(scc.cycles):
+        slots = ", ".join(
+            f"out{slot.out_lane}<-Q{slot.quad}.L{slot.src_lane}"
+            + ("*" if slot.swizzled else "")
+            for slot in cycle)
+        print(f"SCC cycle {index}: {slots}")
+    print(f"SCC: {scc.cycle_count} cycles, {scc.swizzle_count} swizzles"
+          + (" (BCC-only path)" if scc.bcc_only else ""))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from . import experiments
+
+    name = args.name
+    if name == "table2":
+        print(experiments.table2.render(
+            experiments.table2.table2_analytic(), "Table 2 (analytic)"))
+    elif name == "fig08":
+        print(experiments.fig08.render(
+            experiments.fig08.fig8_analytic(), "Figure 8 (analytic)"))
+    elif name == "area":
+        print(experiments.area.render(experiments.area.area_data()))
+    elif name == "fig03":
+        print(experiments.fig03.render(experiments.fig03.fig3_data()))
+    elif name == "fig09":
+        print(experiments.fig09.render(experiments.fig09.fig9_data()))
+    elif name == "fig10":
+        print(experiments.fig10.render(experiments.fig10.fig10_data()))
+    elif name == "fig11":
+        print(experiments.fig11.render(experiments.fig11.fig11_data()))
+    elif name == "fig12":
+        print(experiments.fig12.render(experiments.fig12.fig12_data()))
+    elif name == "table4":
+        print(experiments.table4.render(experiments.table4.table4_data()))
+    else:
+        print(f"unknown experiment {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SIMD intra-warp compaction reproduction (ISCA 2013)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and traces")
+
+    run = sub.add_parser("run", help="simulate one workload")
+    run.add_argument("workload")
+    run.add_argument("--policy", default="ivb",
+                     help="raw | ivb | bcc | scc (default ivb)")
+    run.add_argument("--dc2", action="store_true",
+                     help="double data-cluster bandwidth (Figure 11 DC2)")
+    run.add_argument("--perfect-l3", action="store_true",
+                     help="infinite L3 (Figure 12 PL3)")
+    run.add_argument("--no-verify", action="store_true",
+                     help="skip the host reference check")
+
+    profile = sub.add_parser("profile", help="profile an execution-mask trace")
+    profile.add_argument("trace", help="built-in trace name or file path")
+    profile.add_argument("--widen", type=int, default=1,
+                         help="fuse N warps into wider ones before "
+                              "profiling (models a wider machine)")
+
+    mask = sub.add_parser("mask", help="analyse one execution mask")
+    mask.add_argument("mask", help="hex mask, e.g. F0F0")
+    mask.add_argument("--width", type=int, default=16)
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
+    experiment.add_argument(
+        "name",
+        help="fig03|fig08|fig09|fig10|fig11|fig12|table2|table4|area")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "profile": _cmd_profile,
+        "mask": _cmd_mask,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

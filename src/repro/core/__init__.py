@@ -1,0 +1,87 @@
+"""The paper's primary contribution: intra-warp cycle compaction.
+
+This package implements the execution-mask analysis at the heart of
+*SIMD Divergence Optimization through Intra-Warp Compaction* (ISCA 2013):
+
+* :mod:`repro.core.quads` — execution masks and the quad (4-lane) model.
+* :mod:`repro.core.ivb` — the pre-existing Ivy Bridge half-mask rewrite.
+* :mod:`repro.core.bcc` — Basic Cycle Compression.
+* :mod:`repro.core.scc` — Swizzled Cycle Compression (Figure 6 algorithm).
+* :mod:`repro.core.policy` — policy enum and the cycle-count oracle.
+* :mod:`repro.core.stats` — stream statistics behind Figures 3, 9, 10.
+"""
+
+from .bcc import BccSchedule, QuadOp, bcc_cycles, bcc_schedule, is_bcc_friendly
+from .ivb import baseline_cycles, ivb_applicable, ivb_cycles, ivb_effective
+from .policy import (
+    POLICY_ORDER,
+    CompactionPolicy,
+    cycles_all_policies,
+    execution_cycles,
+    parse_policy,
+)
+from .quads import (
+    QUAD_WIDTH,
+    VALID_SIMD_WIDTHS,
+    active_lanes,
+    active_quad_count,
+    active_quads,
+    format_mask,
+    mask_from_lanes,
+    num_quads,
+    optimal_cycles,
+    popcount,
+    quad_masks,
+)
+from .scc import LaneSlot, SccSchedule, scc_cycles, scc_schedule
+from .scc_hw import (
+    ControlWord,
+    control_bits_per_instruction,
+    control_stream,
+    decode_cycle,
+    encode_cycle,
+    encode_schedule,
+)
+from .stats import UTILIZATION_BUCKETS, CompactionStats, is_divergent, utilization_bucket
+
+__all__ = [
+    "QUAD_WIDTH",
+    "VALID_SIMD_WIDTHS",
+    "POLICY_ORDER",
+    "UTILIZATION_BUCKETS",
+    "BccSchedule",
+    "CompactionPolicy",
+    "ControlWord",
+    "control_bits_per_instruction",
+    "control_stream",
+    "decode_cycle",
+    "encode_cycle",
+    "encode_schedule",
+    "CompactionStats",
+    "LaneSlot",
+    "QuadOp",
+    "SccSchedule",
+    "active_lanes",
+    "active_quad_count",
+    "active_quads",
+    "baseline_cycles",
+    "bcc_cycles",
+    "bcc_schedule",
+    "cycles_all_policies",
+    "execution_cycles",
+    "format_mask",
+    "is_bcc_friendly",
+    "is_divergent",
+    "ivb_applicable",
+    "ivb_cycles",
+    "ivb_effective",
+    "mask_from_lanes",
+    "num_quads",
+    "optimal_cycles",
+    "parse_policy",
+    "popcount",
+    "quad_masks",
+    "scc_cycles",
+    "scc_schedule",
+    "utilization_bucket",
+]

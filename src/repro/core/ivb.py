@@ -1,0 +1,86 @@
+"""The pre-existing Ivy Bridge half-mask optimization.
+
+Section 5.2 of the paper infers, via micro-benchmarking real hardware, that
+Ivy Bridge EUs already contain a limited BCC-like optimization: a SIMD16
+instruction whose **upper or lower eight lanes are all inactive** executes
+in two cycles instead of four — i.e. it is treated as a SIMD8 instruction.
+
+All BCC/SCC benefits in the paper are reported *over and above* this
+optimization, so the library models it explicitly: :func:`ivb_effective`
+rewrites an instruction's ``(width, mask)`` the way the hardware does, and
+:func:`ivb_cycles` charges baseline multi-cycle execution on the rewritten
+instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .quads import clamp_mask, num_quads, split_halves, validate_width
+
+#: SIMD width at which the hardware applies the half-mask rewrite.
+IVB_REWRITE_WIDTH = 16
+
+
+def ivb_applicable(mask: int, width: int) -> bool:
+    """True when the Ivy Bridge rewrite fires for ``(mask, width)``.
+
+    The rewrite requires a SIMD16 instruction with a *non-empty* half and
+    an empty other half.  A fully empty mask is not rewritten (there is
+    nothing to execute either way).
+    """
+    validate_width(width)
+    if width != IVB_REWRITE_WIDTH:
+        return False
+    lower, upper = split_halves(mask, width)
+    return (lower == 0) != (upper == 0)
+
+
+def ivb_effective(mask: int, width: int) -> Tuple[int, int]:
+    """Rewrite ``(mask, width)`` as the Ivy Bridge hardware would.
+
+    Returns the effective ``(width, mask)`` pair: a SIMD16 instruction
+    with an empty upper (resp. lower) half becomes a SIMD8 instruction
+    carrying the surviving half's mask.  Anything else is returned
+    unchanged.
+
+    >>> ivb_effective(0x00FF, 16)
+    (8, 255)
+    >>> ivb_effective(0xFF00, 16)
+    (8, 255)
+    >>> ivb_effective(0xF0F0, 16)
+    (16, 61680)
+    """
+    mask = clamp_mask(mask, width)
+    if not ivb_applicable(mask, width):
+        return width, mask
+    lower, upper = split_halves(mask, width)
+    half_width = width // 2
+    return half_width, (lower if lower else upper)
+
+
+def ivb_cycles(mask: int, width: int, dtype_factor: int = 1) -> int:
+    """Baseline execution cycles with only the IVB rewrite applied.
+
+    The instruction executes all quads of its (possibly rewritten) width,
+    regardless of which lanes inside those quads are enabled.
+    ``dtype_factor`` scales the per-quad cycle cost for wide data types
+    (2 for 64-bit operands, 1 otherwise) — see paper Section 4.1.
+    """
+    if dtype_factor < 1:
+        raise ValueError(f"dtype_factor must be >= 1, got {dtype_factor}")
+    eff_width, _eff_mask = ivb_effective(mask, width)
+    return num_quads(eff_width) * dtype_factor
+
+
+def baseline_cycles(mask: int, width: int, dtype_factor: int = 1) -> int:
+    """Execution cycles with no optimization at all (pre-IVB baseline).
+
+    Used only for decomposing savings into "IVB part" and "BCC/SCC part"
+    (paper Table 2); the paper's reported results never use this as the
+    comparison point.
+    """
+    if dtype_factor < 1:
+        raise ValueError(f"dtype_factor must be >= 1, got {dtype_factor}")
+    clamp_mask(mask, width)
+    return num_quads(width) * dtype_factor

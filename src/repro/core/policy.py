@@ -1,0 +1,117 @@
+"""Compaction policies and the per-instruction execution-cycle model.
+
+A :class:`CompactionPolicy` names one configuration of the EU execution
+pipeline studied in the paper:
+
+* ``RAW`` — hypothetical pre-Ivy-Bridge baseline: every quad of the
+  instruction's SIMD width executes, enabled or not.  Used only for
+  decomposing savings (paper Table 2).
+* ``IVB`` — the paper's actual baseline: the hardware's pre-existing
+  half-mask rewrite (Section 5.2) and nothing else.
+* ``BCC`` — basic cycle compression: skip empty aligned quads.
+* ``SCC`` — swizzled cycle compression: ``ceil(popcount/4)`` cycles.
+
+:func:`execution_cycles` is the single place the rest of the system (EU
+timing model, trace profiler, analytic tools) asks "how many ALU cycles
+does this instruction take under policy P?".
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import lru_cache
+from typing import Dict
+
+from .bcc import bcc_cycles
+from .ivb import baseline_cycles, ivb_cycles
+from .quads import clamp_mask, validate_width
+from .scc import scc_cycles
+
+
+class CompactionPolicy(enum.Enum):
+    """Execution-cycle compression configuration of the EU pipeline."""
+
+    RAW = "raw"
+    IVB = "ivb"
+    BCC = "bcc"
+    SCC = "scc"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Policies in strictly non-increasing cycle-count order.
+POLICY_ORDER = (
+    CompactionPolicy.RAW,
+    CompactionPolicy.IVB,
+    CompactionPolicy.BCC,
+    CompactionPolicy.SCC,
+)
+
+
+def execution_cycles(
+    mask: int,
+    width: int,
+    policy: CompactionPolicy,
+    dtype_factor: int = 1,
+    min_cycles: int = 0,
+) -> int:
+    """ALU execution cycles for one instruction under *policy*.
+
+    Args:
+        mask: execution mask (bit *i* set = lane *i* enabled).
+        width: SIMD width of the instruction.
+        policy: compaction configuration to model.
+        dtype_factor: per-quad cycle multiplier for wide data types
+            (2 for 64-bit operands).
+        min_cycles: floor applied to the result.  The pure compression
+            functions return 0 for a fully masked-off instruction; timing
+            models that still charge an issue slot pass ``min_cycles=1``.
+
+    Returns:
+        Number of ALU cycles, ``>= min_cycles``.
+    """
+    return max(min_cycles, _cycles_memo(mask, width, policy, dtype_factor))
+
+
+@lru_cache(maxsize=65536)
+def _cycles_memo(mask: int, width: int, policy: CompactionPolicy,
+                 dtype_factor: int) -> int:
+    """Memoized policy cycle count (the simulator's hottest query)."""
+    validate_width(width)
+    mask = clamp_mask(mask, width)
+    if policy is CompactionPolicy.RAW:
+        return baseline_cycles(mask, width, dtype_factor)
+    if policy is CompactionPolicy.IVB:
+        return ivb_cycles(mask, width, dtype_factor)
+    if policy is CompactionPolicy.BCC:
+        return bcc_cycles(mask, width, dtype_factor)
+    if policy is CompactionPolicy.SCC:
+        return scc_cycles(mask, width, dtype_factor)
+    raise ValueError(f"unknown policy {policy!r}")  # pragma: no cover
+
+
+def cycles_all_policies(
+    mask: int, width: int, dtype_factor: int = 1, min_cycles: int = 0
+) -> Dict[CompactionPolicy, int]:
+    """Execution cycles under every policy, as a dict.
+
+    Guaranteed monotone: ``RAW >= IVB >= BCC >= SCC``.
+    """
+    return {
+        policy: execution_cycles(mask, width, policy, dtype_factor, min_cycles)
+        for policy in POLICY_ORDER
+    }
+
+
+def parse_policy(name: str) -> CompactionPolicy:
+    """Parse a policy from its string name (case-insensitive).
+
+    >>> parse_policy("scc")
+    <CompactionPolicy.SCC: 'scc'>
+    """
+    try:
+        return CompactionPolicy(name.lower())
+    except ValueError:
+        valid = ", ".join(p.value for p in CompactionPolicy)
+        raise ValueError(f"unknown compaction policy {name!r}; expected one of: {valid}")

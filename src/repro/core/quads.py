@@ -1,0 +1,150 @@
+"""Execution-mask and quad utilities.
+
+The studied GPU executes a wide SIMD instruction as a sequence of *quads*:
+groups of four contiguous lanes that pass through the 4-wide ALU, one quad
+per cycle (Figure 2 of the paper).  Every compaction technique in this
+library is defined in terms of the per-quad structure of the instruction's
+execution mask, so this module is the foundation of :mod:`repro.core`.
+
+An execution mask is represented as a plain ``int`` bitmask: bit *i* set
+means SIMD lane *i* is enabled.  The SIMD width travels alongside the mask
+as a separate argument; masks are always interpreted modulo ``2**width``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: Number of lanes that the hardware ALU executes per cycle (the "quad").
+QUAD_WIDTH = 4
+
+#: SIMD widths supported by the modelled EU ISA (paper Section 2.2).
+VALID_SIMD_WIDTHS = (1, 4, 8, 16, 32)
+
+
+def validate_width(width: int) -> None:
+    """Raise ``ValueError`` unless *width* is a supported SIMD width."""
+    if width not in VALID_SIMD_WIDTHS:
+        raise ValueError(
+            f"unsupported SIMD width {width!r}; expected one of {VALID_SIMD_WIDTHS}"
+        )
+
+
+def clamp_mask(mask: int, width: int) -> int:
+    """Return *mask* restricted to the low *width* bits.
+
+    Negative masks are rejected because they have no hardware meaning.
+    """
+    if mask < 0:
+        raise ValueError(f"execution mask must be non-negative, got {mask}")
+    return mask & ((1 << width) - 1)
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in *mask* (number of enabled lanes)."""
+    return mask.bit_count()
+
+
+def active_lanes(mask: int, width: int) -> List[int]:
+    """Indices of enabled lanes, in ascending lane order."""
+    mask = clamp_mask(mask, width)
+    return [i for i in range(width) if (mask >> i) & 1]
+
+
+def num_quads(width: int) -> int:
+    """Number of quads a *width*-wide instruction occupies.
+
+    Sub-quad widths (SIMD1) still occupy a single execution cycle, hence a
+    single quad.
+    """
+    validate_width(width)
+    return max(1, width // QUAD_WIDTH)
+
+
+def quad_masks(mask: int, width: int) -> List[int]:
+    """Split *mask* into per-quad 4-bit masks, lowest quad first.
+
+    >>> quad_masks(0xF0F0, 16)
+    [0, 15, 0, 15]
+    """
+    mask = clamp_mask(mask, width)
+    return [(mask >> (QUAD_WIDTH * q)) & 0xF for q in range(num_quads(width))]
+
+
+def active_quads(mask: int, width: int) -> List[int]:
+    """Indices of quads containing at least one enabled lane."""
+    return [q for q, qm in enumerate(quad_masks(mask, width)) if qm]
+
+
+def active_quad_count(mask: int, width: int) -> int:
+    """``len(active_quads(mask, width))`` without building the list."""
+    return sum(1 for qm in quad_masks(mask, width) if qm)
+
+
+def optimal_cycles(mask: int, width: int) -> int:
+    """Lower bound on execution cycles for *mask*: ``ceil(popcount / 4)``.
+
+    This is the cycle count achieved by a perfect lane compactor (SCC);
+    zero when the mask is empty.
+    """
+    mask = clamp_mask(mask, width)
+    validate_width(width)
+    return -(-popcount(mask) // QUAD_WIDTH)
+
+
+def lane_of_quad(quad: int, lane_in_quad: int) -> int:
+    """Global lane index of *lane_in_quad* (0-3) within *quad*."""
+    if not 0 <= lane_in_quad < QUAD_WIDTH:
+        raise ValueError(f"lane_in_quad must be in [0, 4), got {lane_in_quad}")
+    return quad * QUAD_WIDTH + lane_in_quad
+
+
+def lanes_by_position(mask: int, width: int) -> List[List[int]]:
+    """Group active lanes by their position within the quad.
+
+    Returns a list of four queues; queue *n* holds, in ascending quad
+    order, the quad indices whose lane-position *n* is active.  This is
+    the ``a_ln_q`` structure of the SCC algorithm (paper Figure 6).
+
+    >>> lanes_by_position(0b0101_0101, 8)
+    [[0, 1], [], [0, 1], []]
+    """
+    mask = clamp_mask(mask, width)
+    queues: List[List[int]] = [[] for _ in range(QUAD_WIDTH)]
+    for q, qm in enumerate(quad_masks(mask, width)):
+        for n in range(QUAD_WIDTH):
+            if (qm >> n) & 1:
+                queues[n].append(q)
+    return queues
+
+
+def mask_from_lanes(lanes, width: int) -> int:
+    """Build an execution mask from an iterable of lane indices."""
+    validate_width(width)
+    mask = 0
+    for lane in lanes:
+        if not 0 <= lane < width:
+            raise ValueError(f"lane {lane} out of range for SIMD{width}")
+        mask |= 1 << lane
+    return mask
+
+
+def split_halves(mask: int, width: int) -> Tuple[int, int]:
+    """Return ``(lower_half, upper_half)`` of *mask* for an even *width*."""
+    validate_width(width)
+    if width < 2:
+        raise ValueError("cannot split a SIMD1 mask into halves")
+    half = width // 2
+    mask = clamp_mask(mask, width)
+    return mask & ((1 << half) - 1), mask >> half
+
+
+def format_mask(mask: int, width: int) -> str:
+    """Human-readable mask string, e.g. ``'0xF0F0 (....XXXX....XXXX)'``.
+
+    Lane 0 is printed rightmost, matching the paper's hex notation.
+    """
+    mask = clamp_mask(mask, width)
+    bits = "".join("X" if (mask >> i) & 1 else "." for i in reversed(range(width)))
+    hex_digits = max(1, (width + 3) // 4)
+    return f"0x{mask:0{hex_digits}X} ({bits})"

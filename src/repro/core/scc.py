@@ -1,0 +1,241 @@
+"""Swizzled Cycle Compression (SCC), paper Sections 3.2 and 4.2.
+
+SCC generalizes BCC: when the disabled lanes of an instruction are not
+grouped into aligned quads, SCC *swizzles* (permutes) lane positions so
+that the enabled lanes pack into ``ceil(popcount / 4)`` quads — the
+optimal cycle count — and executes only those.  Operands are routed
+through per-quad 4x4 crossbars onto the 4-wide ALU datapath (paper
+Figure 5c); results are unswizzled (the inverse permutation) before
+write-back.
+
+This module implements the control-logic algorithm of paper Figure 6
+faithfully:
+
+1. Build per-lane-position queues ``a_ln_q[n]``: the quads whose lane
+   position *n* is active.
+2. If the number of active quads already equals the optimal cycle count,
+   fall back to BCC-style empty-quad skipping (no swizzles).
+3. Otherwise compute each lane position's *surplus* (occupancy beyond the
+   optimal cycle count).  In every output cycle, each of the four ALU
+   lane slots is filled from its own queue when possible (no swizzle), or
+   from a surplus lane position (one intra-quad swizzle), or left
+   disabled when no work remains.
+
+The resulting :class:`SccSchedule` records, per cycle, exactly which
+``(quad, source_lane)`` element drives each ALU lane slot, which is what
+the operand-crossbar settings and write-back unswizzle settings are
+derived from.  The schedule is validated to be a partition of the active
+lanes; the worked example of paper Figure 7 is covered by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .bcc import bcc_schedule
+from .quads import (
+    QUAD_WIDTH,
+    active_quad_count,
+    clamp_mask,
+    lane_of_quad,
+    lanes_by_position,
+    optimal_cycles,
+    popcount,
+    validate_width,
+)
+
+
+@dataclass(frozen=True)
+class LaneSlot:
+    """One ALU lane slot assignment in one SCC execution cycle.
+
+    Attributes:
+        quad: source quad index within the macro-instruction.
+        src_lane: lane position (0-3) of the element inside its quad.
+        out_lane: ALU lane slot (0-3) the element is routed to.
+    """
+
+    quad: int
+    src_lane: int
+    out_lane: int
+
+    @property
+    def swizzled(self) -> bool:
+        """True when the element moved off its home lane position."""
+        return self.src_lane != self.out_lane
+
+    @property
+    def global_lane(self) -> int:
+        """Global lane index of the element within the instruction."""
+        return lane_of_quad(self.quad, self.src_lane)
+
+
+@dataclass(frozen=True)
+class SccSchedule:
+    """Complete SCC execution schedule for one instruction.
+
+    Attributes:
+        width: SIMD width of the analysed instruction.
+        mask: execution mask the schedule was computed for.
+        cycles: tuple of execution cycles; each cycle is a tuple of up to
+            four :class:`LaneSlot` assignments (disabled slots omitted).
+        bcc_only: True when the empty-quad early-out fired and no
+            swizzling was needed.
+    """
+
+    width: int
+    mask: int
+    cycles: Tuple[Tuple[LaneSlot, ...], ...]
+    bcc_only: bool
+
+    @property
+    def cycle_count(self) -> int:
+        """Execution cycles consumed by the instruction under SCC."""
+        return len(self.cycles)
+
+    @property
+    def swizzle_count(self) -> int:
+        """Total number of intra-quad lane swizzles across all cycles."""
+        return sum(1 for cycle in self.cycles for slot in cycle if slot.swizzled)
+
+    def covered_lanes(self) -> List[int]:
+        """Global lane indices executed, in schedule order."""
+        return [slot.global_lane for cycle in self.cycles for slot in cycle]
+
+    def unswizzle_settings(self) -> Tuple[Tuple[Tuple[int, int, int], ...], ...]:
+        """Per-cycle write-back routing: ``(out_lane -> (quad, dst_lane))``.
+
+        The write-back path applies the inverse permutation of the operand
+        swizzle (paper Section 4.2): each ALU output lane's result is
+        steered back to its element's home ``(quad, lane)`` register
+        position.  Returned as, per cycle, tuples of
+        ``(out_lane, quad, dst_lane)``.
+        """
+        return tuple(
+            tuple((slot.out_lane, slot.quad, slot.src_lane) for slot in cycle)
+            for cycle in self.cycles
+        )
+
+
+def _bcc_fallback_schedule(mask: int, width: int) -> SccSchedule:
+    """Build an :class:`SccSchedule` for the no-swizzle early-out case."""
+    cycles: List[Tuple[LaneSlot, ...]] = []
+    for op in bcc_schedule(mask, width).ops:
+        slots = tuple(
+            LaneSlot(quad=op.quad, src_lane=n, out_lane=n)
+            for n in range(QUAD_WIDTH)
+            if (op.lane_enable >> n) & 1
+        )
+        cycles.append(slots)
+    return SccSchedule(width=width, mask=mask, cycles=tuple(cycles), bcc_only=True)
+
+
+def scc_schedule(mask: int, width: int) -> SccSchedule:
+    """Run the paper's SCC control algorithm (Figure 6) on ``(mask, width)``.
+
+    Deterministic: surplus donors are drained lowest-lane-position first,
+    and queues are consumed in ascending quad order, matching the worked
+    example of paper Figure 7.
+    """
+    validate_width(width)
+    mask = clamp_mask(mask, width)
+
+    o_cyc_cnt = optimal_cycles(mask, width)
+    if o_cyc_cnt == 0:
+        return SccSchedule(width=width, mask=mask, cycles=(), bcc_only=True)
+
+    a_q_cnt = active_quad_count(mask, width)
+    if a_q_cnt == o_cyc_cnt:
+        # Active lanes already pack into the minimal number of quads:
+        # plain empty-quad skipping achieves the optimum (BCC-like path).
+        return _bcc_fallback_schedule(mask, width)
+
+    # --- initial setup (paper Figure 6, "else" branch) -------------------
+    a_ln_q = lanes_by_position(mask, width)  # queues of quads, per lane position
+    heads = [0, 0, 0, 0]  # dequeue cursors into a_ln_q[n]
+    surplus = [max(0, len(a_ln_q[n]) - o_cyc_cnt) for n in range(QUAD_WIDTH)]
+    tot_surplus = sum(surplus)
+
+    cycles: List[Tuple[LaneSlot, ...]] = []
+    for _cycle in range(o_cyc_cnt):
+        slots: List[LaneSlot] = []
+        for n in range(QUAD_WIDTH):
+            if heads[n] < len(a_ln_q[n]):
+                # Home lane has its own work: no swizzle.
+                quad = a_ln_q[n][heads[n]]
+                heads[n] += 1
+                slots.append(LaneSlot(quad=quad, src_lane=n, out_lane=n))
+            elif tot_surplus > 0:
+                # Steal from the first surplus lane position that still
+                # has queued work: one intra-quad swizzle (m -> n).
+                for m in range(QUAD_WIDTH):
+                    if surplus[m] > 0 and heads[m] < len(a_ln_q[m]):
+                        quad = a_ln_q[m][heads[m]]
+                        heads[m] += 1
+                        surplus[m] -= 1
+                        tot_surplus -= 1
+                        slots.append(LaneSlot(quad=quad, src_lane=m, out_lane=n))
+                        break
+                # If no donor was found the slot stays disabled this cycle;
+                # remaining surplus will be drained in later cycles.
+            # else: no surplus anywhere -- lane slot disabled this cycle.
+        cycles.append(tuple(slots))
+
+    schedule = SccSchedule(width=width, mask=mask, cycles=tuple(cycles), bcc_only=False)
+    _validate_schedule(schedule)
+    return schedule
+
+
+def _validate_schedule(schedule: SccSchedule) -> None:
+    """Internal invariant check: the schedule partitions the active lanes.
+
+    Every active lane must be executed exactly once, no inactive lane may
+    be executed, and within a cycle each ALU output slot may be driven by
+    at most one element (the wired-OR bus constraint of Figure 5c).
+    """
+    seen = schedule.covered_lanes()
+    expected = [i for i in range(schedule.width) if (schedule.mask >> i) & 1]
+    if sorted(seen) != expected:
+        raise AssertionError(
+            f"SCC schedule does not partition active lanes: got {sorted(seen)}, "
+            f"expected {expected} (mask=0x{schedule.mask:X}, width={schedule.width})"
+        )
+    for cycle in schedule.cycles:
+        outs = [slot.out_lane for slot in cycle]
+        if len(outs) != len(set(outs)):
+            raise AssertionError(f"ALU output slot driven twice in one cycle: {cycle}")
+
+
+def scc_cycles(mask: int, width: int, dtype_factor: int = 1) -> int:
+    """Execution cycles under SCC: ``ceil(active_lanes / 4)``.
+
+    Zero for a fully masked-off instruction (see :func:`repro.core.bcc.bcc_cycles`
+    for the clamping convention).
+    """
+    if dtype_factor < 1:
+        raise ValueError(f"dtype_factor must be >= 1, got {dtype_factor}")
+    return optimal_cycles(mask, width) * dtype_factor
+
+
+def scc_additional_savings(mask: int, width: int) -> int:
+    """Quad cycles SCC saves beyond what BCC already saves."""
+    return active_quad_count(mask, width) - optimal_cycles(mask, width)
+
+
+def swizzle_settings_for_cycle(
+    cycle: Tuple[LaneSlot, ...],
+) -> List[Optional[Tuple[int, int]]]:
+    """Crossbar settings for one execution cycle.
+
+    Returns a list indexed by ALU output lane (0-3): ``(quad, src_lane)``
+    for driven slots, ``None`` for disabled ones.  This is the hardware
+    control word the SCC logic would latch alongside the operand
+    (paper Figure 7, "lanes swizzled / lanes enabled" rows).
+    """
+    settings: List[Optional[Tuple[int, int]]] = [None] * QUAD_WIDTH
+    for slot in cycle:
+        if settings[slot.out_lane] is not None:
+            raise ValueError(f"output lane {slot.out_lane} driven twice in {cycle}")
+        settings[slot.out_lane] = (slot.quad, slot.src_lane)
+    return settings

@@ -1,0 +1,128 @@
+"""Hardware control-word encoding for the SCC datapath.
+
+Paper Figure 5(c) shows the SCC operand path: a 512-bit operand latch
+feeding four per-quad 4x4 crossbars whose outputs wire-OR onto the
+128-bit ALU bus.  Each execution cycle the control logic must therefore
+supply, per ALU output lane (4 of them):
+
+* a 1-bit **enable**,
+* a **quad select** (2 bits for SIMD16: which quad's crossbar drives
+  this output slot), and
+* a **source-lane select** (2 bits: which lane within that quad).
+
+That is 5 bits per output lane, 20 bits per cycle — this module packs
+the :class:`~repro.core.scc.SccSchedule` into exactly that word, and
+unpacks it back, giving the bit-accurate control stream a hardware
+implementation would latch (the "lanes swizzled / lanes enabled" rows of
+paper Figure 7).  The write-back unswizzle settings are the same words
+read in the inverse direction, so no separate encoding is needed.
+
+Word layout (per output lane ``n``, field base ``5*n``)::
+
+    bit 5n+0      enable
+    bits 5n+1..2  src_lane (0-3)
+    bits 5n+3..4  quad — stored modulo 4; wider-than-SIMD16
+                  instructions carry the quad's high bits implicitly in
+                  the cycle index (cycle c only ever reads quads that
+                  still have queued work, and the decoder is given the
+                  schedule width).
+
+For SIMD widths above 16 the 2-bit quad field is insufficient, so the
+encoder widens the quad field to ``ceil(log2(num_quads))`` bits and
+reports the per-lane field width; SIMD16 and below always use the
+5-bit-per-lane layout above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .quads import QUAD_WIDTH, num_quads, validate_width
+from .scc import LaneSlot, SccSchedule, scc_schedule
+
+
+def _quad_bits(width: int) -> int:
+    """Bits needed to name a quad of a *width*-wide instruction."""
+    quads = num_quads(width)
+    bits = 1
+    while (1 << bits) < quads:
+        bits += 1
+    return bits
+
+
+@dataclass(frozen=True)
+class ControlWord:
+    """One cycle's packed crossbar/enable settings."""
+
+    width: int  # SIMD width of the instruction
+    value: int  # packed bits
+
+    @property
+    def bits_per_lane(self) -> int:
+        return 1 + 2 + _quad_bits(self.width)
+
+    def lane_fields(self) -> List[Optional[Tuple[int, int]]]:
+        """Per output lane: ``(quad, src_lane)`` or None when disabled."""
+        per_lane = self.bits_per_lane
+        quad_bits = _quad_bits(self.width)
+        fields: List[Optional[Tuple[int, int]]] = []
+        for lane in range(QUAD_WIDTH):
+            chunk = (self.value >> (per_lane * lane)) & ((1 << per_lane) - 1)
+            enable = chunk & 1
+            if not enable:
+                fields.append(None)
+                continue
+            src_lane = (chunk >> 1) & 0x3
+            quad = (chunk >> 3) & ((1 << quad_bits) - 1)
+            fields.append((quad, src_lane))
+        return fields
+
+
+def encode_cycle(cycle: Tuple[LaneSlot, ...], width: int) -> ControlWord:
+    """Pack one SCC schedule cycle into its hardware control word."""
+    validate_width(width)
+    quad_bits = _quad_bits(width)
+    per_lane = 1 + 2 + quad_bits
+    value = 0
+    seen = set()
+    for slot in cycle:
+        if slot.out_lane in seen:
+            raise ValueError(f"output lane {slot.out_lane} driven twice")
+        seen.add(slot.out_lane)
+        chunk = 1 | (slot.src_lane << 1) | (slot.quad << 3)
+        value |= chunk << (per_lane * slot.out_lane)
+    return ControlWord(width=width, value=value)
+
+
+def decode_cycle(word: ControlWord) -> Tuple[LaneSlot, ...]:
+    """Unpack a control word back into lane-slot assignments."""
+    slots = []
+    for out_lane, field in enumerate(word.lane_fields()):
+        if field is None:
+            continue
+        quad, src_lane = field
+        slots.append(LaneSlot(quad=quad, src_lane=src_lane, out_lane=out_lane))
+    return tuple(slots)
+
+
+def encode_schedule(schedule: SccSchedule) -> List[ControlWord]:
+    """Control words for every cycle of *schedule*, in issue order."""
+    return [encode_cycle(cycle, schedule.width) for cycle in schedule.cycles]
+
+
+def control_stream(mask: int, width: int) -> List[ControlWord]:
+    """Convenience: SCC control words straight from an execution mask."""
+    return encode_schedule(scc_schedule(mask, width))
+
+
+def control_bits_per_instruction(width: int) -> int:
+    """Worst-case control-store bits one instruction needs under SCC.
+
+    ``cycles x lanes x bits_per_lane`` at the optimal (full) cycle
+    count — the quantity a designer would size the control pipeline
+    stage for (paper Section 4.3's control-complexity discussion).
+    """
+    validate_width(width)
+    per_lane = 1 + 2 + _quad_bits(width)
+    return num_quads(width) * QUAD_WIDTH * per_lane

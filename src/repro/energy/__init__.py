@@ -1,0 +1,15 @@
+"""Dynamic-energy modelling for the compaction techniques (Section 4.3)."""
+
+from .model import (
+    EnergyBreakdown,
+    energy_all_policies,
+    energy_breakdown,
+    energy_savings_pct,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "energy_all_policies",
+    "energy_breakdown",
+    "energy_savings_pct",
+]

@@ -1,0 +1,264 @@
+"""The execution unit (EU): arbitration, issue, and timing.
+
+Models the multi-threaded SIMD core of paper Section 2.2.  Per
+arbitration pass (every two cycles) the EU issues up to two instructions
+from distinct ready hardware threads.  ALU instructions occupy the FPU
+or EM pipe for the number of quad cycles charged by the configured
+compaction policy — this is where BCC/SCC turn mask statistics into
+time.  Memory and barrier messages go through the SEND pipe to the
+shared memory hierarchy; structured control flow executes in the front
+end via the per-thread mask stack.
+
+The EU is also the measurement point: every issued SIMD instruction's
+``(width, exec_mask, dtype)`` is recorded into the run's
+:class:`~repro.core.stats.CompactionStats`, exactly like the
+instrumented functional model the paper uses for its trace studies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.policy import execution_cycles
+from ..core.stats import CompactionStats
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode, Pipe
+from ..isa.registers import RegRef
+from ..memory.cache import LINE_BYTES
+from ..memory.hierarchy import MemoryHierarchy
+from .interp import execute_alu, gather, scatter
+from .pipes import PipeSet
+from .thread import EUThread, ThreadState
+
+#: Sentinel "never" time for event scheduling.
+NEVER = 1 << 62
+
+
+class ExecutionUnit:
+    """One EU: thread slots, pipes, and the issue/timing logic."""
+
+    def __init__(self, eu_id: int, config, hierarchy: MemoryHierarchy,
+                 alu_stats: CompactionStats, simd_stats: CompactionStats,
+                 trace_sink: Optional[list] = None) -> None:
+        self.eu_id = eu_id
+        self.config = config
+        self.hierarchy = hierarchy
+        self.alu_stats = alu_stats
+        self.simd_stats = simd_stats
+        #: When set, every issued SIMD instruction's (width, mask) is
+        #: appended as a TraceEvent -- the paper's instrumented
+        #: functional model (Section 5.1), usable for offline profiling.
+        self.trace_sink = trace_sink
+        self.pipes = PipeSet()
+        self.threads: List[Optional[EUThread]] = [None] * config.threads_per_eu
+        self._rr = 0  # rotating-priority pointer (paper: rotating/age arbiter)
+        self.instructions_issued = 0
+
+    # -- thread management ---------------------------------------------------
+
+    def free_slots(self) -> int:
+        return sum(1 for t in self.threads if t is None)
+
+    def add_thread(self, thread: EUThread) -> None:
+        for slot, occupant in enumerate(self.threads):
+            if occupant is None:
+                self.threads[slot] = thread
+                return
+        raise RuntimeError(f"EU{self.eu_id} has no free thread slot")
+
+    def busy(self) -> bool:
+        return any(t is not None for t in self.threads)
+
+    # -- per-cycle operation ---------------------------------------------------
+
+    def step(self, now: int) -> None:
+        """Run one arbitration pass (call only on even cycles)."""
+        if now % self.config.issue_period != 0:
+            return
+        issued = 0
+        order = self._arbitration_order()
+        for slot in order:
+            if issued >= self.config.issue_width:
+                break
+            thread = self.threads[slot]
+            if thread is None or thread.state is not ThreadState.ACTIVE:
+                continue
+            inst = thread.current_instruction()
+            if inst is None:
+                continue
+            if thread.earliest_issue(now) > now:
+                continue
+            if inst.opcode.pipe is not Pipe.CTRL:
+                if not self.pipes.for_opcode(inst.opcode).can_accept(now):
+                    continue
+            self._issue(slot, thread, inst, now)
+            issued += 1
+        if issued:
+            self._rr = (order[0] + 1) % len(self.threads)
+
+    def _arbitration_order(self) -> List[int]:
+        n = len(self.threads)
+        if self.config.arbiter == "fixed":
+            return list(range(n))
+        return [(self._rr + i) % n for i in range(n)]
+
+    def next_event(self, now: int) -> int:
+        """Earliest future cycle at which this EU could issue something."""
+        best = NEVER
+        for thread in self.threads:
+            if thread is None or thread.state is not ThreadState.ACTIVE:
+                continue
+            inst = thread.current_instruction()
+            if inst is None:
+                continue
+            t = thread.earliest_issue(now + 1)
+            if inst.opcode.pipe is not Pipe.CTRL:
+                t = max(t, self.pipes.for_opcode(inst.opcode).busy_until)
+            # Align to the next arbitration boundary.
+            period = self.config.issue_period
+            if t % period != 0:
+                t += period - (t % period)
+            best = min(best, t)
+        return best
+
+    # -- issue paths ----------------------------------------------------------
+
+    def _issue(self, slot: int, thread: EUThread, inst: Instruction, now: int) -> None:
+        self.instructions_issued += 1
+        thread.instructions_executed += 1
+        thread.last_issue_cycle = now
+        op = inst.opcode
+        if op.pipe is Pipe.CTRL:
+            self._issue_control(slot, thread, inst, now)
+        elif op is Opcode.BARRIER:
+            self._issue_barrier(thread, inst, now)
+        elif op.is_memory:
+            self._issue_memory(thread, inst, now)
+        else:
+            self._issue_alu(thread, inst, now)
+
+    def _issue_control(self, slot: int, thread: EUThread, inst: Instruction, now: int) -> None:
+        op = inst.opcode
+        masks = thread.masks
+        next_pc: Optional[int] = None
+        if op is Opcode.IF:
+            flag = thread.pred_mask(inst)
+            target_is_else = (
+                inst.target > 0
+                and thread.program.instructions[inst.target - 1].opcode is Opcode.ELSE
+            )
+            next_pc = masks.do_if(flag, inst.target, target_is_else)
+        elif op is Opcode.ELSE:
+            next_pc = masks.do_else(inst.target)
+        elif op is Opcode.ENDIF:
+            masks.do_endif()
+        elif op is Opcode.DO:
+            next_pc = masks.do_do(inst.target)
+        elif op is Opcode.BREAK:
+            masks.do_break(thread.pred_mask(inst))
+        elif op is Opcode.WHILE:
+            next_pc = masks.do_while(thread.pred_mask(inst), inst.target)
+        elif op is Opcode.EOT:
+            thread.state = ThreadState.DONE
+            self.threads[slot] = None
+            if thread.workgroup is not None:
+                thread.workgroup.thread_done(now)
+            return
+        else:  # pragma: no cover - exhaustive over CTRL opcodes
+            raise NotImplementedError(f"control opcode {op}")
+        thread.advance(next_pc)
+
+    def _issue_barrier(self, thread: EUThread, inst: Instruction, now: int) -> None:
+        thread.advance(None)  # resume after the barrier on release
+        wg = thread.workgroup
+        if wg is None:
+            return  # free-standing thread: barrier is a no-op
+        thread.state = ThreadState.AT_BARRIER
+        wg.arrive_barrier(thread, now, self.config.barrier_latency)
+
+    def _issue_alu(self, thread: EUThread, inst: Instruction, now: int) -> None:
+        if inst.opcode is Opcode.SEL:
+            # The predicate is the per-lane selector, not an execution mask.
+            exec_mask = thread.masks.current
+            selector = thread.pred_mask(inst)
+        else:
+            exec_mask = thread.masks.exec_mask(thread.pred_mask(inst))
+            selector = 0
+        num_src = sum(1 for s in inst.sources if isinstance(s, RegRef))
+        self.alu_stats.record(exec_mask, inst.width, inst.dtype_factor, num_src)
+        self.simd_stats.record(exec_mask, inst.width, inst.dtype_factor, num_src)
+        if self.trace_sink is not None:
+            from ..trace.format import TraceEvent
+
+            self.trace_sink.append(
+                TraceEvent(inst.width, exec_mask, inst.dtype_factor))
+
+        cycles = execution_cycles(
+            exec_mask, inst.width, self.config.policy, inst.dtype_factor, min_cycles=1
+        )
+        pipe = self.pipes.for_opcode(inst.opcode)
+        drain = pipe.issue(now, cycles)
+        completion = drain + inst.opcode.latency
+        thread.scoreboard.record(inst, completion)
+        execute_alu(inst, exec_mask, thread.grf, thread.flags, selector)
+        thread.advance(None)
+
+    def _issue_memory(self, thread: EUThread, inst: Instruction, now: int) -> None:
+        exec_mask = thread.masks.exec_mask(thread.pred_mask(inst))
+        self.simd_stats.record(exec_mask, inst.width, inst.dtype_factor)
+        width = inst.width
+        dtype = inst.dtype
+        addr_ref = inst.sources[0]
+        offsets = thread.grf.read(addr_ref, width)
+
+        # SEND pipe occupancy: one cycle per 256-bit register moved.
+        occupancy = max(1, dtype.regs_for_width(width))
+        self.pipes.send.issue(now, occupancy)
+
+        if exec_mask == 0:
+            completion = now + 1  # suppressed message
+        elif inst.opcode.is_slm:
+            completion = now + self._do_slm(thread, inst, offsets, exec_mask)
+        else:
+            completion = self._do_global(thread, inst, offsets, exec_mask, now)
+
+        if inst.opcode.writes_dst:
+            thread.scoreboard.mark_write(inst.writes(), completion)
+        thread.advance(None)
+
+    def _do_slm(self, thread: EUThread, inst: Instruction, offsets, exec_mask: int) -> int:
+        wg = thread.workgroup
+        if wg is None or wg.slm is None:
+            raise RuntimeError(
+                f"kernel {thread.program.name!r} uses SLM but none was allocated"
+            )
+        cycles = wg.slm_timing.access_cycles(offsets, exec_mask)
+        if inst.opcode is Opcode.LOAD_SLM:
+            values = gather(wg.slm.data, offsets, exec_mask, inst.dtype)
+            thread.grf.write(inst.dst, inst.width, values, exec_mask)
+        else:
+            values = thread.grf.read(inst.sources[1], inst.width)
+            scatter(wg.slm.data, offsets, values, exec_mask, inst.dtype)
+        return cycles
+
+    def _do_global(self, thread: EUThread, inst: Instruction, offsets, exec_mask: int,
+                   now: int) -> int:
+        wg = thread.workgroup
+        if wg is None:
+            raise RuntimeError("global memory access outside a launch context")
+        surface = wg.surfaces[inst.surface]
+        if inst.opcode is Opcode.LOAD:
+            values = gather(surface, offsets, exec_mask, inst.dtype)
+            thread.grf.write(inst.dst, inst.width, values, exec_mask)
+        else:
+            values = thread.grf.read(inst.sources[1], inst.width)
+            scatter(surface, offsets, values, exec_mask, inst.dtype)
+
+        lines = set()
+        size = inst.dtype.size
+        for lane in range(inst.width):
+            if (exec_mask >> lane) & 1:
+                off = int(offsets[lane])
+                lines.add((inst.surface, off // LINE_BYTES))
+                lines.add((inst.surface, (off + size - 1) // LINE_BYTES))
+        return self.hierarchy.access(now, sorted(lines))

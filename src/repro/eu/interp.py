@@ -1,0 +1,208 @@
+"""Functional interpreter for EU instructions.
+
+The simulator follows the paper's GPGenSim structure: a functional model
+computes architectural state (registers, flags, memory) while the timing
+model charges cycles.  This module is the functional half for ALU and
+memory instructions; control flow lives in :mod:`repro.eu.maskstack`.
+
+All arithmetic uses numpy with the instruction's data type, so lane
+values behave like the 32/64-bit hardware types (int wrap-around, IEEE
+floats).  Divide-by-zero and overflow produce IEEE results (inf/nan)
+without raising, as the hardware does.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.registers import Imm, RegRef
+from ..isa.types import DType
+from .grf import RegisterFile, _mask_bools
+
+
+def eval_operand(op, width: int, grf: RegisterFile, dtype: DType) -> np.ndarray:
+    """Materialize a source operand as a *width*-lane array of *dtype*.
+
+    Register operands are read with their own dtype then converted;
+    immediates are broadcast.
+    """
+    if isinstance(op, RegRef):
+        values = grf.read(op, width)
+        if op.dtype is not dtype:
+            values = values.astype(dtype.np_dtype)
+        return values
+    if isinstance(op, Imm):
+        return np.full(width, op.value, dtype=dtype.np_dtype)
+    raise TypeError(f"cannot evaluate operand {op!r}")
+
+
+def _shift_amounts(values: np.ndarray) -> np.ndarray:
+    """Clamp shift amounts to the type's bit width (hardware behaviour)."""
+    return np.clip(values.astype(np.int64), 0, 31)
+
+
+def execute_alu(
+    inst: Instruction,
+    exec_mask: int,
+    grf: RegisterFile,
+    flags: List[int],
+    selector_mask: int = 0,
+) -> None:
+    """Execute one FPU/EM instruction functionally.
+
+    Args:
+        inst: the instruction (must be an ALU opcode).
+        exec_mask: final execution mask (lanes to write).
+        grf: the thread's register file.
+        flags: the thread's flag registers (mutable list of bitmasks).
+        selector_mask: for SEL, the per-lane selector (flag value).
+    """
+    width = inst.width
+    op = inst.opcode
+    dtype = inst.dtype
+
+    if op is Opcode.CMP:
+        with np.errstate(all="ignore"):
+            a = eval_operand(inst.sources[0], width, grf, dtype)
+            b = eval_operand(inst.sources[1], width, grf, dtype)
+            result = inst.cmp_op.apply(a, b)
+        bits = 0
+        for lane in range(width):
+            if (exec_mask >> lane) & 1 and bool(result[lane]):
+                bits |= 1 << lane
+        idx = inst.flag_dst.index
+        # CMP updates flag bits only for enabled lanes.
+        flags[idx] = (flags[idx] & ~exec_mask) | bits
+        return
+
+    if op is Opcode.SEL:
+        a = eval_operand(inst.sources[0], width, grf, dtype)
+        b = eval_operand(inst.sources[1], width, grf, dtype)
+        sel = _mask_bools(selector_mask, width)
+        result = np.where(sel, a, b)
+        grf.write(inst.dst, width, result, exec_mask)
+        return
+
+    with np.errstate(all="ignore"):
+        srcs = [eval_operand(s, width, grf, dtype) for s in inst.sources]
+        if op is Opcode.CVT:
+            src = eval_operand(inst.sources[0], width, grf, inst.src_dtype)
+            result = src.astype(dtype.np_dtype)
+        elif op is Opcode.MOV:
+            result = srcs[0]
+        elif op is Opcode.ADD:
+            result = srcs[0] + srcs[1]
+        elif op is Opcode.SUB:
+            result = srcs[0] - srcs[1]
+        elif op is Opcode.MUL:
+            result = srcs[0] * srcs[1]
+        elif op is Opcode.MAD:
+            result = srcs[0] * srcs[1] + srcs[2]
+        elif op is Opcode.MIN:
+            result = np.minimum(srcs[0], srcs[1])
+        elif op is Opcode.MAX:
+            result = np.maximum(srcs[0], srcs[1])
+        elif op is Opcode.ABS:
+            result = np.abs(srcs[0])
+        elif op is Opcode.FLOOR:
+            result = np.floor(srcs[0]) if dtype.is_float else srcs[0]
+        elif op is Opcode.AND:
+            result = srcs[0] & srcs[1]
+        elif op is Opcode.OR:
+            result = srcs[0] | srcs[1]
+        elif op is Opcode.XOR:
+            result = srcs[0] ^ srcs[1]
+        elif op is Opcode.NOT:
+            result = ~srcs[0]
+        elif op is Opcode.SHL:
+            result = (srcs[0].astype(np.int64) << _shift_amounts(srcs[1])).astype(
+                dtype.np_dtype
+            )
+        elif op is Opcode.SHR:
+            result = (srcs[0].astype(np.int64) >> _shift_amounts(srcs[1])).astype(
+                dtype.np_dtype
+            )
+        elif op is Opcode.DIV:
+            result = srcs[0] / srcs[1] if dtype.is_float else _int_div(srcs[0], srcs[1])
+        elif op is Opcode.SQRT:
+            result = np.sqrt(srcs[0])
+        elif op is Opcode.RSQRT:
+            result = 1.0 / np.sqrt(srcs[0])
+        elif op is Opcode.SIN:
+            result = np.sin(srcs[0])
+        elif op is Opcode.COS:
+            result = np.cos(srcs[0])
+        elif op is Opcode.EXP:
+            result = np.exp(srcs[0])
+        elif op is Opcode.LOG:
+            result = np.log(srcs[0])
+        elif op is Opcode.POW:
+            result = np.power(srcs[0], srcs[1])
+        else:
+            raise NotImplementedError(f"functional model missing for {op}")
+
+    grf.write(inst.dst, width, np.asarray(result, dtype=dtype.np_dtype), exec_mask)
+
+
+def _int_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Integer division with divide-by-zero yielding 0 (hardware-defined)."""
+    safe = np.where(b == 0, 1, b)
+    q = a // safe
+    return np.where(b == 0, 0, q).astype(a.dtype)
+
+
+def gather(surface: np.ndarray, offsets: np.ndarray, exec_mask: int, dtype: DType) -> np.ndarray:
+    """Per-lane gather: lane *i* reads ``dtype.size`` bytes at offsets[i].
+
+    Disabled lanes return 0.  Offsets must be dtype-aligned and in range;
+    out-of-range enabled lanes raise ``IndexError`` (the simulator's
+    equivalent of a page fault — kernels are expected to guard).
+    """
+    width = offsets.shape[0]
+    out = np.zeros(width, dtype=dtype.np_dtype)
+    size = dtype.size
+    view = surface.view(dtype.np_dtype)
+    for lane in range(width):
+        if not (exec_mask >> lane) & 1:
+            continue
+        off = int(offsets[lane])
+        if off % size != 0:
+            raise ValueError(f"misaligned {dtype} access at byte offset {off}")
+        idx = off // size
+        if not 0 <= idx < view.shape[0]:
+            raise IndexError(
+                f"lane {lane} reads byte offset {off}, beyond surface of "
+                f"{surface.size} bytes"
+            )
+        out[lane] = view[idx]
+    return out
+
+
+def scatter(
+    surface: np.ndarray, offsets: np.ndarray, values: np.ndarray, exec_mask: int, dtype: DType
+) -> None:
+    """Per-lane scatter: lane *i* writes ``dtype.size`` bytes at offsets[i].
+
+    When several enabled lanes target the same offset, the highest lane
+    wins (matching the sequential quad write-back order of the hardware).
+    """
+    size = dtype.size
+    view = surface.view(dtype.np_dtype)
+    width = offsets.shape[0]
+    for lane in range(width):
+        if not (exec_mask >> lane) & 1:
+            continue
+        off = int(offsets[lane])
+        if off % size != 0:
+            raise ValueError(f"misaligned {dtype} access at byte offset {off}")
+        idx = off // size
+        if not 0 <= idx < view.shape[0]:
+            raise IndexError(
+                f"lane {lane} writes byte offset {off}, beyond surface of "
+                f"{surface.size} bytes"
+            )
+        view[idx] = values[lane]

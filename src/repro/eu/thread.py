@@ -1,0 +1,95 @@
+"""EU hardware-thread state.
+
+Each EU supports several hardware threads (six in the Table 3
+configuration); one :class:`EUThread` bundles everything a thread owns:
+its program position, register file, flag registers, SIMT mask stack,
+dependence scoreboard, and scheduling state.  A thread corresponds to
+one SIMD-width slice of a workgroup (e.g. 16 work-items of a SIMD16
+kernel).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from ..isa.instruction import Instruction
+from ..isa.program import Program
+from .grf import RegisterFile
+from .maskstack import MaskStack
+from .scoreboard import Scoreboard
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..gpu.dispatch import WorkgroupInstance
+
+
+class ThreadState(enum.Enum):
+    """Scheduling state of a hardware thread slot."""
+
+    ACTIVE = "active"
+    AT_BARRIER = "at_barrier"
+    DONE = "done"
+
+
+class EUThread:
+    """One hardware thread executing a SIMD-width slice of a workgroup."""
+
+    def __init__(
+        self,
+        thread_id: int,
+        program: Program,
+        dispatch_mask: int,
+        workgroup: Optional["WorkgroupInstance"] = None,
+        start_cycle: int = 0,
+    ) -> None:
+        self.thread_id = thread_id
+        self.program = program
+        self.pc = 0
+        self.grf = RegisterFile()
+        self.flags = [0, 0]
+        self.masks = MaskStack(program.simd_width, dispatch_mask)
+        self.scoreboard = Scoreboard()
+        self.state = ThreadState.ACTIVE
+        self.workgroup = workgroup
+        #: Earliest cycle the thread may issue (dispatch/barrier latency).
+        self.stall_until = start_cycle
+        self.instructions_executed = 0
+        self.last_issue_cycle = -1
+
+    @property
+    def done(self) -> bool:
+        return self.state is ThreadState.DONE
+
+    def current_instruction(self) -> Optional[Instruction]:
+        """The next instruction to issue, or None when the thread is done."""
+        if self.state is not ThreadState.ACTIVE:
+            return None
+        return self.program.instructions[self.pc]
+
+    def pred_mask(self, inst: Instruction) -> Optional[int]:
+        """Evaluate the instruction's predicate flag (None = unpredicated)."""
+        if inst.pred is None:
+            return None
+        value = self.flags[inst.pred.index]
+        if inst.pred.negate:
+            value = ~value
+        return value & ((1 << inst.width) - 1)
+
+    def advance(self, next_pc: Optional[int]) -> None:
+        """Move to *next_pc* (or fall through) after issuing an instruction."""
+        self.pc = self.pc + 1 if next_pc is None else next_pc
+        if not 0 <= self.pc <= len(self.program.instructions):
+            raise RuntimeError(
+                f"thread {self.thread_id} jumped to invalid pc {self.pc}"
+            )
+
+    def earliest_issue(self, now: int) -> int:
+        """Earliest cycle this thread's next instruction could issue.
+
+        Considers dispatch/barrier stalls and scoreboard dependencies,
+        but not pipe availability (the EU adds that).
+        """
+        inst = self.current_instruction()
+        if inst is None:
+            return 1 << 62  # effectively never; barrier release resets stall
+        return max(now, self.stall_until, self.scoreboard.ready_at(inst))

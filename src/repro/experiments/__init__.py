@@ -1,0 +1,22 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each module exposes ``*_data()`` returning structured results and
+``render()`` producing the text table/series matching the paper's
+presentation.  The benchmark suite under ``benchmarks/`` and the
+validation tests both consume these, so there is exactly one
+implementation of every experiment.
+"""
+
+from . import area, fig03, fig08, fig09, fig10, fig11, fig12, table2, table4
+
+__all__ = [
+    "area",
+    "fig03",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table2",
+    "table4",
+]

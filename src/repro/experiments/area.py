@@ -1,0 +1,54 @@
+"""Paper Section 4.3: register-file area comparison.
+
+Renders the area-model estimates for the four organizations the paper
+discusses: baseline, BCC (half-register rows, ~+10 %), SCC (wider but
+shorter), and the 8-banked per-lane-addressable file inter-warp
+techniques require (> +40 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis.report import format_table
+from ..area.regfile import (
+    RegFileConfig,
+    area,
+    baseline_grf,
+    bcc_grf,
+    interwarp_grf,
+    overhead_pct,
+    scc_grf,
+)
+
+
+@dataclass
+class AreaRow:
+    config: RegFileConfig
+    area: float
+    overhead_pct: float
+
+
+def area_data() -> List[AreaRow]:
+    """Area estimates for the four Figure 5 / Section 4.3 organizations."""
+    rows = []
+    for config in (baseline_grf(), bcc_grf(), scc_grf(), interwarp_grf()):
+        rows.append(AreaRow(config=config, area=area(config),
+                            overhead_pct=overhead_pct(config)))
+    return rows
+
+
+def render(rows: List[AreaRow]) -> str:
+    table_rows = [
+        [r.config.name,
+         f"{r.config.bits_per_row}b x {r.config.num_rows} x {r.config.banks} bank(s)",
+         f"{r.area:.0f}",
+         f"{r.overhead_pct:+.1f}%"]
+        for r in rows
+    ]
+    return format_table(
+        ["organization", "geometry", "area (a.u.)", "overhead vs baseline"],
+        table_rows,
+        title="Register-file area (Section 4.3, CACTI substitute)",
+    )

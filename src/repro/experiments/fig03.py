@@ -1,0 +1,82 @@
+"""Paper Figure 3: SIMD efficiency across the workload population.
+
+Combines both evaluation paths — execution-driven workloads on the
+simulator and the synthetic trace set — into one sorted spectrum, then
+applies the paper's 95 % threshold to split coherent from divergent
+applications.  The reproduced *shape*: coherent linear-algebra/finance
+kernels cluster at ~1.0 while ray tracing, BFS, lavaMD, face detection
+and the LuxMark/GLBench traces fall well below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..analysis.efficiency import (
+    EfficiencyEntry,
+    classify,
+    simulator_efficiencies,
+    trace_efficiencies,
+)
+from ..analysis.report import format_series, format_table
+from ..gpu.config import GpuConfig
+
+#: Simulator workloads included by default (all of them can be passed).
+DEFAULT_SIM_WORKLOADS = (
+    # coherent side
+    "va", "dp", "mvm", "transpose", "mm", "bscholes", "bop", "boxfilter",
+    "mt", "dct8", "fwht", "dwth", "scnv", "aes", "trd",
+    # divergent side
+    "mca", "sobel", "gnoise", "kmeans", "knn", "eigenvalue", "scla",
+    "gauss", "lu", "fw", "pathfinder", "bsort", "bsearch", "bp", "hmm",
+    "srad", "glfrag", "bfs", "hotspot", "lavamd", "nw", "particlefilter",
+    "rt_pr_conf", "rt_pr_al", "rt_ao_al8", "rt_ao_al16",
+)
+
+
+@dataclass
+class Fig3Data:
+    """All Figure 3 entries plus the coherent/divergent partition."""
+
+    entries: List[EfficiencyEntry]
+    divergent: List[EfficiencyEntry]
+    coherent: List[EfficiencyEntry]
+
+
+def fig3_data(sim_workloads: Optional[Sequence[str]] = DEFAULT_SIM_WORKLOADS,
+              include_traces: bool = True,
+              config: Optional[GpuConfig] = None) -> Fig3Data:
+    """Collect SIMD efficiencies from both methodologies."""
+    entries: List[EfficiencyEntry] = []
+    if sim_workloads:
+        entries.extend(simulator_efficiencies(sim_workloads, config))
+    if include_traces:
+        entries.extend(trace_efficiencies())
+    entries.sort(key=lambda e: e.simd_efficiency, reverse=True)
+    divergent, coherent = classify(entries)
+    return Fig3Data(entries=entries, divergent=divergent, coherent=coherent)
+
+
+def render(data: Fig3Data) -> str:
+    series = format_series(
+        "SIMD efficiency (Figure 3)",
+        [f"{e.name} [{e.source[0]}]" for e in data.entries],
+        [e.simd_efficiency for e in data.entries],
+    )
+    summary = format_table(
+        ["class", "count", "mean efficiency"],
+        [
+            ["coherent (>= 0.95)", len(data.coherent),
+             _mean([e.simd_efficiency for e in data.coherent])],
+            ["divergent (< 0.95)", len(data.divergent),
+             _mean([e.simd_efficiency for e in data.divergent])],
+        ],
+        title="Coherent/divergent split",
+    )
+    return series + "\n\n" + summary
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

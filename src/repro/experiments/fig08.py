@@ -1,0 +1,90 @@
+"""Paper Figure 8: the Ivy Bridge divergence micro-benchmark.
+
+A balanced if/else runs with five taken-lane patterns; relative
+execution time against the no-divergence case (0xFFFF) reveals which
+patterns the hardware's built-in optimization compresses:
+
+* ``0x00FF`` — executes as fast as no divergence (the half-mask rewrite
+  fires on both arms);
+* ``0xFF0F`` — lands at ~150 % (only the else arm is rewritten);
+* ``0xF0F0`` and ``0xAAAA`` — full 200 % (nothing fires; these are
+  exactly the cases BCC and SCC respectively would recover).
+
+:func:`fig8_analytic` computes the arm-cycle ratios from the cycle
+model; :func:`fig8_simulated` measures whole-kernel execution times on
+the simulator (diluted toward 1.0 by loop/branch overhead but ordered
+identically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..analysis.report import format_table
+from ..core.policy import CompactionPolicy, execution_cycles
+from ..gpu.config import GpuConfig
+from ..kernels.micro import FIG8_PATTERNS, branch_pattern
+from ..kernels.workload import run_workload
+
+#: Relative times the paper's Figure 8 bar chart shows (IVB hardware).
+PAPER_FIG8_RELATIVE = {
+    0xFFFF: 1.0,
+    0xF0F0: 2.0,
+    0x00FF: 1.0,
+    0xFF0F: 1.5,
+    0xAAAA: 2.0,
+}
+
+
+@dataclass
+class Fig8Point:
+    """One divergence pattern's relative execution time."""
+
+    pattern: int
+    relative_time: float
+
+
+def _arm_cycles(pattern: int, policy: CompactionPolicy, width: int = 16) -> int:
+    """Cycles for the if arm plus the else arm under *policy*.
+
+    An empty arm is jumped over by the branch hardware and costs nothing.
+    """
+    full = (1 << width) - 1
+    total = 0
+    for arm_mask in (pattern, full & ~pattern):
+        if arm_mask:
+            total += execution_cycles(arm_mask, width, policy, min_cycles=1)
+    return total
+
+
+def fig8_analytic(policy: CompactionPolicy = CompactionPolicy.IVB,
+                  patterns=FIG8_PATTERNS) -> List[Fig8Point]:
+    """Relative if+else cycle cost vs the coherent 0xFFFF case."""
+    base = _arm_cycles(0xFFFF, policy)
+    return [
+        Fig8Point(pattern=p, relative_time=_arm_cycles(p, policy) / base)
+        for p in patterns
+    ]
+
+
+def fig8_simulated(policy: CompactionPolicy = CompactionPolicy.IVB,
+                   patterns=FIG8_PATTERNS, n: int = 512,
+                   config: Optional[GpuConfig] = None) -> List[Fig8Point]:
+    """Measured whole-kernel relative times on the simulator."""
+    config = (config if config is not None else GpuConfig()).with_policy(policy)
+    cycles: Dict[int, int] = {}
+    for pattern in patterns:
+        result = run_workload(branch_pattern(pattern, n=n), config)
+        cycles[pattern] = result.total_cycles
+    base = cycles[0xFFFF]
+    return [Fig8Point(p, cycles[p] / base) for p in patterns]
+
+
+def render(points: List[Fig8Point], title: str) -> str:
+    rows = [
+        [f"0x{p.pattern:04X}", f"{100.0 * p.relative_time:.0f}%"]
+        for p in points
+    ]
+    return format_table(["IF/ELSE enabled lanes", "Relative execution time"],
+                        rows, title=title)

@@ -1,0 +1,54 @@
+"""Paper Figure 9: SIMD utilization breakdown for divergent workloads.
+
+For every divergent application, the fraction of dynamic SIMD8/SIMD16
+instructions in each active-lane bucket (1-4/16, 5-8/16, 9-12/16,
+13-16/16, 1-4/8, 5-8/8).  Buckets below the full width are the
+compaction opportunity: 1-4/16 saves three cycles under SCC, 5-8/16 two,
+9-12/16 one, 1-4/8 one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.efficiency import (
+    FIG9_BUCKET_ORDER,
+    EfficiencyEntry,
+    simulator_efficiencies,
+    trace_efficiencies,
+    utilization_breakdown,
+)
+from ..analysis.report import format_table
+from ..gpu.config import GpuConfig
+
+#: Divergent simulator workloads shown in the figure by default.
+DEFAULT_DIVERGENT_WORKLOADS = (
+    "mca", "sobel", "gnoise", "kmeans", "eigenvalue", "scla",
+    "gauss", "lu", "bsort", "bsearch", "bp", "hmm", "srad", "glfrag",
+    "bfs", "hotspot", "lavamd", "nw", "particlefilter",
+    "rt_pr_conf", "rt_ao_al8", "rt_ao_al16",
+)
+
+
+def fig9_data(sim_workloads: Optional[Sequence[str]] = DEFAULT_DIVERGENT_WORKLOADS,
+              include_traces: bool = True,
+              config: Optional[GpuConfig] = None) -> Dict[str, Dict[str, float]]:
+    """Per-workload bucket fractions, keyed by workload name."""
+    entries: List[EfficiencyEntry] = []
+    if sim_workloads:
+        entries.extend(simulator_efficiencies(sim_workloads, config))
+    if include_traces:
+        entries.extend(trace_efficiencies())
+    divergent = [e for e in entries if e.divergent]
+    return utilization_breakdown(divergent)
+
+
+def render(table: Dict[str, Dict[str, float]]) -> str:
+    headers = ["workload"] + list(FIG9_BUCKET_ORDER) + ["other"]
+    rows = []
+    for name, fractions in table.items():
+        rows.append([name] + [f"{100 * fractions[b]:.1f}%"
+                              for b in FIG9_BUCKET_ORDER]
+                    + [f"{100 * fractions['other']:.1f}%"])
+    return format_table(headers, rows,
+                        title="SIMD utilization breakdown (Figure 9)")

@@ -1,0 +1,100 @@
+"""Paper Figure 10: per-workload EU-cycle reduction from BCC and SCC.
+
+The stacked bars of the paper: for every divergent workload, the
+percentage of (IVB-baseline) EU execution cycles removed by BCC, and the
+additional share removed by SCC.  Both evaluation paths contribute:
+simulator workloads are measured from their executed instruction
+streams, trace workloads from the profiler.  The paper's headline: up to
+42 % reduction, ~20 % on average, SCC >= BCC everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..analysis.report import format_table
+from ..core.policy import CompactionPolicy
+from ..gpu.config import GpuConfig
+from ..kernels import WORKLOAD_REGISTRY, run_workload
+from ..trace.profiler import profile_trace
+from ..trace.workloads import TRACE_PROFILES, trace_events
+from .fig09 import DEFAULT_DIVERGENT_WORKLOADS
+
+
+@dataclass
+class Fig10Bar:
+    """One workload's stacked bar."""
+
+    name: str
+    source: str
+    bcc_pct: float
+    scc_pct: float  # total SCC reduction (>= bcc_pct)
+
+    @property
+    def scc_additional_pct(self) -> float:
+        return self.scc_pct - self.bcc_pct
+
+
+def fig10_data(sim_workloads: Optional[Sequence[str]] = DEFAULT_DIVERGENT_WORKLOADS,
+               include_traces: bool = True,
+               config: Optional[GpuConfig] = None) -> List[Fig10Bar]:
+    """EU-cycle reductions for the divergent workload population."""
+    config = config if config is not None else GpuConfig()
+    bars: List[Fig10Bar] = []
+    for name in sim_workloads or ():
+        result = run_workload(WORKLOAD_REGISTRY[name](), config)
+        bars.append(
+            Fig10Bar(
+                name=name,
+                source="simulator",
+                bcc_pct=result.eu_cycle_reduction_pct(CompactionPolicy.BCC),
+                scc_pct=result.eu_cycle_reduction_pct(CompactionPolicy.SCC),
+            )
+        )
+    if include_traces:
+        for name in TRACE_PROFILES:
+            profile = profile_trace(name, trace_events(name))
+            bars.append(
+                Fig10Bar(
+                    name=name,
+                    source="trace",
+                    bcc_pct=profile.bcc_reduction_pct,
+                    scc_pct=profile.scc_reduction_pct,
+                )
+            )
+    bars.sort(key=lambda b: b.scc_pct, reverse=True)
+    return bars
+
+
+def summarize(bars: List[Fig10Bar]) -> dict:
+    """Max/average reductions (the numbers quoted in the abstract)."""
+    if not bars:
+        return {"max_scc": 0.0, "avg_scc": 0.0, "max_bcc": 0.0, "avg_bcc": 0.0}
+    return {
+        "max_scc": max(b.scc_pct for b in bars),
+        "avg_scc": sum(b.scc_pct for b in bars) / len(bars),
+        "max_bcc": max(b.bcc_pct for b in bars),
+        "avg_bcc": sum(b.bcc_pct for b in bars) / len(bars),
+    }
+
+
+def render(bars: List[Fig10Bar]) -> str:
+    rows = [
+        [b.name, b.source, f"{b.bcc_pct:.1f}%", f"{b.scc_additional_pct:.1f}%",
+         f"{b.scc_pct:.1f}%"]
+        for b in bars
+    ]
+    stats = summarize(bars)
+    footer = (
+        f"max SCC reduction: {stats['max_scc']:.1f}%   "
+        f"average SCC reduction: {stats['avg_scc']:.1f}%"
+    )
+    return (
+        format_table(
+            ["workload", "source", "BCC", "SCC additional", "SCC total"],
+            rows,
+            title="EU execution-cycle reduction beyond IVB opt (Figure 10)",
+        )
+        + "\n" + footer
+    )

@@ -1,0 +1,109 @@
+"""Paper Figure 11: ray tracing — total-time vs EU-cycle reduction, DC1/DC2.
+
+For each ray-tracing workload the paper stacks: the total-execution-time
+reduction of BCC/SCC at data-cluster bandwidth of one line per cycle
+(DC1), the same at two lines per cycle (DC2), and the EU-cycle reduction
+for comparison; the secondary axis shows achieved data-cluster
+throughput.  The reproduced shape: under DC1 the memory port eats most
+of the EU-cycle benefit, while DC2 recovers ~90 % of it, and measured
+throughput demand sits between one and two lines per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..analysis.report import format_table
+from ..core.policy import CompactionPolicy
+from ..gpu.config import GpuConfig
+from ..gpu.results import total_time_reduction_pct
+from ..kernels.raytracing import ambient_occlusion, primary_rays
+from ..kernels.workload import Workload, run_workload
+
+#: Factories for the paper's nine Figure 11 bars (scene x kind x width).
+def default_rt_workloads(width_px_pr: int = 32, width_px_ao: int = 24,
+                         ao_samples: int = 3) -> Dict[str, Callable[[], Workload]]:
+    """The RT-PR and RT-AO workload set of Figure 11."""
+    factories: Dict[str, Callable[[], Workload]] = {}
+    for scene in ("al", "bl", "wm"):
+        factories[f"RT-PR-{scene.upper()}"] = (
+            lambda s=scene: primary_rays(s, width_px=width_px_pr))
+    for width in (8, 16):
+        for scene in ("al", "bl", "wm"):
+            factories[f"RT-AO-{scene.upper()}{width}"] = (
+                lambda s=scene, w=width: ambient_occlusion(
+                    s, width_px=width_px_ao, simd_width=w, ao_samples=ao_samples))
+    return factories
+
+
+@dataclass
+class Fig11Row:
+    """One workload's Figure 11 measurements (all percentages/ratios)."""
+
+    name: str
+    bcc_total_dc1: float
+    scc_total_dc1: float
+    bcc_total_dc2: float
+    scc_total_dc2: float
+    bcc_eu: float
+    scc_eu: float
+    dc_throughput_base: float
+    dc_throughput_bcc: float
+    dc_throughput_scc: float
+
+
+def fig11_data(
+    factories: Optional[Dict[str, Callable[[], Workload]]] = None,
+    base_config: Optional[GpuConfig] = None,
+) -> List[Fig11Row]:
+    """Run every RT workload under {IVB,BCC,SCC} x {DC1,DC2}."""
+    factories = factories if factories is not None else default_rt_workloads()
+    base = base_config if base_config is not None else GpuConfig()
+    rows = []
+    for name, factory in factories.items():
+        results = {}
+        for policy in (CompactionPolicy.IVB, CompactionPolicy.BCC,
+                       CompactionPolicy.SCC):
+            for dc in (1.0, 2.0):
+                config = base.with_policy(policy).with_memory(
+                    dc_lines_per_cycle=dc)
+                results[(policy, dc)] = run_workload(factory(), config)
+        ivb1 = results[(CompactionPolicy.IVB, 1.0)]
+        ivb2 = results[(CompactionPolicy.IVB, 2.0)]
+        rows.append(
+            Fig11Row(
+                name=name,
+                bcc_total_dc1=total_time_reduction_pct(
+                    ivb1, results[(CompactionPolicy.BCC, 1.0)]),
+                scc_total_dc1=total_time_reduction_pct(
+                    ivb1, results[(CompactionPolicy.SCC, 1.0)]),
+                bcc_total_dc2=total_time_reduction_pct(
+                    ivb2, results[(CompactionPolicy.BCC, 2.0)]),
+                scc_total_dc2=total_time_reduction_pct(
+                    ivb2, results[(CompactionPolicy.SCC, 2.0)]),
+                bcc_eu=ivb1.eu_cycle_reduction_pct(CompactionPolicy.BCC),
+                scc_eu=ivb1.eu_cycle_reduction_pct(CompactionPolicy.SCC),
+                dc_throughput_base=ivb2.dc_throughput,
+                dc_throughput_bcc=results[(CompactionPolicy.BCC, 2.0)].dc_throughput,
+                dc_throughput_scc=results[(CompactionPolicy.SCC, 2.0)].dc_throughput,
+            )
+        )
+    return rows
+
+
+def render(rows: Sequence[Fig11Row]) -> str:
+    table_rows = [
+        [r.name,
+         f"{r.bcc_total_dc1:.1f}%", f"{r.scc_total_dc1:.1f}%",
+         f"{r.bcc_total_dc2:.1f}%", f"{r.scc_total_dc2:.1f}%",
+         f"{r.bcc_eu:.1f}%", f"{r.scc_eu:.1f}%",
+         f"{r.dc_throughput_base:.2f}", f"{r.dc_throughput_scc:.2f}"]
+        for r in rows
+    ]
+    return format_table(
+        ["workload", "BCC tot DC1", "SCC tot DC1", "BCC tot DC2",
+         "SCC tot DC2", "BCC EU", "SCC EU", "DC thr base", "DC thr SCC"],
+        table_rows,
+        title="Ray tracing: total-cycle and EU-cycle reduction (Figure 11)",
+    )

@@ -1,0 +1,90 @@
+"""Paper Figure 12: Rodinia — total-cycle reduction, 128 KB vs perfect L3.
+
+For bfs, hotspot, lavaMD, nw, and particlefilter the paper compares the
+total-execution-time reduction of BCC/SCC with the default 128 KB L3 and
+with a perfect (infinite) L3, against the EU-cycle reduction.  The
+reproduced shape: EU cycles shrink ~20 % on average, but total time
+benefits are smaller; BFS, dominated by memory stalls, barely moves
+(a perfect L3 helps it somewhat), and lavaMD's workload imbalance keeps
+it flat even with a perfect L3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..analysis.report import format_table
+from ..core.policy import CompactionPolicy
+from ..gpu.config import GpuConfig
+from ..gpu.results import total_time_reduction_pct
+from ..kernels import WORKLOAD_REGISTRY
+from ..kernels.workload import Workload, run_workload
+
+RODINIA_NAMES = ("bfs", "hotspot", "lavamd", "nw", "particlefilter")
+
+
+@dataclass
+class Fig12Row:
+    """One Rodinia kernel's Figure 12 measurements (percentages)."""
+
+    name: str
+    bcc_total: float
+    scc_total: float
+    bcc_total_pl3: float
+    scc_total_pl3: float
+    bcc_eu: float
+    scc_eu: float
+
+
+def fig12_data(
+    factories: Optional[Dict[str, Callable[[], Workload]]] = None,
+    base_config: Optional[GpuConfig] = None,
+) -> List[Fig12Row]:
+    """Run the Rodinia set under {IVB,BCC,SCC} x {128KB L3, perfect L3}."""
+    if factories is None:
+        factories = {name: WORKLOAD_REGISTRY[name] for name in RODINIA_NAMES}
+    base = base_config if base_config is not None else GpuConfig()
+    rows = []
+    for name, factory in factories.items():
+        results = {}
+        for policy in (CompactionPolicy.IVB, CompactionPolicy.BCC,
+                       CompactionPolicy.SCC):
+            for perfect in (False, True):
+                config = base.with_policy(policy).with_memory(
+                    perfect_l3=perfect)
+                results[(policy, perfect)] = run_workload(factory(), config)
+        ivb = results[(CompactionPolicy.IVB, False)]
+        ivb_pl3 = results[(CompactionPolicy.IVB, True)]
+        rows.append(
+            Fig12Row(
+                name=name,
+                bcc_total=total_time_reduction_pct(
+                    ivb, results[(CompactionPolicy.BCC, False)]),
+                scc_total=total_time_reduction_pct(
+                    ivb, results[(CompactionPolicy.SCC, False)]),
+                bcc_total_pl3=total_time_reduction_pct(
+                    ivb_pl3, results[(CompactionPolicy.BCC, True)]),
+                scc_total_pl3=total_time_reduction_pct(
+                    ivb_pl3, results[(CompactionPolicy.SCC, True)]),
+                bcc_eu=ivb.eu_cycle_reduction_pct(CompactionPolicy.BCC),
+                scc_eu=ivb.eu_cycle_reduction_pct(CompactionPolicy.SCC),
+            )
+        )
+    return rows
+
+
+def render(rows: Sequence[Fig12Row]) -> str:
+    table_rows = [
+        [r.name,
+         f"{r.bcc_total:.1f}%", f"{r.scc_total:.1f}%",
+         f"{r.bcc_total_pl3:.1f}%", f"{r.scc_total_pl3:.1f}%",
+         f"{r.bcc_eu:.1f}%", f"{r.scc_eu:.1f}%"]
+        for r in rows
+    ]
+    return format_table(
+        ["kernel", "BCC total", "SCC total", "BCC total PL3",
+         "SCC total PL3", "BCC EU", "SCC EU"],
+        table_rows,
+        title="Rodinia: total-cycle and EU-cycle reduction (Figure 12)",
+    )

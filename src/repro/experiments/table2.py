@@ -1,0 +1,129 @@
+"""Paper Table 2: nested-branch benefit decomposition.
+
+For nesting levels L1-L4, the paper reports how much of the raw
+execution time each optimization layer recovers when a SIMD16 kernel
+executes all ``2**L`` branch paths of an L-deep lane-bit split:
+
+======  =====================  ===========  ==============  ===========
+Level   Example path masks     BCC benefit  extra SCC       IVB benefit
+======  =====================  ===========  ==============  ===========
+L1      5555, AAAA                          50 %
+L2      1111, 4444, 8888, ...               75 %
+L3      0101, 1010, 0404, ...  50 %         25 %
+L4      sixteen 1-hot masks    25 %                         50 %
+======  =====================  ===========  ==============  ===========
+
+These are analytic identities of the cycle model, so
+:func:`table2_analytic` must reproduce them *exactly*;
+:func:`table2_simulated` additionally executes the nested-divergence
+kernels on the simulator and measures the same decomposition from real
+instruction streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.report import format_table
+from ..core.policy import CompactionPolicy, cycles_all_policies
+from ..core.quads import format_mask
+from ..gpu.config import GpuConfig
+from ..kernels.micro import nested_divergence, table2_path_masks
+from ..kernels.workload import run_workload
+
+
+@dataclass
+class Table2Row:
+    """One nesting level's benefit decomposition (percent of RAW cycles)."""
+
+    level: int
+    path_masks: List[int]
+    ivb_benefit_pct: float
+    bcc_benefit_pct: float
+    scc_benefit_pct: float
+
+    @property
+    def total_pct(self) -> float:
+        return self.ivb_benefit_pct + self.bcc_benefit_pct + self.scc_benefit_pct
+
+
+#: The values printed in paper Table 2, as (ivb, bcc, scc) percentages.
+PAPER_TABLE2 = {
+    1: (0.0, 0.0, 50.0),
+    2: (0.0, 0.0, 75.0),
+    3: (0.0, 50.0, 25.0),
+    4: (50.0, 25.0, 0.0),
+}
+
+
+def table2_analytic(width: int = 16) -> List[Table2Row]:
+    """Compute the Table 2 decomposition from the cycle model alone."""
+    rows = []
+    for level in range(1, 5):
+        masks = table2_path_masks(level, width)
+        raw = ivb = bcc = scc = 0
+        for mask in masks:
+            cycles = cycles_all_policies(mask, width)
+            raw += cycles[CompactionPolicy.RAW]
+            ivb += cycles[CompactionPolicy.IVB]
+            bcc += cycles[CompactionPolicy.BCC]
+            scc += cycles[CompactionPolicy.SCC]
+        rows.append(
+            Table2Row(
+                level=level,
+                path_masks=masks,
+                ivb_benefit_pct=100.0 * (raw - ivb) / raw,
+                bcc_benefit_pct=100.0 * (ivb - bcc) / raw,
+                scc_benefit_pct=100.0 * (bcc - scc) / raw,
+            )
+        )
+    return rows
+
+
+def table2_simulated(n: int = 512, config: Optional[GpuConfig] = None) -> List[Table2Row]:
+    """Measure the same decomposition from simulated nested kernels.
+
+    The kernels carry common overhead (address math, compares) alongside
+    the divergent leaf work, so simulated percentages are diluted
+    relative to the analytic identities; the *ordering* and the zero
+    entries are preserved.
+    """
+    config = config if config is not None else GpuConfig()
+    rows = []
+    for level in range(1, 5):
+        result = run_workload(nested_divergence(level, n=n), config)
+        cycles = result.alu_stats.cycles
+        raw = cycles[CompactionPolicy.RAW]
+        rows.append(
+            Table2Row(
+                level=level,
+                path_masks=table2_path_masks(level),
+                ivb_benefit_pct=100.0 * (raw - cycles[CompactionPolicy.IVB]) / raw,
+                bcc_benefit_pct=100.0 * (cycles[CompactionPolicy.IVB]
+                                         - cycles[CompactionPolicy.BCC]) / raw,
+                scc_benefit_pct=100.0 * (cycles[CompactionPolicy.BCC]
+                                         - cycles[CompactionPolicy.SCC]) / raw,
+            )
+        )
+    return rows
+
+
+def render(rows: List[Table2Row], title: str) -> str:
+    """Format rows the way paper Table 2 lays them out."""
+    table_rows = []
+    for row in rows:
+        example = format_mask(row.path_masks[0], 16).split()[0]
+        table_rows.append([
+            f"L{row.level}",
+            f"{example} (+{len(row.path_masks) - 1} more)",
+            f"{row.bcc_benefit_pct:.1f}%",
+            f"{row.scc_benefit_pct:.1f}%",
+            f"{row.ivb_benefit_pct:.1f}%",
+        ])
+    return format_table(
+        ["Level", "Example path mask", "BCC benefit",
+         "Additional SCC benefit", "IVB optimization benefit"],
+        table_rows,
+        title=title,
+    )

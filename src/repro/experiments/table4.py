@@ -1,0 +1,116 @@
+"""Paper Table 4: summary of BCC and SCC benefits.
+
+Four rows, each max/average over the divergent workload population:
+
+* GPGenSim EU cycles (execution-driven simulator),
+* trace EU cycles (trace profiler),
+* execution time at DC1 (today's memory system),
+* execution time at DC2 (a future better-provisioned memory system).
+
+Paper values for orientation: EU cycles 36/18 (BCC) and 38/24 (SCC) on
+the simulator, 31/12 and 42/18 on traces; execution time 21/5 and 21/7
+at DC1, 28/12 and 36/18 at DC2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..analysis.report import format_table
+from ..core.policy import CompactionPolicy
+from ..gpu.config import GpuConfig
+from ..gpu.results import total_time_reduction_pct
+from ..kernels import WORKLOAD_REGISTRY
+from ..kernels.workload import Workload, run_workload
+from ..trace.profiler import profile_trace
+from ..trace.workloads import TRACE_PROFILES, trace_events
+from .fig09 import DEFAULT_DIVERGENT_WORKLOADS
+
+#: Divergent workloads used for the execution-time rows (timed subset).
+DEFAULT_TIMED_WORKLOADS = (
+    "mca", "gnoise", "lavamd", "hotspot", "nw",
+    "rt_pr_al", "rt_ao_al8", "rt_ao_al16",
+)
+
+
+@dataclass
+class Table4Row:
+    """One summary row: max/avg benefit for BCC and SCC (percent)."""
+
+    label: str
+    bcc_max: float
+    bcc_avg: float
+    scc_max: float
+    scc_avg: float
+
+
+def _maxavg(values: Sequence[float]) -> tuple:
+    values = list(values)
+    if not values:
+        return 0.0, 0.0
+    return max(values), sum(values) / len(values)
+
+
+def table4_data(
+    sim_workloads: Sequence[str] = DEFAULT_DIVERGENT_WORKLOADS,
+    timed_workloads: Sequence[str] = DEFAULT_TIMED_WORKLOADS,
+    base_config: Optional[GpuConfig] = None,
+) -> List[Table4Row]:
+    """Assemble all four Table 4 rows (runs many simulations)."""
+    base = base_config if base_config is not None else GpuConfig()
+    rows: List[Table4Row] = []
+
+    # Row 1: GPGenSim EU cycles over divergent simulator workloads.
+    bcc_eu, scc_eu = [], []
+    for name in sim_workloads:
+        result = run_workload(WORKLOAD_REGISTRY[name](), base)
+        if result.simd_efficiency < 0.95:
+            bcc_eu.append(result.eu_cycle_reduction_pct(CompactionPolicy.BCC))
+            scc_eu.append(result.eu_cycle_reduction_pct(CompactionPolicy.SCC))
+    bmax, bavg = _maxavg(bcc_eu)
+    smax, savg = _maxavg(scc_eu)
+    rows.append(Table4Row("GPGenSim (EU cycles)", bmax, bavg, smax, savg))
+
+    # Row 2: trace EU cycles over the synthetic trace population.
+    bcc_tr, scc_tr = [], []
+    for name in TRACE_PROFILES:
+        profile = profile_trace(name, trace_events(name))
+        bcc_tr.append(profile.bcc_reduction_pct)
+        scc_tr.append(profile.scc_reduction_pct)
+    bmax, bavg = _maxavg(bcc_tr)
+    smax, savg = _maxavg(scc_tr)
+    rows.append(Table4Row("Traces (EU cycles)", bmax, bavg, smax, savg))
+
+    # Rows 3-4: execution time at DC1 and DC2.
+    for dc, label in ((1.0, "Execution time (DC1)"), (2.0, "Execution time (DC2)")):
+        bcc_t, scc_t = [], []
+        for name in timed_workloads:
+            per_policy = {}
+            for policy in (CompactionPolicy.IVB, CompactionPolicy.BCC,
+                           CompactionPolicy.SCC):
+                config = base.with_policy(policy).with_memory(
+                    dc_lines_per_cycle=dc)
+                per_policy[policy] = run_workload(WORKLOAD_REGISTRY[name](), config)
+            ivb = per_policy[CompactionPolicy.IVB]
+            bcc_t.append(total_time_reduction_pct(
+                ivb, per_policy[CompactionPolicy.BCC]))
+            scc_t.append(total_time_reduction_pct(
+                ivb, per_policy[CompactionPolicy.SCC]))
+        bmax, bavg = _maxavg(bcc_t)
+        smax, savg = _maxavg(scc_t)
+        rows.append(Table4Row(label, bmax, bavg, smax, savg))
+    return rows
+
+
+def render(rows: Sequence[Table4Row]) -> str:
+    table_rows = [
+        [r.label, f"{r.bcc_max:.0f}%", f"{r.bcc_avg:.0f}%",
+         f"{r.scc_max:.0f}%", f"{r.scc_avg:.0f}%"]
+        for r in rows
+    ]
+    return format_table(
+        ["Divergent workloads", "BCC max", "BCC avg", "SCC max", "SCC avg"],
+        table_rows,
+        title="Summary of BCC and SCC benefits (Table 4)",
+    )

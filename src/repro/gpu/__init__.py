@@ -1,0 +1,18 @@
+"""Whole-GPU simulation: configuration, dispatch, and the cycle model."""
+
+from .config import GpuConfig
+from .dispatch import Launch, WorkgroupInstance, bind_surfaces
+from .results import KernelRunResult, merge_results, total_time_reduction_pct
+from .simulator import DeadlockError, GpuSimulator
+
+__all__ = [
+    "DeadlockError",
+    "GpuConfig",
+    "GpuSimulator",
+    "KernelRunResult",
+    "Launch",
+    "merge_results",
+    "WorkgroupInstance",
+    "bind_surfaces",
+    "total_time_reduction_pct",
+]

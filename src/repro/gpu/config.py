@@ -1,0 +1,79 @@
+"""Whole-GPU configuration.
+
+Defaults reproduce the paper's Table 3 micro-architecture parameters:
+six EUs with six hardware threads each, dual issue every two cycles, a
+128 KB / 64-way / 7-cycle L3, a 2 MB / 16-way / 10-cycle LLC, and a data
+cluster moving one (DC1) or two (DC2) 64-byte lines per cycle between
+the EUs and the L3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..core.policy import CompactionPolicy
+from ..memory.hierarchy import MemoryParams
+
+
+@dataclass
+class GpuConfig:
+    """Machine parameters for one simulation."""
+
+    num_eus: int = 6
+    threads_per_eu: int = 6
+    issue_width: int = 2  # instructions per arbitration pass
+    issue_period: int = 2  # cycles between arbitration passes
+    #: "rotating" (paper Section 2.2's rotating/age-based priority) or
+    #: "fixed" (always scan from thread 0 -- starves high slots under
+    #: contention; exists for the scheduler ablation).
+    arbiter: str = "rotating"
+    policy: CompactionPolicy = CompactionPolicy.IVB
+    memory: MemoryParams = field(default_factory=MemoryParams)
+    slm_latency: int = 5
+    slm_banks: int = 16
+    dispatch_latency: int = 10
+    barrier_latency: int = 2
+    max_cycles: int = 20_000_000
+
+    def validate(self) -> None:
+        if self.num_eus < 1 or self.threads_per_eu < 1:
+            raise ValueError("num_eus and threads_per_eu must be positive")
+        if self.issue_width < 1 or self.issue_period < 1:
+            raise ValueError("issue parameters must be positive")
+        if self.arbiter not in ("rotating", "fixed"):
+            raise ValueError(f"unknown arbiter policy {self.arbiter!r}")
+        if self.dispatch_latency < 0 or self.barrier_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        self.memory.validate()
+
+    def with_policy(self, policy: CompactionPolicy) -> "GpuConfig":
+        """Copy of this config running under a different compaction policy."""
+        return dataclasses.replace(self, policy=policy)
+
+    def with_memory(self, **kwargs) -> "GpuConfig":
+        """Copy with memory parameters overridden (e.g. ``dc_lines_per_cycle=2``)."""
+        return dataclasses.replace(
+            self, memory=dataclasses.replace(self.memory, **kwargs)
+        )
+
+    @classmethod
+    def dc1(cls, **kwargs) -> "GpuConfig":
+        """Today's-GPU configuration: one line per cycle to L3 (Table 4 DC1)."""
+        config = cls(**kwargs)
+        config.memory = dataclasses.replace(config.memory, dc_lines_per_cycle=1.0)
+        return config
+
+    @classmethod
+    def dc2(cls, **kwargs) -> "GpuConfig":
+        """Future-GPU configuration: two lines per cycle to L3 (Table 4 DC2)."""
+        config = cls(**kwargs)
+        config.memory = dataclasses.replace(config.memory, dc_lines_per_cycle=2.0)
+        return config
+
+    @classmethod
+    def perfect_l3(cls, **kwargs) -> "GpuConfig":
+        """Infinite-capacity L3 model (paper Figure 12's "PL3" bars)."""
+        config = cls(**kwargs)
+        config.memory = dataclasses.replace(config.memory, perfect_l3=True)
+        return config

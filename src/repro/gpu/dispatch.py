@@ -1,0 +1,199 @@
+"""Thread dispatch: NDRange -> workgroups -> EU threads.
+
+Implements the OpenCL-style execution model the paper assumes (Section
+2.3): a 1-D NDRange is split into workgroups; each workgroup is placed
+whole onto one EU (it shares SLM and a barrier), sliced into hardware
+threads of the kernel's SIMD width.  The dispatcher round-robins pending
+workgroups onto EUs with enough free thread slots, writing each thread's
+dispatch payload (global/local ids, scalar arguments, partial-thread
+dispatch mask) into its fresh GRF.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..eu.eu import ExecutionUnit
+from ..eu.thread import EUThread, ThreadState
+from ..isa.program import ParamKind, Program
+from ..isa.registers import RegRef
+from ..isa.types import DType
+from ..memory.slm import SlmAllocation, SlmTiming
+
+
+class WorkgroupInstance:
+    """A dispatched workgroup: threads, SLM, and barrier state."""
+
+    def __init__(self, wg_id: int, surfaces: Sequence[np.ndarray],
+                 slm: Optional[SlmAllocation], slm_timing: SlmTiming) -> None:
+        self.wg_id = wg_id
+        self.surfaces = list(surfaces)
+        self.slm = slm
+        self.slm_timing = slm_timing
+        self.threads: List[EUThread] = []
+        self._barrier_arrived: List[EUThread] = []
+        self.completed_threads = 0
+
+    @property
+    def done(self) -> bool:
+        return self.threads and self.completed_threads == len(self.threads)
+
+    def live_threads(self) -> int:
+        return sum(1 for t in self.threads if t.state is not ThreadState.DONE)
+
+    def arrive_barrier(self, thread: EUThread, now: int, release_latency: int) -> None:
+        """A thread reached a barrier; release everyone once all arrive."""
+        self._barrier_arrived.append(thread)
+        self._maybe_release(now, release_latency)
+
+    def thread_done(self, now: int) -> None:
+        """A thread executed EOT (may unblock a barrier the rest wait at)."""
+        self.completed_threads += 1
+        self._maybe_release(now, release_latency=1)
+
+    def _maybe_release(self, now: int, release_latency: int) -> None:
+        if self._barrier_arrived and len(self._barrier_arrived) == self.live_threads():
+            for waiter in self._barrier_arrived:
+                waiter.state = ThreadState.ACTIVE
+                waiter.stall_until = now + release_latency
+            self._barrier_arrived.clear()
+
+
+class Launch:
+    """One kernel launch: pending workgroups plus live instances."""
+
+    def __init__(
+        self,
+        program: Program,
+        global_size: int,
+        local_size: Optional[int],
+        surfaces: Sequence[np.ndarray],
+        scalars: Dict[str, float],
+        config,
+    ) -> None:
+        if not program.finalized:
+            raise ValueError(f"program {program.name!r} was not finalized")
+        if global_size < 1:
+            raise ValueError(f"global_size must be positive, got {global_size}")
+        width = program.simd_width
+        if local_size is None:
+            local_size = width * config.threads_per_eu
+        if local_size % width != 0:
+            raise ValueError(
+                f"local_size {local_size} must be a multiple of SIMD width {width}"
+            )
+        threads_per_wg = local_size // width
+        if threads_per_wg > config.threads_per_eu:
+            raise ValueError(
+                f"workgroup needs {threads_per_wg} threads but an EU has "
+                f"{config.threads_per_eu} slots"
+            )
+        self.program = program
+        self.global_size = global_size
+        self.local_size = local_size
+        self.threads_per_wg = threads_per_wg
+        self.surfaces = list(surfaces)
+        self.scalars = dict(scalars)
+        self.config = config
+        self.num_workgroups = -(-global_size // local_size)
+        self.next_wg = 0
+        self.instances: List[WorkgroupInstance] = []
+        self._thread_counter = 0
+
+    @property
+    def all_dispatched(self) -> bool:
+        return self.next_wg >= self.num_workgroups
+
+    @property
+    def done(self) -> bool:
+        return self.all_dispatched and all(wg.done for wg in self.instances)
+
+    def dispatch(self, eus: Sequence[ExecutionUnit], now: int) -> int:
+        """Place as many pending workgroups as EU slots allow.
+
+        Returns the number of workgroups dispatched this call.
+        """
+        placed = 0
+        for eu in eus:
+            while (
+                not self.all_dispatched
+                and eu.free_slots() >= self.threads_per_wg
+            ):
+                instance = self._materialize(self.next_wg, now)
+                self.next_wg += 1
+                self.instances.append(instance)
+                for thread in instance.threads:
+                    eu.add_thread(thread)
+                placed += 1
+        return placed
+
+    def _materialize(self, wg_id: int, now: int) -> WorkgroupInstance:
+        config = self.config
+        program = self.program
+        width = program.simd_width
+        slm = SlmAllocation(program.slm_bytes) if program.slm_bytes else None
+        slm_timing = SlmTiming(config.slm_latency, config.slm_banks)
+        instance = WorkgroupInstance(wg_id, self.surfaces, slm, slm_timing)
+
+        wg_base = wg_id * self.local_size
+        wg_items = min(self.local_size, self.global_size - wg_base)
+        for t in range(self.threads_per_wg):
+            local_base = t * width
+            if local_base >= wg_items:
+                break
+            lanes_valid = min(width, wg_items - local_base)
+            dispatch_mask = (1 << lanes_valid) - 1
+            thread = EUThread(
+                thread_id=self._thread_counter,
+                program=program,
+                dispatch_mask=dispatch_mask,
+                workgroup=instance,
+                start_cycle=now + config.dispatch_latency,
+            )
+            self._thread_counter += 1
+            self._write_payload(thread, wg_base + local_base, local_base)
+            instance.threads.append(thread)
+        return instance
+
+    def _write_payload(self, thread: EUThread, global_base: int, local_base: int) -> None:
+        program = self.program
+        width = program.simd_width
+        lanes = np.arange(width, dtype=np.int32)
+        if program.gid_reg is not None:
+            thread.grf.broadcast(RegRef(program.gid_reg, DType.I32), width,
+                                 lanes + global_base)
+        if program.lid_reg is not None:
+            thread.grf.broadcast(RegRef(program.lid_reg, DType.I32), width,
+                                 lanes + local_base)
+        for param in program.scalar_params():
+            if param.name not in self.scalars:
+                raise ValueError(
+                    f"kernel {program.name!r} missing scalar argument {param.name!r}"
+                )
+            dtype = DType.F32 if param.kind is ParamKind.SCALAR_F32 else DType.I32
+            thread.grf.broadcast(RegRef(param.reg, dtype), width,
+                                 self.scalars[param.name])
+
+
+def bind_surfaces(program: Program, buffers: Dict[str, np.ndarray]) -> List[np.ndarray]:
+    """Resolve named buffers to the program's binding-table order.
+
+    Each buffer is exposed to the machine as its raw byte image; writes
+    through the simulator mutate the caller's array in place (device and
+    host memory are unified, as on the integrated GPU studied).
+    """
+    surfaces = []
+    for param in program.surface_params():
+        if param.name not in buffers:
+            raise ValueError(
+                f"kernel {program.name!r} missing buffer argument {param.name!r}"
+            )
+        array = buffers[param.name]
+        if not isinstance(array, np.ndarray):
+            raise TypeError(f"buffer {param.name!r} must be a numpy array")
+        if not array.flags["C_CONTIGUOUS"]:
+            raise ValueError(f"buffer {param.name!r} must be C-contiguous")
+        surfaces.append(array.reshape(-1).view(np.uint8))
+    return surfaces

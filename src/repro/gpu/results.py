@@ -1,0 +1,167 @@
+"""Results of a simulated kernel launch.
+
+Bundles the timed outcome (total cycles under the configured policy)
+with the analytic compaction statistics gathered from the executed
+instruction stream.  Because :class:`~repro.core.stats.CompactionStats`
+tracks ALU cycles under *every* policy simultaneously, a single timed
+run yields the paper's "EU cycles" reductions for BCC and SCC, while
+total-execution-time comparisons (Figures 11/12) come from re-running
+the simulator with a different ``config.policy``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.policy import CompactionPolicy
+from ..core.stats import CompactionStats
+
+
+@dataclass
+class KernelRunResult:
+    """Everything measured during one kernel launch."""
+
+    kernel: str
+    policy: CompactionPolicy
+    total_cycles: int
+    instructions: int
+    alu_stats: CompactionStats
+    simd_stats: CompactionStats
+    l3_hits: int
+    l3_accesses: int
+    llc_hits: int
+    llc_accesses: int
+    dc_lines: int
+    dram_lines: int
+    memory_messages: int
+    lines_requested: int
+    workgroups: int
+    fpu_busy_cycles: int = 0
+    em_busy_cycles: int = 0
+    send_busy_cycles: int = 0
+
+    @property
+    def l3_hit_rate(self) -> float:
+        return self.l3_hits / self.l3_accesses if self.l3_accesses else 1.0
+
+    @property
+    def llc_hit_rate(self) -> float:
+        return self.llc_hits / self.llc_accesses if self.llc_accesses else 1.0
+
+    @property
+    def memory_divergence(self) -> float:
+        """Average distinct line requests per memory message (paper metric)."""
+        if self.memory_messages == 0:
+            return 0.0
+        return self.lines_requested / self.memory_messages
+
+    @property
+    def simd_efficiency(self) -> float:
+        """Paper Figure 3 metric over all SIMD (ALU + memory) instructions."""
+        return self.simd_stats.simd_efficiency
+
+    @property
+    def eu_cycles(self) -> int:
+        """ALU execution cycles under the policy that timed this run."""
+        return self.alu_stats.cycles[self.policy]
+
+    def eu_cycles_by_policy(self) -> Dict[CompactionPolicy, int]:
+        """Analytic ALU cycles under every compaction policy."""
+        return dict(self.alu_stats.cycles)
+
+    def eu_cycle_reduction_pct(
+        self,
+        policy: CompactionPolicy,
+        baseline: CompactionPolicy = CompactionPolicy.IVB,
+    ) -> float:
+        """Percent EU-cycle reduction of *policy* vs *baseline* (Fig. 10)."""
+        return self.alu_stats.reduction_pct(policy, baseline)
+
+    def pipe_utilization(self) -> Dict[str, float]:
+        """Average per-EU occupancy of each execution pipe (0..1).
+
+        Computed against total cycles; a divergent kernel under SCC shows
+        *lower* FPU occupancy for the same work — the cycles the paper
+        harvests.  ``eus`` is inferred from total busy exceeding wall
+        time; callers wanting exact per-EU numbers divide themselves.
+        """
+        if self.total_cycles <= 0:
+            return {"fpu": 0.0, "em": 0.0, "send": 0.0}
+        return {
+            "fpu": self.fpu_busy_cycles / self.total_cycles,
+            "em": self.em_busy_cycles / self.total_cycles,
+            "send": self.send_busy_cycles / self.total_cycles,
+        }
+
+    @property
+    def dc_throughput(self) -> float:
+        """Achieved data-cluster lines per cycle (Figure 11, secondary axis)."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.dc_lines / self.total_cycles
+
+    def summary(self) -> Dict[str, float]:
+        """Flat metrics dict for report tables."""
+        out = {
+            "total_cycles": float(self.total_cycles),
+            "instructions": float(self.instructions),
+            "simd_efficiency": self.simd_efficiency,
+            "eu_cycles": float(self.eu_cycles),
+            "l3_hit_rate": self.l3_hit_rate,
+            "llc_hit_rate": self.llc_hit_rate,
+            "dc_throughput": self.dc_throughput,
+            "memory_divergence": self.memory_divergence,
+        }
+        for policy in CompactionPolicy:
+            out[f"eu_cycles_{policy.value}"] = float(self.alu_stats.cycles[policy])
+        return out
+
+
+def total_time_reduction_pct(baseline: KernelRunResult, optimized: KernelRunResult) -> float:
+    """Percent total-cycle reduction between two timed runs (Figs. 11/12)."""
+    if baseline.kernel != optimized.kernel:
+        raise ValueError(
+            f"comparing different kernels: {baseline.kernel!r} vs {optimized.kernel!r}"
+        )
+    if baseline.total_cycles <= 0:
+        return 0.0
+    return 100.0 * (baseline.total_cycles - optimized.total_cycles) / baseline.total_cycles
+
+
+def merge_results(results) -> KernelRunResult:
+    """Combine the per-launch results of a multi-step workload.
+
+    Iterative workloads (e.g. level-synchronous BFS) launch one kernel
+    per step; the paper reports whole-workload numbers, so counters are
+    summed, cycles concatenated, and the compaction statistics merged.
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("merge_results needs at least one result")
+    first = results[0]
+    alu = CompactionStats(min_cycles=first.alu_stats.min_cycles)
+    simd = CompactionStats(min_cycles=first.simd_stats.min_cycles)
+    for result in results:
+        alu.merge(result.alu_stats)
+        simd.merge(result.simd_stats)
+    return KernelRunResult(
+        kernel=first.kernel,
+        policy=first.policy,
+        total_cycles=sum(r.total_cycles for r in results),
+        instructions=sum(r.instructions for r in results),
+        alu_stats=alu,
+        simd_stats=simd,
+        l3_hits=sum(r.l3_hits for r in results),
+        l3_accesses=sum(r.l3_accesses for r in results),
+        llc_hits=sum(r.llc_hits for r in results),
+        llc_accesses=sum(r.llc_accesses for r in results),
+        dc_lines=sum(r.dc_lines for r in results),
+        dram_lines=sum(r.dram_lines for r in results),
+        memory_messages=sum(r.memory_messages for r in results),
+        lines_requested=sum(r.lines_requested for r in results),
+        workgroups=sum(r.workgroups for r in results),
+        fpu_busy_cycles=sum(r.fpu_busy_cycles for r in results),
+        em_busy_cycles=sum(r.em_busy_cycles for r in results),
+        send_busy_cycles=sum(r.send_busy_cycles for r in results),
+    )

@@ -1,0 +1,38 @@
+"""The modelled EU SIMD instruction set.
+
+Variable-width SIMD instructions (1/4/8/16/32 lanes) with per-lane
+predication, structured control flow, and SEND-style memory messages —
+a faithful abstraction of the EU ISA described in paper Section 2.2.
+"""
+
+from .asm import AsmError, assemble, program_to_text
+from .builder import KernelBuilder
+from .instruction import Instruction
+from .opcodes import ALU_OPCODES, Opcode, Pipe
+from .program import KernelParam, ParamKind, Program
+from .registers import NUM_FLAGS, NUM_GRF_REGS, FlagRef, Imm, RegRef, as_operand
+from .types import GRF_REG_BYTES, SLOTS_PER_REG, CmpOp, DType
+
+__all__ = [
+    "ALU_OPCODES",
+    "AsmError",
+    "assemble",
+    "program_to_text",
+    "GRF_REG_BYTES",
+    "NUM_FLAGS",
+    "NUM_GRF_REGS",
+    "SLOTS_PER_REG",
+    "CmpOp",
+    "DType",
+    "FlagRef",
+    "Imm",
+    "Instruction",
+    "KernelBuilder",
+    "KernelParam",
+    "Opcode",
+    "ParamKind",
+    "Pipe",
+    "Program",
+    "RegRef",
+    "as_operand",
+]

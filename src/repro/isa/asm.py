@@ -1,0 +1,317 @@
+"""Textual assembly format for EU kernel programs.
+
+Lets kernels live as data files (and makes programs diffable in tests
+and bug reports).  :func:`program_to_text` serializes any finalized
+:class:`~repro.isa.program.Program`; :func:`assemble` parses the format
+back, re-running control-flow finalization.  Round-tripping preserves
+instruction semantics exactly.
+
+Format by example::
+
+    kernel axpy simd16 slm=0
+    gid @r0
+    param x: surface            ; binding-table index 0
+    param y: surface            ; binding-table index 1
+    param a: scalar_f32 @r4
+
+        shl.i32 r2, r0, 2:i32
+        load.f32 r6, r2, @surf0
+        load.f32 r8, r2, @surf1
+        mad.f32 r8, r6, r4, r8
+        cmp.lt.f32 f0, r8, 100.0:f32
+    (f0) mul.f32 r8, r8, 0.5:f32
+        if f0
+        else
+        endif
+        store.f32 r2, r8, @surf1
+        eot
+
+Conventions: one instruction per line; ``;`` starts a comment;
+predicates prefix in parentheses (``(~f1)``); register operands are
+``rN`` (element type comes from the opcode suffix); immediates carry
+their type (``2.5:f32``, ``7:i32``); CVT spells both types
+(``cvt.f32.i32 dst, src``); memory instructions name their surface as
+``@surfN``; SLM accesses use ``load_slm``/``store_slm`` with no surface.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .instruction import Instruction
+from .opcodes import Opcode
+from .program import KernelParam, ParamKind, Program
+from .registers import FlagRef, Imm, RegRef
+from .types import CmpOp, DType
+
+_DTYPES = {d.label: d for d in DType}
+_CMPS = {c.value: c for c in CmpOp}
+_OPCODES = {op.mnemonic: op for op in Opcode}
+
+_REG_RE = re.compile(r"^r(\d+)$")
+_FLAG_RE = re.compile(r"^(~?)f([01])$")
+_IMM_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+\.?\d*(?:[eE][-+]?\d+)?)):(\w+)$")
+_SURF_RE = re.compile(r"^@surf(\d+)$")
+
+
+class AsmError(ValueError):
+    """Raised on malformed assembly input, with a line number."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def _operand_to_text(op, dtype: DType) -> str:
+    if isinstance(op, RegRef):
+        return f"r{op.reg}"
+    if isinstance(op, Imm):
+        return f"{op.value}:{op.dtype.label}"
+    raise TypeError(f"cannot serialize operand {op!r}")
+
+
+def _instruction_to_text(inst: Instruction) -> str:
+    op = inst.opcode
+    mnemonic = op.mnemonic
+    if op is Opcode.CMP:
+        mnemonic += f".{inst.cmp_op.value}.{inst.dtype.label}"
+    elif op is Opcode.CVT:
+        mnemonic += f".{inst.dtype.label}.{inst.src_dtype.label}"
+    elif op.writes_dst or op.is_memory:
+        mnemonic += f".{inst.dtype.label}"
+
+    operands: List[str] = []
+    if op is Opcode.CMP:
+        operands.append(f"f{inst.flag_dst.index}")
+    if inst.dst is not None and op.writes_dst:
+        operands.append(f"r{inst.dst.reg}")
+    for src in inst.sources:
+        operands.append(_operand_to_text(src, inst.dtype))
+    if op in (Opcode.LOAD, Opcode.STORE):
+        operands.append(f"@surf{inst.surface}")
+    if op in (Opcode.IF, Opcode.WHILE, Opcode.BREAK):
+        pred = inst.pred
+        operands.append(f"{'~' if pred.negate else ''}f{pred.index}")
+
+    text = mnemonic
+    if operands:
+        text += " " + ", ".join(operands)
+    # SEL's selector and ordinary predication share the prefix syntax.
+    if inst.pred is not None and op not in (Opcode.IF, Opcode.WHILE,
+                                            Opcode.BREAK):
+        text = f"({'~' if inst.pred.negate else ''}f{inst.pred.index}) " + text
+    return text
+
+
+def program_to_text(program: Program) -> str:
+    """Serialize a finalized program to the assembly format."""
+    if not program.finalized:
+        raise ValueError("serialize finalized programs only")
+    lines = [f"kernel {program.name} simd{program.simd_width} "
+             f"slm={program.slm_bytes}"]
+    if program.gid_reg is not None:
+        lines.append(f"gid @r{program.gid_reg}")
+    if program.lid_reg is not None:
+        lines.append(f"lid @r{program.lid_reg}")
+    for param in program.params:
+        if param.kind is ParamKind.SURFACE:
+            lines.append(f"param {param.name}: surface")
+        else:
+            lines.append(f"param {param.name}: {param.kind.value} @r{param.reg}")
+    lines.append("")
+    for inst in program.instructions:
+        lines.append("    " + _instruction_to_text(inst))
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def _parse_operand(token: str, lineno: int):
+    match = _REG_RE.match(token)
+    if match:
+        return ("reg", int(match.group(1)))
+    match = _FLAG_RE.match(token)
+    if match:
+        return ("flag", FlagRef(int(match.group(2)), negate=bool(match.group(1))))
+    match = _IMM_RE.match(token)
+    if match:
+        literal, dtype_label = match.groups()
+        if dtype_label not in _DTYPES:
+            raise AsmError(lineno, f"unknown immediate type {dtype_label!r}")
+        dtype = _DTYPES[dtype_label]
+        value = (int(literal, 0) if not dtype.is_float
+                 else float(literal))
+        return ("imm", Imm(value, dtype))
+    match = _SURF_RE.match(token)
+    if match:
+        return ("surface", int(match.group(1)))
+    raise AsmError(lineno, f"cannot parse operand {token!r}")
+
+
+def _parse_mnemonic(word: str, lineno: int) -> Tuple[Opcode, Optional[CmpOp],
+                                                     DType, Optional[DType]]:
+    parts = word.split(".")
+    name = parts[0]
+    if name not in _OPCODES:
+        raise AsmError(lineno, f"unknown opcode {name!r}")
+    opcode = _OPCODES[name]
+    cmp_op: Optional[CmpOp] = None
+    dtype = DType.F32
+    src_dtype: Optional[DType] = None
+    if opcode is Opcode.CMP:
+        if len(parts) != 3 or parts[1] not in _CMPS or parts[2] not in _DTYPES:
+            raise AsmError(lineno, "cmp needs the form cmp.<cond>.<dtype>")
+        cmp_op = _CMPS[parts[1]]
+        dtype = _DTYPES[parts[2]]
+    elif opcode is Opcode.CVT:
+        if len(parts) != 3 or parts[1] not in _DTYPES or parts[2] not in _DTYPES:
+            raise AsmError(lineno, "cvt needs the form cvt.<dst>.<src>")
+        dtype = _DTYPES[parts[1]]
+        src_dtype = _DTYPES[parts[2]]
+    elif len(parts) == 2:
+        if parts[1] not in _DTYPES:
+            raise AsmError(lineno, f"unknown dtype suffix {parts[1]!r}")
+        dtype = _DTYPES[parts[1]]
+    elif len(parts) > 2:
+        raise AsmError(lineno, f"malformed mnemonic {word!r}")
+    return opcode, cmp_op, dtype, src_dtype
+
+
+def _parse_instruction(line: str, width: int, lineno: int) -> Instruction:
+    pred: Optional[FlagRef] = None
+    match = re.match(r"^\((~?f[01])\)\s+(.*)$", line)
+    if match:
+        kind, flag = _parse_operand(match.group(1), lineno)
+        pred = flag
+        line = match.group(2)
+
+    pieces = line.split(None, 1)
+    opcode, cmp_op, dtype, src_dtype = _parse_mnemonic(pieces[0], lineno)
+    tokens = ([t.strip() for t in pieces[1].split(",")] if len(pieces) > 1
+              else [])
+
+    dst: Optional[RegRef] = None
+    flag_dst: Optional[FlagRef] = None
+    sources: List = []
+    surface: Optional[int] = None
+    for token in tokens:
+        kind, value = _parse_operand(token, lineno)
+        if kind == "surface":
+            surface = value
+        elif kind == "flag":
+            if opcode is Opcode.CMP and flag_dst is None:
+                if value.negate:
+                    raise AsmError(lineno, "cmp cannot write a negated flag")
+                flag_dst = value
+            else:
+                pred = value  # IF/WHILE/BREAK condition
+        elif kind == "reg":
+            ref = RegRef(value, src_dtype if (opcode is Opcode.CVT and
+                                              dst is not None) else dtype)
+            if opcode.writes_dst and dst is None:
+                dst = RegRef(value, dtype)
+            else:
+                sources.append(ref)
+        else:  # immediate
+            sources.append(value)
+
+    # Memory address/data operands keep I32 addressing dtype on source 0.
+    if opcode.is_memory and sources:
+        addr = sources[0]
+        if isinstance(addr, RegRef):
+            sources[0] = RegRef(addr.reg, DType.I32)
+
+    inst = Instruction(
+        opcode=opcode,
+        width=width,
+        dtype=dtype,
+        dst=dst,
+        sources=tuple(sources),
+        pred=pred,
+        flag_dst=flag_dst,
+        cmp_op=cmp_op,
+        surface=surface,
+        src_dtype=src_dtype,
+    )
+    try:
+        inst.validate()
+    except ValueError as exc:
+        raise AsmError(lineno, str(exc)) from exc
+    return inst
+
+
+def assemble(text: str) -> Program:
+    """Parse assembly *text* into a finalized Program."""
+    name = "kernel"
+    width: Optional[int] = None
+    slm_bytes = 0
+    gid_reg: Optional[int] = None
+    lid_reg: Optional[int] = None
+    params: List[KernelParam] = []
+    instructions: List[Instruction] = []
+    surface_index = 0
+
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("kernel "):
+            match = re.match(r"^kernel\s+(\S+)\s+simd(\d+)(?:\s+slm=(\d+))?$",
+                             line)
+            if not match:
+                raise AsmError(lineno, "expected: kernel <name> simd<W> [slm=N]")
+            name = match.group(1)
+            width = int(match.group(2))
+            slm_bytes = int(match.group(3) or 0)
+            continue
+        if line.startswith("gid ") or line.startswith("lid "):
+            match = re.match(r"^(gid|lid)\s+@r(\d+)$", line)
+            if not match:
+                raise AsmError(lineno, "expected: gid @rN / lid @rN")
+            if match.group(1) == "gid":
+                gid_reg = int(match.group(2))
+            else:
+                lid_reg = int(match.group(2))
+            continue
+        if line.startswith("param "):
+            match = re.match(
+                r"^param\s+(\w+):\s*(surface|scalar_f32|scalar_i32)"
+                r"(?:\s+@r(\d+))?$", line)
+            if not match:
+                raise AsmError(lineno, "expected: param <name>: <kind> [@rN]")
+            pname, kind_text, reg_text = match.groups()
+            kind = ParamKind(kind_text)
+            if kind is ParamKind.SURFACE:
+                params.append(KernelParam(pname, kind,
+                                          surface_index=surface_index))
+                surface_index += 1
+            else:
+                if reg_text is None:
+                    raise AsmError(lineno, "scalar params need a register (@rN)")
+                params.append(KernelParam(pname, kind, reg=int(reg_text)))
+            continue
+        if width is None:
+            raise AsmError(lineno, "instruction before the kernel header")
+        instructions.append(_parse_instruction(line, width, lineno))
+
+    if width is None:
+        raise AsmError(0, "missing kernel header")
+    program = Program(
+        name=name,
+        simd_width=width,
+        instructions=instructions,
+        params=params,
+        slm_bytes=slm_bytes,
+        gid_reg=gid_reg,
+        lid_reg=lid_reg,
+    )
+    return program.finalize()

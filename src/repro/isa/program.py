@@ -1,0 +1,172 @@
+"""Kernel programs: instruction containers with resolved control flow.
+
+A :class:`Program` is an ordered list of :class:`~repro.isa.instruction.
+Instruction` plus the kernel's argument signature.  :meth:`Program.
+finalize` performs the assembler's job: it checks that the structured
+control flow (IF/ELSE/ENDIF, DO/BREAK/WHILE) nests properly and resolves
+every control instruction's jump target to an instruction index.  The EU
+front end then only follows pre-computed targets, exactly as hardware
+follows encoded jump offsets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .instruction import Instruction
+from .opcodes import Opcode
+from .types import DType
+
+
+class ParamKind(enum.Enum):
+    """Kinds of kernel launch parameters."""
+
+    SURFACE = "surface"
+    SCALAR_I32 = "scalar_i32"
+    SCALAR_F32 = "scalar_f32"
+
+
+@dataclass(frozen=True)
+class KernelParam:
+    """One kernel argument: its name, kind, and binding slot.
+
+    For scalars, ``reg`` is the GRF register the dispatcher broadcasts
+    the value into; for surfaces, ``surface_index`` is the binding-table
+    index memory instructions reference.
+    """
+
+    name: str
+    kind: ParamKind
+    reg: Optional[int] = None
+    surface_index: Optional[int] = None
+
+
+@dataclass
+class Program:
+    """A finalized, executable kernel program.
+
+    Attributes:
+        name: kernel name (used in reports).
+        simd_width: dispatch SIMD width (lanes per EU thread).
+        instructions: the instruction list, ending in EOT.
+        params: launch-argument signature, in binding order.
+        slm_bytes: shared-local-memory bytes required per workgroup.
+        num_regs: highest GRF register used + 1 (register footprint).
+    """
+
+    name: str
+    simd_width: int
+    instructions: List[Instruction] = field(default_factory=list)
+    params: List[KernelParam] = field(default_factory=list)
+    slm_bytes: int = 0
+    num_regs: int = 0
+    gid_reg: Optional[int] = None
+    lid_reg: Optional[int] = None
+    _finalized: bool = False
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, idx: int) -> Instruction:
+        return self.instructions[idx]
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    def surface_params(self) -> List[KernelParam]:
+        """The surface (buffer) parameters in binding order."""
+        return [p for p in self.params if p.kind is ParamKind.SURFACE]
+
+    def scalar_params(self) -> List[KernelParam]:
+        """The scalar parameters in binding order."""
+        return [p for p in self.params if p.kind is not ParamKind.SURFACE]
+
+    def finalize(self) -> "Program":
+        """Validate structure and resolve control-flow targets.
+
+        Raises ``ValueError`` on malformed programs: mismatched or
+        interleaved IF/ELSE/ENDIF and DO/WHILE, BREAK outside a loop,
+        a missing trailing EOT, or per-instruction validation failures.
+        Returns ``self`` for chaining.
+        """
+        if not self.instructions or self.instructions[-1].opcode is not Opcode.EOT:
+            raise ValueError(f"program {self.name!r} must end with EOT")
+        for inst in self.instructions:
+            inst.validate()
+
+        if_stack: List[Dict[str, Optional[int]]] = []
+        loop_stack: List[Dict[str, object]] = []
+        for idx, inst in enumerate(self.instructions):
+            op = inst.opcode
+            if op is Opcode.IF:
+                if_stack.append({"if": idx, "else": None})
+            elif op is Opcode.ELSE:
+                if not if_stack:
+                    raise ValueError(f"ELSE at {idx} without matching IF")
+                frame = if_stack[-1]
+                if frame["else"] is not None:
+                    raise ValueError(f"duplicate ELSE at {idx} for IF at {frame['if']}")
+                frame["else"] = idx
+            elif op is Opcode.ENDIF:
+                if not if_stack:
+                    raise ValueError(f"ENDIF at {idx} without matching IF")
+                frame = if_stack.pop()
+                if_idx = frame["if"]
+                else_idx = frame["else"]
+                # IF with an empty then-mask jumps past the then block.
+                self.instructions[if_idx].target = (
+                    else_idx + 1 if else_idx is not None else idx
+                )
+                if else_idx is not None:
+                    self.instructions[else_idx].target = idx
+            elif op is Opcode.DO:
+                loop_stack.append({"do": idx, "breaks": []})
+            elif op is Opcode.BREAK:
+                if not loop_stack:
+                    raise ValueError(f"BREAK at {idx} outside any loop")
+                loop_stack[-1]["breaks"].append(idx)
+            elif op is Opcode.WHILE:
+                if not loop_stack:
+                    raise ValueError(f"WHILE at {idx} without matching DO")
+                frame = loop_stack.pop()
+                do_idx = frame["do"]
+                # WHILE with surviving lanes jumps back to loop body start.
+                inst.target = do_idx + 1
+                self.instructions[do_idx].target = idx + 1
+                for brk in frame["breaks"]:
+                    self.instructions[brk].target = idx + 1
+        if if_stack:
+            raise ValueError(f"unterminated IF at {if_stack[-1]['if']}")
+        if loop_stack:
+            raise ValueError(f"unterminated DO at {loop_stack[-1]['do']}")
+
+        self.num_regs = self._register_footprint()
+        self._finalized = True
+        return self
+
+    def _register_footprint(self) -> int:
+        """Highest GRF register touched by any instruction, plus one."""
+        top = 0
+        for inst in self.instructions:
+            for reg in list(inst.reads()) + list(inst.writes()):
+                top = max(top, reg + 1)
+        return top
+
+    def dynamic_opcode_histogram(self) -> Dict[Opcode, int]:
+        """Static opcode histogram (dynamic counts come from execution)."""
+        hist: Dict[Opcode, int] = {}
+        for inst in self.instructions:
+            hist[inst.opcode] = hist.get(inst.opcode, 0) + 1
+        return hist
+
+    def disassemble(self) -> str:
+        """Readable listing with instruction indices."""
+        lines = [f"// kernel {self.name} SIMD{self.simd_width}, {self.num_regs} regs"]
+        for param in self.params:
+            lines.append(f"// param {param.name}: {param.kind.value}")
+        for idx, inst in enumerate(self.instructions):
+            lines.append(f"{idx:4d}: {inst}")
+        return "\n".join(lines)

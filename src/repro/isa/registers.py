@@ -1,0 +1,112 @@
+"""Register and operand references of the modelled EU ISA.
+
+Each EU thread owns a general register file (GRF) of 128 registers, each
+256 bits wide (paper Section 2.2).  An instruction operand names the
+first GRF register it occupies; wide-SIMD operands implicitly span
+consecutive registers (the paper's ``ADD(16) R12, R8, R10`` example uses
+register pairs R12-13, R8-9, R10-11).
+
+Operands are either :class:`RegRef` (register), :class:`Imm` (immediate
+broadcast to all lanes), or :class:`FlagRef` (one of the two per-thread
+flag registers used for predication and control flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from .types import DType
+
+#: Number of GRF registers per EU thread (paper Section 2.2).
+NUM_GRF_REGS = 128
+
+#: Number of per-thread flag registers (Intel EUs expose f0/f1).
+NUM_FLAGS = 2
+
+
+@dataclass(frozen=True)
+class RegRef:
+    """Reference to a GRF operand starting at register *reg*.
+
+    Attributes:
+        reg: index of the first 256-bit register (0..127).
+        dtype: element data type of the operand.
+    """
+
+    reg: int
+    dtype: DType = DType.F32
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.reg < NUM_GRF_REGS:
+            raise ValueError(f"GRF register index out of range: {self.reg}")
+
+    def span(self, simd_width: int) -> int:
+        """Number of consecutive registers occupied at *simd_width*."""
+        return self.dtype.regs_for_width(simd_width)
+
+    def regs(self, simd_width: int) -> range:
+        """Range of register indices occupied at *simd_width*."""
+        last = self.reg + self.span(simd_width)
+        if last > NUM_GRF_REGS:
+            raise ValueError(
+                f"operand r{self.reg}:{self.dtype} at SIMD{simd_width} "
+                f"overflows the GRF (spans to r{last - 1})"
+            )
+        return range(self.reg, last)
+
+    def with_dtype(self, dtype: DType) -> "RegRef":
+        """Same storage reinterpreted with a different element type."""
+        return RegRef(self.reg, dtype)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"r{self.reg}:{self.dtype}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """Immediate operand, broadcast to every enabled lane."""
+
+    value: Union[int, float]
+    dtype: DType = DType.F32
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.value}:{self.dtype}"
+
+
+@dataclass(frozen=True)
+class FlagRef:
+    """Reference to one of the per-thread flag registers (f0/f1)."""
+
+    index: int
+    negate: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < NUM_FLAGS:
+            raise ValueError(f"flag register index out of range: {self.index}")
+
+    def __invert__(self) -> "FlagRef":
+        """``~f`` — the same flag with inverted sense (predicate-negate)."""
+        return FlagRef(self.index, not self.negate)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{'~' if self.negate else ''}f{self.index}"
+
+
+#: Anything acceptable as an instruction source operand.
+Operand = Union[RegRef, Imm]
+
+
+def as_operand(value: Union[RegRef, Imm, int, float], dtype: DType) -> Operand:
+    """Coerce a Python number to an :class:`Imm` of *dtype*; pass refs through.
+
+    Register references keep their own dtype (the instruction's dtype
+    governs interpretation; mixed-dtype sources are legal for CVT).
+    """
+    if isinstance(value, (RegRef, Imm)):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("bool is not a valid operand; use an integer 0/1")
+    if isinstance(value, (int, float)):
+        return Imm(value, dtype)
+    raise TypeError(f"cannot use {value!r} as an instruction operand")

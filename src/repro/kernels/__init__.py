@@ -1,0 +1,153 @@
+"""The workload suite: simulator-executable stand-ins for paper Table 1.
+
+Every entry in :data:`WORKLOAD_REGISTRY` is a zero-argument factory
+returning a fresh :class:`~repro.kernels.workload.Workload` at its
+default (test-friendly) problem size; factories accept keyword arguments
+for larger benchmark-scale runs.  Registry keys are the paper's workload
+names where one exists.
+"""
+
+from typing import Callable, Dict
+
+from .finance import binomial_option, black_scholes, monte_carlo_asian
+from .graphics import fragment_shade
+from .imaging import box_filter, gaussian_noise, sobel
+from .learn import backprop_layer, binary_search, hmm_viterbi, srad
+from .linalg import dot_product, matrix_multiply, matrix_vector, transpose, vector_add
+from .micro import (
+    FIG8_PATTERNS,
+    branch_pattern,
+    nested_divergence,
+    predicated_pattern,
+    table2_path_masks,
+)
+from .misc import eigenvalue, kmeans_assign, knn, mersenne_mix, scan_reduce
+from .raytracing import ambient_occlusion, primary_rays
+from .signal import aes_round, bitonic_sort, convolution, dct8, fwht, haar_dwt
+from .solvers import floyd_warshall, gauss, lu_decompose, pathfinder, tridiagonal
+from .rodinia import bfs, hotspot, lavamd, nw, particlefilter
+from .workload import LaunchStep, Workload, run_workload, run_workload_all_policies
+
+#: name -> factory for every simulator workload, coherent and divergent.
+WORKLOAD_REGISTRY: Dict[str, Callable[[], Workload]] = {
+    # coherent
+    "va": vector_add,
+    "dp": dot_product,
+    "mvm": matrix_vector,
+    "transpose": transpose,
+    "mm": matrix_multiply,
+    "bscholes": black_scholes,
+    "bop": binomial_option,
+    "boxfilter": box_filter,
+    "mt": mersenne_mix,
+    "dct8": dct8,
+    "fwht": fwht,
+    "dwth": haar_dwt,
+    "scnv": convolution,
+    "aes": aes_round,
+    "trd": tridiagonal,
+    # divergent
+    "mca": monte_carlo_asian,
+    "glfrag": fragment_shade,
+    "gauss": gauss,
+    "lu": lu_decompose,
+    "fw": floyd_warshall,
+    "pathfinder": pathfinder,
+    "bsort": bitonic_sort,
+    "bsearch": binary_search,
+    "bp": backprop_layer,
+    "hmm": hmm_viterbi,
+    "srad": srad,
+    "sobel": sobel,
+    "gnoise": gaussian_noise,
+    "kmeans": kmeans_assign,
+    "knn": knn,
+    "eigenvalue": eigenvalue,
+    "scla": scan_reduce,
+    "bfs": bfs,
+    "hotspot": hotspot,
+    "lavamd": lavamd,
+    "nw": nw,
+    "particlefilter": particlefilter,
+    "rt_pr_conf": lambda **kw: primary_rays("conf", **kw),
+    "rt_pr_al": lambda **kw: primary_rays("al", **kw),
+    "rt_pr_bl": lambda **kw: primary_rays("bl", **kw),
+    "rt_pr_wm": lambda **kw: primary_rays("wm", **kw),
+    "rt_ao_al8": lambda **kw: ambient_occlusion("al", simd_width=8, **kw),
+    "rt_ao_bl8": lambda **kw: ambient_occlusion("bl", simd_width=8, **kw),
+    "rt_ao_wm8": lambda **kw: ambient_occlusion("wm", simd_width=8, **kw),
+    "rt_ao_al16": lambda **kw: ambient_occlusion("al", simd_width=16, **kw),
+    "rt_ao_bl16": lambda **kw: ambient_occlusion("bl", simd_width=16, **kw),
+    "rt_ao_wm16": lambda **kw: ambient_occlusion("wm", simd_width=16, **kw),
+    "nested_l1": lambda **kw: nested_divergence(1, **kw),
+    "nested_l2": lambda **kw: nested_divergence(2, **kw),
+    "nested_l3": lambda **kw: nested_divergence(3, **kw),
+    "nested_l4": lambda **kw: nested_divergence(4, **kw),
+}
+
+#: The divergent subset evaluated in Figures 9-12.
+DIVERGENT_WORKLOADS = tuple(
+    name
+    for name in WORKLOAD_REGISTRY
+    if name not in (
+        "va", "dp", "mvm", "transpose", "mm", "bscholes", "bop", "boxfilter",
+        "mt", "dct8", "fwht", "dwth", "scnv", "aes", "trd",
+    )
+)
+
+#: The Rodinia subset of Figure 12.
+RODINIA_WORKLOADS = ("bfs", "hotspot", "lavamd", "nw", "particlefilter")
+
+__all__ = [
+    "DIVERGENT_WORKLOADS",
+    "aes_round",
+    "backprop_layer",
+    "binary_search",
+    "bitonic_sort",
+    "convolution",
+    "dct8",
+    "floyd_warshall",
+    "fragment_shade",
+    "fwht",
+    "gauss",
+    "haar_dwt",
+    "hmm_viterbi",
+    "lu_decompose",
+    "pathfinder",
+    "srad",
+    "tridiagonal",
+    "FIG8_PATTERNS",
+    "RODINIA_WORKLOADS",
+    "WORKLOAD_REGISTRY",
+    "LaunchStep",
+    "Workload",
+    "ambient_occlusion",
+    "bfs",
+    "binomial_option",
+    "black_scholes",
+    "box_filter",
+    "branch_pattern",
+    "dot_product",
+    "eigenvalue",
+    "gaussian_noise",
+    "hotspot",
+    "kmeans_assign",
+    "knn",
+    "lavamd",
+    "matrix_multiply",
+    "matrix_vector",
+    "mersenne_mix",
+    "monte_carlo_asian",
+    "nested_divergence",
+    "nw",
+    "particlefilter",
+    "predicated_pattern",
+    "primary_rays",
+    "run_workload",
+    "run_workload_all_policies",
+    "scan_reduce",
+    "sobel",
+    "table2_path_masks",
+    "transpose",
+    "vector_add",
+]

@@ -1,0 +1,278 @@
+"""Finance workloads (paper Table 1: Bscholes, BOP, MCA).
+
+Black-Scholes is the archetypal *coherent* heavy-math kernel; the
+binomial lattice is coherent with a long dependent loop; Monte Carlo
+Asian-option pricing is *divergent*: each lane's path terminates early
+when its running price crosses a barrier, so the path loop sheds lanes
+over time — exactly the pattern intra-warp compaction harvests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.builder import KernelBuilder
+from ..isa.types import CmpOp, DType
+from .workload import LaunchStep, Workload
+
+_INV_SQRT_2PI = 0.3989422804014327
+
+
+def _emit_cnd(b: KernelBuilder, out, x, tmp_regs) -> None:
+    """Emit the cumulative-normal-distribution polynomial approximation.
+
+    Standard Abramowitz-Stegun 5-coefficient fit, as used by the
+    OpenCL SDK Black-Scholes samples.
+    """
+    k, poly, pdf, absx = tmp_regs
+    b.abs_(absx, x)
+    # k = 1 / (1 + 0.2316419 * |x|)
+    b.mad(k, absx, 0.2316419, 1.0)
+    b.div(k, 1.0, k)
+    # poly = k*(a1 + k*(a2 + k*(a3 + k*(a4 + k*a5))))
+    b.mad(poly, k, 1.330274429, -1.821255978)
+    b.mad(poly, poly, k, 1.781477937)
+    b.mad(poly, poly, k, -0.356563782)
+    b.mad(poly, poly, k, 0.319381530)
+    b.mul(poly, poly, k)
+    # pdf = inv_sqrt_2pi * exp(-x^2/2)
+    b.mul(pdf, x, x)
+    b.mul(pdf, pdf, -0.5)
+    b.exp(pdf, pdf)
+    b.mul(pdf, pdf, _INV_SQRT_2PI)
+    # out = 1 - pdf*poly; for x < 0, out = 1 - out
+    b.mul(out, pdf, poly)
+    b.sub(out, 1.0, out)
+    f = b.cmp(CmpOp.LT, x, 0.0)
+    neg = poly  # reuse
+    b.sub(neg, 1.0, out)
+    b.sel(out, f, neg, out)
+
+
+def black_scholes(n: int = 2048, simd_width: int = 16) -> Workload:
+    """Bscholes-N: European call pricing; fully coherent EM-heavy math."""
+    b = KernelBuilder("bscholes", simd_width)
+    gid = b.global_id()
+    sS, sK, sT, sC = (b.surface_arg(x) for x in ("S", "K", "T", "call"))
+    riskfree = b.scalar_arg("r", DType.F32)
+    vol = b.scalar_arg("v", DType.F32)
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    S = b.vreg(DType.F32)
+    K = b.vreg(DType.F32)
+    T = b.vreg(DType.F32)
+    b.load(S, addr, sS)
+    b.load(K, addr, sK)
+    b.load(T, addr, sT)
+
+    sqrtT = b.vreg(DType.F32)
+    b.sqrt(sqrtT, T)
+    d1 = b.vreg(DType.F32)
+    b.div(d1, S, K)
+    b.log(d1, d1)
+    vsq = b.vreg(DType.F32)
+    b.mul(vsq, vol, vol)
+    b.mul(vsq, vsq, 0.5)
+    drift = b.vreg(DType.F32)
+    b.add(drift, riskfree, vsq)
+    b.mad(d1, drift, T, d1)
+    denom = b.vreg(DType.F32)
+    b.mul(denom, vol, sqrtT)
+    b.div(d1, d1, denom)
+    d2 = b.vreg(DType.F32)
+    b.sub(d2, d1, denom)
+
+    tmp = tuple(b.vreg(DType.F32) for _ in range(4))
+    nd1 = b.vreg(DType.F32)
+    nd2 = b.vreg(DType.F32)
+    _emit_cnd(b, nd1, d1, tmp)
+    _emit_cnd(b, nd2, d2, tmp)
+
+    disc = b.vreg(DType.F32)
+    b.mul(disc, riskfree, T)
+    b.mul(disc, disc, -1.0)
+    b.exp(disc, disc)
+    call = b.vreg(DType.F32)
+    b.mul(call, K, disc)
+    b.mul(call, call, nd2)
+    right = b.vreg(DType.F32)
+    b.mul(right, S, nd1)
+    b.sub(call, right, call)
+    b.store(call, addr, sC)
+    program = b.finish()
+
+    rng = np.random.default_rng(10)
+    S = rng.uniform(10, 100, n).astype(np.float32)
+    K = rng.uniform(10, 100, n).astype(np.float32)
+    T = rng.uniform(0.2, 2.0, n).astype(np.float32)
+    call = np.zeros(n, dtype=np.float32)
+    r, v = 0.05, 0.3
+
+    def check(buffers):
+        from scipy.stats import norm  # available offline per environment
+
+        d1 = (np.log(S / K) + (r + v * v / 2) * T) / (v * np.sqrt(T))
+        d2 = d1 - v * np.sqrt(T)
+        ref = S * norm.cdf(d1) - K * np.exp(-r * T) * norm.cdf(d2)
+        np.testing.assert_allclose(buffers["call"], ref, rtol=5e-3, atol=5e-3)
+
+    return Workload(
+        name="bscholes",
+        program=program,
+        buffers={"S": S, "K": K, "T": T, "call": call},
+        steps=[LaunchStep(global_size=n, scalars={"r": r, "v": v})],
+        check=check,
+        category="coherent",
+        description="Black-Scholes European option pricing",
+    )
+
+
+def binomial_option(n: int = 512, depth: int = 16, simd_width: int = 16) -> Workload:
+    """BOP: binomial lattice backward induction; coherent fixed loop."""
+    b = KernelBuilder("bop", simd_width)
+    gid = b.global_id()
+    sS, sC = b.surface_arg("S"), b.surface_arg("price")
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    S = b.vreg(DType.F32)
+    b.load(S, addr, sS)
+    # Simplified CRR lattice with fixed up/down factors; each work-item
+    # walks its own `depth`-step induction entirely in registers.
+    value = b.vreg(DType.F32)
+    b.mov(value, 0.0)
+    level = b.vreg(DType.I32)
+    b.mov(level, 0)
+    up = 1.05
+    prob = 0.55
+    growth = b.vreg(DType.F32)
+    b.mov(growth, S)
+    b.do_()
+    # value = prob * value*up + (1-prob) * growth
+    scaled = b.vreg(DType.F32)
+    b.mul(scaled, value, up)
+    b.mul(scaled, scaled, prob)
+    b.mad(value, growth, 1.0 - prob, scaled)
+    b.mul(growth, growth, 1.0 / up)
+    b.add(level, level, 1)
+    f = b.cmp(CmpOp.LT, level, depth)
+    b.while_(f)
+    b.store(value, addr, sC)
+    program = b.finish()
+
+    rng = np.random.default_rng(11)
+    S = rng.uniform(10, 100, n).astype(np.float32)
+    price = np.zeros(n, dtype=np.float32)
+
+    def check(buffers):
+        value = np.zeros(n, dtype=np.float64)
+        growth = S.astype(np.float64).copy()
+        for _ in range(depth):
+            value = 0.55 * value * 1.05 + 0.45 * growth
+            growth = growth / 1.05
+        np.testing.assert_allclose(buffers["price"], value, rtol=1e-3)
+
+    return Workload(
+        name="bop",
+        program=program,
+        buffers={"S": S, "price": price},
+        steps=[LaunchStep(global_size=n)],
+        check=check,
+        category="coherent",
+        description="binomial option pricing lattice",
+    )
+
+
+def monte_carlo_asian(n: int = 1024, max_steps: int = 24, simd_width: int = 16) -> Workload:
+    """MCA: barrier-terminated price paths; lanes retire at different steps.
+
+    Each lane evolves a pseudo-random walk and *breaks out* of the path
+    loop when it crosses the knock-out barrier, leaving a dwindling
+    active mask — a classic divergent workload.
+    """
+    b = KernelBuilder("mca", simd_width)
+    gid = b.global_id()
+    sS, sO = b.surface_arg("S"), b.surface_arg("payoff")
+    barrier_level = b.scalar_arg("barrier", DType.F32)
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    S = b.vreg(DType.F32)
+    b.load(S, addr, sS)
+    price = b.vreg(DType.F32)
+    b.mov(price, S)
+    total = b.vreg(DType.F32)
+    b.mov(total, 0.0)
+    step = b.vreg(DType.I32)
+    b.mov(step, 0)
+    # xorshift-style per-lane RNG state seeded from gid
+    state = b.vreg(DType.I32)
+    b.mad(state, gid, 2654435761 & 0x7FFFFFFF, 12345)
+    b.do_()
+    # advance RNG: state = state*1664525 + 1013904223 (LCG, low bits)
+    b.mul(state, state, 1664525)
+    b.add(state, state, 1013904223)
+    noise = b.vreg(DType.I32)
+    b.shr(noise, state, 16)
+    b.and_(noise, noise, 0xFF)
+    fnoise = b.vreg(DType.F32)
+    b.cvt(fnoise, noise)
+    # shock in [0.96, 1.0425]: price *= 0.96 + noise/255 * 0.0825
+    b.mad(fnoise, fnoise, 0.0825 / 255.0, 0.96)
+    b.mul(price, price, fnoise)
+    b.add(total, total, price)
+    b.add(step, step, 1)
+    # knock-out: lanes whose price crossed the barrier exit early
+    fout = b.cmp(CmpOp.GT, price, barrier_level)
+    b.break_(fout)
+    fcont = b.cmp(CmpOp.LT, step, max_steps)
+    b.while_(fcont)
+    avg = b.vreg(DType.F32)
+    stepf = b.vreg(DType.F32)
+    b.cvt(stepf, step)
+    b.max_(stepf, stepf, 1.0)
+    b.div(avg, total, stepf)
+    b.store(avg, addr, sO)
+    program = b.finish()
+
+    rng = np.random.default_rng(12)
+    S = rng.uniform(50, 95, n).astype(np.float32)
+    payoff = np.zeros(n, dtype=np.float32)
+    barrier_value = 100.0
+
+    def check(buffers):
+        ref = _mca_reference(S, barrier_value, max_steps, n)
+        np.testing.assert_allclose(buffers["payoff"], ref, rtol=1e-3, atol=1e-3)
+
+    return Workload(
+        name="mca",
+        program=program,
+        buffers={"S": S, "payoff": payoff},
+        steps=[LaunchStep(global_size=n, scalars={"barrier": barrier_value})],
+        check=check,
+        category="divergent",
+        description="Monte Carlo barrier-option paths with early lane exit",
+    )
+
+
+def _mca_reference(S: np.ndarray, barrier: float, max_steps: int, n: int) -> np.ndarray:
+    """Host reference for :func:`monte_carlo_asian` (same LCG stream)."""
+    gid = np.arange(n, dtype=np.int64)
+    state = (gid * (2654435761 & 0x7FFFFFFF) + 12345) & 0xFFFFFFFF
+    state = np.where(state >= 2**31, state - 2**32, state)  # int32 wrap
+    price = S.astype(np.float32).copy()
+    total = np.zeros(n, dtype=np.float32)
+    steps = np.zeros(n, dtype=np.int64)
+    alive = np.ones(n, dtype=bool)
+    for _ in range(max_steps):
+        if not alive.any():
+            break
+        state[alive] = (state[alive] * 1664525 + 1013904223) & 0xFFFFFFFF
+        state = np.where(state >= 2**31, state - 2**32, state)  # int32 wrap
+        noise = (state >> 16) & 0xFF
+        shock = (noise.astype(np.float32) * np.float32(0.0825 / 255.0)
+                 + np.float32(0.96))
+        price[alive] = price[alive] * shock[alive]
+        total[alive] += price[alive]
+        steps[alive] += 1
+        crossed = alive & (price > barrier)
+        alive &= ~crossed
+    return total / np.maximum(steps, 1).astype(np.float32)

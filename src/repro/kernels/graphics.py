@@ -1,0 +1,179 @@
+"""3D-graphics workload: fragment shading with coverage/alpha divergence.
+
+The paper's trace set includes OpenGL benchmarks (GLBench) whose
+divergence comes from fragment quads straddling triangle edges and from
+alpha-tested geometry.  This workload reproduces that structure the way
+the hardware pipeline creates it: *rasterization* (edge functions) is
+fixed-function and runs on the host, producing a per-pixel coverage
+word; the simulated kernel is the *fragment shader*, launched once per
+triangle over the full render target.  Warps fully outside the triangle
+jump over the shader; warps straddling an edge execute it with a
+partial mask — exactly the fragment-quad divergence the paper's OpenGL
+traces exhibit — and alpha-tested triangles discard additional lanes
+inside the covered region.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..isa.builder import KernelBuilder
+from ..isa.types import CmpOp, DType
+from .workload import LaunchStep, Workload
+
+#: Floats per packed triangle record: shade, alpha, u-scale, v-scale.
+TRI_FLOATS = 4
+
+
+def _make_scene(num_tris: int, width_px: int, seed: int):
+    """Rasterize random triangles on the host (the fixed-function step).
+
+    Returns the per-pixel coverage bit-field (bit *t* set = pixel inside
+    triangle *t*) and the per-triangle shading parameters.
+    """
+    if num_tris > 31:
+        raise ValueError("coverage words hold at most 31 triangles")
+    rng = np.random.default_rng(seed)
+    gid = np.arange(width_px * width_px)
+    py = (gid // width_px).astype(np.float64)
+    px = (gid - (gid // width_px) * width_px).astype(np.float64)
+    x = (px + 0.5) / width_px
+    y = (py + 0.5) / width_px
+
+    coverage = np.zeros(width_px * width_px, dtype=np.int32)
+    params = np.zeros((num_tris, TRI_FLOATS), dtype=np.float32)
+    for t in range(num_tris):
+        center = rng.uniform(0.15, 0.85, 2)
+        angles = np.sort(rng.uniform(0, 2 * np.pi, 3))
+        radius = rng.uniform(0.15, 0.45, 3)
+        vx = center[0] + radius * np.cos(angles)
+        vy = center[1] + radius * np.sin(angles)
+        inside = np.ones(gid.shape, dtype=bool)
+        for v in range(3):
+            nxt = (v + 1) % 3
+            edge = ((x - vx[v]) * (vy[nxt] - vy[v])
+                    - (y - vy[v]) * (vx[nxt] - vx[v]))
+            inside &= edge <= 0
+        coverage |= inside.astype(np.int32) << t
+        params[t] = (rng.uniform(0.2, 1.0), rng.uniform(0.0, 1.0),
+                     rng.uniform(8.0, 40.0), rng.uniform(8.0, 40.0))
+    return coverage, params
+
+
+def fragment_shade(width_px: int = 32, num_tris: int = 12,
+                   simd_width: int = 16, alpha_cutoff: float = 0.35,
+                   seed: int = 90) -> Workload:
+    """Shade *num_tris* pre-rasterized triangles, one pass per triangle."""
+    b = KernelBuilder("glfrag", simd_width)
+    gid = b.global_id()
+    s_cov = b.surface_arg("coverage")
+    s_tris = b.surface_arg("tris")
+    s_fb = b.surface_arg("framebuffer")
+    tri = b.scalar_arg("tri", DType.I32)
+
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    cov = b.vreg(DType.I32)
+    b.load(cov, addr, s_cov)
+    bit = b.vreg(DType.I32)
+    b.shr(bit, cov, tri)
+    b.and_(bit, bit, 1)
+    covered = b.cmp(CmpOp.NE, bit, 0)
+    with b.if_(covered):
+        base = b.vreg(DType.I32)
+        b.mul(base, tri, TRI_FLOATS * 4)
+        shade = b.vreg(DType.F32)
+        alpha = b.vreg(DType.F32)
+        b.load(shade, base, s_tris)
+        b.add(base, base, 4)
+        b.load(alpha, base, s_tris)
+        passed = b.cmp(CmpOp.GT, alpha, alpha_cutoff)
+        with b.if_(passed):
+            uscale = b.vreg(DType.F32)
+            vscale = b.vreg(DType.F32)
+            b.add(base, base, 4)
+            b.load(uscale, base, s_tris)
+            b.add(base, base, 4)
+            b.load(vscale, base, s_tris)
+            # Procedural texture: sin/cos interference + gamma.
+            fx = b.vreg(DType.F32)
+            fy = b.vreg(DType.F32)
+            b.cvt(fx, gid)
+            b.mul(fy, fx, 1.0 / width_px)
+            b.floor(fy, fy)
+            tex = b.vreg(DType.F32)
+            b.mul(tex, fx, 0.0371)
+            b.mul(tex, tex, uscale)
+            b.sin(tex, tex)
+            swirl = b.vreg(DType.F32)
+            b.mul(swirl, fy, 0.0523)
+            b.mul(swirl, swirl, vscale)
+            b.cos(swirl, swirl)
+            b.mad(tex, swirl, 0.5, tex)
+            b.mad(tex, tex, 0.25, 1.0)
+            lit = b.vreg(DType.F32)
+            b.sqrt(lit, shade)
+            b.mul(lit, lit, tex)
+            b.mul(lit, lit, alpha)
+            # Blend into the framebuffer (read-modify-write).
+            dst = b.vreg(DType.F32)
+            b.load(dst, addr, s_fb)
+            one_minus = b.vreg(DType.F32)
+            b.sub(one_minus, 1.0, alpha)
+            b.mul(dst, dst, one_minus)
+            b.add(dst, dst, lit)
+            b.store(dst, addr, s_fb)
+    program = b.finish()
+
+    coverage, params = _make_scene(num_tris, width_px, seed)
+    n = width_px * width_px
+    framebuffer = np.full(n, 0.05, dtype=np.float32)
+
+    def steps(buffers: Dict[str, np.ndarray], index: int) -> Optional[LaunchStep]:
+        if index >= num_tris:
+            return None
+        return LaunchStep(global_size=n, scalars={"tri": index})
+
+    def check(buffers):
+        ref = _host_shade(coverage, params, width_px, alpha_cutoff)
+        np.testing.assert_allclose(buffers["framebuffer"], ref, rtol=1e-4,
+                                   atol=1e-5)
+
+    return Workload(
+        name="glfrag",
+        program=program,
+        buffers={"coverage": coverage, "tris": params.reshape(-1),
+                 "framebuffer": framebuffer},
+        steps=steps,
+        check=check,
+        category="divergent",
+        description="fragment shading with coverage + alpha-test divergence",
+        max_steps=num_tris + 1,
+    )
+
+
+def _host_shade(coverage: np.ndarray, params: np.ndarray, width_px: int,
+                alpha_cutoff: float) -> np.ndarray:
+    f32 = np.float32
+    n = coverage.shape[0]
+    gid = np.arange(n)
+    color = np.full(n, 0.05, dtype=np.float32)
+    fx = gid.astype(np.float32)
+    fy = np.floor((fx * f32(1.0 / width_px)).astype(np.float32)).astype(np.float32)
+    for t in range(params.shape[0]):
+        shade, alpha, uscale, vscale = (f32(v) for v in params[t])
+        inside = (coverage >> t) & 1 == 1
+        if alpha <= alpha_cutoff:
+            continue
+        tex = np.sin(((fx * f32(0.0371)).astype(np.float32)
+                      * uscale).astype(np.float32)).astype(np.float32)
+        swirl = np.cos(((fy * f32(0.0523)).astype(np.float32)
+                        * vscale).astype(np.float32)).astype(np.float32)
+        tex = (tex + swirl * f32(0.5)).astype(np.float32)
+        tex = (tex * f32(0.25) + f32(1.0)).astype(np.float32)
+        lit = (f32(np.sqrt(shade)) * tex * alpha).astype(np.float32)
+        blended = (color * (f32(1.0) - alpha) + lit).astype(np.float32)
+        color = np.where(inside, blended, color)
+    return color

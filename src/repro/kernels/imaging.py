@@ -1,0 +1,319 @@
+"""Image-processing workloads (paper Table 1: BF, SblFr, Gnoise).
+
+Box filtering is coherent except at image borders; the Sobel filter adds
+a threshold branch (edge vs. flat) that diverges on image content;
+Gaussian-noise generation uses a rejection loop that retires lanes at
+different iterations (Marsaglia polar method), making it divergent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.builder import KernelBuilder
+from ..isa.registers import FlagRef
+from ..isa.types import CmpOp, DType
+from .workload import LaunchStep, Workload
+
+
+def box_filter(dim: int = 48, simd_width: int = 16, seed: int = 40) -> Workload:
+    """BF: 3x3 mean filter; interior-coherent, border-divergent."""
+    b = KernelBuilder("boxfilter", simd_width)
+    gid = b.global_id()
+    si, so = b.surface_arg("inp"), b.surface_arg("out")
+    n = b.scalar_arg("dim", DType.I32)
+    row = b.vreg(DType.I32)
+    col = b.vreg(DType.I32)
+    tmp = b.vreg(DType.I32)
+    b.div(row, gid, n)
+    b.mul(tmp, row, n)
+    b.sub(col, gid, tmp)
+    last = b.vreg(DType.I32)
+    b.sub(last, n, 1)
+
+    acc = b.vreg(DType.F32)
+    b.mov(acc, 0.0)
+    cnt = b.vreg(DType.F32)
+    b.mov(cnt, 0.0)
+    val = b.vreg(DType.F32)
+    naddr = b.vreg(DType.I32)
+    nrow = b.vreg(DType.I32)
+    ncol = b.vreg(DType.I32)
+    for dr in (-1, 0, 1):
+        for dc in (-1, 0, 1):
+            b.add(nrow, row, dr)
+            b.add(ncol, col, dc)
+            f_r0 = b.cmp(CmpOp.GE, nrow, 0)
+            in_r = b.vreg(DType.I32)
+            b.sel(in_r, f_r0, 1, 0)
+            f_r1 = b.cmp(CmpOp.LE, nrow, last)
+            in_b = b.vreg(DType.I32)
+            b.sel(in_b, f_r1, 1, 0)
+            b.and_(in_r, in_r, in_b)
+            f_c0 = b.cmp(CmpOp.GE, ncol, 0)
+            b.sel(in_b, f_c0, 1, 0)
+            b.and_(in_r, in_r, in_b)
+            f_c1 = b.cmp(CmpOp.LE, ncol, last)
+            b.sel(in_b, f_c1, 1, 0)
+            b.and_(in_r, in_r, in_b)
+            f_in = b.cmp(CmpOp.NE, in_r, 0)
+            with b.if_(f_in):
+                b.mad(naddr, nrow, n, ncol)
+                b.shl(naddr, naddr, 2)
+                b.load(val, naddr, si)
+                b.add(acc, acc, val)
+                b.add(cnt, cnt, 1.0)
+    b.div(acc, acc, cnt)
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    b.store(acc, addr, so)
+    program = b.finish()
+
+    rng = np.random.default_rng(seed)
+    img = rng.uniform(0, 255, (dim, dim)).astype(np.float32)
+    out = np.zeros((dim, dim), dtype=np.float32)
+
+    def check(buffers):
+        expected = np.zeros((dim, dim), dtype=np.float64)
+        counts = np.zeros((dim, dim), dtype=np.float64)
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                src = np.zeros((dim, dim))
+                r0, r1 = max(0, -dr), dim - max(0, dr)
+                c0, c1 = max(0, -dc), dim - max(0, dc)
+                src[r0:r1, c0:c1] = img[r0 + dr:r1 + dr, c0 + dc:c1 + dc]
+                valid = np.zeros((dim, dim))
+                valid[r0:r1, c0:c1] = 1
+                expected += src
+                counts += valid
+        np.testing.assert_allclose(
+            buffers["out"].reshape(dim, dim), expected / counts, rtol=1e-4
+        )
+
+    return Workload(
+        name="boxfilter",
+        program=program,
+        buffers={"inp": img.reshape(-1), "out": out.reshape(-1)},
+        steps=[LaunchStep(global_size=dim * dim, scalars={"dim": dim})],
+        check=check,
+        category="coherent",
+        description="3x3 box filter with border handling",
+    )
+
+
+def sobel(dim: int = 48, threshold: float = 120.0, simd_width: int = 16,
+          seed: int = 41) -> Workload:
+    """SblFr: Sobel gradient with an edge-threshold branch (divergent)."""
+    b = KernelBuilder("sobel", simd_width)
+    gid = b.global_id()
+    si, so = b.surface_arg("inp"), b.surface_arg("out")
+    n = b.scalar_arg("dim", DType.I32)
+    thr = b.scalar_arg("threshold", DType.F32)
+    row = b.vreg(DType.I32)
+    col = b.vreg(DType.I32)
+    tmp = b.vreg(DType.I32)
+    b.div(row, gid, n)
+    b.mul(tmp, row, n)
+    b.sub(col, gid, tmp)
+    last = b.vreg(DType.I32)
+    b.sub(last, n, 1)
+
+    out_val = b.vreg(DType.F32)
+    b.mov(out_val, 0.0)
+    # Interior pixels only; borders stay zero (divergent guard).
+    f1 = b.cmp(CmpOp.GT, row, 0)
+    g1 = b.vreg(DType.I32)
+    b.sel(g1, f1, 1, 0)
+    f2 = b.cmp(CmpOp.LT, row, last)
+    g2 = b.vreg(DType.I32)
+    b.sel(g2, f2, 1, 0)
+    b.and_(g1, g1, g2)
+    f3 = b.cmp(CmpOp.GT, col, 0)
+    b.sel(g2, f3, 1, 0)
+    b.and_(g1, g1, g2)
+    f4 = b.cmp(CmpOp.LT, col, last)
+    b.sel(g2, f4, 1, 0)
+    b.and_(g1, g1, g2)
+    interior = b.cmp(CmpOp.NE, g1, 0)
+    with b.if_(interior):
+        gx = b.vreg(DType.F32)
+        gy = b.vreg(DType.F32)
+        b.mov(gx, 0.0)
+        b.mov(gy, 0.0)
+        val = b.vreg(DType.F32)
+        naddr = b.vreg(DType.I32)
+        kx = {(-1, -1): -1, (-1, 1): 1, (0, -1): -2, (0, 1): 2, (1, -1): -1, (1, 1): 1}
+        ky = {(-1, -1): -1, (-1, 0): -2, (-1, 1): -1, (1, -1): 1, (1, 0): 2, (1, 1): 1}
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                wx = kx.get((dr, dc), 0)
+                wy = ky.get((dr, dc), 0)
+                if wx == 0 and wy == 0:
+                    continue
+                b.add(naddr, row, dr)
+                b.mul(naddr, naddr, n)
+                b.add(naddr, naddr, col)
+                b.add(naddr, naddr, dc)
+                b.shl(naddr, naddr, 2)
+                b.load(val, naddr, si)
+                if wx:
+                    b.mad(gx, val, float(wx), gx)
+                if wy:
+                    b.mad(gy, val, float(wy), gy)
+        mag = b.vreg(DType.F32)
+        b.mul(mag, gx, gx)
+        b.mad(mag, gy, gy, mag)
+        b.sqrt(mag, mag)
+        # Edge pixels get an expensive tone-map; flat pixels a cheap copy.
+        f_edge = b.cmp(CmpOp.GT, mag, thr)
+        with b.if_(f_edge):
+            b.mul(out_val, mag, 1.0 / 1445.0)
+            b.log(out_val, out_val)
+            b.mad(out_val, out_val, 0.1, 1.0)
+            b.max_(out_val, out_val, 0.0)
+            b.else_()
+            b.mul(out_val, mag, 1.0 / 1445.0)
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    b.store(out_val, addr, so)
+    program = b.finish()
+
+    rng = np.random.default_rng(seed)
+    img = (rng.uniform(0, 64, (dim, dim))
+           + 128 * (rng.random((dim, dim)) < 0.2)).astype(np.float32)
+    out = np.zeros((dim, dim), dtype=np.float32)
+
+    def check(buffers):
+        f32 = np.float32
+        gx = np.zeros((dim, dim), dtype=np.float32)
+        gy = np.zeros((dim, dim), dtype=np.float32)
+        kx = np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]], dtype=np.float32)
+        ky = np.array([[-1, -2, -1], [0, 0, 0], [1, 2, 1]], dtype=np.float32)
+        for dr in range(3):
+            for dc in range(3):
+                gx[1:-1, 1:-1] += kx[dr, dc] * img[dr:dim - 2 + dr, dc:dim - 2 + dc]
+                gy[1:-1, 1:-1] += ky[dr, dc] * img[dr:dim - 2 + dr, dc:dim - 2 + dc]
+        mag = np.sqrt(gx * gx + gy * gy).astype(np.float32)
+        scaled = mag * f32(1.0 / 1445.0)
+        with np.errstate(divide="ignore"):
+            toned = np.maximum(np.log(scaled) * f32(0.1) + f32(1.0), f32(0.0))
+        expected = np.where(mag > threshold, toned, scaled).astype(np.float32)
+        expected[0, :] = expected[-1, :] = 0.0
+        expected[:, 0] = expected[:, -1] = 0.0
+        np.testing.assert_allclose(
+            buffers["out"].reshape(dim, dim), expected, rtol=1e-3, atol=1e-5
+        )
+
+    return Workload(
+        name="sobel",
+        program=program,
+        buffers={"inp": img.reshape(-1), "out": out.reshape(-1)},
+        steps=[LaunchStep(global_size=dim * dim,
+                          scalars={"dim": dim, "threshold": threshold})],
+        check=check,
+        category="divergent",
+        description="Sobel filter with edge-threshold divergence",
+    )
+
+
+def gaussian_noise(n: int = 1024, simd_width: int = 16, seed: int = 42,
+                   max_tries: int = 12) -> Workload:
+    """Gnoise: Marsaglia polar rejection sampling; lanes retire unevenly."""
+    b = KernelBuilder("gnoise", simd_width)
+    gid = b.global_id()
+    so = b.surface_arg("out")
+    state = b.vreg(DType.I32)
+    b.mad(state, gid, 1103515245 & 0x7FFFFFFF, 12345)
+    u = b.vreg(DType.F32)
+    v = b.vreg(DType.F32)
+    s = b.vreg(DType.F32)
+    tries = b.vreg(DType.I32)
+    b.mov(tries, 0)
+    accepted_s = b.vreg(DType.F32)
+    b.mov(accepted_s, 0.5)  # fallback if no accept within max_tries
+    accepted_u = b.vreg(DType.F32)
+    b.mov(accepted_u, 0.5)
+    bits = b.vreg(DType.I32)
+    b.do_()
+    for comp in (u, v):
+        b.mul(state, state, 1664525)
+        b.add(state, state, 1013904223)
+        b.shr(bits, state, 16)
+        b.and_(bits, bits, 0x7FFF)
+        b.cvt(comp, bits)
+        b.mad(comp, comp, 2.0 / 32767.0, -1.0)
+    b.mul(s, u, u)
+    b.mad(s, v, v, s)
+    # Accept when 0 < s < 1; rejected lanes iterate again.
+    f_ok = b.cmp(CmpOp.LT, s, 1.0)
+    g_ok = b.vreg(DType.I32)
+    b.sel(g_ok, f_ok, 1, 0)
+    f_pos = b.cmp(CmpOp.GT, s, 1e-12)
+    g_pos = b.vreg(DType.I32)
+    b.sel(g_pos, f_pos, 1, 0)
+    b.and_(g_ok, g_ok, g_pos)
+    f_acc = b.cmp(CmpOp.NE, g_ok, 0)
+    b.mov(accepted_s, s, pred=f_acc)
+    b.mov(accepted_u, u, pred=f_acc)
+    b.break_(f_acc)
+    b.add(tries, tries, 1)
+    f_more = b.cmp(CmpOp.LT, tries, max_tries, flag=FlagRef(1))
+    b.while_(f_more)
+    # z = u * sqrt(-2 ln(s) / s)
+    z = b.vreg(DType.F32)
+    b.log(z, accepted_s)
+    b.mul(z, z, -2.0)
+    b.div(z, z, accepted_s)
+    b.sqrt(z, z)
+    b.mul(z, z, accepted_u)
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    b.store(z, addr, so)
+    program = b.finish()
+
+    out = np.zeros(n, dtype=np.float32)
+
+    def check(buffers):
+        ref = _gnoise_reference(n, max_tries)
+        np.testing.assert_allclose(buffers["out"], ref, rtol=1e-3, atol=1e-4)
+
+    return Workload(
+        name="gnoise",
+        program=program,
+        buffers={"out": out},
+        steps=[LaunchStep(global_size=n)],
+        check=check,
+        category="divergent",
+        description="Gaussian noise via polar rejection sampling",
+    )
+
+
+def _gnoise_reference(n: int, max_tries: int) -> np.ndarray:
+    f32 = np.float32
+    gid = np.arange(n, dtype=np.int64)
+    state = (gid * (1103515245 & 0x7FFFFFFF) + 12345) & 0xFFFFFFFF
+    state = np.where(state >= 2**31, state - 2**32, state)
+    acc_s = np.full(n, 0.5, dtype=np.float32)
+    acc_u = np.full(n, 0.5, dtype=np.float32)
+    alive = np.ones(n, dtype=bool)
+
+    def lcg(state, alive):
+        nxt = (state * 1664525 + 1013904223) & 0xFFFFFFFF
+        nxt = np.where(nxt >= 2**31, nxt - 2**32, nxt)
+        state = np.where(alive, nxt, state)
+        bits = (state >> 16) & 0x7FFF
+        comp = bits.astype(np.float32) * f32(2.0 / 32767.0) + f32(-1.0)
+        return state, comp
+
+    for _ in range(max_tries):
+        if not alive.any():
+            break
+        state, u = lcg(state, alive)
+        state, v = lcg(state, alive)
+        s = (u * u + v * v).astype(np.float32)
+        accept = alive & (s < 1.0) & (s > 1e-12)
+        acc_s = np.where(accept, s, acc_s)
+        acc_u = np.where(accept, u, acc_u)
+        alive &= ~accept
+    z = acc_u * np.sqrt((np.log(acc_s) * f32(-2.0) / acc_s).astype(np.float32))
+    return z.astype(np.float32)

@@ -1,0 +1,390 @@
+"""Remaining Table 1 workload stand-ins: Kmeans, EV, ScLA, MT, KNN.
+
+* k-means assignment: per-point loop over centroids with a branchy
+  running-min update (mild divergence).
+* Eigenvalue (EV): Sturm-sequence bisection per eigenvalue index, with
+  the classic pivot-guard branch inside the count loop (divergent).
+* Scan-large-array (ScLA): SLM tree reduction with barriers; lanes drop
+  out as the stride shrinks below the SIMD width (divergent tail).
+* Mersenne-twister-like RNG (MT): pure bit mixing, fully coherent.
+* k-nearest-neighbours (KNN): distance + branchy running minimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.builder import KernelBuilder
+from ..isa.registers import FlagRef
+from ..isa.types import CmpOp, DType
+from .workload import LaunchStep, Workload
+
+
+def kmeans_assign(num_points: int = 1024, num_clusters: int = 8,
+                  simd_width: int = 16, seed: int = 50) -> Workload:
+    """Assign each 2-D point to its nearest centroid (branchy argmin)."""
+    b = KernelBuilder("kmeans", simd_width)
+    gid = b.global_id()
+    s_px, s_py = b.surface_arg("px"), b.surface_arg("py")
+    s_cx, s_cy = b.surface_arg("cx"), b.surface_arg("cy")
+    s_assign = b.surface_arg("assign")
+    k = b.scalar_arg("k", DType.I32)
+
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    x = b.vreg(DType.F32)
+    y = b.vreg(DType.F32)
+    b.load(x, addr, s_px)
+    b.load(y, addr, s_py)
+    best = b.vreg(DType.F32)
+    b.mov(best, 1e30)
+    best_id = b.vreg(DType.I32)
+    b.mov(best_id, -1)
+    j = b.vreg(DType.I32)
+    b.mov(j, 0)
+    caddr = b.vreg(DType.I32)
+    cx = b.vreg(DType.F32)
+    cy = b.vreg(DType.F32)
+    d = b.vreg(DType.F32)
+    dy = b.vreg(DType.F32)
+    b.do_()
+    b.shl(caddr, j, 2)
+    b.load(cx, caddr, s_cx)
+    b.load(cy, caddr, s_cy)
+    b.sub(cx, x, cx)
+    b.sub(dy, y, cy)
+    b.mul(d, cx, cx)
+    b.mad(d, dy, dy, d)
+    closer = b.cmp(CmpOp.LT, d, best)
+    with b.if_(closer):
+        b.mov(best, d)
+        b.mov(best_id, j)
+    b.add(j, j, 1)
+    more = b.cmp(CmpOp.LT, j, k, flag=FlagRef(1))
+    b.while_(more)
+    b.store(best_id, addr, s_assign)
+    program = b.finish()
+
+    rng = np.random.default_rng(seed)
+    px = rng.standard_normal(num_points).astype(np.float32)
+    py = rng.standard_normal(num_points).astype(np.float32)
+    cx = rng.standard_normal(num_clusters).astype(np.float32)
+    cy = rng.standard_normal(num_clusters).astype(np.float32)
+    assign = np.zeros(num_points, dtype=np.int32)
+
+    def check(buffers):
+        d = ((px[:, None] - cx[None, :]) ** 2
+             + (py[:, None] - cy[None, :]) ** 2)
+        np.testing.assert_array_equal(buffers["assign"], d.argmin(axis=1))
+
+    return Workload(
+        name="kmeans",
+        program=program,
+        buffers={"px": px, "py": py, "cx": cx, "cy": cy, "assign": assign},
+        steps=[LaunchStep(global_size=num_points, scalars={"k": num_clusters})],
+        check=check,
+        category="divergent",
+        description="k-means nearest-centroid assignment",
+    )
+
+
+def eigenvalue(matrix_dim: int = 12, bisect_iters: int = 20,
+               simd_width: int = 16, seed: int = 51) -> Workload:
+    """EV: k-th eigenvalue of a symmetric tridiagonal matrix by bisection.
+
+    Work-item *i* bisects for eigenvalue index ``i % matrix_dim``.  The
+    Sturm count loop carries a divide-guard branch whose taken lanes
+    depend on the pivot value — genuine data-dependent divergence.
+    """
+    b = KernelBuilder("eigenvalue", simd_width)
+    gid = b.global_id()
+    s_d, s_e = b.surface_arg("diag"), b.surface_arg("offdiag")
+    s_out = b.surface_arg("eig")
+    m = b.scalar_arg("m", DType.I32)
+    lo0 = b.scalar_arg("lo", DType.F32)
+    hi0 = b.scalar_arg("hi", DType.F32)
+
+    k_idx = b.vreg(DType.I32)
+    tmp = b.vreg(DType.I32)
+    b.div(tmp, gid, m)
+    b.mul(tmp, tmp, m)
+    b.sub(k_idx, gid, tmp)
+
+    lo = b.vreg(DType.F32)
+    hi = b.vreg(DType.F32)
+    b.mov(lo, lo0)
+    b.mov(hi, hi0)
+    it = b.vreg(DType.I32)
+    b.mov(it, 0)
+    mid = b.vreg(DType.F32)
+    count = b.vreg(DType.I32)
+    i = b.vreg(DType.I32)
+    q = b.vreg(DType.F32)
+    dv = b.vreg(DType.F32)
+    ev = b.vreg(DType.F32)
+    iaddr = b.vreg(DType.I32)
+
+    b.do_()
+    b.add(mid, lo, hi)
+    b.mul(mid, mid, 0.5)
+    # Sturm sequence: count eigenvalues < mid.
+    b.mov(count, 0)
+    b.mov(i, 0)
+    b.mov(q, 1.0)
+    b.do_()
+    b.shl(iaddr, i, 2)
+    b.load(dv, iaddr, s_d)
+    b.load(ev, iaddr, s_e)
+    # q = d[i] - mid - e[i]^2 / q   (with pivot guard)
+    absq = b.vreg(DType.F32)
+    b.abs_(absq, q)
+    guard = b.cmp(CmpOp.LT, absq, 1e-6)
+    with b.if_(guard):
+        b.mov(q, 1e-6)
+    e2 = b.vreg(DType.F32)
+    b.mul(e2, ev, ev)
+    b.div(e2, e2, q)
+    b.sub(q, dv, mid)
+    b.sub(q, q, e2)
+    neg = b.cmp(CmpOp.LT, q, 0.0)
+    b.add(count, count, 1, pred=neg)
+    b.add(i, i, 1)
+    inner_more = b.cmp(CmpOp.LT, i, m, flag=FlagRef(1))
+    b.while_(inner_more)
+    # Bisect: count <= k -> eigenvalue k is above mid.
+    f_up = b.cmp(CmpOp.LE, count, k_idx)
+    b.sel(lo, f_up, mid, lo)
+    nf = ~f_up
+    b.sel(hi, nf, mid, hi)
+    b.add(it, it, 1)
+    outer_more = b.cmp(CmpOp.LT, it, bisect_iters, flag=FlagRef(1))
+    b.while_(outer_more)
+
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    result = b.vreg(DType.F32)
+    b.add(result, lo, hi)
+    b.mul(result, result, 0.5)
+    b.store(result, addr, s_out)
+    program = b.finish()
+
+    rng = np.random.default_rng(seed)
+    diag = rng.uniform(-2, 2, matrix_dim).astype(np.float32)
+    offdiag = np.concatenate(
+        [[0.0], rng.uniform(-1, 1, matrix_dim - 1)]
+    ).astype(np.float32)
+    n = max(simd_width * 8, matrix_dim * 4)
+    eig = np.zeros(n, dtype=np.float32)
+    matrix = np.diag(diag.astype(np.float64))
+    for i in range(1, matrix_dim):
+        matrix[i, i - 1] = matrix[i - 1, i] = offdiag[i]
+    true_eigs = np.linalg.eigvalsh(matrix)
+    lo_bound = float(true_eigs.min() - 1.0)
+    hi_bound = float(true_eigs.max() + 1.0)
+
+    def check(buffers):
+        got = buffers["eig"]
+        expected = true_eigs[np.arange(n) % matrix_dim]
+        tol = (hi_bound - lo_bound) / 2 ** bisect_iters * 4 + 1e-3
+        np.testing.assert_allclose(got, expected, atol=tol)
+
+    return Workload(
+        name="eigenvalue",
+        program=program,
+        buffers={"diag": diag, "offdiag": offdiag, "eig": eig},
+        steps=[LaunchStep(global_size=n,
+                          scalars={"m": matrix_dim, "lo": lo_bound, "hi": hi_bound})],
+        check=check,
+        category="divergent",
+        description="tridiagonal eigenvalue bisection (Sturm counts)",
+    )
+
+
+def scan_reduce(n: int = 1024, local_size: int = 64, simd_width: int = 16,
+                seed: int = 52) -> Workload:
+    """ScLA: SLM tree reduction per workgroup, with a divergent tail."""
+    if local_size % simd_width != 0 or local_size & (local_size - 1):
+        raise ValueError("local_size must be a power of two multiple of SIMD width")
+    b = KernelBuilder("scla", simd_width, slm_bytes=local_size * 4)
+    gid = b.global_id()
+    lid = b.local_id()
+    s_in, s_out = b.surface_arg("inp"), b.surface_arg("partial")
+    wg_size = b.scalar_arg("wg", DType.I32)
+
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    x = b.vreg(DType.F32)
+    b.load(x, addr, s_in)
+    slm_addr = b.vreg(DType.I32)
+    b.shl(slm_addr, lid, 2)
+    b.store_slm(x, slm_addr)
+    b.barrier()
+
+    stride = b.vreg(DType.I32)
+    b.shr(stride, wg_size, 1)
+    a = b.vreg(DType.F32)
+    c = b.vreg(DType.F32)
+    other = b.vreg(DType.I32)
+    b.do_()
+    f_active = b.cmp(CmpOp.LT, lid, stride)
+    with b.if_(f_active):
+        b.load_slm(a, slm_addr)
+        b.add(other, lid, stride)
+        b.shl(other, other, 2)
+        b.load_slm(c, other)
+        b.add(a, a, c)
+        b.store_slm(a, slm_addr)
+    b.barrier()
+    b.shr(stride, stride, 1)
+    more = b.cmp(CmpOp.GT, stride, 0, flag=FlagRef(1))
+    b.while_(more)
+
+    f_first = b.cmp(CmpOp.EQ, lid, 0)
+    with b.if_(f_first):
+        wg_id = b.vreg(DType.I32)
+        b.div(wg_id, gid, wg_size)
+        out_addr = b.vreg(DType.I32)
+        b.shl(out_addr, wg_id, 2)
+        total = b.vreg(DType.F32)
+        zero = b.vreg(DType.I32)
+        b.mov(zero, 0)
+        b.load_slm(total, zero)
+        b.store(total, out_addr, s_out)
+    program = b.finish()
+
+    rng = np.random.default_rng(seed)
+    inp = rng.uniform(-1, 1, n).astype(np.float32)
+    partial = np.zeros(n // local_size, dtype=np.float32)
+
+    def check(buffers):
+        expected = inp.reshape(-1, local_size).sum(axis=1, dtype=np.float64)
+        np.testing.assert_allclose(buffers["partial"], expected, rtol=1e-4,
+                                   atol=1e-4)
+
+    return Workload(
+        name="scla",
+        program=program,
+        buffers={"inp": inp, "partial": partial},
+        steps=[LaunchStep(global_size=n, local_size=local_size,
+                          scalars={"wg": local_size})],
+        check=check,
+        category="divergent",
+        description="SLM tree reduction with barriers (scan large array)",
+    )
+
+
+def mersenne_mix(n: int = 1024, rounds: int = 16, simd_width: int = 16) -> Workload:
+    """MT: xorshift-style tempering rounds; fully coherent bit mixing."""
+    b = KernelBuilder("mt", simd_width)
+    gid = b.global_id()
+    s_out = b.surface_arg("out")
+    state = b.vreg(DType.I32)
+    b.mad(state, gid, 69069, 362437)
+    t = b.vreg(DType.I32)
+    for _ in range(rounds):
+        b.shl(t, state, 13)
+        b.xor(state, state, t)
+        b.shr(t, state, 17)
+        b.and_(t, t, 0x7FFF)  # logical-shift emulation for the high bits
+        b.xor(state, state, t)
+        b.shl(t, state, 5)
+        b.xor(state, state, t)
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    b.store(state, addr, s_out)
+    program = b.finish()
+
+    out = np.zeros(n, dtype=np.int32)
+
+    def check(buffers):
+        state = (np.arange(n, dtype=np.int64) * 69069 + 362437) & 0xFFFFFFFF
+        state = np.where(state >= 2**31, state - 2**32, state)
+        for _ in range(rounds):
+            state = _i32(state ^ _i32(state << 13))
+            t = (state >> 17) & 0x7FFF
+            state = _i32(state ^ t)
+            state = _i32(state ^ _i32(state << 5))
+        np.testing.assert_array_equal(buffers["out"], state.astype(np.int32))
+
+    return Workload(
+        name="mt",
+        program=program,
+        buffers={"out": out},
+        steps=[LaunchStep(global_size=n)],
+        check=check,
+        category="coherent",
+        description="xorshift bit-mixing RNG (Mersenne-twister stand-in)",
+    )
+
+
+def _i32(x):
+    """Wrap an int64 numpy array to int32 two's-complement range."""
+    x = x & 0xFFFFFFFF
+    return np.where(x >= 2**31, x - 2**32, x)
+
+
+def knn(num_points: int = 256, num_queries: int = 128, simd_width: int = 16,
+        seed: int = 53) -> Workload:
+    """KNN: nearest neighbour per query via branchy running minimum."""
+    b = KernelBuilder("knn", simd_width)
+    gid = b.global_id()
+    s_qx, s_qy = b.surface_arg("qx"), b.surface_arg("qy")
+    s_px, s_py = b.surface_arg("px"), b.surface_arg("py")
+    s_nn = b.surface_arg("nn")
+    npts = b.scalar_arg("npts", DType.I32)
+
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    qx = b.vreg(DType.F32)
+    qy = b.vreg(DType.F32)
+    b.load(qx, addr, s_qx)
+    b.load(qy, addr, s_qy)
+    best = b.vreg(DType.F32)
+    b.mov(best, 1e30)
+    best_id = b.vreg(DType.I32)
+    b.mov(best_id, -1)
+    j = b.vreg(DType.I32)
+    b.mov(j, 0)
+    paddr = b.vreg(DType.I32)
+    x = b.vreg(DType.F32)
+    y = b.vreg(DType.F32)
+    d = b.vreg(DType.F32)
+    b.do_()
+    b.shl(paddr, j, 2)
+    b.load(x, paddr, s_px)
+    b.load(y, paddr, s_py)
+    b.sub(x, qx, x)
+    b.sub(y, qy, y)
+    b.mul(d, x, x)
+    b.mad(d, y, y, d)
+    closer = b.cmp(CmpOp.LT, d, best)
+    with b.if_(closer):
+        b.mov(best, d)
+        b.mov(best_id, j)
+    b.add(j, j, 1)
+    more = b.cmp(CmpOp.LT, j, npts, flag=FlagRef(1))
+    b.while_(more)
+    b.store(best_id, addr, s_nn)
+    program = b.finish()
+
+    rng = np.random.default_rng(seed)
+    px = rng.standard_normal(num_points).astype(np.float32)
+    py = rng.standard_normal(num_points).astype(np.float32)
+    qx = rng.standard_normal(num_queries).astype(np.float32)
+    qy = rng.standard_normal(num_queries).astype(np.float32)
+    nn = np.zeros(num_queries, dtype=np.int32)
+
+    def check(buffers):
+        d = ((qx[:, None] - px[None, :]) ** 2
+             + (qy[:, None] - py[None, :]) ** 2)
+        np.testing.assert_array_equal(buffers["nn"], d.argmin(axis=1))
+
+    return Workload(
+        name="knn",
+        program=program,
+        buffers={"qx": qx, "qy": qy, "px": px, "py": py, "nn": nn},
+        steps=[LaunchStep(global_size=num_queries, scalars={"npts": num_points})],
+        check=check,
+        category="divergent",
+        description="nearest neighbour search with branchy minimum",
+    )

@@ -1,0 +1,13 @@
+"""Ray-tracing workloads (paper Figure 11 subjects)."""
+
+from .scenes import SCENES, SceneSpec, build_scene, scene_names
+from .tracer import ambient_occlusion, primary_rays
+
+__all__ = [
+    "SCENES",
+    "SceneSpec",
+    "ambient_occlusion",
+    "build_scene",
+    "primary_rays",
+    "scene_names",
+]

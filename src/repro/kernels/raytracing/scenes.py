@@ -1,0 +1,56 @@
+"""Procedural sphere scenes for the ray-tracing workloads.
+
+The paper evaluates in-house ray tracers on four scenes (conference,
+alien, bulldozer, windmill).  We cannot ship those models, so each scene
+here is a procedurally generated sphere cloud whose density and layout
+control the hit rate — and therefore the divergence profile — of the
+tracer.  "Busier" scenes make rays disagree more about hits, early-outs,
+and bounce counts, which is the property the experiments depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SceneSpec:
+    """Parameters of one procedural sphere scene."""
+
+    name: str
+    num_spheres: int
+    spread: float  # lateral extent of the cloud
+    depth_near: float
+    depth_far: float
+    radius_lo: float
+    radius_hi: float
+    seed: int
+
+
+#: Stand-ins for the paper's four scenes, ordered roughly by divergence.
+SCENES: Dict[str, SceneSpec] = {
+    "conf": SceneSpec("conf", 12, 2.2, 3.0, 7.0, 0.5, 1.1, 101),
+    "al": SceneSpec("al", 12, 3.2, 3.0, 9.0, 0.3, 0.8, 102),
+    "bl": SceneSpec("bl", 16, 4.0, 3.0, 11.0, 0.25, 0.7, 103),
+    "wm": SceneSpec("wm", 16, 5.0, 3.0, 13.0, 0.2, 0.55, 104),
+}
+
+
+def build_scene(spec: SceneSpec) -> Dict[str, np.ndarray]:
+    """Generate the sphere buffers (cx, cy, cz, radius) for *spec*."""
+    rng = np.random.default_rng(spec.seed)
+    n = spec.num_spheres
+    return {
+        "cx": rng.uniform(-spec.spread, spec.spread, n).astype(np.float32),
+        "cy": rng.uniform(-spec.spread, spec.spread, n).astype(np.float32),
+        "cz": rng.uniform(spec.depth_near, spec.depth_far, n).astype(np.float32),
+        "cr": rng.uniform(spec.radius_lo, spec.radius_hi, n).astype(np.float32),
+    }
+
+
+def scene_names():
+    """Scene keys in the paper's presentation order."""
+    return tuple(SCENES.keys())

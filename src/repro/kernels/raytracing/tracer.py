@@ -1,0 +1,402 @@
+"""Ray-tracing kernels: primary rays (RT-PR) and ambient occlusion (RT-AO).
+
+These are the paper's flagship divergent workloads (Figure 11): primary
+rays diverge on hit/miss and on which sphere terminates the search;
+ambient occlusion adds a per-hit sampling loop whose occlusion tests
+break out early, producing deep, irregular divergence.  The AO kernel is
+built at SIMD8 and SIMD16 (the paper's RT-AO-*8 / RT-AO-*16 variants —
+its SIMD8 kernels exist because of register pressure; ours take the
+width as a parameter).
+
+Scene geometry is stored as packed line-sized (64-byte) nodes
+``[cx, cy, cz, r, pad...]`` and every ray walks the node list in its
+*own* order (a stand-in for per-ray BVH traversal): lane *i* fetches
+node ``(step + ray_id) % N``, so one SIMD fetch gathers from up to
+`width` distinct cache lines.  That is
+the *memory divergence* the paper measures for ray tracing — demand on
+the data cluster well above one line per cycle — and what makes the
+DC1 vs DC2 comparison of Figure 11 meaningful.  Visiting order does not
+change results: nearest-hit is a min over all nodes, occlusion is an
+any-hit boolean.
+
+The host reference mirrors the kernel's float32 arithmetic operation for
+operation, so results match to float32 rounding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ...isa.builder import KernelBuilder
+from ...isa.registers import FlagRef, RegRef
+from ...isa.types import CmpOp, DType
+from ..workload import LaunchStep, Workload
+from .scenes import SCENES, SceneSpec, build_scene
+
+_BIG = 1.0e30
+_EPS = 0.05
+#: Bytes per packed scene node: [cx, cy, cz, r] plus padding to a full
+#: 64-byte cache line, the size of a real BVH node.  One ray's node
+#: fetch therefore touches one line, and a divergent SIMD16 fetch
+#: touches up to sixteen -- the paper's ray-tracing memory-divergence
+#: regime (data-cluster demand above one line per cycle).
+NODE_BYTES = 64
+
+
+def pack_nodes(scene: Dict[str, np.ndarray]) -> np.ndarray:
+    """Pack the scene into line-sized [cx, cy, cz, r, pad...] nodes."""
+    n = scene["cx"].shape[0]
+    nodes = np.zeros((n, NODE_BYTES // 4), dtype=np.float32)
+    nodes[:, 0] = scene["cx"]
+    nodes[:, 1] = scene["cy"]
+    nodes[:, 2] = scene["cz"]
+    nodes[:, 3] = scene["cr"]
+    return nodes.reshape(-1)
+
+
+def _emit_ray_setup(b: KernelBuilder, width_px: int):
+    """Compute the per-pixel primary ray direction; returns (dx, dy, dz)."""
+    gid = b.global_id()
+    px = b.vreg(DType.I32)
+    py = b.vreg(DType.I32)
+    tmp = b.vreg(DType.I32)
+    b.div(py, gid, width_px)
+    b.mul(tmp, py, width_px)
+    b.sub(px, gid, tmp)
+    fx = b.vreg(DType.F32)
+    fy = b.vreg(DType.F32)
+    b.cvt(fx, px)
+    b.cvt(fy, py)
+    # Map pixel to [-1, 1] viewport, z = 1, then normalize.
+    dx = b.vreg(DType.F32)
+    dy = b.vreg(DType.F32)
+    dz = b.vreg(DType.F32)
+    b.mad(dx, fx, 2.0 / width_px, -1.0)
+    b.mad(dy, fy, 2.0 / width_px, -1.0)
+    b.mov(dz, 1.0)
+    norm = b.vreg(DType.F32)
+    b.mul(norm, dx, dx)
+    b.mad(norm, dy, dy, norm)
+    b.mad(norm, dz, dz, norm)
+    b.rsqrt(norm, norm)
+    b.mul(dx, dx, norm)
+    b.mul(dy, dy, norm)
+    b.mul(dz, dz, norm)
+    return dx, dy, dz
+
+
+def _emit_sphere_loop(b: KernelBuilder, s_nodes: int, num_spheres: int,
+                      ox, oy, oz, dx, dy, dz, tmin: RegRef, hit_id: RegRef,
+                      any_hit: bool = False):
+    """Hit search over all nodes, each lane in its own traversal order.
+
+    Writes nearest t into *tmin* and the node index into *hit_id* (-1 on
+    a full miss).  With ``any_hit=True`` lanes break out of the loop at
+    their first accepted hit (the occlusion-query mode).
+    """
+    b.mov(tmin, _BIG)
+    b.mov(hit_id, -1)
+    gid = b.global_id()
+    s = b.vreg(DType.I32)
+    b.mov(s, 0)
+    idx = b.vreg(DType.I32)
+    tmp = b.vreg(DType.I32)
+    addr = b.vreg(DType.I32)
+    lx = b.vreg(DType.F32)
+    ly = b.vreg(DType.F32)
+    lz = b.vreg(DType.F32)
+    r = b.vreg(DType.F32)
+    tb = b.vreg(DType.F32)
+    d2 = b.vreg(DType.F32)
+    t = b.vreg(DType.F32)
+    b.do_()
+    # Per-lane traversal order: node (s + ray_id) mod N -> gathered fetch.
+    b.add(idx, s, gid)
+    b.div(tmp, idx, num_spheres)
+    b.mul(tmp, tmp, num_spheres)
+    b.sub(idx, idx, tmp)
+    b.mul(addr, idx, NODE_BYTES)
+    b.load(lx, addr, s_nodes)
+    b.add(addr, addr, 4)
+    b.load(ly, addr, s_nodes)
+    b.add(addr, addr, 4)
+    b.load(lz, addr, s_nodes)
+    b.add(addr, addr, 4)
+    b.load(r, addr, s_nodes)
+    # L = C - O;  tb = L . D;  d2 = L . L - tb^2
+    b.sub(lx, lx, ox)
+    b.sub(ly, ly, oy)
+    b.sub(lz, lz, oz)
+    b.mul(tb, lx, dx)
+    b.mad(tb, ly, dy, tb)
+    b.mad(tb, lz, dz, tb)
+    b.mul(d2, lx, lx)
+    b.mad(d2, ly, ly, d2)
+    b.mad(d2, lz, lz, d2)
+    tb2 = lx  # reuse: L no longer needed this iteration
+    b.mul(tb2, tb, tb)
+    b.sub(d2, d2, tb2)
+    r2 = ly  # reuse
+    b.mul(r2, r, r)
+    f_front = b.cmp(CmpOp.GT, tb, 0.0)
+    with b.if_(f_front):
+        f_hit = b.cmp(CmpOp.LT, d2, r2)
+        with b.if_(f_hit):
+            thc = lz  # reuse
+            b.sub(thc, r2, d2)
+            b.sqrt(thc, thc)
+            b.sub(t, tb, thc)
+            f_pos = b.cmp(CmpOp.GT, t, _EPS)
+            f_near = b.cmp(CmpOp.LT, t, tmin, flag=FlagRef(1))
+            gate = b.vreg(DType.I32)
+            b.sel(gate, f_pos, 1, 0)
+            gate2 = b.vreg(DType.I32)
+            b.sel(gate2, f_near, 1, 0)
+            b.and_(gate, gate, gate2)
+            f_take = b.cmp(CmpOp.NE, gate, 0)
+            b.mov(tmin, t, pred=f_take)
+            b.mov(hit_id, idx, pred=f_take)
+    if any_hit:
+        # Occlusion query: a lane with a confirmed hit is done.
+        f_done = b.cmp(CmpOp.GE, hit_id, 0)
+        b.break_(f_done)
+    b.add(s, s, 1)
+    more = b.cmp(CmpOp.LT, s, num_spheres, flag=FlagRef(1))
+    b.while_(more)
+
+
+def primary_rays(scene: str = "conf", width_px: int = 32, simd_width: int = 16) -> Workload:
+    """RT-PR: one primary ray per pixel, Lambertian shade on hit."""
+    spec = SCENES[scene]
+    b = KernelBuilder(f"rt_pr_{scene}", simd_width)
+    s_nodes = b.surface_arg("nodes")
+    s_img = b.surface_arg("image")
+    dx, dy, dz = _emit_ray_setup(b, width_px)
+    tmin = b.vreg(DType.F32)
+    hit_id = b.vreg(DType.I32)
+    _emit_sphere_loop(b, s_nodes, spec.num_spheres,
+                      0.0, 0.0, 0.0, dx, dy, dz, tmin, hit_id)
+    color = b.vreg(DType.F32)
+    f_hit = b.cmp(CmpOp.GE, hit_id, 0)
+    with b.if_(f_hit):
+        # Shade ~ 1/(1 + 0.1 t): nearer hits brighter (cheap Lambert proxy)
+        b.mad(color, tmin, 0.1, 1.0)
+        b.div(color, 1.0, color)
+        b.else_()
+        b.mov(color, 0.1)  # background
+    gid = b.global_id()
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    b.store(color, addr, s_img)
+    program = b.finish()
+
+    scene_arrays = build_scene(spec)
+    n = width_px * width_px
+    buffers = {"nodes": pack_nodes(scene_arrays),
+               "image": np.zeros(n, dtype=np.float32)}
+
+    def check(bufs):
+        ref_t, ref_hit = _host_trace(spec, scene_arrays, width_px)
+        ref = np.where(
+            ref_hit >= 0,
+            np.float32(1.0) / (ref_t * np.float32(0.1) + np.float32(1.0)),
+            np.float32(0.1),
+        ).astype(np.float32)
+        np.testing.assert_allclose(bufs["image"], ref, rtol=1e-4, atol=1e-5)
+
+    return Workload(
+        name=f"rt_pr_{scene}",
+        program=program,
+        buffers=buffers,
+        steps=[LaunchStep(global_size=n)],
+        check=check,
+        category="divergent",
+        description=f"ray tracing, primary rays, scene {scene!r}",
+    )
+
+
+def ambient_occlusion(scene: str = "al", width_px: int = 24, simd_width: int = 8,
+                      ao_samples: int = 4) -> Workload:
+    """RT-AO: primary hit + hemisphere occlusion sampling with early-out."""
+    spec = SCENES[scene]
+    b = KernelBuilder(f"rt_ao_{scene}{simd_width}", simd_width)
+    s_nodes = b.surface_arg("nodes")
+    s_img = b.surface_arg("image")
+    dx, dy, dz = _emit_ray_setup(b, width_px)
+    tmin = b.vreg(DType.F32)
+    hit_id = b.vreg(DType.I32)
+    _emit_sphere_loop(b, s_nodes, spec.num_spheres,
+                      0.0, 0.0, 0.0, dx, dy, dz, tmin, hit_id)
+    color = b.vreg(DType.F32)
+    f_hit = b.cmp(CmpOp.GE, hit_id, 0)
+    with b.if_(f_hit):
+        # Hit point
+        hx = b.vreg(DType.F32)
+        hy = b.vreg(DType.F32)
+        hz = b.vreg(DType.F32)
+        b.mul(hx, dx, tmin)
+        b.mul(hy, dy, tmin)
+        b.mul(hz, dz, tmin)
+        # Occlusion sampling: jittered directions from a per-lane LCG.
+        gid = b.global_id()
+        state = b.vreg(DType.I32)
+        b.mad(state, gid, 747796405, 2891336453 & 0x7FFFFFFF)
+        occl = b.vreg(DType.I32)
+        b.mov(occl, 0)
+        a = b.vreg(DType.I32)
+        b.mov(a, 0)
+        adx = b.vreg(DType.F32)
+        ady = b.vreg(DType.F32)
+        adz = b.vreg(DType.F32)
+        t2 = b.vreg(DType.F32)
+        hid2 = b.vreg(DType.I32)
+        b.do_()
+        for comp in (adx, ady, adz):
+            b.mul(state, state, 1664525)
+            b.add(state, state, 1013904223)
+            bits = hid2  # reuse as temp
+            b.shr(bits, state, 16)
+            b.and_(bits, bits, 0xFF)
+            b.cvt(comp, bits)
+            b.mad(comp, comp, 2.0 / 255.0, -1.0)
+        b.sub(adz, 0.0, adz)  # bias samples back toward the camera
+        norm = t2  # reuse as temp
+        b.mul(norm, adx, adx)
+        b.mad(norm, ady, ady, norm)
+        b.mad(norm, adz, adz, norm)
+        b.add(norm, norm, 1e-4)
+        b.rsqrt(norm, norm)
+        b.mul(adx, adx, norm)
+        b.mul(ady, ady, norm)
+        b.mul(adz, adz, norm)
+        _emit_sphere_loop(b, s_nodes, spec.num_spheres,
+                          hx, hy, hz, adx, ady, adz, t2, hid2, any_hit=True)
+        f_occ = b.cmp(CmpOp.GE, hid2, 0)
+        b.add(occl, occl, 1, pred=f_occ)
+        b.add(a, a, 1)
+        f_more = b.cmp(CmpOp.LT, a, ao_samples, flag=FlagRef(1))
+        b.while_(f_more)
+        focc = b.vreg(DType.F32)
+        b.cvt(focc, occl)
+        b.mul(focc, focc, 0.8 / ao_samples)
+        base = b.vreg(DType.F32)
+        b.mad(base, tmin, 0.1, 1.0)
+        b.div(base, 1.0, base)
+        b.sub(focc, 1.0, focc)
+        b.mul(color, base, focc)
+        b.else_()
+        b.mov(color, 0.1)
+    gid2 = b.global_id()
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid2, 2)
+    b.store(color, addr, s_img)
+    program = b.finish()
+
+    scene_arrays = build_scene(spec)
+    n = width_px * width_px
+    buffers = {"nodes": pack_nodes(scene_arrays),
+               "image": np.zeros(n, dtype=np.float32)}
+
+    def check(bufs):
+        ref = _host_ao(spec, scene_arrays, width_px, ao_samples)
+        np.testing.assert_allclose(bufs["image"], ref, rtol=1e-3, atol=1e-4)
+
+    return Workload(
+        name=f"rt_ao_{scene}{simd_width}",
+        program=program,
+        buffers=buffers,
+        steps=[LaunchStep(global_size=n)],
+        check=check,
+        category="divergent",
+        description=(
+            f"ray tracing, ambient occlusion, scene {scene!r}, SIMD{simd_width}"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Host references (float32, mirroring the kernel's operation order)
+# ---------------------------------------------------------------------------
+
+
+def _ray_dirs(width_px: int):
+    gid = np.arange(width_px * width_px, dtype=np.int32)
+    py = gid // width_px
+    px = gid - py * width_px
+    f32 = np.float32
+    dx = px.astype(np.float32) * f32(2.0 / width_px) + f32(-1.0)
+    dy = py.astype(np.float32) * f32(2.0 / width_px) + f32(-1.0)
+    dz = np.full_like(dx, 1.0, dtype=np.float32)
+    norm = (dx * dx + dy * dy + dz * dz).astype(np.float32)
+    inv = (np.float32(1.0) / np.sqrt(norm)).astype(np.float32)
+    return dx * inv, dy * inv, dz * inv
+
+
+def _trace_from(scene_arrays, num_spheres, ox, oy, oz, dx, dy, dz):
+    """Nearest hit over all nodes; order-independent, so the host visits
+    them 0..N-1 regardless of the kernel's per-lane traversal order."""
+    f32 = np.float32
+    tmin = np.full(dx.shape, _BIG, dtype=np.float32)
+    hit = np.full(dx.shape, -1, dtype=np.int32)
+    # Lanes the kernel masks off carry garbage origins (t = 1e30); the
+    # resulting inf/nan arithmetic is discarded, so silence it wholesale.
+    with np.errstate(all="ignore"):
+        for s in range(num_spheres):
+            lx = (scene_arrays["cx"][s] - ox).astype(np.float32)
+            ly = (scene_arrays["cy"][s] - oy).astype(np.float32)
+            lz = (scene_arrays["cz"][s] - oz).astype(np.float32)
+            tb = (lx * dx + ly * dy + lz * dz).astype(np.float32)
+            d2 = (lx * lx + ly * ly + lz * lz - tb * tb).astype(np.float32)
+            r2 = f32(scene_arrays["cr"][s]) * f32(scene_arrays["cr"][s])
+            thc = np.sqrt(np.maximum(r2 - d2, 0).astype(np.float32))
+            t = (tb - thc).astype(np.float32)
+            take = (tb > 0) & (d2 < r2) & (t > f32(_EPS)) & (t < tmin)
+            tmin = np.where(take, t, tmin)
+            hit = np.where(take, s, hit)
+    return tmin, hit
+
+
+def _host_trace(spec: SceneSpec, scene_arrays, width_px: int):
+    dx, dy, dz = _ray_dirs(width_px)
+    zero = np.zeros_like(dx)
+    return _trace_from(scene_arrays, spec.num_spheres, zero, zero, zero,
+                       dx, dy, dz)
+
+
+def _host_ao(spec: SceneSpec, scene_arrays, width_px: int, ao_samples: int):
+    f32 = np.float32
+    dx, dy, dz = _ray_dirs(width_px)
+    zero = np.zeros_like(dx)
+    tmin, hit = _trace_from(scene_arrays, spec.num_spheres, zero, zero, zero,
+                            dx, dy, dz)
+    n = dx.shape[0]
+    gid = np.arange(n, dtype=np.int64)
+    state = (gid * 747796405 + (2891336453 & 0x7FFFFFFF)) & 0xFFFFFFFF
+    state = np.where(state >= 2**31, state - 2**32, state)
+    hx, hy, hz = dx * tmin, dy * tmin, dz * tmin
+    occl = np.zeros(n, dtype=np.int32)
+
+    def lcg(state):
+        state = (state * 1664525 + 1013904223) & 0xFFFFFFFF
+        state = np.where(state >= 2**31, state - 2**32, state)
+        bits = (state >> 16) & 0xFF
+        comp = bits.astype(np.float32) * f32(2.0 / 255.0) + f32(-1.0)
+        return state, comp
+
+    for _ in range(ao_samples):
+        state, adx = lcg(state)
+        state, ady = lcg(state)
+        state, adz = lcg(state)
+        adz = (f32(0.0) - adz).astype(np.float32)
+        norm = (adx * adx + ady * ady + adz * adz + f32(1e-4)).astype(np.float32)
+        inv = (f32(1.0) / np.sqrt(norm)).astype(np.float32)
+        adx, ady, adz = adx * inv, ady * inv, adz * inv
+        _, hid2 = _trace_from(scene_arrays, spec.num_spheres,
+                              hx, hy, hz, adx, ady, adz)
+        occl += ((hid2 >= 0) & (hit >= 0)).astype(np.int32)
+
+    base = f32(1.0) / (tmin * f32(0.1) + f32(1.0))
+    shade = base * (f32(1.0) - occl.astype(np.float32) * f32(0.8 / ao_samples))
+    return np.where(hit >= 0, shade, f32(0.1)).astype(np.float32)

@@ -1,0 +1,9 @@
+"""Rodinia-suite divergent workloads (paper Figure 12 subjects)."""
+
+from .bfs import bfs
+from .hotspot import hotspot
+from .lavamd import lavamd
+from .nw import nw
+from .particlefilter import particlefilter
+
+__all__ = ["bfs", "hotspot", "lavamd", "nw", "particlefilter"]

@@ -1,0 +1,132 @@
+"""BFS: level-synchronous breadth-first search (Rodinia).
+
+The paper's most memory-bound divergent workload (Figure 12: no total-
+time benefit even though EU cycles shrink, because memory stalls
+dominate).  Each work-item owns a node; only frontier nodes do work
+(heavy control divergence), and edge gathers hit random cache lines
+(heavy memory divergence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ...isa.builder import KernelBuilder
+from ...isa.registers import FlagRef
+from ...isa.types import CmpOp, DType
+from ..workload import LaunchStep, Workload
+
+
+def _build_program(simd_width: int):
+    b = KernelBuilder("bfs", simd_width)
+    gid = b.global_id()
+    s_rowptr = b.surface_arg("row_ptr")
+    s_cols = b.surface_arg("cols")
+    s_levels = b.surface_arg("levels")
+    s_changed = b.surface_arg("changed")
+    cur_level = b.scalar_arg("level", DType.I32)
+
+    my_addr = b.vreg(DType.I32)
+    b.shl(my_addr, gid, 2)
+    my_level = b.vreg(DType.I32)
+    b.load(my_level, my_addr, s_levels)
+    in_frontier = b.cmp(CmpOp.EQ, my_level, cur_level)
+    with b.if_(in_frontier):
+        edge = b.vreg(DType.I32)
+        end = b.vreg(DType.I32)
+        tmp = b.vreg(DType.I32)
+        b.load(edge, my_addr, s_rowptr)  # row_ptr[gid]
+        b.add(tmp, my_addr, 4)
+        b.load(end, tmp, s_rowptr)  # row_ptr[gid + 1]
+        has_edges = b.cmp(CmpOp.LT, edge, end)
+        with b.if_(has_edges):
+            nb = b.vreg(DType.I32)
+            nb_addr = b.vreg(DType.I32)
+            nb_level = b.vreg(DType.I32)
+            next_level = b.vreg(DType.I32)
+            b.add(next_level, cur_level, 1)
+            one = b.vreg(DType.I32)
+            b.mov(one, 1)
+            zero_addr = b.vreg(DType.I32)
+            b.mov(zero_addr, 0)
+            b.do_()
+            b.shl(tmp, edge, 2)
+            b.load(nb, tmp, s_cols)
+            b.shl(nb_addr, nb, 2)
+            b.load(nb_level, nb_addr, s_levels)
+            unvisited = b.cmp(CmpOp.LT, nb_level, 0)
+            b.store(next_level, nb_addr, s_levels, pred=unvisited)
+            b.store(one, zero_addr, s_changed, pred=unvisited)
+            b.add(edge, edge, 1)
+            more = b.cmp(CmpOp.LT, edge, end, flag=FlagRef(1))
+            b.while_(more)
+    return b.finish()
+
+
+def _random_graph(num_nodes: int, avg_degree: int, seed: int):
+    """Random graph with skewed degrees (a few hubs, many leaves)."""
+    rng = np.random.default_rng(seed)
+    # Zipf-ish extra degrees clipped, plus a guaranteed ring edge so the
+    # graph is connected and BFS explores every level.
+    raw = np.clip(rng.zipf(1.7, num_nodes), 1, 8 * avg_degree)
+    extra = (raw * (avg_degree * num_nodes / max(1, raw.sum()))).astype(np.int32)
+    degrees = extra + 1
+    row_ptr = np.zeros(num_nodes + 1, dtype=np.int32)
+    row_ptr[1:] = np.cumsum(degrees)
+    num_edges = int(row_ptr[-1])
+    cols = rng.integers(0, num_nodes, num_edges).astype(np.int32)
+    # First edge of node i is the ring successor i+1.
+    cols[row_ptr[:-1]] = (np.arange(num_nodes) + 1) % num_nodes
+    return row_ptr, cols
+
+
+def _host_bfs(row_ptr: np.ndarray, cols: np.ndarray, source: int) -> np.ndarray:
+    num_nodes = row_ptr.shape[0] - 1
+    levels = np.full(num_nodes, -1, dtype=np.int32)
+    levels[source] = 0
+    frontier = [source]
+    level = 0
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for e in range(row_ptr[node], row_ptr[node + 1]):
+                nb = cols[e]
+                if levels[nb] < 0:
+                    levels[nb] = level + 1
+                    nxt.append(nb)
+        frontier = nxt
+        level += 1
+    return levels
+
+
+def bfs(num_nodes: int = 1024, avg_degree: int = 6, simd_width: int = 16,
+        seed: int = 30) -> Workload:
+    """Level-synchronous BFS from node 0 over a random skewed graph."""
+    program = _build_program(simd_width)
+    row_ptr, cols = _random_graph(num_nodes, avg_degree, seed)
+    levels = np.full(num_nodes, -1, dtype=np.int32)
+    levels[0] = 0
+    changed = np.zeros(1, dtype=np.int32)
+    expected = _host_bfs(row_ptr, cols, 0)
+
+    def steps(buffers: Dict[str, np.ndarray], index: int) -> Optional[LaunchStep]:
+        if index > 0 and buffers["changed"][0] == 0:
+            return None
+        buffers["changed"][0] = 0
+        return LaunchStep(global_size=num_nodes, scalars={"level": index})
+
+    def check(buffers):
+        np.testing.assert_array_equal(buffers["levels"], expected)
+
+    return Workload(
+        name="bfs",
+        program=program,
+        buffers={"row_ptr": row_ptr, "cols": cols, "levels": levels, "changed": changed},
+        steps=steps,
+        check=check,
+        category="divergent",
+        description="level-synchronous breadth-first search (Rodinia)",
+        max_steps=num_nodes + 2,
+    )

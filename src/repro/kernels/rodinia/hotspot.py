@@ -1,0 +1,161 @@
+"""HotSpot: thermal stencil with boundary divergence (Rodinia).
+
+A 2-D Jacobi update where boundary cells clamp their missing neighbours;
+warps that straddle a grid edge diverge on the boundary conditionals
+while interior warps stay coherent — the paper classifies hotspot as
+divergent with moderate compaction benefit (Figures 10/12).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ...isa.builder import KernelBuilder
+from ...isa.types import CmpOp, DType
+from ..workload import LaunchStep, Workload
+
+
+def _build_program(simd_width: int):
+    b = KernelBuilder("hotspot", simd_width)
+    gid = b.global_id()
+    s_tin = b.surface_arg("t_in")
+    s_tout = b.surface_arg("t_out")
+    s_power = b.surface_arg("power")
+    dim = b.scalar_arg("dim", DType.I32)
+
+    row = b.vreg(DType.I32)
+    col = b.vreg(DType.I32)
+    tmp = b.vreg(DType.I32)
+    b.div(row, gid, dim)
+    b.mul(tmp, row, dim)
+    b.sub(col, gid, tmp)
+
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    center = b.vreg(DType.F32)
+    b.load(center, addr, s_tin)
+    power = b.vreg(DType.F32)
+    b.load(power, addr, s_power)
+
+    naddr = b.vreg(DType.I32)
+    acc = b.vreg(DType.F32)
+    b.mov(acc, 0.0)
+    neighbor = b.vreg(DType.F32)
+    last = b.vreg(DType.I32)
+    b.sub(last, dim, 1)
+
+    # North: rows > 0 read up, boundary rows reuse the centre value.
+    f = b.cmp(CmpOp.GT, row, 0)
+    with b.if_(f):
+        b.sub(naddr, gid, dim)
+        b.shl(naddr, naddr, 2)
+        b.load(neighbor, naddr, s_tin)
+        b.else_()
+        b.mov(neighbor, center)
+    b.add(acc, acc, neighbor)
+    # South
+    f = b.cmp(CmpOp.LT, row, last)
+    with b.if_(f):
+        b.add(naddr, gid, dim)
+        b.shl(naddr, naddr, 2)
+        b.load(neighbor, naddr, s_tin)
+        b.else_()
+        b.mov(neighbor, center)
+    b.add(acc, acc, neighbor)
+    # West
+    f = b.cmp(CmpOp.GT, col, 0)
+    with b.if_(f):
+        b.sub(naddr, gid, 1)
+        b.shl(naddr, naddr, 2)
+        b.load(neighbor, naddr, s_tin)
+        b.else_()
+        b.mov(neighbor, center)
+    b.add(acc, acc, neighbor)
+    # East
+    f = b.cmp(CmpOp.LT, col, last)
+    with b.if_(f):
+        b.add(naddr, gid, 1)
+        b.shl(naddr, naddr, 2)
+        b.load(neighbor, naddr, s_tin)
+        b.else_()
+        b.mov(neighbor, center)
+    b.add(acc, acc, neighbor)
+
+    # t_out = center + k*(acc - 4*center) + c*power
+    delta = b.vreg(DType.F32)
+    b.mad(delta, center, -4.0, acc)
+    out = b.vreg(DType.F32)
+    b.mad(out, delta, 0.2, center)
+    b.mad(out, power, 0.05, out)
+    # Hot cells take a nonlinear radiative-correction path (the thermal
+    # solver's clamp); which lanes take it is data dependent, so interior
+    # warps diverge too, not only the boundary ones.
+    f_hot = b.cmp(CmpOp.GT, out, 65.0)
+    with b.if_(f_hot):
+        excess = b.vreg(DType.F32)
+        b.sub(excess, out, 65.0)
+        b.mul(excess, excess, 0.02)
+        radiated = b.vreg(DType.F32)
+        b.exp(radiated, excess)
+        b.log(radiated, radiated)  # ln(exp(x)) = x: models the solver's
+        b.sqrt(excess, excess)     # iterative radiative evaluation cost
+        b.mul(excess, excess, 0.4)
+        b.mad(excess, radiated, 2.0, excess)
+        b.sub(out, out, excess)
+    b.store(out, addr, s_tout)
+    return b.finish()
+
+
+def _host_step(t: np.ndarray, power: np.ndarray) -> np.ndarray:
+    f32 = np.float32
+    padded = np.pad(t, 1, mode="edge")
+    acc = (padded[:-2, 1:-1] + padded[2:, 1:-1]
+           + padded[1:-1, :-2] + padded[1:-1, 2:])
+    out = (t + f32(0.2) * (acc - 4 * t) + f32(0.05) * power).astype(np.float32)
+    hot = out > f32(65.0)
+    with np.errstate(all="ignore"):
+        x = ((out - f32(65.0)) * f32(0.02)).astype(np.float32)
+        radiated = np.log(np.exp(x)).astype(np.float32)
+        excess = (np.sqrt(np.maximum(x, 0)) * f32(0.4)
+                  + radiated * f32(2.0)).astype(np.float32)
+    return np.where(hot, (out - excess).astype(np.float32), out)
+
+
+def hotspot(dim: int = 48, iterations: int = 4, simd_width: int = 16,
+            seed: int = 31) -> Workload:
+    """*iterations* Jacobi steps over a dim x dim thermal grid."""
+    program = _build_program(simd_width)
+    rng = np.random.default_rng(seed)
+    t0 = rng.uniform(40.0, 90.0, (dim, dim)).astype(np.float32)
+    power = rng.uniform(0.0, 5.0, (dim, dim)).astype(np.float32)
+    t_in = t0.reshape(-1).copy()
+    t_out = np.zeros(dim * dim, dtype=np.float32)
+
+    expected = t0.copy()
+    for _ in range(iterations):
+        expected = _host_step(expected, power)
+
+    def steps(buffers: Dict[str, np.ndarray], index: int) -> Optional[LaunchStep]:
+        if index >= iterations:
+            return None
+        if index > 0:
+            buffers["t_in"][:] = buffers["t_out"]  # host-side ping-pong
+        return LaunchStep(global_size=dim * dim, scalars={"dim": dim})
+
+    def check(buffers):
+        np.testing.assert_allclose(
+            buffers["t_out"].reshape(dim, dim), expected, rtol=1e-4, atol=1e-3
+        )
+
+    return Workload(
+        name="hotspot",
+        program=program,
+        buffers={"t_in": t_in, "t_out": t_out, "power": power.reshape(-1)},
+        steps=steps,
+        check=check,
+        category="divergent",
+        description="thermal stencil with boundary-condition divergence (Rodinia)",
+        max_steps=iterations + 1,
+    )

@@ -1,0 +1,135 @@
+"""LavaMD: particle interactions with a cutoff branch (Rodinia).
+
+Every particle accumulates forces from a candidate neighbour list; the
+cutoff test inside the loop turns lanes off irregularly.  In the paper
+(Figure 12) lavaMD shows EU-cycle savings that do not translate into
+total-time savings — even a perfect L3 does not help — because its
+execution is dominated by workload imbalance and latency, which this
+kernel reproduces via skewed per-particle neighbour counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...isa.builder import KernelBuilder
+from ...isa.registers import FlagRef
+from ...isa.types import CmpOp, DType
+from ..workload import LaunchStep, Workload
+
+
+def _build_program(simd_width: int):
+    b = KernelBuilder("lavamd", simd_width)
+    gid = b.global_id()
+    s_px = b.surface_arg("px")
+    s_py = b.surface_arg("py")
+    s_pz = b.surface_arg("pz")
+    s_nb = b.surface_arg("neighbors")
+    s_cnt = b.surface_arg("counts")
+    s_f = b.surface_arg("force")
+    max_nb = b.scalar_arg("max_nb", DType.I32)
+    cutoff2 = b.scalar_arg("cutoff2", DType.F32)
+
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    x = b.vreg(DType.F32)
+    y = b.vreg(DType.F32)
+    z = b.vreg(DType.F32)
+    b.load(x, addr, s_px)
+    b.load(y, addr, s_py)
+    b.load(z, addr, s_pz)
+    count = b.vreg(DType.I32)
+    b.load(count, addr, s_cnt)
+
+    force = b.vreg(DType.F32)
+    b.mov(force, 0.0)
+    k = b.vreg(DType.I32)
+    b.mov(k, 0)
+    base = b.vreg(DType.I32)
+    b.mul(base, gid, max_nb)
+
+    has_any = b.cmp(CmpOp.GT, count, 0)
+    with b.if_(has_any):
+        idx = b.vreg(DType.I32)
+        nb = b.vreg(DType.I32)
+        nb_addr = b.vreg(DType.I32)
+        ox = b.vreg(DType.F32)
+        oy = b.vreg(DType.F32)
+        oz = b.vreg(DType.F32)
+        dx = b.vreg(DType.F32)
+        dy = b.vreg(DType.F32)
+        dz = b.vreg(DType.F32)
+        r2 = b.vreg(DType.F32)
+        contrib = b.vreg(DType.F32)
+        b.do_()
+        b.add(idx, base, k)
+        b.shl(idx, idx, 2)
+        b.load(nb, idx, s_nb)
+        b.shl(nb_addr, nb, 2)
+        b.load(ox, nb_addr, s_px)
+        b.load(oy, nb_addr, s_py)
+        b.load(oz, nb_addr, s_pz)
+        b.sub(dx, x, ox)
+        b.sub(dy, y, oy)
+        b.sub(dz, z, oz)
+        b.mul(r2, dx, dx)
+        b.mad(r2, dy, dy, r2)
+        b.mad(r2, dz, dz, r2)
+        near = b.cmp(CmpOp.LT, r2, cutoff2)
+        with b.if_(near):
+            # contrib = exp(-2 r2) / sqrt(r2 + 0.25): short-range kernel
+            b.mul(contrib, r2, -2.0)
+            b.exp(contrib, contrib)
+            denom = dx  # reuse
+            b.add(denom, r2, 0.25)
+            b.sqrt(denom, denom)
+            b.div(contrib, contrib, denom)
+            b.add(force, force, contrib)
+        b.add(k, k, 1)
+        more = b.cmp(CmpOp.LT, k, count, flag=FlagRef(1))
+        b.while_(more)
+    b.store(force, addr, s_f)
+    return b.finish()
+
+
+def lavamd(num_particles: int = 512, max_neighbors: int = 24,
+           simd_width: int = 16, seed: int = 32) -> Workload:
+    """Cutoff-bounded particle force accumulation over neighbour lists."""
+    program = _build_program(simd_width)
+    rng = np.random.default_rng(seed)
+    px = rng.uniform(0, 4, num_particles).astype(np.float32)
+    py = rng.uniform(0, 4, num_particles).astype(np.float32)
+    pz = rng.uniform(0, 4, num_particles).astype(np.float32)
+    # Skewed neighbour counts: a minority of particles do most work.
+    counts = np.minimum(
+        rng.geometric(0.12, num_particles), max_neighbors
+    ).astype(np.int32)
+    neighbors = rng.integers(0, num_particles,
+                             (num_particles, max_neighbors)).astype(np.int32)
+    force = np.zeros(num_particles, dtype=np.float32)
+    cutoff2 = 1.5
+
+    def check(buffers):
+        expected = np.zeros(num_particles, dtype=np.float64)
+        for i in range(num_particles):
+            for k in range(counts[i]):
+                j = neighbors[i, k]
+                dx, dy, dz = px[i] - px[j], py[i] - py[j], pz[i] - pz[j]
+                r2 = float(dx * dx + dy * dy + dz * dz)
+                if r2 < cutoff2:
+                    expected[i] += np.exp(-2.0 * r2) / np.sqrt(r2 + 0.25)
+        np.testing.assert_allclose(buffers["force"], expected, rtol=1e-3, atol=1e-4)
+
+    return Workload(
+        name="lavamd",
+        program=program,
+        buffers={
+            "px": px, "py": py, "pz": pz,
+            "neighbors": neighbors.reshape(-1), "counts": counts, "force": force,
+        },
+        steps=[LaunchStep(global_size=num_particles,
+                          scalars={"max_nb": max_neighbors, "cutoff2": cutoff2})],
+        check=check,
+        category="divergent",
+        description="particle force loop with cutoff divergence (Rodinia lavaMD)",
+    )

@@ -1,0 +1,137 @@
+"""Needleman-Wunsch: wavefront dynamic programming (Rodinia).
+
+The scoring matrix fills along anti-diagonals; one kernel launch scores
+one diagonal.  The three-way max is written with explicit branches (as
+in the Rodinia OpenCL kernel), so lanes diverge on which predecessor
+wins — and short diagonals leave most of the last warp masked off,
+giving the dispatch-mask divergence BCC also harvests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ...isa.builder import KernelBuilder
+from ...isa.types import CmpOp, DType
+from ..workload import LaunchStep, Workload
+
+
+def _build_program(simd_width: int):
+    b = KernelBuilder("nw", simd_width)
+    gid = b.global_id()
+    s_score = b.surface_arg("score")
+    s_ref = b.surface_arg("reference")
+    diag = b.scalar_arg("diag", DType.I32)
+    dim = b.scalar_arg("dim", DType.I32)
+    penalty = b.scalar_arg("penalty", DType.I32)
+
+    # Cell (i, j) on anti-diagonal d: i = 1 + gid_clamped, j = d - i.
+    i = b.vreg(DType.I32)
+    j = b.vreg(DType.I32)
+    b.add(i, gid, 1)
+    b.sub(j, diag, i)
+
+    # Guard lanes that fall off the matrix for this diagonal.  Each CMP
+    # result is latched into a GRF register before the next CMP reuses f0.
+    valid_i = b.vreg(DType.I32)
+    valid_j = b.vreg(DType.I32)
+    f = b.cmp(CmpOp.LT, i, dim)
+    b.sel(valid_i, f, 1, 0)
+    f = b.cmp(CmpOp.GE, j, 1)
+    b.sel(valid_j, f, 1, 0)
+    b.and_(valid_i, valid_i, valid_j)
+    f = b.cmp(CmpOp.LT, j, dim)
+    b.sel(valid_j, f, 1, 0)
+    b.and_(valid_i, valid_i, valid_j)
+    valid = b.cmp(CmpOp.NE, valid_i, 0)
+    with b.if_(valid):
+        idx = b.vreg(DType.I32)
+        addr = b.vreg(DType.I32)
+        nw_v = b.vreg(DType.I32)
+        up_v = b.vreg(DType.I32)
+        left_v = b.vreg(DType.I32)
+        ref_v = b.vreg(DType.I32)
+        b.mad(idx, i, dim, j)
+        # score[i-1, j-1] + ref[i, j]
+        b.sub(addr, idx, dim)
+        b.sub(addr, addr, 1)
+        b.shl(addr, addr, 2)
+        b.load(nw_v, addr, s_score)
+        b.shl(addr, idx, 2)
+        b.load(ref_v, addr, s_ref)
+        b.add(nw_v, nw_v, ref_v)
+        # score[i-1, j] - penalty
+        b.sub(addr, idx, dim)
+        b.shl(addr, addr, 2)
+        b.load(up_v, addr, s_score)
+        b.sub(up_v, up_v, penalty)
+        # score[i, j-1] - penalty
+        b.sub(addr, idx, 1)
+        b.shl(addr, addr, 2)
+        b.load(left_v, addr, s_score)
+        b.sub(left_v, left_v, penalty)
+        # Branchy three-way max (divergent, as in the Rodinia kernel).
+        best = b.vreg(DType.I32)
+        b.mov(best, nw_v)
+        f = b.cmp(CmpOp.GT, up_v, best)
+        with b.if_(f):
+            b.mov(best, up_v)
+        f = b.cmp(CmpOp.GT, left_v, best)
+        with b.if_(f):
+            b.mov(best, left_v)
+        b.shl(addr, idx, 2)
+        b.store(best, addr, s_score)
+    return b.finish()
+
+
+def _host_nw(reference: np.ndarray, dim: int, penalty: int) -> np.ndarray:
+    score = np.zeros((dim, dim), dtype=np.int32)
+    score[0, :] = -penalty * np.arange(dim)
+    score[:, 0] = -penalty * np.arange(dim)
+    for i in range(1, dim):
+        for j in range(1, dim):
+            score[i, j] = max(
+                score[i - 1, j - 1] + reference[i, j],
+                score[i - 1, j] - penalty,
+                score[i, j - 1] - penalty,
+            )
+    return score
+
+
+def nw(dim: int = 48, penalty: int = 10, simd_width: int = 16,
+       seed: int = 33) -> Workload:
+    """Score-matrix fill for sequences of length dim-1."""
+    program = _build_program(simd_width)
+    rng = np.random.default_rng(seed)
+    reference = rng.integers(-6, 7, (dim, dim)).astype(np.int32)
+    score = np.zeros((dim, dim), dtype=np.int32)
+    score[0, :] = -penalty * np.arange(dim)
+    score[:, 0] = -penalty * np.arange(dim)
+    expected = _host_nw(reference, dim, penalty)
+    num_diags = 2 * dim - 3  # anti-diagonals d = 2 .. 2*dim-2
+
+    def steps(buffers: Dict[str, np.ndarray], index: int) -> Optional[LaunchStep]:
+        if index >= num_diags:
+            return None
+        d = index + 2
+        # Launch every i in [1, d-1]; the kernel masks off-matrix lanes.
+        return LaunchStep(
+            global_size=d - 1,
+            scalars={"diag": d, "dim": dim, "penalty": penalty},
+        )
+
+    def check(buffers):
+        np.testing.assert_array_equal(buffers["score"].reshape(dim, dim), expected)
+
+    return Workload(
+        name="nw",
+        program=program,
+        buffers={"score": score.reshape(-1), "reference": reference.reshape(-1)},
+        steps=steps,
+        check=check,
+        category="divergent",
+        description="Needleman-Wunsch wavefront DP (Rodinia)",
+        max_steps=num_diags + 1,
+    )

@@ -1,0 +1,377 @@
+"""Signal/media workloads (paper Table 1: DCT8, FWHT, DWTH, SCnv, Bsort, AES).
+
+The transforms (DCT, Walsh-Hadamard, Haar) are coherent register
+kernels; simple convolution is coherent except at its clamped edges;
+bitonic sort's compare-and-swap network predicates half the lanes each
+pass in alternating stride patterns (a showcase for SCC); the AES round
+gathers S-box entries per lane — coherent control but memory divergent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..isa.builder import KernelBuilder
+from ..isa.registers import FlagRef
+from ..isa.types import CmpOp, DType
+from .workload import LaunchStep, Workload
+
+
+def dct8(blocks: int = 192, simd_width: int = 16, seed: int = 70) -> Workload:
+    """DCT8: 8-point DCT-II per work-item, fully unrolled (coherent)."""
+    b = KernelBuilder("dct8", simd_width)
+    gid = b.global_id()
+    s_in, s_out = b.surface_arg("inp"), b.surface_arg("out")
+    base = b.vreg(DType.I32)
+    b.shl(base, gid, 5)  # block byte offset: 8 floats = 32 bytes
+    addr = b.vreg(DType.I32)
+    xs = [b.vreg(DType.F32) for _ in range(8)]
+    for i, x in enumerate(xs):
+        b.add(addr, base, i * 4)
+        b.load(x, addr, s_in)
+    out = b.vreg(DType.F32)
+    for k in range(8):
+        scale = math.sqrt(1.0 / 8) if k == 0 else math.sqrt(2.0 / 8)
+        b.mov(out, 0.0)
+        for n_idx, x in enumerate(xs):
+            coeff = scale * math.cos(math.pi / 8 * (n_idx + 0.5) * k)
+            b.mad(out, x, coeff, out)
+        b.add(addr, base, k * 4)
+        b.store(out, addr, s_out)
+    program = b.finish()
+
+    rng = np.random.default_rng(seed)
+    inp = rng.uniform(-1, 1, (blocks, 8)).astype(np.float32)
+    out = np.zeros((blocks, 8), dtype=np.float32)
+
+    def check(buffers):
+        n_idx = np.arange(8)
+        basis = np.cos(np.pi / 8 * (n_idx[None, :] + 0.5) * n_idx[:, None])
+        basis *= np.where(n_idx[:, None] == 0, math.sqrt(1 / 8), math.sqrt(2 / 8))
+        expected = inp @ basis.T
+        np.testing.assert_allclose(
+            buffers["out"].reshape(blocks, 8), expected, rtol=1e-3, atol=1e-4)
+
+    return Workload(
+        name="dct8",
+        program=program,
+        buffers={"inp": inp.reshape(-1), "out": out.reshape(-1)},
+        steps=[LaunchStep(global_size=blocks)],
+        check=check,
+        category="coherent",
+        description="8-point DCT-II per work-item",
+    )
+
+
+def fwht(groups: int = 256, simd_width: int = 16, seed: int = 71) -> Workload:
+    """FWHT: 8-point fast Walsh-Hadamard transform per work-item."""
+    b = KernelBuilder("fwht", simd_width)
+    gid = b.global_id()
+    s_in, s_out = b.surface_arg("inp"), b.surface_arg("out")
+    base = b.vreg(DType.I32)
+    b.shl(base, gid, 5)
+    addr = b.vreg(DType.I32)
+    xs = [b.vreg(DType.F32) for _ in range(8)]
+    for i, x in enumerate(xs):
+        b.add(addr, base, i * 4)
+        b.load(x, addr, s_in)
+    tmp = b.vreg(DType.F32)
+    for stage in (1, 2, 4):
+        for i in range(8):
+            if i & stage:
+                continue
+            j = i | stage
+            b.add(tmp, xs[i], xs[j])
+            b.sub(xs[j], xs[i], xs[j])
+            b.mov(xs[i], tmp)
+    for i, x in enumerate(xs):
+        b.add(addr, base, i * 4)
+        b.store(x, addr, s_out)
+    program = b.finish()
+
+    rng = np.random.default_rng(seed)
+    inp = rng.uniform(-1, 1, (groups, 8)).astype(np.float32)
+    out = np.zeros((groups, 8), dtype=np.float32)
+
+    def check(buffers):
+        h = np.array([[1]])
+        for _ in range(3):
+            h = np.block([[h, h], [h, -h]])
+        expected = inp @ h.T
+        np.testing.assert_allclose(
+            buffers["out"].reshape(groups, 8), expected, rtol=1e-4, atol=1e-4)
+
+    return Workload(
+        name="fwht",
+        program=program,
+        buffers={"inp": inp.reshape(-1), "out": out.reshape(-1)},
+        steps=[LaunchStep(global_size=groups)],
+        check=check,
+        category="coherent",
+        description="8-point fast Walsh-Hadamard transform",
+    )
+
+
+def haar_dwt(n: int = 1024, levels: int = 3, simd_width: int = 16,
+             seed: int = 72) -> Workload:
+    """DWTH: Haar wavelet, one launch per level; shrinking launches leave
+    dispatch-mask tails."""
+    b = KernelBuilder("dwth", simd_width)
+    gid = b.global_id()
+    s_in, s_avg, s_diff = (b.surface_arg(x) for x in ("inp", "avg", "diff"))
+    a = b.vreg(DType.F32)
+    c = b.vreg(DType.F32)
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 3)  # element pair: 8 bytes
+    b.load(a, addr, s_in)
+    b.add(addr, addr, 4)
+    b.load(c, addr, s_in)
+    avg = b.vreg(DType.F32)
+    diff = b.vreg(DType.F32)
+    b.add(avg, a, c)
+    b.mul(avg, avg, 0.5)
+    b.sub(diff, a, c)
+    b.mul(diff, diff, 0.5)
+    out_addr = b.vreg(DType.I32)
+    b.shl(out_addr, gid, 2)
+    b.store(avg, out_addr, s_avg)
+    b.store(diff, out_addr, s_diff)
+    program = b.finish()
+
+    rng = np.random.default_rng(seed)
+    inp = rng.uniform(-1, 1, n).astype(np.float32)
+    work = inp.copy()
+    avg = np.zeros(n // 2, dtype=np.float32)
+    diff_all = np.zeros(n, dtype=np.float32)  # concatenated detail bands
+    diff = np.zeros(n // 2, dtype=np.float32)
+
+    expected_avg = inp.astype(np.float32).copy()
+    expected_diffs = []
+    for _ in range(levels):
+        pairs = expected_avg.reshape(-1, 2)
+        expected_diffs.append(((pairs[:, 0] - pairs[:, 1]) * 0.5))
+        expected_avg = ((pairs[:, 0] + pairs[:, 1]) * 0.5).astype(np.float32)
+
+    state = {"offset": 0}
+
+    def steps(buffers: Dict[str, np.ndarray], index: int) -> Optional[LaunchStep]:
+        if index >= levels:
+            return None
+        length = n >> index
+        if index > 0:
+            # Promote previous level's averages to the next level's input
+            # and archive its details.
+            buffers["inp"][:length] = buffers["avg"][:length]
+            prev = length
+            buffers["diff_all"][state["offset"]:state["offset"] + prev] = (
+                buffers["diff"][:prev])
+            state["offset"] += prev
+        return LaunchStep(global_size=length // 2)
+
+    def check(buffers):
+        length = n >> (levels - 1)
+        np.testing.assert_allclose(buffers["avg"][:length // 2],
+                                   expected_avg, rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(buffers["diff"][:length // 2],
+                                   expected_diffs[-1], rtol=1e-4, atol=1e-5)
+
+    return Workload(
+        name="dwth",
+        program=program,
+        buffers={"inp": work, "avg": avg, "diff": diff, "diff_all": diff_all},
+        steps=steps,
+        check=check,
+        category="coherent",
+        description="multi-level Haar wavelet transform",
+        max_steps=levels + 1,
+    )
+
+
+def convolution(n: int = 1024, simd_width: int = 16, seed: int = 73) -> Workload:
+    """SCnv: 5-tap 1-D convolution with clamped edges."""
+    taps = (0.0625, 0.25, 0.375, 0.25, 0.0625)
+    b = KernelBuilder("scnv", simd_width)
+    gid = b.global_id()
+    s_in, s_out = b.surface_arg("inp"), b.surface_arg("out")
+    length = b.scalar_arg("n", DType.I32)
+    last = b.vreg(DType.I32)
+    b.sub(last, length, 1)
+    acc = b.vreg(DType.F32)
+    b.mov(acc, 0.0)
+    pos = b.vreg(DType.I32)
+    addr = b.vreg(DType.I32)
+    val = b.vreg(DType.F32)
+    for offset, weight in zip((-2, -1, 0, 1, 2), taps):
+        b.add(pos, gid, offset)
+        b.max_(pos, pos, 0)
+        b.min_(pos, pos, last)
+        b.shl(addr, pos, 2)
+        b.load(val, addr, s_in)
+        b.mad(acc, val, weight, acc)
+    out_addr = b.vreg(DType.I32)
+    b.shl(out_addr, gid, 2)
+    b.store(acc, out_addr, s_out)
+    program = b.finish()
+
+    rng = np.random.default_rng(seed)
+    inp = rng.uniform(-1, 1, n).astype(np.float32)
+    out = np.zeros(n, dtype=np.float32)
+
+    def check(buffers):
+        idx = np.arange(n)
+        expected = np.zeros(n, dtype=np.float64)
+        for offset, weight in zip((-2, -1, 0, 1, 2), taps):
+            expected += weight * inp[np.clip(idx + offset, 0, n - 1)]
+        np.testing.assert_allclose(buffers["out"], expected, rtol=1e-4,
+                                   atol=1e-5)
+
+    return Workload(
+        name="scnv",
+        program=program,
+        buffers={"inp": inp, "out": out},
+        steps=[LaunchStep(global_size=n, scalars={"n": n})],
+        check=check,
+        category="coherent",
+        description="5-tap clamped 1-D convolution",
+    )
+
+
+def bitonic_sort(n: int = 256, simd_width: int = 16, seed: int = 74) -> Workload:
+    """Bsort: global bitonic network; each pass predicates half the lanes
+    in a stride pattern that sweeps from SCC-territory to BCC-territory."""
+    if n & (n - 1):
+        raise ValueError("bitonic sort requires a power-of-two length")
+    b = KernelBuilder("bsort", simd_width)
+    gid = b.global_id()
+    s_d = b.surface_arg("data")
+    dist = b.scalar_arg("dist", DType.I32)
+    size = b.scalar_arg("size", DType.I32)
+
+    partner = b.vreg(DType.I32)
+    b.xor(partner, gid, dist)
+    is_low = b.cmp(CmpOp.GT, partner, gid)
+    with b.if_(is_low):
+        a = b.vreg(DType.F32)
+        c = b.vreg(DType.F32)
+        addr_a = b.vreg(DType.I32)
+        addr_b = b.vreg(DType.I32)
+        b.shl(addr_a, gid, 2)
+        b.shl(addr_b, partner, 2)
+        b.load(a, addr_a, s_d)
+        b.load(c, addr_b, s_d)
+        # ascending iff (gid & size) == 0
+        dir_bit = b.vreg(DType.I32)
+        b.and_(dir_bit, gid, size)
+        f_asc = b.cmp(CmpOp.EQ, dir_bit, 0)
+        f_gt = b.cmp(CmpOp.GT, a, c, flag=FlagRef(1))
+        asc_i = b.vreg(DType.I32)
+        gt_i = b.vreg(DType.I32)
+        b.sel(asc_i, f_asc, 1, 0)
+        b.sel(gt_i, f_gt, 1, 0)
+        swap_i = b.vreg(DType.I32)
+        b.xor(swap_i, asc_i, gt_i)
+        b.not_(swap_i, swap_i)
+        b.and_(swap_i, swap_i, 1)  # swap iff (a > c) == ascending
+        f_swap = b.cmp(CmpOp.NE, swap_i, 0)
+        with b.if_(f_swap):
+            b.store(c, addr_a, s_d)
+            b.store(a, addr_b, s_d)
+    program = b.finish()
+
+    rng = np.random.default_rng(seed)
+    data0 = rng.uniform(-100, 100, n).astype(np.float32)
+    data = data0.copy()
+
+    passes = []
+    size = 2
+    while size <= n:
+        dist = size // 2
+        while dist >= 1:
+            passes.append((dist, size))
+            dist //= 2
+        size *= 2
+
+    def steps(buffers: Dict[str, np.ndarray], index: int) -> Optional[LaunchStep]:
+        if index >= len(passes):
+            return None
+        dist, size = passes[index]
+        return LaunchStep(global_size=n, scalars={"dist": dist, "size": size})
+
+    def check(buffers):
+        np.testing.assert_array_equal(buffers["data"], np.sort(data0))
+
+    return Workload(
+        name="bsort",
+        program=program,
+        buffers={"data": data},
+        steps=steps,
+        check=check,
+        category="divergent",
+        description="bitonic sort network with predicated compare-and-swap",
+        max_steps=len(passes) + 1,
+    )
+
+
+def aes_round(blocks: int = 512, simd_width: int = 16, seed: int = 75) -> Workload:
+    """AES: one SubBytes+AddRoundKey round over 32-bit words.
+
+    Control flow is perfectly coherent but every byte substitution is a
+    per-lane table gather — the *memory divergence* counterpoint to the
+    branch-divergent workloads (the paper distinguishes the two).
+    """
+    b = KernelBuilder("aes", simd_width)
+    gid = b.global_id()
+    s_state = b.surface_arg("state")
+    s_sbox = b.surface_arg("sbox")
+    s_key = b.surface_arg("key")
+
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    word = b.vreg(DType.I32)
+    b.load(word, addr, s_state)
+    result = b.vreg(DType.I32)
+    b.mov(result, 0)
+    byte = b.vreg(DType.I32)
+    sub = b.vreg(DType.I32)
+    taddr = b.vreg(DType.I32)
+    for shift in (0, 8, 16, 24):
+        b.shr(byte, word, shift)
+        b.and_(byte, byte, 0xFF)
+        b.shl(taddr, byte, 2)  # 4-byte table entries
+        b.load(sub, taddr, s_sbox)
+        b.shl(sub, sub, shift)
+        b.or_(result, result, sub)
+    key = b.vreg(DType.I32)
+    b.load(key, addr, s_key)
+    b.xor(result, result, key)
+    b.store(result, addr, s_state)
+    program = b.finish()
+
+    rng = np.random.default_rng(seed)
+    sbox = rng.permutation(256).astype(np.int32)
+    state0 = rng.integers(0, 2**31, blocks).astype(np.int32)
+    key = rng.integers(0, 2**31, blocks).astype(np.int32)
+    state = state0.copy()
+
+    def check(buffers):
+        w = state0.astype(np.int64) & 0xFFFFFFFF
+        result = np.zeros(blocks, dtype=np.int64)
+        for shift in (0, 8, 16, 24):
+            byte = (w >> shift) & 0xFF
+            result |= (sbox[byte].astype(np.int64) & 0xFF) << shift
+        result ^= key.astype(np.int64) & 0xFFFFFFFF
+        result = np.where(result >= 2**31, result - 2**32, result)
+        np.testing.assert_array_equal(buffers["state"], result.astype(np.int32))
+
+    return Workload(
+        name="aes",
+        program=program,
+        buffers={"state": state, "sbox": sbox, "key": key},
+        steps=[LaunchStep(global_size=blocks)],
+        check=check,
+        category="coherent",
+        description="AES SubBytes round with per-lane S-box gathers",
+    )

@@ -1,0 +1,118 @@
+"""Workload abstraction: a kernel plus its data, launches, and checker.
+
+A :class:`Workload` packages everything needed to run one benchmark from
+the paper's Table 1 on the simulator: the compiled program, input/output
+buffers, one or more launch steps (iterative algorithms like BFS launch
+once per level, with the host inspecting a flag buffer in between), and
+a correctness check against a host reference.  :func:`run_workload`
+executes the whole thing under a given GPU configuration and returns the
+merged measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from ..gpu.config import GpuConfig
+from ..gpu.results import KernelRunResult, merge_results
+from ..gpu.simulator import GpuSimulator
+from ..isa.program import Program
+
+
+@dataclass
+class LaunchStep:
+    """One kernel launch within a workload."""
+
+    global_size: int
+    local_size: Optional[int] = None
+    scalars: Dict[str, float] = field(default_factory=dict)
+
+
+#: Either a fixed launch list, or a host loop: called with (buffers,
+#: step_index), returning the next LaunchStep or None to stop.
+StepSource = Union[List[LaunchStep], Callable[[Dict[str, np.ndarray], int], Optional[LaunchStep]]]
+
+
+@dataclass
+class Workload:
+    """A runnable benchmark: program + data + launches + reference check."""
+
+    name: str
+    program: Program
+    buffers: Dict[str, np.ndarray]
+    steps: StepSource
+    check: Optional[Callable[[Dict[str, np.ndarray]], None]] = None
+    category: str = "divergent"  # paper's coherent/divergent classification
+    description: str = ""
+    max_steps: int = 10_000
+
+    def iter_steps(self) -> Iterator[LaunchStep]:
+        """Yield launch steps, consulting the host loop if dynamic."""
+        if callable(self.steps):
+            for index in range(self.max_steps):
+                step = self.steps(self.buffers, index)
+                if step is None:
+                    return
+                yield step
+            raise RuntimeError(
+                f"workload {self.name!r} exceeded max_steps={self.max_steps}"
+            )
+        else:
+            yield from self.steps
+
+    def verify(self) -> None:
+        """Run the reference check (raises AssertionError on mismatch)."""
+        if self.check is not None:
+            self.check(self.buffers)
+
+
+def run_workload(
+    workload: Workload,
+    config: Optional[GpuConfig] = None,
+    verify: bool = True,
+) -> KernelRunResult:
+    """Simulate every launch step of *workload* under *config*.
+
+    Returns the merged :class:`KernelRunResult`; when *verify* is True
+    the workload's host reference check runs afterwards, so a passing
+    run certifies functional correctness as well as timing.
+    """
+    sim = GpuSimulator(config if config is not None else GpuConfig())
+    results = []
+    for step in workload.iter_steps():
+        results.append(
+            sim.run(
+                workload.program,
+                step.global_size,
+                step.local_size,
+                buffers=workload.buffers,
+                scalars=step.scalars,
+            )
+        )
+    if not results:
+        raise RuntimeError(f"workload {workload.name!r} produced no launches")
+    if verify:
+        workload.verify()
+    return merge_results(results)
+
+
+def run_workload_all_policies(workload_factory, config: Optional[GpuConfig] = None,
+                              policies=None) -> Dict[str, KernelRunResult]:
+    """Run fresh instances of a workload under several compaction policies.
+
+    *workload_factory* is called once per policy so each timed run starts
+    from pristine input data (outputs are written in place).
+    """
+    from ..core.policy import CompactionPolicy
+
+    base = config if config is not None else GpuConfig()
+    if policies is None:
+        policies = (CompactionPolicy.IVB, CompactionPolicy.BCC, CompactionPolicy.SCC)
+    out: Dict[str, KernelRunResult] = {}
+    for policy in policies:
+        workload = workload_factory()
+        out[policy.value] = run_workload(workload, base.with_policy(policy))
+    return out

@@ -1,0 +1,23 @@
+"""Memory subsystem substrate: caches, ports, SLM, and the hierarchy.
+
+Models the Ivy Bridge-like memory system of paper Section 2.3 / Table 3:
+a shared L3 data cache behind a bandwidth-limited data cluster, the
+CPU-shared LLC, DRAM, and per-workgroup banked shared local memory.
+"""
+
+from .cache import LINE_BYTES, Cache, CacheStats, lines_for_access
+from .hierarchy import MemoryHierarchy, MemoryParams
+from .ports import BandwidthPort
+from .slm import SlmAllocation, SlmTiming
+
+__all__ = [
+    "LINE_BYTES",
+    "BandwidthPort",
+    "Cache",
+    "CacheStats",
+    "MemoryHierarchy",
+    "MemoryParams",
+    "SlmAllocation",
+    "SlmTiming",
+    "lines_for_access",
+]

@@ -1,0 +1,122 @@
+"""Set-associative cache model with LRU replacement.
+
+Used for both the GPU L3 data cache and the CPU-shared last-level cache
+(paper Table 3).  The model tracks presence only — data always lives in
+the functional memory image — so a lookup answers "hit or miss" and
+updates replacement state; latencies are charged by the hierarchy.
+
+Lines are identified by hashable ids, ``(surface_index, line_number)``
+in this simulator, so distinct buffers never alias.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Tuple
+
+#: Cache line size used throughout the model (bytes).
+LINE_BYTES = 64
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction; 1.0 for an untouched cache (nothing missed)."""
+        if self.accesses == 0:
+            return 1.0
+        return self.hits / self.accesses
+
+
+class Cache:
+    """A set-associative, LRU, presence-only cache.
+
+    Args:
+        name: label used in reports.
+        size_bytes: total capacity.
+        assoc: ways per set.
+        line_bytes: line size (64 in the studied architecture).
+        perfect: when True every access hits (the "perfect L3" model of
+            paper Figure 12).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        line_bytes: int = LINE_BYTES,
+        perfect: bool = False,
+    ) -> None:
+        if size_bytes <= 0 or assoc <= 0 or line_bytes <= 0:
+            raise ValueError("cache geometry parameters must be positive")
+        num_lines = size_bytes // line_bytes
+        if num_lines % assoc != 0:
+            raise ValueError(
+                f"{name}: {num_lines} lines not divisible by associativity {assoc}"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.num_sets = num_lines // assoc
+        self.perfect = perfect
+        self.stats = CacheStats()
+        # Per set: OrderedDict of line_id -> None, most recent last.
+        self._sets: Dict[int, OrderedDict] = {}
+
+    def _set_index(self, line_id: Hashable) -> int:
+        return hash(line_id) % self.num_sets
+
+    def access(self, line_id: Hashable) -> bool:
+        """Look up *line_id*, filling on miss.  Returns True on hit."""
+        if self.perfect:
+            self.stats.hits += 1
+            return True
+        way = self._sets.setdefault(self._set_index(line_id), OrderedDict())
+        if line_id in way:
+            way.move_to_end(line_id)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        way[line_id] = None
+        if len(way) > self.assoc:
+            way.popitem(last=False)  # evict LRU
+        return False
+
+    def contains(self, line_id: Hashable) -> bool:
+        """Presence check without side effects (tests/debug)."""
+        if self.perfect:
+            return True
+        way = self._sets.get(self._set_index(line_id))
+        return way is not None and line_id in way
+
+    def invalidate_all(self) -> None:
+        """Drop all cached lines (between-kernel cleanup in experiments)."""
+        self._sets.clear()
+
+
+def lines_for_access(offsets, size: int, line_bytes: int = LINE_BYTES) -> Tuple[int, ...]:
+    """Distinct cache-line numbers touched by per-lane byte *offsets*.
+
+    This is the paper's *memory divergence* quantity: the number of
+    distinct line requests a single SIMD memory instruction generates.
+    Each access of *size* bytes may straddle two lines.
+    """
+    lines = set()
+    for off in offsets:
+        off = int(off)
+        lines.add(off // line_bytes)
+        last_byte = off + size - 1
+        lines.add(last_byte // line_bytes)
+    return tuple(sorted(lines))

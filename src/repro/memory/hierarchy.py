@@ -1,0 +1,97 @@
+"""The GPU memory hierarchy: data cluster -> L3 -> LLC -> DRAM.
+
+Paper Section 2.3 and Table 3: all EUs share an L3 data cache reached
+through a bandwidth-limited *data cluster* interface; L3 misses look up
+the CPU-shared last-level cache and finally DRAM.  The hierarchy here
+charges latency and shared-port occupancy per distinct 64-byte line a
+SIMD memory message touches — the quantity the paper calls *memory
+divergence*.
+
+Timing for one message: every distinct line acquires a data-cluster slot
+(DC1 = 1 line/cycle, DC2 = 2 lines/cycle across all EUs), then pays the
+L3 latency on a hit, plus the LLC latency on an L3 miss, plus a DRAM
+port slot and the DRAM latency on an LLC miss.  The message completes
+when its last line arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from .cache import LINE_BYTES, Cache
+from .ports import BandwidthPort
+
+
+@dataclass
+class MemoryParams:
+    """Memory-system configuration (defaults are paper Table 3 / DC1)."""
+
+    l3_size: int = 128 * 1024
+    l3_assoc: int = 64
+    l3_latency: int = 7
+    llc_size: int = 2 * 1024 * 1024
+    llc_assoc: int = 16
+    llc_latency: int = 10
+    dram_latency: int = 200
+    dram_lines_per_cycle: float = 0.25
+    dc_lines_per_cycle: float = 1.0  # DC1; Figure 11's DC2 uses 2.0
+    perfect_l3: bool = False
+
+    def validate(self) -> None:
+        if self.l3_latency < 1 or self.llc_latency < 1 or self.dram_latency < 1:
+            raise ValueError("latencies must be >= 1 cycle")
+        if self.dc_lines_per_cycle <= 0 or self.dram_lines_per_cycle <= 0:
+            raise ValueError("port bandwidths must be positive")
+
+
+class MemoryHierarchy:
+    """Shared memory system timing model for the whole GPU."""
+
+    def __init__(self, params: MemoryParams) -> None:
+        params.validate()
+        self.params = params
+        self.l3 = Cache(
+            "L3", params.l3_size, params.l3_assoc, LINE_BYTES, perfect=params.perfect_l3
+        )
+        self.llc = Cache("LLC", params.llc_size, params.llc_assoc, LINE_BYTES)
+        self.data_cluster = BandwidthPort("data-cluster", params.dc_lines_per_cycle)
+        self.dram = BandwidthPort("dram", params.dram_lines_per_cycle)
+        self.messages = 0
+        self.lines_requested = 0
+
+    def access(self, now: int, line_ids: Iterable[Tuple[int, int]]) -> int:
+        """Process one SIMD memory message touching *line_ids*.
+
+        Args:
+            now: issue cycle of the message.
+            line_ids: distinct ``(surface, line_number)`` pairs.
+
+        Returns:
+            Completion cycle (all lines delivered).
+        """
+        line_ids = tuple(line_ids)
+        self.messages += 1
+        self.lines_requested += len(line_ids)
+        completion = float(now)
+        for line_id in line_ids:
+            start = self.data_cluster.grant(now)
+            done = start + self.params.l3_latency
+            if not self.l3.access(line_id):
+                done += self.params.llc_latency
+                if not self.llc.access(line_id):
+                    dram_start = self.dram.grant(done)
+                    done = dram_start + self.params.dram_latency
+            completion = max(completion, done)
+        return int(round(completion))
+
+    def memory_divergence(self) -> float:
+        """Average distinct line requests per memory message (paper metric)."""
+        if self.messages == 0:
+            return 0.0
+        return self.lines_requested / self.messages
+
+    def reset_ports(self) -> None:
+        """Reset port reservations between kernel launches (caches persist)."""
+        self.data_cluster.reset()
+        self.dram.reset()

@@ -1,0 +1,58 @@
+"""Shared local memory (SLM) model.
+
+Paper Section 2.3: a group of EUs accesses "a highly banked and fast
+shared local memory" through the data cluster; Table 3 gives 64 KB at 5
+cycles.  Each workgroup owns an SLM allocation; scattered lane accesses
+are spread over word-interleaved banks and serialize only on bank
+conflicts, which is the behaviour divergent SLM access patterns exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+class SlmTiming:
+    """Bank-conflict timing for one SLM instance."""
+
+    def __init__(self, latency: int = 5, num_banks: int = 16, bank_word_bytes: int = 4):
+        if latency < 1 or num_banks < 1 or bank_word_bytes < 1:
+            raise ValueError("SLM parameters must be positive")
+        self.latency = latency
+        self.num_banks = num_banks
+        self.bank_word_bytes = bank_word_bytes
+        self.accesses = 0
+        self.conflict_cycles = 0
+
+    def access_cycles(self, offsets, exec_mask: int) -> int:
+        """Cycles to satisfy one SLM message with per-lane byte *offsets*.
+
+        Lanes hitting distinct words of the same bank serialize; lanes
+        hitting the *same* word broadcast for free.  Cost is the base
+        latency plus (worst bank serialization - 1).
+        """
+        per_bank: Dict[int, set] = {}
+        for lane, off in enumerate(offsets):
+            if not (exec_mask >> lane) & 1:
+                continue
+            word = int(off) // self.bank_word_bytes
+            bank = word % self.num_banks
+            per_bank.setdefault(bank, set()).add(word)
+        worst = max((len(words) for words in per_bank.values()), default=1)
+        self.accesses += 1
+        self.conflict_cycles += worst - 1
+        return self.latency + (worst - 1)
+
+
+class SlmAllocation:
+    """One workgroup's SLM storage (functional image)."""
+
+    def __init__(self, size_bytes: int) -> None:
+        if size_bytes < 0:
+            raise ValueError(f"SLM size must be non-negative, got {size_bytes}")
+        # Round up to 4 bytes so typed views always fit.
+        padded = (size_bytes + 3) & ~3
+        self.size_bytes = size_bytes
+        self.data = np.zeros(max(padded, 4), dtype=np.uint8)

@@ -1,0 +1,35 @@
+"""Trace-driven methodology: formats, profiling, synthetic generation."""
+
+from .format import TraceEvent, load_trace, read_trace, write_trace
+from .profiler import TraceProfile, profile_many, profile_trace
+from .synth import PatternFamily, SyntheticProfile, generate_trace, generate_trace_list
+from .transform import narrow_trace, subsample_trace, widen_trace
+from .workloads import (
+    EXPECTED_SCC_REDUCTION_BANDS,
+    TRACE_PROFILES,
+    all_trace_events,
+    trace_events,
+    trace_names,
+)
+
+__all__ = [
+    "EXPECTED_SCC_REDUCTION_BANDS",
+    "TRACE_PROFILES",
+    "PatternFamily",
+    "SyntheticProfile",
+    "TraceEvent",
+    "TraceProfile",
+    "all_trace_events",
+    "generate_trace",
+    "generate_trace_list",
+    "load_trace",
+    "narrow_trace",
+    "subsample_trace",
+    "widen_trace",
+    "profile_many",
+    "profile_trace",
+    "read_trace",
+    "trace_events",
+    "trace_names",
+    "write_trace",
+]

@@ -1,0 +1,78 @@
+"""Execution-mask trace format.
+
+The paper's trace-based methodology instruments a functional model to
+record, for every executed SIMD instruction, its width and final
+execution mask (Section 5.1); BCC/SCC benefit is then computed offline.
+A trace here is a sequence of :class:`TraceEvent` records, storable as a
+simple text format (one ``width mask_hex dtype_factor`` triple per line,
+``#`` comments allowed) so traces can be exchanged with other tools.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from ..core.quads import clamp_mask, validate_width
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed SIMD instruction: width, execution mask, dtype factor."""
+
+    width: int
+    mask: int
+    dtype_factor: int = 1
+
+    def __post_init__(self) -> None:
+        validate_width(self.width)
+        if self.mask != clamp_mask(self.mask, self.width):
+            raise ValueError(
+                f"mask 0x{self.mask:X} does not fit SIMD{self.width}"
+            )
+        if self.dtype_factor < 1:
+            raise ValueError(f"dtype_factor must be >= 1, got {self.dtype_factor}")
+
+
+def write_trace(events: Iterable[TraceEvent], destination: Union[str, Path, io.TextIOBase]) -> int:
+    """Write *events* in the text format; returns the event count."""
+    own = isinstance(destination, (str, Path))
+    stream = open(destination, "w") if own else destination
+    try:
+        stream.write("# repro execution-mask trace: width mask_hex dtype_factor\n")
+        count = 0
+        for event in events:
+            stream.write(f"{event.width} {event.mask:x} {event.dtype_factor}\n")
+            count += 1
+        return count
+    finally:
+        if own:
+            stream.close()
+
+
+def read_trace(source: Union[str, Path, io.TextIOBase]) -> Iterator[TraceEvent]:
+    """Parse a text trace lazily; raises ``ValueError`` on malformed lines."""
+    own = isinstance(source, (str, Path))
+    stream = open(source) if own else source
+    try:
+        for lineno, line in enumerate(stream, 1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise ValueError(f"line {lineno}: expected 2-3 fields, got {line!r}")
+            width = int(parts[0])
+            mask = int(parts[1], 16)
+            factor = int(parts[2]) if len(parts) == 3 else 1
+            yield TraceEvent(width, mask, factor)
+    finally:
+        if own:
+            stream.close()
+
+
+def load_trace(source: Union[str, Path, io.TextIOBase]) -> List[TraceEvent]:
+    """Eagerly read a whole trace into a list."""
+    return list(read_trace(source))

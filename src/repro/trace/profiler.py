@@ -1,0 +1,77 @@
+"""Offline BCC/SCC profiling of execution-mask traces.
+
+This is the paper's trace-based evaluation path (Section 5.1): the
+instrumented functional model emits ``(width, mask)`` per instruction;
+the profiler replays the stream through the compaction cycle model and
+reports SIMD efficiency, utilization breakdown, and EU-cycle reductions
+— without any pipeline simulation, which is why the paper could cover
+~600 traces this way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from ..core.policy import CompactionPolicy
+from ..core.stats import CompactionStats, is_divergent
+from .format import TraceEvent
+
+
+@dataclass
+class TraceProfile:
+    """Profiling result for one trace."""
+
+    name: str
+    stats: CompactionStats
+
+    @property
+    def simd_efficiency(self) -> float:
+        return self.stats.simd_efficiency
+
+    @property
+    def divergent(self) -> bool:
+        """Paper classification: SIMD efficiency below 95 %."""
+        return is_divergent(self.simd_efficiency)
+
+    @property
+    def bcc_reduction_pct(self) -> float:
+        """EU-cycle reduction of BCC beyond the IVB baseline."""
+        return self.stats.reduction_pct(CompactionPolicy.BCC)
+
+    @property
+    def scc_reduction_pct(self) -> float:
+        """EU-cycle reduction of SCC beyond the IVB baseline."""
+        return self.stats.reduction_pct(CompactionPolicy.SCC)
+
+    @property
+    def scc_additional_pct(self) -> float:
+        """SCC's gain over and above BCC (the stacked part of Fig. 10)."""
+        return self.scc_reduction_pct - self.bcc_reduction_pct
+
+    def summary(self) -> Dict[str, float]:
+        out = self.stats.summary()
+        out["divergent"] = float(self.divergent)
+        return out
+
+
+def profile_trace(name: str, events: Iterable[TraceEvent],
+                  min_cycles: int = 1) -> TraceProfile:
+    """Replay *events* through the compaction model.
+
+    ``min_cycles=1`` matches the execution-driven simulator's convention
+    that a fully masked-off instruction still spends an issue slot.
+    """
+    stats = CompactionStats(min_cycles=min_cycles)
+    for event in events:
+        stats.record(event.mask, event.width, event.dtype_factor)
+    return TraceProfile(name=name, stats=stats)
+
+
+def profile_many(traces: Dict[str, Iterable[TraceEvent]],
+                 min_cycles: int = 1) -> Dict[str, TraceProfile]:
+    """Profile a dict of named traces (insertion order preserved)."""
+    return {
+        name: profile_trace(name, events, min_cycles)
+        for name, events in traces.items()
+    }

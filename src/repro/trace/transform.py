@@ -1,0 +1,93 @@
+"""Trace transformations: re-targeting mask streams at other machines.
+
+The paper's conclusion argues that NVIDIA's 32-wide and AMD's 64-wide
+warps would see *larger* intra-warp compaction benefits because SIMD
+efficiency falls with width.  :func:`widen_trace` makes that argument
+executable on any captured trace: it models the wider machine by fusing
+consecutive warps of the same program into one double-width warp (lane
+``i`` of warp ``2k+1`` becomes lane ``width + i`` of fused warp ``k``),
+which is exactly how the same NDRange would be packed at double the
+warp width.  :func:`narrow_trace` is the inverse split, and
+:func:`subsample_trace` thins a stream deterministically for quick
+looks at long captures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from ..core.quads import validate_width
+from .format import TraceEvent
+
+
+def widen_trace(events: Iterable[TraceEvent], factor: int = 2) -> Iterator[TraceEvent]:
+    """Fuse groups of *factor* same-shape events into wider ones.
+
+    Events are fused per (width, dtype_factor) shape in arrival order; a
+    leftover group smaller than *factor* is emitted padded with inactive
+    lanes (the tail warp of the wider machine).  The fused width must be
+    a supported SIMD width.
+    """
+    if factor < 1 or factor & (factor - 1):
+        raise ValueError(f"factor must be a positive power of two, got {factor}")
+    if factor == 1:
+        yield from events
+        return
+    pending: dict = {}
+    for event in events:
+        key = (event.width, event.dtype_factor)
+        validate_width(event.width * factor)
+        bucket = pending.setdefault(key, [])
+        bucket.append(event.mask)
+        if len(bucket) == factor:
+            yield _fuse(bucket, event.width, event.dtype_factor, factor)
+            pending[key] = []
+    for (width, dtype_factor), bucket in pending.items():
+        if bucket:
+            yield _fuse(bucket, width, dtype_factor, factor)
+
+
+def _fuse(masks: List[int], width: int, dtype_factor: int,
+          factor: int) -> TraceEvent:
+    fused = 0
+    for index, mask in enumerate(masks):
+        fused |= mask << (index * width)
+    # A partial tail group still widens to the full fused width, with
+    # the missing warps' lanes inactive: the wider machine runs a
+    # half-empty tail warp for the same threads.
+    return TraceEvent(width * factor, fused, dtype_factor)
+
+
+def narrow_trace(events: Iterable[TraceEvent], factor: int = 2) -> Iterator[TraceEvent]:
+    """Split each event into *factor* consecutive narrower events.
+
+    The inverse of :func:`widen_trace` for full groups.  Empty slices
+    are still emitted: on the narrow machine those warps exist (they
+    just execute nothing useful), matching how a narrower GPU would
+    schedule the same threads.
+    """
+    if factor < 1 or factor & (factor - 1):
+        raise ValueError(f"factor must be a positive power of two, got {factor}")
+    for event in events:
+        if factor == 1:
+            yield event
+            continue
+        if event.width % factor != 0:
+            raise ValueError(
+                f"cannot split SIMD{event.width} into {factor} parts")
+        narrow = event.width // factor
+        validate_width(narrow)
+        lane_mask = (1 << narrow) - 1
+        for part in range(factor):
+            yield TraceEvent(narrow,
+                             (event.mask >> (part * narrow)) & lane_mask,
+                             event.dtype_factor)
+
+
+def subsample_trace(events: Iterable[TraceEvent], keep_every: int) -> Iterator[TraceEvent]:
+    """Deterministically keep every *keep_every*-th event."""
+    if keep_every < 1:
+        raise ValueError(f"keep_every must be >= 1, got {keep_every}")
+    for index, event in enumerate(events):
+        if index % keep_every == 0:
+            yield event

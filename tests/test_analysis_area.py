@@ -1,0 +1,133 @@
+"""Tests for the analysis helpers and the register-file area model."""
+
+import pytest
+
+from repro.analysis import (
+    FIG9_BUCKET_ORDER,
+    classify,
+    format_series,
+    format_table,
+    pct,
+    reduction_pct,
+    trace_efficiencies,
+    utilization_breakdown,
+)
+from repro.analysis.efficiency import EfficiencyEntry
+from repro.area import (
+    RegFileConfig,
+    area,
+    baseline_grf,
+    bcc_grf,
+    interwarp_grf,
+    overhead_pct,
+    scc_grf,
+)
+from repro.core.stats import CompactionStats
+
+
+def _entry(name, masks, width=16):
+    stats = CompactionStats()
+    for mask in masks:
+        stats.record(mask, width)
+    return EfficiencyEntry(name=name, source="test",
+                           simd_efficiency=stats.simd_efficiency, stats=stats)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["bb", 2.0]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "1.500" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+
+class TestFormatSeries:
+    def test_bars_scale(self):
+        out = format_series("s", ["a", "b"], [1.0, 2.0], unit="%")
+        assert "series s (%)" in out
+        assert out.count("#") > 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", ["a"], [1.0, 2.0])
+
+
+class TestPctHelpers:
+    def test_pct(self):
+        assert pct(1, 2) == 50.0
+        assert pct(1, 0) == 0.0
+
+    def test_reduction(self):
+        assert reduction_pct(4, 3) == 25.0
+        assert reduction_pct(0, 3) is None
+
+
+class TestClassify:
+    def test_split(self):
+        coherent = _entry("c", [0xFFFF] * 10)
+        divergent = _entry("d", [0x000F] * 10)
+        div, coh = classify([coherent, divergent])
+        assert [e.name for e in div] == ["d"]
+        assert [e.name for e in coh] == ["c"]
+
+
+class TestUtilizationBreakdown:
+    def test_fractions_sum_to_one(self):
+        entry = _entry("x", [0xFFFF, 0x00FF, 0x000F, 0x0001])
+        table = utilization_breakdown([entry])
+        row = table["x"]
+        assert set(FIG9_BUCKET_ORDER) <= set(row)
+        assert sum(row.values()) == pytest.approx(1.0)
+
+    def test_bucket_placement(self):
+        entry = _entry("x", [0x0001])
+        assert utilization_breakdown([entry])["x"]["1-4/16"] == 1.0
+
+
+class TestTraceEfficiencies:
+    def test_subset(self):
+        entries = trace_efficiencies(["luxmark_sky", "glbench_pro"])
+        assert [e.name for e in entries] == ["luxmark_sky", "glbench_pro"]
+        assert all(e.source == "trace" for e in entries)
+        assert all(e.divergent for e in entries)
+
+
+class TestAreaModel:
+    def test_bcc_overhead_matches_paper(self):
+        # Paper Section 4.3: BCC register file is ~10 % over baseline.
+        assert overhead_pct(bcc_grf()) == pytest.approx(10.0, abs=1.0)
+
+    def test_interwarp_overhead_above_40pct(self):
+        # Paper: 8-banked per-lane file is "higher than 40 %".
+        assert overhead_pct(interwarp_grf()) > 40.0
+
+    def test_scc_file_is_smaller(self):
+        # Paper: the SCC file is wider but shorter than the baseline.
+        assert overhead_pct(scc_grf()) < 0.0
+
+    def test_total_bits_preserved(self):
+        bits = baseline_grf().total_bits
+        for cfg in (bcc_grf(), scc_grf(), interwarp_grf()):
+            assert cfg.total_bits == bits
+
+    def test_area_monotone_in_banks(self):
+        one = RegFileConfig("a", 64, 128, banks=1)
+        two = RegFileConfig("b", 64, 128, banks=2)
+        assert area(two) > area(one)
+
+    def test_ports_cost_area(self):
+        one = RegFileConfig("a", 256, 128, 1, ports=1)
+        two = RegFileConfig("b", 256, 128, 1, ports=2)
+        assert area(two) > area(one)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            RegFileConfig("bad", 0, 128, 1)
+
+    def test_overhead_pct_custom_base(self):
+        assert overhead_pct(baseline_grf(), baseline_grf()) == 0.0

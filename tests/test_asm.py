@@ -1,0 +1,161 @@
+"""Tests for the textual assembler (serialize + parse + round trip)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GpuConfig, GpuSimulator
+from repro.isa.asm import AsmError, assemble, program_to_text
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Imm, RegRef
+from repro.kernels import WORKLOAD_REGISTRY
+
+EXAMPLE = """\
+kernel axpy simd16 slm=0
+gid @r0
+param x: surface
+param y: surface
+param a: scalar_f32 @r4
+
+    shl.i32 r2, r0, 2:i32
+    load.f32 r6, r2, @surf0
+    load.f32 r8, r2, @surf1
+    mad.f32 r8, r6, r4, r8
+    store.f32 r2, r8, @surf1
+    eot
+"""
+
+
+def _semantically_equal(a, b) -> bool:
+    """Instruction equality up to register-span-equivalent dtypes."""
+    if (a.opcode, a.width, a.dtype, a.pred, a.flag_dst, a.cmp_op,
+            a.surface, a.src_dtype, a.target) != (
+            b.opcode, b.width, b.dtype, b.pred, b.flag_dst, b.cmp_op,
+            b.surface, b.src_dtype, b.target):
+        return False
+    if (a.dst is None) != (b.dst is None):
+        return False
+    if a.dst is not None and a.dst.reg != b.dst.reg:
+        return False
+    if len(a.sources) != len(b.sources):
+        return False
+    for sa, sb in zip(a.sources, b.sources):
+        if isinstance(sa, RegRef) != isinstance(sb, RegRef):
+            return False
+        if isinstance(sa, RegRef):
+            if sa.reg != sb.reg or sa.dtype.size != sb.dtype.size:
+                return False
+        else:
+            if float(sa.value) != float(sb.value):
+                return False
+    return True
+
+
+class TestAssemble:
+    def test_example_parses(self):
+        program = assemble(EXAMPLE)
+        assert program.name == "axpy"
+        assert program.simd_width == 16
+        assert program.gid_reg == 0
+        assert [p.name for p in program.params] == ["x", "y", "a"]
+        assert program.instructions[-1].opcode is Opcode.EOT
+
+    def test_assembled_program_runs(self):
+        program = assemble(EXAMPLE)
+        n = 128
+        x = np.arange(n, dtype=np.float32)
+        y = np.ones(n, dtype=np.float32)
+        GpuSimulator(GpuConfig()).run(program, n, buffers={"x": x, "y": y},
+                                      scalars={"a": 2.0})
+        np.testing.assert_allclose(y, 2.0 * x + 1.0)
+
+    def test_comments_and_blank_lines(self):
+        text = EXAMPLE.replace("    eot", "    ; trailing comment\n    eot")
+        assert assemble(text).finalized
+
+    def test_predicated_instruction(self):
+        text = """\
+kernel p simd16
+    cmp.lt.f32 f0, r2, 1.0:f32
+    (f0) mov.f32 r4, 2.0:f32
+    (~f0) mov.f32 r4, 3.0:f32
+    eot
+"""
+        program = assemble(text)
+        assert program.instructions[1].pred.index == 0
+        assert program.instructions[2].pred.negate
+
+    def test_control_flow_targets_resolved(self):
+        text = """\
+kernel c simd16
+    cmp.lt.f32 f0, r2, 1.0:f32
+    if f0
+    else
+    endif
+    eot
+"""
+        program = assemble(text)
+        assert program.instructions[1].target == 3  # past ELSE
+        assert program.instructions[2].target == 3  # ENDIF
+
+    def test_cvt_dtypes(self):
+        text = "kernel c simd16\n    cvt.f32.i32 r2, r4\n    eot\n"
+        inst = assemble(text).instructions[0]
+        assert inst.src_dtype.label == "i32"
+        assert inst.dtype.label == "f32"
+
+
+class TestAssembleErrors:
+    def test_missing_header(self):
+        with pytest.raises(AsmError, match="kernel header"):
+            assemble("    eot\n")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AsmError, match="unknown opcode"):
+            assemble("kernel k simd16\n    frobnicate.f32 r0, r1\n    eot\n")
+
+    def test_bad_operand(self):
+        with pytest.raises(AsmError, match="cannot parse operand"):
+            assemble("kernel k simd16\n    mov.f32 r0, banana\n    eot\n")
+
+    def test_scalar_param_without_reg(self):
+        with pytest.raises(AsmError, match="register"):
+            assemble("kernel k simd16\nparam a: scalar_f32\n    eot\n")
+
+    def test_validation_error_carries_line(self):
+        with pytest.raises(AsmError, match="line 2"):
+            assemble("kernel k simd16\n    add.f32 r0, r2\n    eot\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", [
+        "va", "gnoise", "bsearch", "bsort", "nested_l3", "mca", "scla",
+        "rt_ao_al8",
+    ])
+    def test_workload_programs_round_trip(self, name):
+        original = WORKLOAD_REGISTRY[name]().program
+        text = program_to_text(original)
+        rebuilt = assemble(text)
+        assert rebuilt.simd_width == original.simd_width
+        assert rebuilt.slm_bytes == original.slm_bytes
+        assert rebuilt.gid_reg == original.gid_reg
+        assert rebuilt.lid_reg == original.lid_reg
+        assert len(rebuilt.instructions) == len(original.instructions)
+        for a, b in zip(original.instructions, rebuilt.instructions):
+            assert _semantically_equal(a, b), f"{a} != {b}"
+
+    def test_round_tripped_kernel_produces_same_results(self):
+        workload = WORKLOAD_REGISTRY["gnoise"]()
+        rebuilt = assemble(program_to_text(workload.program))
+        out_a = np.zeros(256, dtype=np.float32)
+        out_b = np.zeros(256, dtype=np.float32)
+        sim = GpuSimulator(GpuConfig())
+        ra = sim.run(workload.program, 256, buffers={"out": out_a})
+        rb = sim.run(rebuilt, 256, buffers={"out": out_b})
+        np.testing.assert_array_equal(out_a, out_b)
+        assert ra.total_cycles == rb.total_cycles
+
+    def test_serialize_unfinalized_rejected(self):
+        from repro.isa.program import Program
+
+        with pytest.raises(ValueError, match="finalized"):
+            program_to_text(Program("p", 16))

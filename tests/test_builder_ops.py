@@ -1,0 +1,221 @@
+"""Exhaustive checks of every KernelBuilder convenience wrapper.
+
+Each wrapper must emit the right opcode, operand order, dtype, and
+predication — and its functional semantics must match numpy on a
+single-instruction kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GpuConfig, GpuSimulator
+from repro.isa.builder import KernelBuilder
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import FlagRef, Imm, RegRef
+from repro.isa.types import CmpOp, DType
+
+#: wrapper name -> (opcode, arity, reference fn, input domain)
+UNARY_OPS = {
+    "mov": (Opcode.MOV, lambda a: a, (-4.0, 4.0)),
+    "abs_": (Opcode.ABS, np.abs, (-4.0, 4.0)),
+    "floor": (Opcode.FLOOR, np.floor, (-4.0, 4.0)),
+    "sqrt": (Opcode.SQRT, np.sqrt, (0.1, 16.0)),
+    "rsqrt": (Opcode.RSQRT, lambda a: 1.0 / np.sqrt(a), (0.1, 16.0)),
+    "sin": (Opcode.SIN, np.sin, (-3.0, 3.0)),
+    "cos": (Opcode.COS, np.cos, (-3.0, 3.0)),
+    "exp": (Opcode.EXP, np.exp, (-2.0, 2.0)),
+    "log": (Opcode.LOG, np.log, (0.1, 10.0)),
+}
+
+BINARY_OPS = {
+    "add": (Opcode.ADD, np.add, (-4.0, 4.0)),
+    "sub": (Opcode.SUB, np.subtract, (-4.0, 4.0)),
+    "mul": (Opcode.MUL, np.multiply, (-4.0, 4.0)),
+    "min_": (Opcode.MIN, np.minimum, (-4.0, 4.0)),
+    "max_": (Opcode.MAX, np.maximum, (-4.0, 4.0)),
+    "div": (Opcode.DIV, np.divide, (0.5, 4.0)),
+    "pow_": (Opcode.POW, np.power, (0.5, 2.0)),
+}
+
+INT_BINARY_OPS = {
+    "and_": (Opcode.AND, np.bitwise_and),
+    "or_": (Opcode.OR, np.bitwise_or),
+    "xor": (Opcode.XOR, np.bitwise_xor),
+}
+
+
+def _run_unary(method_name, values):
+    b = KernelBuilder("u", 16)
+    gid = b.global_id()
+    src_surf = b.surface_arg("src")
+    dst_surf = b.surface_arg("dst")
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    x = b.vreg(DType.F32)
+    b.load(x, addr, src_surf)
+    y = b.vreg(DType.F32)
+    getattr(b, method_name)(y, x)
+    b.store(y, addr, dst_surf)
+    program = b.finish()
+    out = np.zeros_like(values)
+    GpuSimulator(GpuConfig(num_eus=1)).run(
+        program, values.size, buffers={"src": values, "dst": out})
+    return out
+
+
+class TestUnaryWrappers:
+    @pytest.mark.parametrize("name", sorted(UNARY_OPS))
+    def test_semantics(self, name):
+        opcode, ref, (lo, hi) = UNARY_OPS[name]
+        values = np.linspace(lo, hi, 32).astype(np.float32)
+        out = _run_unary(name, values)
+        np.testing.assert_allclose(out, ref(values).astype(np.float32),
+                                   rtol=1e-6)
+
+    @pytest.mark.parametrize("name", sorted(UNARY_OPS))
+    def test_emits_expected_opcode(self, name):
+        opcode, _ref, _dom = UNARY_OPS[name]
+        b = KernelBuilder("k", 16)
+        getattr(b, name)(b.vreg(), 1.0)
+        program = b.finish()
+        assert program.instructions[0].opcode is opcode
+
+
+class TestBinaryWrappers:
+    @pytest.mark.parametrize("name", sorted(BINARY_OPS))
+    def test_semantics(self, name):
+        opcode, ref, (lo, hi) = BINARY_OPS[name]
+        rng = np.random.default_rng(1)
+        a = rng.uniform(lo, hi, 32).astype(np.float32)
+        c = rng.uniform(lo, hi, 32).astype(np.float32)
+
+        b = KernelBuilder("b2", 16)
+        gid = b.global_id()
+        sa, sc, sd = (b.surface_arg(n) for n in ("a", "c", "d"))
+        addr = b.vreg(DType.I32)
+        b.shl(addr, gid, 2)
+        ra = b.vreg(DType.F32)
+        rc = b.vreg(DType.F32)
+        b.load(ra, addr, sa)
+        b.load(rc, addr, sc)
+        rd = b.vreg(DType.F32)
+        getattr(b, name)(rd, ra, rc)
+        b.store(rd, addr, sd)
+        program = b.finish()
+        out = np.zeros(32, dtype=np.float32)
+        GpuSimulator(GpuConfig(num_eus=1)).run(
+            program, 32, buffers={"a": a, "c": c, "d": out})
+        np.testing.assert_allclose(out, ref(a, c).astype(np.float32),
+                                   rtol=1e-5)
+
+    @pytest.mark.parametrize("name", sorted(INT_BINARY_OPS))
+    def test_int_semantics(self, name):
+        opcode, ref = INT_BINARY_OPS[name]
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 2**20, 32).astype(np.int32)
+        c = rng.integers(0, 2**20, 32).astype(np.int32)
+        b = KernelBuilder("bi", 16)
+        gid = b.global_id()
+        sa, sc, sd = (b.surface_arg(n) for n in ("a", "c", "d"))
+        addr = b.vreg(DType.I32)
+        b.shl(addr, gid, 2)
+        ra = b.vreg(DType.I32)
+        rc = b.vreg(DType.I32)
+        b.load(ra, addr, sa)
+        b.load(rc, addr, sc)
+        rd = b.vreg(DType.I32)
+        getattr(b, name)(rd, ra, rc)
+        b.store(rd, addr, sd)
+        program = b.finish()
+        out = np.zeros(32, dtype=np.int32)
+        GpuSimulator(GpuConfig(num_eus=1)).run(
+            program, 32, buffers={"a": a, "c": c, "d": out})
+        np.testing.assert_array_equal(out, ref(a, c))
+
+
+class TestSpecialWrappers:
+    def test_mad_operand_order(self):
+        # mad(dst, a, b, c) must compute a*b + c, not any permutation.
+        b = KernelBuilder("m", 16)
+        dst = b.vreg()
+        b.mad(dst, 3.0, 5.0, 7.0)
+        inst = b.finish().instructions[0]
+        assert inst.opcode is Opcode.MAD
+        values = [s.value for s in inst.sources]
+        assert values == [3.0, 5.0, 7.0]
+
+    def test_not_emits_not(self):
+        b = KernelBuilder("n", 16)
+        reg = b.vreg(DType.I32)
+        b.not_(reg, reg)
+        assert b.finish().instructions[0].opcode is Opcode.NOT
+
+    def test_shifts(self):
+        b = KernelBuilder("s", 16)
+        reg = b.vreg(DType.I32)
+        b.shl(reg, reg, 3)
+        b.shr(reg, reg, 3)
+        program = b.finish()
+        assert program.instructions[0].opcode is Opcode.SHL
+        assert program.instructions[1].opcode is Opcode.SHR
+
+    def test_cmp_infers_dtype_from_register(self):
+        b = KernelBuilder("c", 16)
+        reg = b.vreg(DType.I32)
+        b.cmp(CmpOp.LT, reg, 5)
+        inst = b.finish().instructions[0]
+        assert inst.dtype is DType.I32
+        assert isinstance(inst.sources[1], Imm)
+        assert inst.sources[1].dtype is DType.I32
+
+    def test_cmp_custom_flag(self):
+        b = KernelBuilder("c", 16)
+        flag = b.cmp(CmpOp.GE, b.vreg(), 0.0, flag=FlagRef(1))
+        assert flag.index == 1
+        assert b.finish().instructions[0].flag_dst.index == 1
+
+    def test_sel_uses_pred_as_selector(self):
+        b = KernelBuilder("s", 16)
+        flag = b.cmp(CmpOp.LT, b.vreg(), 0.0)
+        dst = b.vreg()
+        b.sel(dst, flag, 1.0, 2.0)
+        inst = b.finish().instructions[1]
+        assert inst.opcode is Opcode.SEL
+        assert inst.pred == flag
+
+    def test_predication_kwarg_attaches_flag(self):
+        b = KernelBuilder("p", 16)
+        flag = b.cmp(CmpOp.LT, b.vreg(), 0.0)
+        b.add(b.vreg(), 1.0, 2.0, pred=~flag)
+        inst = b.finish().instructions[1]
+        assert inst.pred.negate
+
+    def test_alu_width_override(self):
+        b = KernelBuilder("w", 16)
+        b.alu(Opcode.MOV, b.vreg(), 0.0, width=8)
+        assert b.finish().instructions[0].width == 8
+
+    def test_barrier_emits_barrier(self):
+        b = KernelBuilder("b", 16, slm_bytes=64)
+        b.barrier()
+        assert b.finish().instructions[0].opcode is Opcode.BARRIER
+
+    def test_slm_wrappers(self):
+        b = KernelBuilder("slm", 16, slm_bytes=256)
+        addr = b.vreg(DType.I32)
+        val = b.vreg()
+        b.store_slm(val, addr)
+        b.load_slm(val, addr)
+        program = b.finish()
+        assert program.instructions[0].opcode is Opcode.STORE_SLM
+        assert program.instructions[1].opcode is Opcode.LOAD_SLM
+        assert program.slm_bytes == 256
+
+    def test_cvt_records_src_dtype(self):
+        b = KernelBuilder("cv", 16)
+        src = b.vreg(DType.I32)
+        dst = b.vreg(DType.F32)
+        b.cvt(dst, src)
+        inst = b.finish().instructions[0]
+        assert inst.src_dtype is DType.I32
+        assert inst.dtype is DType.F32

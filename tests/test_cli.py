@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.trace.format import TraceEvent, write_trace
+
+
+class TestMaskCommand:
+    def test_f0f0(self, capsys):
+        assert main(["mask", "F0F0"]) == 0
+        out = capsys.readouterr().out
+        assert "0xF0F0" in out
+        assert "suppressed quads: [0, 2]" in out
+
+    def test_figure7_mask(self, capsys):
+        assert main(["mask", "AAAA"]) == 0
+        out = capsys.readouterr().out
+        assert "2 cycles, 4 swizzles" in out
+
+    def test_simd8(self, capsys):
+        assert main(["mask", "0F", "--width", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "SIMD8" in out
+
+
+class TestListCommand:
+    def test_lists_workloads_and_traces(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bfs" in out
+        assert "luxmark_sky" in out
+        assert "simulator" in out and "trace" in out
+
+
+class TestRunCommand:
+    def test_run_small_workload(self, capsys):
+        assert main(["run", "va", "--policy", "scc"]) == 0
+        out = capsys.readouterr().out
+        assert "total_cycles" in out
+        assert "EU-cycle reduction" in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["run", "nonexistent"]) == 2
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            main(["run", "va", "--policy", "tbc"])
+
+
+class TestProfileCommand:
+    def test_builtin_trace(self, capsys):
+        assert main(["profile", "glbench_pro"]) == 0
+        out = capsys.readouterr().out
+        assert "scc_reduction_pct" in out
+
+    def test_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "t.trace"
+        write_trace([TraceEvent(16, 0xF0F0)] * 10, path)
+        assert main(["profile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "simd_efficiency" in out
+
+    def test_missing_trace(self, capsys):
+        assert main(["profile", "no_such_trace"]) == 2
+
+
+class TestExperimentCommand:
+    def test_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "75.0%" in out  # the L2 SCC benefit
+
+    def test_fig08(self, capsys):
+        assert main(["experiment", "fig08"]) == 0
+        out = capsys.readouterr().out
+        assert "0xAAAA" in out
+
+    def test_area(self, capsys):
+        assert main(["experiment", "area"]) == 0
+        out = capsys.readouterr().out
+        assert "interwarp-8bank" in out
+
+    def test_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+
+class TestProfileWiden:
+    def test_widen_grows_reduction(self, capsys):
+        assert main(["profile", "luxmark_sky"]) == 0
+        base_out = capsys.readouterr().out
+        assert main(["profile", "luxmark_sky", "--widen", "4"]) == 0
+        wide_out = capsys.readouterr().out
+
+        def scc(text):
+            for line in text.splitlines():
+                if line.startswith("scc_reduction_pct"):
+                    return float(line.split()[-1])
+            raise AssertionError("no scc_reduction_pct in output")
+
+        assert scc(wide_out) > scc(base_out)
+        assert "widened x4" in wide_out

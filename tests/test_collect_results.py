@@ -1,0 +1,41 @@
+"""Tests for the EXPERIMENTS.md generator (benchmarks/collect_results.py)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "benchmarks" / "collect_results.py"
+
+
+def _run():
+    return subprocess.run(
+        [sys.executable, str(SCRIPT)], capture_output=True, text=True)
+
+
+class TestCollectResults:
+    def test_produces_markdown(self):
+        proc = _run()
+        assert proc.stdout.startswith("# EXPERIMENTS")
+        assert "## Figure 8" in proc.stdout
+        assert "## Table 2" in proc.stdout
+
+    def test_embeds_available_results(self):
+        results_dir = REPO / "benchmarks" / "results"
+        if not (results_dir / "test_area_regfile.txt").exists():
+            import pytest
+
+            pytest.skip("area bench results not generated yet")
+        proc = _run()
+        assert "interwarp-8bank" in proc.stdout
+
+    def test_reports_missing_files(self, tmp_path):
+        # Copy the script next to an empty results dir: every section
+        # should degrade gracefully and the exit code flag it.
+        script = tmp_path / "collect_results.py"
+        script.write_text(SCRIPT.read_text())
+        (tmp_path / "results").mkdir()
+        proc = subprocess.run([sys.executable, str(script)],
+                              capture_output=True, text=True)
+        assert proc.returncode == 1
+        assert "missing" in proc.stdout or "missing" in proc.stderr

@@ -1,0 +1,159 @@
+"""Tests for workgroup dispatch, SLM sharing, and barriers."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GpuConfig, GpuSimulator
+from repro.gpu.dispatch import bind_surfaces
+from repro.isa.builder import KernelBuilder
+from repro.isa.types import CmpOp, DType
+
+
+def _slm_exchange_program(local_size=32, simd_width=16):
+    """Each work-item writes its lid to SLM; after a barrier it reads its
+    neighbour's slot (lid XOR 1) and stores the value to memory."""
+    b = KernelBuilder("slm_xchg", simd_width, slm_bytes=local_size * 4)
+    gid = b.global_id()
+    lid = b.local_id()
+    out = b.surface_arg("out")
+    slm_addr = b.vreg(DType.I32)
+    b.shl(slm_addr, lid, 2)
+    b.store_slm(lid, slm_addr)
+    b.barrier()
+    partner = b.vreg(DType.I32)
+    b.xor(partner, lid, 1)
+    b.shl(partner, partner, 2)
+    got = b.vreg(DType.I32)
+    b.load_slm(got, partner)
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    b.store(got, addr, out)
+    return b.finish()
+
+
+class TestWorkgroups:
+    def test_slm_exchange_across_threads(self):
+        # local_size=32 at SIMD16 -> two threads per workgroup must
+        # exchange through SLM, proving the barrier orders their stores.
+        prog = _slm_exchange_program(local_size=32)
+        n = 128
+        out = np.zeros(n, dtype=np.int32)
+        GpuSimulator(GpuConfig()).run(prog, n, local_size=32,
+                                      buffers={"out": out})
+        lids = np.arange(n) % 32
+        np.testing.assert_array_equal(out, lids ^ 1)
+
+    def test_workgroup_too_large_rejected(self):
+        prog = _slm_exchange_program(local_size=32)
+        out = np.zeros(256, dtype=np.int32)
+        config = GpuConfig(threads_per_eu=1)
+        with pytest.raises(ValueError, match="threads"):
+            GpuSimulator(config).run(prog, 256, local_size=32,
+                                     buffers={"out": out})
+
+    def test_local_size_must_divide_simd(self):
+        prog = _slm_exchange_program()
+        out = np.zeros(64, dtype=np.int32)
+        with pytest.raises(ValueError, match="multiple"):
+            GpuSimulator(GpuConfig()).run(prog, 64, local_size=24,
+                                          buffers={"out": out})
+
+    def test_workgroup_count(self):
+        prog = _slm_exchange_program(local_size=32)
+        out = np.zeros(160, dtype=np.int32)
+        result = GpuSimulator(GpuConfig()).run(prog, 160, local_size=32,
+                                               buffers={"out": out})
+        assert result.workgroups == 5
+
+    def test_many_workgroups_round_robin_over_eus(self):
+        prog = _slm_exchange_program(local_size=32)
+        n = 32 * 24
+        out = np.zeros(n, dtype=np.int32)
+        result = GpuSimulator(GpuConfig(num_eus=6)).run(
+            prog, n, local_size=32, buffers={"out": out})
+        assert result.workgroups == 24
+        lids = np.arange(n) % 32
+        np.testing.assert_array_equal(out, lids ^ 1)
+
+
+class TestLocalIds:
+    def test_lid_resets_per_workgroup(self):
+        b = KernelBuilder("lid", 16)
+        gid = b.global_id()
+        lid = b.local_id()
+        out = b.surface_arg("out")
+        addr = b.vreg(DType.I32)
+        b.shl(addr, gid, 2)
+        b.store(lid, addr, out)
+        prog = b.finish()
+        n = 96
+        out = np.zeros(n, dtype=np.int32)
+        GpuSimulator(GpuConfig()).run(prog, n, local_size=32,
+                                      buffers={"out": out})
+        np.testing.assert_array_equal(out, np.arange(n) % 32)
+
+
+class TestBindSurfaces:
+    def test_order_follows_declaration(self):
+        b = KernelBuilder("k", 16)
+        b.surface_arg("b")
+        b.surface_arg("a")
+        prog = b.finish()
+        buf_a = np.zeros(4, dtype=np.float32)
+        buf_b = np.ones(4, dtype=np.float32)
+        surfaces = bind_surfaces(prog, {"a": buf_a, "b": buf_b})
+        assert surfaces[0].view(np.float32)[0] == 1.0  # "b" first
+
+    def test_non_array_rejected(self):
+        b = KernelBuilder("k", 16)
+        b.surface_arg("x")
+        prog = b.finish()
+        with pytest.raises(TypeError):
+            bind_surfaces(prog, {"x": [1, 2, 3]})
+
+    def test_non_contiguous_rejected(self):
+        b = KernelBuilder("k", 16)
+        b.surface_arg("x")
+        prog = b.finish()
+        arr = np.zeros((8, 8), dtype=np.float32)[:, ::2]
+        with pytest.raises(ValueError, match="contiguous"):
+            bind_surfaces(prog, {"x": arr})
+
+    def test_writes_visible_to_caller(self):
+        b = KernelBuilder("k", 16)
+        gid = b.global_id()
+        out = b.surface_arg("out")
+        addr = b.vreg(DType.I32)
+        b.shl(addr, gid, 2)
+        b.store(gid, addr, out)
+        prog = b.finish()
+        out_buf = np.zeros(16, dtype=np.int32)
+        GpuSimulator(GpuConfig()).run(prog, 16, buffers={"out": out_buf})
+        np.testing.assert_array_equal(out_buf, np.arange(16))
+
+
+class TestBarrierDivergenceInteraction:
+    def test_barrier_with_unequal_arrival_times(self):
+        # One thread of the workgroup does heavy EM work before the
+        # barrier; the barrier must still release everyone.
+        b = KernelBuilder("skew", 16, slm_bytes=64)
+        gid = b.global_id()
+        lid = b.local_id()
+        out = b.surface_arg("out")
+        heavy = b.cmp(CmpOp.LT, lid, 16)  # first thread only
+        val = b.vreg(DType.F32)
+        b.mov(val, 2.0)
+        with b.if_(heavy):
+            for _ in range(8):
+                b.sqrt(val, val)
+        b.barrier()
+        addr = b.vreg(DType.I32)
+        b.shl(addr, gid, 2)
+        b.store(val, addr, out)
+        prog = b.finish()
+        n = 64
+        out = np.zeros(n, dtype=np.float32)
+        result = GpuSimulator(GpuConfig()).run(prog, n, local_size=32,
+                                               buffers={"out": out})
+        assert result.total_cycles > 0
+        assert (out[np.arange(n) % 32 >= 16] == 2.0).all()

@@ -1,0 +1,73 @@
+"""Tests for repro.analysis.efficiency on live simulator runs."""
+
+import pytest
+
+from repro.analysis.efficiency import (
+    EfficiencyEntry,
+    simulator_efficiencies,
+    trace_efficiencies,
+    utilization_breakdown,
+)
+from repro.core.stats import CompactionStats
+from repro.gpu.config import GpuConfig
+
+
+class TestSimulatorEfficiencies:
+    @pytest.fixture(scope="class")
+    def entries(self):
+        return simulator_efficiencies(("va", "gnoise", "nested_l2"),
+                                      GpuConfig())
+
+    def test_order_preserved(self, entries):
+        assert [e.name for e in entries] == ["va", "gnoise", "nested_l2"]
+
+    def test_source_tag(self, entries):
+        assert all(e.source == "simulator" for e in entries)
+
+    def test_known_classifications(self, entries):
+        by_name = {e.name: e for e in entries}
+        assert not by_name["va"].divergent
+        assert by_name["gnoise"].divergent
+        assert by_name["nested_l2"].divergent
+
+    def test_nested_l2_efficiency_analytic(self, entries):
+        # Leaf FMAs run at 4/16 lanes, but the common guard code runs
+        # full-width, so efficiency sits between 0.25 and 1.0 -- and the
+        # measured value is deterministic.
+        by_name = {e.name: e for e in entries}
+        eff = by_name["nested_l2"].simd_efficiency
+        assert 0.25 < eff < 0.9
+        again = simulator_efficiencies(("nested_l2",), GpuConfig())[0]
+        assert again.simd_efficiency == eff
+
+
+class TestTraceEfficiencies:
+    def test_default_covers_all_profiles(self):
+        from repro.trace.workloads import TRACE_PROFILES
+
+        entries = trace_efficiencies()
+        assert len(entries) == len(TRACE_PROFILES)
+
+    def test_entries_reusable_for_breakdown(self):
+        entries = trace_efficiencies(["glbench_pro"])
+        table = utilization_breakdown(entries)
+        assert "glbench_pro" in table
+
+
+class TestUtilizationBreakdownEdgeCases:
+    def test_other_bucket_captures_odd_widths(self):
+        stats = CompactionStats()
+        stats.record(0xF, 4)  # SIMD4: outside the canonical buckets
+        entry = EfficiencyEntry("odd", "test", stats.simd_efficiency, stats)
+        row = utilization_breakdown([entry])["odd"]
+        assert row["other"] == pytest.approx(1.0)
+
+    def test_mixed_widths_accounted(self):
+        stats = CompactionStats()
+        stats.record(0x0F, 8)
+        stats.record(0x000F, 16)
+        entry = EfficiencyEntry("mix", "test", stats.simd_efficiency, stats)
+        row = utilization_breakdown([entry])["mix"]
+        assert row["1-4/8"] == pytest.approx(0.5)
+        assert row["1-4/16"] == pytest.approx(0.5)
+        assert sum(row.values()) == pytest.approx(1.0)

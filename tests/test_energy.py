@@ -1,0 +1,109 @@
+"""Tests for the dynamic-energy model (Section 4.3 discussion)."""
+
+import pytest
+
+from repro.core.policy import CompactionPolicy
+from repro.core.stats import CompactionStats
+from repro.energy import (
+    EnergyBreakdown,
+    energy_all_policies,
+    energy_breakdown,
+    energy_savings_pct,
+)
+
+
+def _divergent_stats(masks=(0xF0F0, 0xAAAA, 0x00FF, 0x1111), copies=50):
+    stats = CompactionStats()
+    for mask in masks * copies:
+        stats.record(mask, 16)
+    return stats
+
+
+def _coherent_stats(copies=100):
+    stats = CompactionStats()
+    for _ in range(copies):
+        stats.record(0xFFFF, 16)
+    return stats
+
+
+class TestEnergyBreakdown:
+    def test_components_positive(self):
+        breakdown = energy_breakdown(_divergent_stats(), CompactionPolicy.BCC)
+        assert breakdown.alu > 0
+        assert breakdown.register_file > 0
+        assert breakdown.control > 0
+        assert breakdown.crossbar == 0.0  # BCC has no crossbars
+
+    def test_scc_pays_crossbar(self):
+        breakdown = energy_breakdown(_divergent_stats(), CompactionPolicy.SCC)
+        assert breakdown.crossbar > 0.0
+
+    def test_total_is_sum(self):
+        breakdown = energy_breakdown(_divergent_stats(), CompactionPolicy.IVB)
+        assert breakdown.total == pytest.approx(
+            breakdown.alu + breakdown.register_file + breakdown.crossbar
+            + breakdown.control)
+
+    def test_as_dict_keys(self):
+        d = energy_breakdown(_divergent_stats(), CompactionPolicy.RAW).as_dict()
+        assert set(d) == {"alu", "register_file", "crossbar", "control", "total"}
+
+
+class TestPaperSection43Claims:
+    def test_bcc_saves_energy_on_divergent_code(self):
+        # "BCC is expected to provide both a performance advantage and
+        # energy savings given its simple control logic."
+        assert energy_savings_pct(_divergent_stats(), CompactionPolicy.BCC) > 10.0
+
+    def test_bcc_saves_rf_energy_specifically(self):
+        stats = _divergent_stats()
+        ivb = energy_breakdown(stats, CompactionPolicy.IVB)
+        bcc = energy_breakdown(stats, CompactionPolicy.BCC)
+        assert bcc.register_file < ivb.register_file
+
+    def test_scc_keeps_baseline_fetch_energy(self):
+        # Paper Section 4.2: no operand-fetch bandwidth savings for SCC.
+        stats = _divergent_stats()
+        scc = energy_breakdown(stats, CompactionPolicy.SCC)
+        ivb = energy_breakdown(stats, CompactionPolicy.IVB)
+        assert scc.register_file == ivb.register_file
+
+    def test_scc_alu_energy_lowest(self):
+        stats = _divergent_stats()
+        energies = energy_all_policies(stats)
+        assert energies[CompactionPolicy.SCC].alu <= min(
+            energies[p].alu for p in CompactionPolicy)
+
+    def test_scc_control_higher_than_bcc(self):
+        stats = _divergent_stats()
+        assert (energy_breakdown(stats, CompactionPolicy.SCC).control
+                > energy_breakdown(stats, CompactionPolicy.BCC).control)
+
+    def test_coherent_code_no_savings(self):
+        stats = _coherent_stats()
+        assert energy_savings_pct(stats, CompactionPolicy.BCC) == pytest.approx(
+            0.0, abs=2.0)
+        # SCC on coherent code is a slight net loss (control overhead).
+        assert energy_savings_pct(stats, CompactionPolicy.SCC) <= 0.0
+
+    def test_empty_stats(self):
+        assert energy_savings_pct(CompactionStats(), CompactionPolicy.SCC) == 0.0
+
+
+class TestSwizzleAccounting:
+    def test_swizzle_counter_feeds_crossbar_energy(self):
+        no_swizzle = CompactionStats()
+        no_swizzle.record(0xF0F0, 16)  # BCC-friendly: zero swizzles
+        assert no_swizzle.scc_swizzles == 0
+        swizzled = CompactionStats()
+        swizzled.record(0xAAAA, 16)
+        assert swizzled.scc_swizzles > 0
+        assert energy_breakdown(swizzled, CompactionPolicy.SCC).crossbar > 0
+
+    def test_swizzles_merge(self):
+        a = CompactionStats()
+        a.record(0xAAAA, 16)
+        b = CompactionStats()
+        b.record(0xAAAA, 16)
+        a.merge(b)
+        assert a.scc_swizzles == 2 * b.scc_swizzles

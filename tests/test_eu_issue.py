@@ -1,0 +1,105 @@
+"""Issue-stage behaviour tests: dual issue, pipe contention, EM overlap."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GpuConfig, GpuSimulator
+from repro.isa.builder import KernelBuilder
+from repro.isa.types import DType
+
+
+def _program(ops: str, chain: bool, count: int = 24):
+    """Kernel of `count` FPU ("fpu") or EM ("em") ops, dependent or not."""
+    b = KernelBuilder("issue", 16)
+    gid = b.global_id()
+    out = b.surface_arg("out")
+    regs = [b.vreg(DType.F32) for _ in range(4)]
+    for reg in regs:
+        b.mov(reg, 1.5)
+    for i in range(count):
+        dst = regs[0] if chain else regs[i % 4]
+        src = regs[0] if chain else regs[i % 4]
+        if ops == "fpu":
+            b.mad(dst, src, 1.0001, 0.25)
+        else:
+            b.sqrt(dst, src)
+    acc = regs[0]
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    b.store(acc, addr, out)
+    return b.finish()
+
+
+def _cycles(program, n=96, **config_kwargs):
+    out = np.zeros(n, dtype=np.float32)
+    config = GpuConfig(num_eus=1, **config_kwargs)
+    return GpuSimulator(config).run(program, n, buffers={"out": out}).total_cycles
+
+
+class TestIssueBandwidth:
+    def test_independent_ops_faster_than_dependent_chain(self):
+        independent = _cycles(_program("fpu", chain=False))
+        dependent = _cycles(_program("fpu", chain=True))
+        assert independent <= dependent
+
+    def test_single_issue_slower_than_dual(self):
+        program = _program("fpu", chain=False)
+        dual = _cycles(program, issue_width=2)
+        single = _cycles(program, issue_width=1)
+        assert single >= dual
+
+    def test_fpu_and_em_pipes_overlap(self):
+        # A mix of FPU and EM work can dual-issue onto both pipes; the
+        # mixed kernel must not cost the sum of the two pure kernels.
+        fpu_only = _cycles(_program("fpu", chain=False, count=24))
+        em_only = _cycles(_program("em", chain=False, count=24))
+
+        b = KernelBuilder("mixed", 16)
+        gid = b.global_id()
+        out = b.surface_arg("out")
+        regs = [b.vreg(DType.F32) for _ in range(4)]
+        for reg in regs:
+            b.mov(reg, 1.5)
+        for i in range(24):
+            b.mad(regs[i % 2], regs[i % 2], 1.0001, 0.25)
+            b.sqrt(regs[2 + i % 2], regs[2 + i % 2])
+        addr = b.vreg(DType.I32)
+        b.shl(addr, gid, 2)
+        b.store(regs[0], addr, out)
+        mixed = _cycles(b.finish())
+        assert mixed < fpu_only + em_only
+
+    def test_more_threads_hide_latency(self):
+        # The same total work finishes sooner when spread over more
+        # hardware threads (latency hiding, paper Section 2.2).
+        program = _program("em", chain=True, count=16)
+        few = _cycles(program, n=96, threads_per_eu=2)
+        many = _cycles(program, n=96, threads_per_eu=6)
+        assert many <= few
+
+
+class TestSendPipeOccupancy:
+    def test_wider_loads_occupy_send_longer(self):
+        def load_kernel(width):
+            b = KernelBuilder("lk", width)
+            gid = b.global_id()
+            src = b.surface_arg("src")
+            out = b.surface_arg("out")
+            addr = b.vreg(DType.I32)
+            b.shl(addr, gid, 2)
+            val = b.vreg(DType.F32)
+            for _ in range(8):
+                b.load(val, addr, src)
+            b.store(val, addr, out)
+            return b.finish()
+
+        def send_busy(width):
+            n = 64
+            src = np.ones(n, dtype=np.float32)
+            out = np.zeros(n, dtype=np.float32)
+            result = GpuSimulator(GpuConfig(num_eus=1)).run(
+                load_kernel(width), n, buffers={"src": src, "out": out})
+            return result.send_busy_cycles / result.memory_messages
+
+        # SIMD16 moves two registers per message, SIMD8 one.
+        assert send_busy(16) == pytest.approx(2 * send_busy(8), rel=0.2)

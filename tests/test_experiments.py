@@ -1,0 +1,145 @@
+"""Tests for the experiment harness modules (small configurations).
+
+The full-size experiments run under ``pytest benchmarks/``; these tests
+exercise the same code paths on reduced workload sets so regressions in
+the harnesses are caught by the fast suite.
+"""
+
+import pytest
+
+from repro.core.policy import CompactionPolicy
+from repro.experiments import area, fig03, fig08, fig09, fig10, fig11, fig12, table2
+from repro.gpu.config import GpuConfig
+from repro.kernels.raytracing import ambient_occlusion
+
+
+class TestFig03:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig03.fig3_data(sim_workloads=("va", "gnoise"),
+                               include_traces=False)
+
+    def test_sorted_descending(self, data):
+        values = [e.simd_efficiency for e in data.entries]
+        assert values == sorted(values, reverse=True)
+
+    def test_partition(self, data):
+        assert {e.name for e in data.coherent} == {"va"}
+        assert {e.name for e in data.divergent} == {"gnoise"}
+
+    def test_render(self, data):
+        out = fig03.render(data)
+        assert "SIMD efficiency" in out
+        assert "va" in out and "gnoise" in out
+
+    def test_traces_only(self):
+        data = fig03.fig3_data(sim_workloads=None, include_traces=True)
+        assert len(data.entries) >= 17
+        assert not data.coherent  # all synthetic traces are divergent
+
+
+class TestFig08:
+    def test_analytic_under_scc_flattens_everything_except_nothing(self):
+        points = fig08.fig8_analytic(CompactionPolicy.SCC)
+        assert all(p.relative_time == pytest.approx(1.0) for p in points)
+
+    def test_raw_policy_worst_case(self):
+        points = {p.pattern: p.relative_time
+                  for p in fig08.fig8_analytic(CompactionPolicy.RAW)}
+        assert points[0x00FF] == pytest.approx(2.0)  # no half rewrite
+
+    def test_render_mentions_patterns(self):
+        out = fig08.render(fig08.fig8_analytic(), "t")
+        assert "0xF0F0" in out
+
+
+class TestTable2:
+    def test_row_totals_bounded(self):
+        for row in table2.table2_analytic():
+            assert 0.0 <= row.total_pct <= 100.0
+
+    def test_simd32_scaling(self):
+        # At SIMD32 the IVB rewrite never fires (it is SIMD16-specific),
+        # so the L4 benefit moves entirely into BCC.
+        rows = table2.table2_analytic(width=32)
+        assert rows[3].ivb_benefit_pct == 0.0
+        assert rows[3].bcc_benefit_pct > 50.0
+
+    def test_render_format(self):
+        out = table2.render(table2.table2_analytic(), "T")
+        assert "L4" in out and "IVB" in out
+
+
+class TestFig09:
+    def test_small_subset(self):
+        table = fig09.fig9_data(sim_workloads=("gnoise",),
+                                include_traces=False)
+        assert "gnoise" in table
+        row = table["gnoise"]
+        assert sum(row.values()) == pytest.approx(1.0)
+
+    def test_render(self):
+        table = fig09.fig9_data(sim_workloads=("gnoise",),
+                                include_traces=False)
+        assert "1-4/16" in fig09.render(table)
+
+
+class TestFig10:
+    def test_small_subset(self):
+        bars = fig10.fig10_data(sim_workloads=("gnoise",),
+                                include_traces=False)
+        assert len(bars) == 1
+        assert bars[0].scc_pct >= bars[0].bcc_pct
+
+    def test_summarize_empty(self):
+        stats = fig10.summarize([])
+        assert stats["max_scc"] == 0.0
+
+    def test_render_contains_footer(self):
+        bars = fig10.fig10_data(sim_workloads=(), include_traces=True)
+        out = fig10.render(bars)
+        assert "average SCC reduction" in out
+
+
+class TestFig11:
+    def test_single_workload(self):
+        factories = {
+            "RT-AO-AL8": lambda: ambient_occlusion(
+                "al", width_px=8, simd_width=8, ao_samples=2),
+        }
+        rows = fig11.fig11_data(factories)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.scc_eu >= row.bcc_eu
+        assert row.dc_throughput_base >= 0.0
+
+    def test_render(self):
+        factories = {
+            "RT-AO-AL8": lambda: ambient_occlusion(
+                "al", width_px=8, simd_width=8, ao_samples=2),
+        }
+        out = fig11.render(fig11.fig11_data(factories))
+        assert "RT-AO-AL8" in out
+
+
+class TestFig12:
+    def test_single_kernel(self):
+        from repro.kernels.rodinia import hotspot
+
+        rows = fig12.fig12_data({"hotspot": lambda: hotspot(dim=16,
+                                                            iterations=1)})
+        assert len(rows) == 1
+        assert rows[0].scc_eu >= rows[0].bcc_eu
+
+    def test_rodinia_names(self):
+        assert set(fig12.RODINIA_NAMES) == {
+            "bfs", "hotspot", "lavamd", "nw", "particlefilter"}
+
+
+class TestAreaExperiment:
+    def test_rows_and_render(self):
+        rows = area.area_data()
+        assert [r.config.name for r in rows] == [
+            "baseline", "bcc", "scc", "interwarp-8bank"]
+        out = area.render(rows)
+        assert "+10.0%" in out

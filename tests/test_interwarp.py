@@ -1,0 +1,149 @@
+"""Tests for the idealized inter-warp (TBC-class) baseline."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.interwarp import (
+    InterWarpComparison,
+    baseline_memory_lines,
+    compare_on_groups,
+    groups_from_trace,
+    ideal_compacted_warps,
+    intra_warp_cycles,
+    lane_occupancy,
+    tbc_compacted_warps,
+    tbc_cycles,
+    tbc_memory_lines,
+)
+from repro.core.policy import CompactionPolicy
+from repro.trace.format import TraceEvent
+
+mask_lists = st.lists(st.integers(min_value=0, max_value=0xFFFF),
+                      min_size=1, max_size=6)
+
+
+class TestLaneOccupancy:
+    def test_counts(self):
+        occ = lane_occupancy([0x0003, 0x0001], 16)
+        assert occ[0] == 2 and occ[1] == 1 and occ[2] == 0
+
+
+class TestCompactedWarps:
+    def test_complementary_masks_merge_into_one(self):
+        # Two warps with complementary halves: TBC packs them into one.
+        assert tbc_compacted_warps([0x00FF, 0xFF00], 16) == 1
+
+    def test_identical_patterns_defeat_tbc(self):
+        # The paper's SCC motivation: lane positions are preserved, so
+        # 0xAAAA repeated across warps cannot be compacted at all.
+        masks = [0xAAAA] * 4
+        assert tbc_compacted_warps(masks, 16) == 4
+        assert ideal_compacted_warps(masks, 16) == 2
+
+    def test_empty_group(self):
+        assert tbc_compacted_warps([0, 0], 16) == 0
+
+    @given(mask_lists)
+    def test_tbc_between_ideal_and_warp_count(self, masks):
+        tbc = tbc_compacted_warps(masks, 16)
+        ideal = ideal_compacted_warps(masks, 16)
+        nonempty = sum(1 for m in masks if m)
+        assert ideal <= tbc <= max(nonempty, ideal)
+
+    @given(mask_lists)
+    def test_ideal_is_ceiling_of_total(self, masks):
+        total = sum(bin(m).count("1") for m in masks)
+        assert ideal_compacted_warps(masks, 16) == -(-total // 16)
+
+
+class TestCycleModels:
+    def test_tbc_cycles_full_width_per_warp(self):
+        assert tbc_cycles([0x00FF, 0xFF00], 16) == 4  # one SIMD16 warp
+
+    def test_intra_warp_cycles_scc(self):
+        assert intra_warp_cycles([0x00FF, 0xFF00], 16,
+                                 CompactionPolicy.SCC) == 4  # 2 + 2
+
+    @given(mask_lists)
+    def test_tbc_beats_or_ties_bcc_on_aligned_free_groups(self, masks):
+        # TBC's idealized cycles can never exceed the no-compaction IVB
+        # baseline cycles by more than the empty-warp floor.
+        ivb = intra_warp_cycles(masks, 16, CompactionPolicy.IVB)
+        assert tbc_cycles(masks, 16) <= ivb + sum(1 for m in masks if m == 0)
+
+
+class TestMemoryLines:
+    def test_no_mixing_no_increase(self):
+        # A single warp cannot mix with anyone.
+        assert tbc_memory_lines([0x00FF], 16) == baseline_memory_lines(
+            [0x00FF], 16)
+
+    def test_mixing_increases_lines(self):
+        # Complementary warps merge into one issued warp that touches
+        # both source warps' lines: 2 lines where the baseline needed 2
+        # warps x 1 line each -- but in half the issue slots.
+        masks = [0x00FF, 0xFF00]
+        assert tbc_memory_lines(masks, 16) == 2
+        assert baseline_memory_lines(masks, 16) == 2
+
+    def test_partial_merge_inflates_per_warp_lines(self):
+        # Four quarter-full warps with the same lanes (no compaction
+        # possible) keep their lines; but four quarter-full warps with
+        # disjoint lanes compact to one warp touching 4 line groups.
+        disjoint = [0x000F, 0x00F0, 0x0F00, 0xF000]
+        assert tbc_compacted_warps(disjoint, 16) == 1
+        assert tbc_memory_lines(disjoint, 16) == 4
+        assert baseline_memory_lines(disjoint, 16) == 4
+
+
+class TestComparison:
+    def _diverse_groups(self):
+        return [
+            ([0x00FF, 0xFF00], 16),        # TBC-friendly
+            ([0xAAAA, 0xAAAA], 16),        # SCC-only
+            ([0xF0F0, 0x0F0F], 16),        # both help
+            ([0xFFFF, 0xFFFF], 16),        # coherent
+            ([0x0003, 0x0300, 0x0030], 16),
+        ]
+
+    def test_ordering_of_reductions(self):
+        comparison = compare_on_groups(self._diverse_groups())
+        assert comparison.ideal_reduction_pct >= comparison.tbc_reduction_pct - 1e-9
+        assert comparison.scc_reduction_pct >= comparison.bcc_reduction_pct
+
+    def test_tbc_inflates_memory_lines(self):
+        comparison = compare_on_groups(self._diverse_groups())
+        assert comparison.tbc_lines >= 0
+        assert comparison.memory_divergence_increase_pct >= 0.0
+
+    def test_benefit_share(self):
+        comparison = compare_on_groups(self._diverse_groups())
+        assert 0.0 < comparison.scc_benefit_share_of_tbc <= 2.0
+
+    def test_empty_comparison(self):
+        comparison = InterWarpComparison()
+        assert comparison.scc_reduction_pct == 0.0
+        assert comparison.memory_divergence_increase_pct == 0.0
+
+
+class TestGroupsFromTrace:
+    def test_grouping_by_width(self):
+        events = [TraceEvent(16, 0xF)] * 3 + [TraceEvent(8, 0x3)] * 2
+        groups = list(groups_from_trace(events, group_size=2))
+        sizes = sorted((len(masks), width) for masks, width in groups)
+        assert sizes == [(1, 16), (2, 8), (2, 16)]
+
+    def test_bad_group_size(self):
+        with pytest.raises(ValueError):
+            list(groups_from_trace([], group_size=0))
+
+    def test_paper_claim_on_synthetic_traces(self):
+        """SCC captures the bulk of idealized TBC's benefit on the
+        LuxMark-class traces while adding zero memory divergence."""
+        from repro.trace.workloads import trace_events
+
+        comparison = compare_on_groups(
+            groups_from_trace(trace_events("luxmark_sky"), group_size=4))
+        assert comparison.scc_reduction_pct > 0.55 * comparison.tbc_reduction_pct
+        assert comparison.memory_divergence_increase_pct > 10.0

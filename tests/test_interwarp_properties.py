@@ -1,0 +1,81 @@
+"""Property tests for the TBC-class inter-warp compaction schedule."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.interwarp import (
+    ideal_compacted_warps,
+    tbc_compacted_warps,
+    tbc_memory_lines,
+    tbc_schedule,
+)
+from repro.core.quads import popcount
+
+mask_groups = st.lists(st.integers(min_value=0, max_value=0xFFFF),
+                       min_size=1, max_size=8)
+
+
+class TestScheduleProperties:
+    @given(mask_groups)
+    def test_thread_conservation(self, masks):
+        """Compaction must neither drop nor duplicate threads."""
+        schedule = tbc_schedule(masks, 16)
+        total_in = sum(popcount(m) for m in masks)
+        total_out = sum(popcount(mask) for mask, _src in schedule)
+        assert total_out == total_in
+
+    @given(mask_groups)
+    def test_lane_conservation(self, masks):
+        """Per lane position, exactly as many output slots as inputs
+        (home lanes are preserved -- the defining TBC constraint)."""
+        schedule = tbc_schedule(masks, 16)
+        for lane in range(16):
+            in_count = sum((m >> lane) & 1 for m in masks)
+            out_count = sum((mask >> lane) & 1 for mask, _s in schedule)
+            if in_count == 0:
+                assert out_count == 0
+        for lane in range(16):
+            in_count = sum((m >> lane) & 1 for m in masks)
+            out_count = sum((mask >> lane) & 1 for mask, _s in schedule)
+            assert out_count == in_count
+
+    @given(mask_groups)
+    def test_warp_count_matches_occupancy_bound(self, masks):
+        schedule = tbc_schedule(masks, 16)
+        assert len(schedule) == tbc_compacted_warps(masks, 16)
+
+    @given(mask_groups)
+    def test_first_warp_is_densest(self, masks):
+        """Greedy per-lane filling makes compacted warp masks
+        monotonically non-increasing in population."""
+        schedule = tbc_schedule(masks, 16)
+        pops = [popcount(mask) for mask, _src in schedule]
+        assert pops == sorted(pops, reverse=True)
+
+    @given(mask_groups)
+    def test_sources_bounded_by_group_size(self, masks):
+        for _mask, sources in tbc_schedule(masks, 16):
+            assert 1 <= sources <= len(masks)
+
+    @given(mask_groups)
+    def test_memory_lines_bounded(self, masks):
+        """Each compacted warp touches between 1 and group-size line
+        groups; totals stay within [issued, total_threads] bounds."""
+        lines = tbc_memory_lines(masks, 16)
+        issued = tbc_compacted_warps(masks, 16)
+        nonempty = sum(1 for m in masks if m)
+        assert issued <= lines <= issued * max(nonempty, 1)
+
+    @given(mask_groups)
+    def test_ideal_never_above_tbc(self, masks):
+        assert ideal_compacted_warps(masks, 16) <= max(
+            tbc_compacted_warps(masks, 16),
+            ideal_compacted_warps(masks, 16))
+
+    @given(mask_groups)
+    def test_single_warp_group_is_identity(self, masks):
+        schedule = tbc_schedule(masks[:1], 16)
+        if masks[0] == 0:
+            assert schedule == []
+        else:
+            assert schedule == [(masks[0], 1)]

@@ -1,0 +1,224 @@
+"""Tests for the ISA layer: types, opcodes, registers, instructions."""
+
+import numpy as np
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import ALU_OPCODES, Opcode, Pipe
+from repro.isa.registers import NUM_GRF_REGS, FlagRef, Imm, RegRef, as_operand
+from repro.isa.types import GRF_REG_BYTES, CmpOp, DType
+
+
+class TestDType:
+    def test_sizes(self):
+        assert DType.F32.size == 4
+        assert DType.F64.size == 8
+
+    def test_dtype_factor(self):
+        assert DType.F32.dtype_factor == 1
+        assert DType.I32.dtype_factor == 1
+        assert DType.F64.dtype_factor == 2
+        assert DType.I64.dtype_factor == 2
+
+    def test_regs_for_width_simd16_f32(self):
+        # The paper's ADD(16) example: each operand spans a register pair.
+        assert DType.F32.regs_for_width(16) == 2
+
+    def test_regs_for_width_simd8_f32(self):
+        assert DType.F32.regs_for_width(8) == 1
+
+    def test_regs_for_width_simd16_f64(self):
+        assert DType.F64.regs_for_width(16) == 4
+
+    def test_regs_for_width_subregister(self):
+        assert DType.F32.regs_for_width(1) == 1
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            DType.F32.regs_for_width(0)
+
+    def test_is_float(self):
+        assert DType.F32.is_float and DType.F64.is_float
+        assert not DType.I32.is_float
+
+
+class TestCmpOp:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        (CmpOp.EQ, 1, 1, True), (CmpOp.NE, 1, 1, False),
+        (CmpOp.LT, 1, 2, True), (CmpOp.LE, 2, 2, True),
+        (CmpOp.GT, 3, 2, True), (CmpOp.GE, 1, 2, False),
+    ])
+    def test_apply_scalar(self, op, a, b, expected):
+        result = op.apply(np.array([a]), np.array([b]))
+        assert bool(result[0]) is expected
+
+
+class TestOpcode:
+    def test_pipes(self):
+        assert Opcode.ADD.pipe is Pipe.FPU
+        assert Opcode.SQRT.pipe is Pipe.EM
+        assert Opcode.LOAD.pipe is Pipe.SEND
+        assert Opcode.IF.pipe is Pipe.CTRL
+
+    def test_enum_members_are_distinct(self):
+        # Guards against tuple-value aliasing (ADD vs SUB share metadata).
+        assert Opcode.ADD is not Opcode.SUB
+        assert len({op.name for op in Opcode}) == len(list(Opcode))
+
+    def test_memory_classification(self):
+        assert Opcode.LOAD.is_memory
+        assert Opcode.STORE_SLM.is_memory and Opcode.STORE_SLM.is_slm
+        assert not Opcode.BARRIER.is_memory
+
+    def test_writes_dst(self):
+        assert Opcode.ADD.writes_dst
+        assert Opcode.LOAD.writes_dst
+        assert not Opcode.STORE.writes_dst
+        assert not Opcode.CMP.writes_dst
+        assert not Opcode.IF.writes_dst
+
+    def test_alu_opcodes_cover_fpu_and_em(self):
+        pipes = {op.pipe for op in ALU_OPCODES}
+        assert pipes == {Pipe.FPU, Pipe.EM}
+
+
+class TestRegRef:
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            RegRef(NUM_GRF_REGS)
+
+    def test_span_simd16(self):
+        assert RegRef(8, DType.F32).span(16) == 2
+
+    def test_regs_iteration(self):
+        assert list(RegRef(8, DType.F32).regs(16)) == [8, 9]
+
+    def test_regs_overflow(self):
+        with pytest.raises(ValueError):
+            RegRef(127, DType.F32).regs(16)
+
+    def test_with_dtype(self):
+        ref = RegRef(4, DType.F32).with_dtype(DType.I32)
+        assert ref.reg == 4 and ref.dtype is DType.I32
+
+
+class TestFlagRef:
+    def test_invert(self):
+        flag = FlagRef(0)
+        assert (~flag).negate
+        assert ~~flag == flag
+
+    def test_range(self):
+        with pytest.raises(ValueError):
+            FlagRef(2)
+
+
+class TestAsOperand:
+    def test_passthrough_regref(self):
+        ref = RegRef(3)
+        assert as_operand(ref, DType.F32) is ref
+
+    def test_number_to_imm(self):
+        imm = as_operand(2.5, DType.F32)
+        assert isinstance(imm, Imm) and imm.value == 2.5
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_operand(True, DType.I32)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            as_operand("r3", DType.F32)
+
+
+def _add16(mask_sources=None):
+    return Instruction(
+        opcode=Opcode.ADD,
+        width=16,
+        dtype=DType.F32,
+        dst=RegRef(12),
+        sources=mask_sources or (RegRef(8), RegRef(10)),
+    )
+
+
+class TestInstructionValidate:
+    def test_valid_add(self):
+        _add16().validate()
+
+    def test_wrong_source_count(self):
+        inst = Instruction(opcode=Opcode.ADD, width=16, dst=RegRef(0),
+                           sources=(RegRef(1),))
+        with pytest.raises(ValueError, match="expects 2 sources"):
+            inst.validate()
+
+    def test_missing_dst(self):
+        inst = Instruction(opcode=Opcode.ADD, width=16,
+                           sources=(RegRef(1), RegRef(2)))
+        with pytest.raises(ValueError, match="requires a destination"):
+            inst.validate()
+
+    def test_cmp_requires_flag(self):
+        inst = Instruction(opcode=Opcode.CMP, width=16, cmp_op=CmpOp.LT,
+                           sources=(RegRef(1), RegRef(2)))
+        with pytest.raises(ValueError, match="flag"):
+            inst.validate()
+
+    def test_cmp_rejects_negated_flag_dst(self):
+        inst = Instruction(opcode=Opcode.CMP, width=16, cmp_op=CmpOp.LT,
+                           flag_dst=FlagRef(0, negate=True),
+                           sources=(RegRef(1), RegRef(2)))
+        with pytest.raises(ValueError, match="negated"):
+            inst.validate()
+
+    def test_if_requires_pred(self):
+        inst = Instruction(opcode=Opcode.IF, width=16)
+        with pytest.raises(ValueError, match="predicate"):
+            inst.validate()
+
+    def test_load_requires_surface(self):
+        inst = Instruction(opcode=Opcode.LOAD, width=16, dst=RegRef(0),
+                           sources=(RegRef(2),))
+        with pytest.raises(ValueError, match="surface"):
+            inst.validate()
+
+    def test_memory_rejects_immediates(self):
+        inst = Instruction(opcode=Opcode.STORE, width=16, surface=0,
+                           sources=(Imm(0, DType.I32), RegRef(2)))
+        with pytest.raises(ValueError, match="registers"):
+            inst.validate()
+
+    def test_cvt_requires_src_dtype(self):
+        inst = Instruction(opcode=Opcode.CVT, width=16, dst=RegRef(0),
+                           sources=(RegRef(2),))
+        with pytest.raises(ValueError, match="src_dtype"):
+            inst.validate()
+
+
+class TestInstructionFootprint:
+    def test_reads_spans_pairs_at_simd16(self):
+        inst = _add16()
+        assert sorted(inst.reads()) == [8, 9, 10, 11]
+
+    def test_writes(self):
+        assert _add16().writes() == [12, 13]
+
+    def test_reads_cached_identity(self):
+        inst = _add16()
+        assert inst.reads() is inst.reads()
+
+    def test_explicit_width_not_cached(self):
+        inst = _add16()
+        assert sorted(inst.reads(8)) == [8, 10]
+
+    def test_store_has_no_writes(self):
+        inst = Instruction(opcode=Opcode.STORE, width=16, surface=0,
+                           sources=(RegRef(2, DType.I32), RegRef(4)))
+        assert inst.writes() == []
+
+    def test_dtype_factor_property(self):
+        inst = Instruction(opcode=Opcode.ADD, width=16, dtype=DType.F64,
+                           dst=RegRef(0), sources=(RegRef(4), RegRef(8)))
+        assert inst.dtype_factor == 2
+
+    def test_str_contains_opcode(self):
+        assert "ADD(16)" in str(_add16())

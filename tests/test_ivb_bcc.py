@@ -1,0 +1,155 @@
+"""Unit tests for the IVB half-mask rewrite and Basic Cycle Compression."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bcc import (
+    BccSchedule,
+    QuadOp,
+    baseline_register_accesses,
+    bcc_compressible_cycles,
+    bcc_cycles,
+    bcc_register_accesses,
+    bcc_schedule,
+    is_bcc_friendly,
+)
+from repro.core.ivb import (
+    baseline_cycles,
+    ivb_applicable,
+    ivb_cycles,
+    ivb_effective,
+)
+from repro.core.quads import active_quad_count, num_quads, optimal_cycles, popcount
+
+masks16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestIvbApplicable:
+    @pytest.mark.parametrize("mask", [0x00FF, 0xFF00, 0x0001, 0x8000, 0x00F0])
+    def test_half_empty_fires(self, mask):
+        assert ivb_applicable(mask, 16)
+
+    @pytest.mark.parametrize("mask", [0xFFFF, 0xF0F0, 0x0101, 0xAAAA, 0x8001])
+    def test_both_halves_used_does_not_fire(self, mask):
+        assert not ivb_applicable(mask, 16)
+
+    def test_empty_mask_does_not_fire(self):
+        assert not ivb_applicable(0, 16)
+
+    def test_simd8_never_rewritten(self):
+        assert not ivb_applicable(0x0F, 8)
+
+
+class TestIvbEffective:
+    def test_lower_half_kept(self):
+        assert ivb_effective(0x00FF, 16) == (8, 0xFF)
+
+    def test_upper_half_shifted_down(self):
+        assert ivb_effective(0xAB00, 16) == (8, 0xAB)
+
+    def test_untouched(self):
+        assert ivb_effective(0xF0F0, 16) == (16, 0xF0F0)
+
+    @given(masks16)
+    def test_population_preserved(self, mask):
+        _w, eff = ivb_effective(mask, 16)
+        assert popcount(eff) == popcount(mask)
+
+
+class TestIvbCycles:
+    def test_paper_fig8_00ff(self):
+        # SIMD16 with 0x00FF executes in two cycles, same as SIMD8.
+        assert ivb_cycles(0x00FF, 16) == 2
+
+    def test_f0f0_not_optimized(self):
+        assert ivb_cycles(0xF0F0, 16) == 4
+
+    def test_dtype_factor_scales(self):
+        assert ivb_cycles(0x00FF, 16, dtype_factor=2) == 4
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            ivb_cycles(0xFFFF, 16, dtype_factor=0)
+
+    @given(masks16)
+    def test_never_worse_than_baseline(self, mask):
+        assert ivb_cycles(mask, 16) <= baseline_cycles(mask, 16)
+
+
+class TestBccSchedule:
+    def test_paper_section_4_1_example(self):
+        # ADD(16) with exec mask 0xF0F0: Q0 and Q2 suppressed.
+        schedule = bcc_schedule(0xF0F0, 16)
+        assert [op.quad for op in schedule.ops] == [1, 3]
+        assert schedule.suppressed == (0, 2)
+        assert schedule.cycles == 2
+        assert schedule.fetches_saved == 2
+
+    def test_full_mask_runs_all_quads(self):
+        schedule = bcc_schedule(0xFFFF, 16)
+        assert schedule.cycles == 4
+        assert schedule.suppressed == ()
+
+    def test_empty_mask_runs_nothing(self):
+        schedule = bcc_schedule(0, 16)
+        assert schedule.cycles == 0
+        assert schedule.suppressed == (0, 1, 2, 3)
+
+    def test_lane_enables_match_mask(self):
+        schedule = bcc_schedule(0x0F21, 16)
+        enables = {op.quad: op.lane_enable for op in schedule.ops}
+        assert enables == {0: 0x1, 1: 0x2, 2: 0xF}
+
+    def test_quadop_validation(self):
+        with pytest.raises(ValueError):
+            QuadOp(quad=-1, lane_enable=0xF)
+        with pytest.raises(ValueError):
+            QuadOp(quad=0, lane_enable=0x10)
+
+    @given(masks16)
+    def test_ops_plus_suppressed_cover_all_quads(self, mask):
+        schedule = bcc_schedule(mask, 16)
+        quads = sorted([op.quad for op in schedule.ops] + list(schedule.suppressed))
+        assert quads == [0, 1, 2, 3]
+
+
+class TestBccCycles:
+    @given(masks16)
+    def test_equals_active_quads(self, mask):
+        assert bcc_cycles(mask, 16) == active_quad_count(mask, 16)
+
+    @given(masks16)
+    def test_never_worse_than_ivb(self, mask):
+        assert bcc_cycles(mask, 16) <= ivb_cycles(mask, 16)
+
+    @given(masks16)
+    def test_never_better_than_optimal(self, mask):
+        assert bcc_cycles(mask, 16) >= optimal_cycles(mask, 16)
+
+    def test_compressible_cycles(self):
+        assert bcc_compressible_cycles(0xF0F0, 16) == 2
+        assert bcc_compressible_cycles(0xFFFF, 16) == 0
+
+
+class TestRegisterAccessAccounting:
+    def test_baseline_simd16_three_operand(self):
+        # 4 quads x (2 src + 1 dst) half-register accesses.
+        assert baseline_register_accesses(16, num_src=2, num_dst=1) == 12
+
+    def test_bcc_suppresses_fetches(self):
+        assert bcc_register_accesses(0xF0F0, 16, num_src=2, num_dst=1) == 6
+
+    def test_negative_operand_counts_rejected(self):
+        with pytest.raises(ValueError):
+            bcc_register_accesses(0xF, 16, num_src=-1)
+
+
+class TestBccFriendly:
+    @pytest.mark.parametrize("mask", [0xF0F0, 0x000F, 0xFFFF, 0x0])
+    def test_friendly_masks(self, mask):
+        assert is_bcc_friendly(mask, 16)
+
+    @pytest.mark.parametrize("mask", [0xAAAA, 0x1111, 0x0101])
+    def test_unfriendly_masks(self, mask):
+        assert not is_bcc_friendly(mask, 16)

@@ -1,0 +1,209 @@
+"""Tests for the memory subsystem: caches, ports, SLM, hierarchy."""
+
+import pytest
+
+from repro.memory.cache import Cache, CacheStats, lines_for_access
+from repro.memory.hierarchy import MemoryHierarchy, MemoryParams
+from repro.memory.ports import BandwidthPort
+from repro.memory.slm import SlmAllocation, SlmTiming
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = Cache("t", 1024, 4)
+        assert not cache.access(("s", 0))
+        assert cache.access(("s", 0))
+
+    def test_distinct_surfaces_do_not_alias(self):
+        cache = Cache("t", 1024, 4)
+        cache.access((0, 5))
+        assert not cache.access((1, 5))
+
+    def test_lru_eviction(self):
+        cache = Cache("t", 2 * 64, 2)  # one set, two ways
+        a, b, c = ("s", 0), ("s", 1), ("s", 2)
+        # Force all into the same set by picking a single-set cache.
+        assert cache.num_sets == 1
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a most recent
+        cache.access(c)  # evicts b
+        assert cache.contains(a)
+        assert not cache.contains(b)
+
+    def test_perfect_cache_always_hits(self):
+        cache = Cache("t", 64, 1, perfect=True)
+        assert cache.access(("s", 12345))
+        assert cache.stats.misses == 0
+
+    def test_stats(self):
+        cache = Cache("t", 1024, 4)
+        cache.access(("s", 0))
+        cache.access(("s", 0))
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_empty_hit_rate(self):
+        assert CacheStats().hit_rate == 1.0
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache("t", 100, 3)  # lines not divisible by assoc
+        with pytest.raises(ValueError):
+            Cache("t", 0, 1)
+
+    def test_invalidate_all(self):
+        cache = Cache("t", 1024, 4)
+        cache.access(("s", 0))
+        cache.invalidate_all()
+        assert not cache.contains(("s", 0))
+
+
+class TestLinesForAccess:
+    def test_coalesced(self):
+        # 16 consecutive 4-byte accesses fit one 64-byte line.
+        offsets = [4 * i for i in range(16)]
+        assert lines_for_access(offsets, 4) == (0,)
+
+    def test_divergent(self):
+        offsets = [128 * i for i in range(4)]
+        assert lines_for_access(offsets, 4) == (0, 2, 4, 6)
+
+    def test_straddling_access(self):
+        assert lines_for_access([62], 4) == (0, 1)
+
+
+class TestBandwidthPort:
+    def test_serialization(self):
+        port = BandwidthPort("dc", 1.0)
+        assert port.grant(0) == 0.0
+        assert port.grant(0) == 1.0
+        assert port.grant(0) == 2.0
+
+    def test_dc2_double_rate(self):
+        port = BandwidthPort("dc", 2.0)
+        assert port.grant(0) == 0.0
+        assert port.grant(0) == 0.5
+
+    def test_idle_port_starts_at_request_time(self):
+        port = BandwidthPort("dc", 1.0)
+        assert port.grant(100) == 100.0
+
+    def test_throughput(self):
+        port = BandwidthPort("dc", 1.0)
+        for _ in range(10):
+            port.grant(0)
+        assert port.throughput(20) == 0.5
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            BandwidthPort("dc", 0.0)
+
+    def test_reset(self):
+        port = BandwidthPort("dc", 1.0)
+        port.grant(5)
+        port.reset()
+        assert port.lines_transferred == 0
+        assert port.grant(0) == 0.0
+
+
+class TestSlmTiming:
+    def test_conflict_free(self):
+        slm = SlmTiming(latency=5, num_banks=16)
+        offsets = [4 * i for i in range(16)]  # one word per bank
+        assert slm.access_cycles(offsets, 0xFFFF) == 5
+
+    def test_same_word_broadcast_free(self):
+        slm = SlmTiming(latency=5, num_banks=16)
+        offsets = [0] * 16
+        assert slm.access_cycles(offsets, 0xFFFF) == 5
+
+    def test_bank_conflicts_serialize(self):
+        slm = SlmTiming(latency=5, num_banks=16)
+        offsets = [64 * i for i in range(4)]  # all hit bank 0, distinct words
+        assert slm.access_cycles(offsets, 0xF) == 5 + 3
+
+    def test_disabled_lanes_ignored(self):
+        slm = SlmTiming(latency=5, num_banks=16)
+        offsets = [0, 64, 128, 192]
+        assert slm.access_cycles(offsets, 0x1) == 5
+
+    def test_conflict_accounting(self):
+        slm = SlmTiming()
+        slm.access_cycles([0, 64], 0x3)
+        assert slm.conflict_cycles == 1
+
+    def test_allocation_padding(self):
+        assert SlmAllocation(5).data.size == 8
+        assert SlmAllocation(0).data.size >= 4
+
+
+class TestMemoryHierarchy:
+    def _hierarchy(self, **kwargs):
+        return MemoryHierarchy(MemoryParams(**kwargs))
+
+    def test_l3_hit_latency(self):
+        mem = self._hierarchy()
+        mem.access(0, [(0, 0)])  # cold miss to warm the line
+        done = mem.access(1000, [(0, 0)])
+        assert done == 1000 + mem.params.l3_latency
+
+    def test_miss_chains_latencies(self):
+        mem = self._hierarchy()
+        done = mem.access(0, [(0, 0)])
+        params = mem.params
+        expected = params.l3_latency + params.llc_latency + params.dram_latency
+        assert done == expected
+
+    def test_llc_hit_cheaper_than_dram(self):
+        mem = self._hierarchy(l3_size=64 * 64, llc_size=2 * 1024 * 1024)
+        # Touch enough lines to evict from tiny L3 while staying in LLC.
+        for i in range(200):
+            mem.access(0, [(0, i)])
+        miss_l3 = mem.access(10_000, [(0, 0)])
+        assert miss_l3 == 10_000 + mem.params.l3_latency + mem.params.llc_latency
+
+    def test_dc_bandwidth_serializes_lines(self):
+        # Warm the lines so the data-cluster port is the only constraint.
+        lines = [(0, 0), (0, 100), (0, 200), (0, 300)]
+        mem = self._hierarchy(dc_lines_per_cycle=1.0)
+        mem.access(0, lines)
+        mem.reset_ports()
+        done_one = mem.access(1000, [(0, 0)])
+        mem.reset_ports()
+        done_four = mem.access(1000, lines)
+        assert done_four == done_one + 3  # three extra port slots
+
+    def test_dc2_faster_for_divergent_access(self):
+        lines = [(0, i * 10) for i in range(8)]
+        slow = self._hierarchy(dc_lines_per_cycle=1.0)
+        fast = self._hierarchy(dc_lines_per_cycle=2.0)
+        for mem in (slow, fast):
+            mem.access(0, lines)  # warm the caches
+            mem.reset_ports()
+        assert fast.access(1000, lines) < slow.access(1000, lines)
+
+    def test_perfect_l3_never_misses(self):
+        mem = self._hierarchy(perfect_l3=True)
+        done = mem.access(0, [(0, 999)])
+        assert done == mem.params.l3_latency
+        assert mem.l3.stats.misses == 0
+
+    def test_memory_divergence_metric(self):
+        mem = self._hierarchy()
+        mem.access(0, [(0, 0)])
+        mem.access(0, [(0, 1), (0, 2), (0, 3)])
+        assert mem.memory_divergence() == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryParams(l3_latency=0).validate()
+        with pytest.raises(ValueError):
+            MemoryParams(dc_lines_per_cycle=0).validate()
+
+    def test_reset_ports(self):
+        mem = self._hierarchy()
+        mem.access(0, [(0, 0)])
+        mem.reset_ports()
+        assert mem.data_cluster.lines_transferred == 0

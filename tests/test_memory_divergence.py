@@ -1,0 +1,83 @@
+"""Memory-divergence metric tests (the paper's second efficiency axis).
+
+The paper distinguishes *compute* divergence (masked lanes) from
+*memory* divergence (distinct cache-line requests per SIMD memory
+instruction).  The workload suite spans both axes deliberately; these
+tests pin the metric's behaviour on representative kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GpuConfig
+from repro.kernels import run_workload, vector_add
+from repro.kernels.raytracing import ambient_occlusion, primary_rays
+from repro.kernels.signal import aes_round
+
+
+class TestMemoryDivergenceMetric:
+    def test_coalesced_kernel_near_one_line(self):
+        # va's loads are unit-stride: 16 lanes cover one 64-byte line.
+        result = run_workload(vector_add(n=512), GpuConfig())
+        assert result.memory_divergence <= 1.3
+
+    def test_gathered_kernel_divergent(self):
+        # AES S-box gathers hit scattered table lines.
+        result = run_workload(aes_round(blocks=256), GpuConfig())
+        assert result.memory_divergence > 2.0
+
+    def test_raytracer_bvh_fetches_highly_divergent(self):
+        # Line-sized nodes in per-ray order: up to 16 lines per fetch.
+        result = run_workload(primary_rays("bl", width_px=16), GpuConfig())
+        assert result.memory_divergence > 4.0
+
+    def test_simd8_caps_lines_at_eight(self):
+        result = run_workload(
+            ambient_occlusion("al", width_px=12, simd_width=8, ao_samples=2),
+            GpuConfig())
+        assert result.memory_divergence <= 8.0
+
+    def test_compaction_does_not_change_memory_divergence(self):
+        # The paper's claim: intra-warp compaction "intrinsically does
+        # not create additional memory divergence".
+        from repro.core.policy import CompactionPolicy
+
+        divergences = {}
+        for policy in (CompactionPolicy.IVB, CompactionPolicy.SCC):
+            result = run_workload(
+                primary_rays("al", width_px=16),
+                GpuConfig(policy=policy))
+            divergences[policy] = result.memory_divergence
+        assert divergences[CompactionPolicy.SCC] == pytest.approx(
+            divergences[CompactionPolicy.IVB])
+
+
+class TestDeepNesting:
+    def test_mask_stack_handles_deep_structures(self):
+        from repro.eu.maskstack import MaskStack
+
+        ms = MaskStack(16)
+        masks = [0xFFFF]
+        for depth in range(10):
+            flag = 0xFFFF >> (depth + 1)
+            ms.do_if(flag, target=0, target_is_else=False)
+            masks.append(ms.current)
+        assert ms.depth == 10
+        for _ in range(10):
+            ms.do_endif()
+        assert ms.current == 0xFFFF
+        assert ms.depth == 0
+
+    def test_nested_loops_with_breaks(self):
+        from repro.eu.maskstack import MaskStack
+
+        ms = MaskStack(16)
+        ms.do_do(100)           # outer loop
+        ms.do_break(0x000F)     # lanes 0-3 leave the outer loop
+        ms.do_do(100)           # inner loop (remaining lanes)
+        ms.do_break(0x00F0)     # lanes 4-7 leave the inner loop
+        assert ms.current == 0xFF00
+        ms.do_while(0x0000, 1)  # inner exits: inner breakers rejoin
+        assert ms.current == 0xFFF0
+        ms.do_while(0x0000, 1)  # outer exits: outer breakers rejoin
+        assert ms.current == 0xFFFF

@@ -1,0 +1,49 @@
+"""Package-level hygiene checks: imports, docstrings, __all__ accuracy."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for mod in pkgutil.walk_packages(repro.__path__, "repro."):
+        if mod.name.endswith("__main__"):
+            continue  # executing it runs the CLI by design
+        names.append(mod.name)
+    return names
+
+
+MODULES = _all_modules()
+
+
+class TestPackageHygiene:
+    @pytest.mark.parametrize("name", MODULES)
+    def test_module_imports(self, name):
+        importlib.import_module(name)
+
+    @pytest.mark.parametrize("name", MODULES)
+    def test_module_has_docstring(self, name):
+        module = importlib.import_module(name)
+        assert (module.__doc__ or "").strip(), f"{name} lacks a docstring"
+
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in MODULES if n.endswith("__init__") or "." not in n
+         or importlib.import_module(n).__file__.endswith("__init__.py")],
+    )
+    def test_package_all_resolves(self, name):
+        package = importlib.import_module(name)
+        for symbol in getattr(package, "__all__", []):
+            assert hasattr(package, symbol), f"{name}.__all__ lists {symbol}"
+
+    def test_version_exposed(self):
+        assert repro.__version__
+
+    def test_top_level_api_surface(self):
+        for symbol in ("KernelBuilder", "GpuSimulator", "GpuConfig",
+                       "CompactionPolicy", "scc_schedule", "bcc_schedule"):
+            assert hasattr(repro, symbol)

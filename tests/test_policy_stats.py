@@ -1,0 +1,177 @@
+"""Tests for the policy dispatcher and the compaction statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.policy import (
+    POLICY_ORDER,
+    CompactionPolicy,
+    cycles_all_policies,
+    execution_cycles,
+    parse_policy,
+)
+from repro.core.stats import (
+    CompactionStats,
+    is_divergent,
+    utilization_bucket,
+)
+
+masks16 = st.integers(min_value=0, max_value=0xFFFF)
+widths = st.sampled_from([8, 16])
+
+
+class TestExecutionCycles:
+    def test_raw_ignores_mask(self):
+        assert execution_cycles(0x0001, 16, CompactionPolicy.RAW) == 4
+
+    def test_ivb_half_rewrite(self):
+        assert execution_cycles(0x00FF, 16, CompactionPolicy.IVB) == 2
+
+    def test_bcc_skips_empty_quads(self):
+        assert execution_cycles(0xF0F0, 16, CompactionPolicy.BCC) == 2
+
+    def test_scc_optimal(self):
+        assert execution_cycles(0xAAAA, 16, CompactionPolicy.SCC) == 2
+
+    def test_min_cycles_floor(self):
+        assert execution_cycles(0, 16, CompactionPolicy.SCC, min_cycles=1) == 1
+        assert execution_cycles(0, 16, CompactionPolicy.SCC, min_cycles=0) == 0
+
+    @given(masks16, widths)
+    def test_policy_monotonicity(self, mask, width):
+        mask &= (1 << width) - 1
+        cycles = cycles_all_policies(mask, width)
+        assert (
+            cycles[CompactionPolicy.RAW]
+            >= cycles[CompactionPolicy.IVB]
+            >= cycles[CompactionPolicy.BCC]
+            >= cycles[CompactionPolicy.SCC]
+        )
+
+    @given(masks16)
+    def test_full_mask_no_policy_helps(self, mask):
+        cycles = cycles_all_policies(0xFFFF, 16)
+        assert len(set(cycles.values())) == 1
+
+
+class TestParsePolicy:
+    @pytest.mark.parametrize("name,expected", [
+        ("scc", CompactionPolicy.SCC),
+        ("BCC", CompactionPolicy.BCC),
+        ("Ivb", CompactionPolicy.IVB),
+        ("raw", CompactionPolicy.RAW),
+    ])
+    def test_valid(self, name, expected):
+        assert parse_policy(name) is expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match="unknown compaction policy"):
+            parse_policy("tbc")
+
+
+class TestUtilizationBucket:
+    @pytest.mark.parametrize("mask,width,label", [
+        (0x0001, 16, "1-4/16"),
+        (0x00FF, 16, "5-8/16"),
+        (0x0FFF, 16, "9-12/16"),
+        (0xFFFF, 16, "13-16/16"),
+        (0x03, 8, "1-4/8"),
+        (0xFF, 8, "5-8/8"),
+        (0x0, 16, "0/16"),
+        (0xF, 4, "4/4"),
+    ])
+    def test_labels(self, mask, width, label):
+        assert utilization_bucket(mask, width) == label
+
+
+class TestCompactionStats:
+    def test_simd_efficiency_empty_stream(self):
+        assert CompactionStats().simd_efficiency == 1.0
+
+    def test_simd_efficiency_half_enabled(self):
+        stats = CompactionStats()
+        stats.record(0x00FF, 16)
+        assert stats.simd_efficiency == 0.5
+
+    def test_cycles_accumulate_all_policies(self):
+        stats = CompactionStats(min_cycles=1)
+        stats.record(0xF0F0, 16)
+        stats.record(0xAAAA, 16)
+        assert stats.cycles[CompactionPolicy.RAW] == 8
+        assert stats.cycles[CompactionPolicy.IVB] == 8
+        assert stats.cycles[CompactionPolicy.BCC] == 6  # 2 + 4
+        assert stats.cycles[CompactionPolicy.SCC] == 4  # 2 + 2
+
+    def test_reduction_pct(self):
+        stats = CompactionStats(min_cycles=1)
+        stats.record(0xF0F0, 16)
+        assert stats.reduction_pct(CompactionPolicy.BCC) == pytest.approx(50.0)
+        assert stats.reduction_pct(CompactionPolicy.SCC) == pytest.approx(50.0)
+
+    def test_reduction_pct_empty(self):
+        assert CompactionStats().reduction_pct(CompactionPolicy.SCC) == 0.0
+
+    def test_bucket_fractions(self):
+        stats = CompactionStats()
+        stats.record(0x1, 16)
+        stats.record(0x1, 16)
+        stats.record(0xFFFF, 16)
+        fractions = stats.bucket_fractions()
+        assert fractions["1-4/16"] == pytest.approx(2 / 3)
+        assert fractions["13-16/16"] == pytest.approx(1 / 3)
+
+    def test_record_stream(self):
+        stats = CompactionStats()
+        stats.record_stream([(0xF, 16), (0xFF, 16)])
+        assert stats.instructions == 2
+
+    def test_merge(self):
+        a = CompactionStats()
+        a.record(0xF0F0, 16)
+        b = CompactionStats()
+        b.record(0xAAAA, 16)
+        a.merge(b)
+        assert a.instructions == 2
+        assert a.cycles[CompactionPolicy.SCC] == 4
+
+    def test_merge_min_cycles_mismatch(self):
+        a = CompactionStats(min_cycles=1)
+        b = CompactionStats(min_cycles=0)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_rf_access_savings(self):
+        stats = CompactionStats()
+        stats.record(0xF0F0, 16, num_src=2, num_dst=1)
+        # Half the quads suppressed -> half the accesses saved.
+        assert stats.rf_access_savings_pct() == pytest.approx(50.0)
+
+    def test_summary_keys(self):
+        stats = CompactionStats()
+        stats.record(0xFF, 16)
+        summary = stats.summary()
+        for key in ("instructions", "simd_efficiency", "cycles_ivb",
+                    "bcc_reduction_pct", "scc_reduction_pct"):
+            assert key in summary
+
+    @given(st.lists(masks16, min_size=1, max_size=50))
+    def test_scc_reduction_never_negative(self, masks):
+        stats = CompactionStats(min_cycles=1)
+        for mask in masks:
+            stats.record(mask, 16)
+        assert stats.reduction_pct(CompactionPolicy.SCC) >= 0.0
+        assert stats.reduction_pct(CompactionPolicy.SCC) >= stats.reduction_pct(
+            CompactionPolicy.BCC
+        )
+
+
+class TestIsDivergent:
+    def test_threshold(self):
+        assert is_divergent(0.94)
+        assert not is_divergent(0.95)
+        assert not is_divergent(1.0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            is_divergent(1.5)

@@ -1,0 +1,228 @@
+"""Tests for Program finalization and the KernelBuilder DSL."""
+
+import pytest
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import ParamKind, Program
+from repro.isa.registers import NUM_GRF_REGS, FlagRef, RegRef
+from repro.isa.types import CmpOp, DType
+
+
+def _raw_program(instructions):
+    return Program(name="t", simd_width=16, instructions=instructions)
+
+
+def _ctrl(opcode, pred=None):
+    return Instruction(opcode=opcode, width=16, pred=pred)
+
+
+class TestProgramFinalize:
+    def test_missing_eot(self):
+        prog = _raw_program([_ctrl(Opcode.ENDIF)])
+        with pytest.raises(ValueError, match="EOT"):
+            prog.finalize()
+
+    def test_if_endif_targets(self):
+        f = FlagRef(0)
+        prog = _raw_program([
+            _ctrl(Opcode.IF, f), _ctrl(Opcode.ENDIF), _ctrl(Opcode.EOT),
+        ]).finalize()
+        assert prog.instructions[0].target == 1  # jump to ENDIF
+
+    def test_if_else_endif_targets(self):
+        f = FlagRef(0)
+        prog = _raw_program([
+            _ctrl(Opcode.IF, f),      # 0
+            _ctrl(Opcode.ELSE),       # 1
+            _ctrl(Opcode.ENDIF),      # 2
+            _ctrl(Opcode.EOT),        # 3
+        ]).finalize()
+        assert prog.instructions[0].target == 2  # ELSE + 1
+        assert prog.instructions[1].target == 2  # ENDIF
+
+    def test_do_while_targets(self):
+        f = FlagRef(0)
+        prog = _raw_program([
+            _ctrl(Opcode.DO),               # 0
+            _ctrl(Opcode.BREAK, f),         # 1
+            _ctrl(Opcode.WHILE, f),         # 2
+            _ctrl(Opcode.EOT),              # 3
+        ]).finalize()
+        assert prog.instructions[2].target == 1  # back to DO+1
+        assert prog.instructions[0].target == 3  # past WHILE
+        assert prog.instructions[1].target == 3  # BREAK exits past WHILE
+
+    def test_else_without_if(self):
+        with pytest.raises(ValueError, match="ELSE"):
+            _raw_program([_ctrl(Opcode.ELSE), _ctrl(Opcode.EOT)]).finalize()
+
+    def test_endif_without_if(self):
+        with pytest.raises(ValueError, match="ENDIF"):
+            _raw_program([_ctrl(Opcode.ENDIF), _ctrl(Opcode.EOT)]).finalize()
+
+    def test_duplicate_else(self):
+        f = FlagRef(0)
+        prog = _raw_program([
+            _ctrl(Opcode.IF, f), _ctrl(Opcode.ELSE), _ctrl(Opcode.ELSE),
+            _ctrl(Opcode.ENDIF), _ctrl(Opcode.EOT),
+        ])
+        with pytest.raises(ValueError, match="duplicate ELSE"):
+            prog.finalize()
+
+    def test_unterminated_if(self):
+        f = FlagRef(0)
+        prog = _raw_program([_ctrl(Opcode.IF, f), _ctrl(Opcode.EOT)])
+        with pytest.raises(ValueError, match="unterminated IF"):
+            prog.finalize()
+
+    def test_while_without_do(self):
+        f = FlagRef(0)
+        prog = _raw_program([_ctrl(Opcode.WHILE, f), _ctrl(Opcode.EOT)])
+        with pytest.raises(ValueError, match="WHILE"):
+            prog.finalize()
+
+    def test_break_outside_loop(self):
+        f = FlagRef(0)
+        prog = _raw_program([_ctrl(Opcode.BREAK, f), _ctrl(Opcode.EOT)])
+        with pytest.raises(ValueError, match="BREAK"):
+            prog.finalize()
+
+    def test_unterminated_do(self):
+        prog = _raw_program([_ctrl(Opcode.DO), _ctrl(Opcode.EOT)])
+        with pytest.raises(ValueError, match="unterminated DO"):
+            prog.finalize()
+
+
+class TestBuilderBasics:
+    def test_finish_appends_eot_and_finalizes(self):
+        b = KernelBuilder("k", 16)
+        prog = b.finish()
+        assert prog.finalized
+        assert prog.instructions[-1].opcode is Opcode.EOT
+
+    def test_double_finish_rejected(self):
+        b = KernelBuilder("k", 16)
+        b.finish()
+        with pytest.raises(ValueError):
+            b.finish()
+
+    def test_emit_after_finish_rejected(self):
+        b = KernelBuilder("k", 16)
+        b.finish()
+        with pytest.raises(ValueError):
+            b.mov(RegRef(0), 1.0)
+
+    def test_bad_simd_width(self):
+        with pytest.raises(ValueError):
+            KernelBuilder("k", 12)
+
+    def test_vreg_spans_accumulate(self):
+        b = KernelBuilder("k", 16)
+        r0 = b.vreg(DType.F32)
+        r1 = b.vreg(DType.F32)
+        assert r1.reg == r0.reg + 2  # SIMD16 F32 spans two registers
+
+    def test_grf_exhaustion(self):
+        b = KernelBuilder("k", 16)
+        with pytest.raises(ValueError, match="exhausted"):
+            for _ in range(NUM_GRF_REGS):
+                b.vreg(DType.F32)
+
+    def test_global_id_allocated_once(self):
+        b = KernelBuilder("k", 16)
+        assert b.global_id() == b.global_id()
+
+    def test_gid_lid_regs_recorded(self):
+        b = KernelBuilder("k", 16)
+        gid = b.global_id()
+        lid = b.local_id()
+        prog = b.finish()
+        assert prog.gid_reg == gid.reg
+        assert prog.lid_reg == lid.reg
+
+    def test_lid_absent_when_unused(self):
+        b = KernelBuilder("k", 16)
+        assert b.finish().lid_reg is None
+
+
+class TestBuilderArgs:
+    def test_scalar_arg_kinds(self):
+        b = KernelBuilder("k", 16)
+        b.scalar_arg("f", DType.F32)
+        b.scalar_arg("i", DType.I32)
+        prog = b.finish()
+        kinds = {p.name: p.kind for p in prog.params}
+        assert kinds["f"] is ParamKind.SCALAR_F32
+        assert kinds["i"] is ParamKind.SCALAR_I32
+
+    def test_surface_indices_in_order(self):
+        b = KernelBuilder("k", 16)
+        assert b.surface_arg("a") == 0
+        assert b.surface_arg("b") == 1
+        prog = b.finish()
+        assert [p.name for p in prog.surface_params()] == ["a", "b"]
+
+    def test_duplicate_param_name(self):
+        b = KernelBuilder("k", 16)
+        b.surface_arg("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            b.scalar_arg("x")
+
+
+class TestBuilderControlFlow:
+    def test_if_context_manager(self):
+        b = KernelBuilder("k", 16)
+        f = b.cmp(CmpOp.LT, b.vreg(), 0.0)
+        with b.if_(f):
+            b.mov(b.vreg(), 1.0)
+        prog = b.finish()
+        opcodes = [i.opcode for i in prog.instructions]
+        assert Opcode.IF in opcodes and Opcode.ENDIF in opcodes
+
+    def test_if_else_context(self):
+        b = KernelBuilder("k", 16)
+        f = b.cmp(CmpOp.LT, b.vreg(), 0.0)
+        with b.if_(f):
+            b.mov(b.vreg(), 1.0)
+            b.else_()
+            b.mov(b.vreg(), 2.0)
+        prog = b.finish()
+        opcodes = [i.opcode for i in prog.instructions]
+        assert opcodes.count(Opcode.ELSE) == 1
+        assert opcodes.index(Opcode.ELSE) < opcodes.index(Opcode.ENDIF)
+
+    def test_do_while_loop(self):
+        b = KernelBuilder("k", 16)
+        counter = b.vreg(DType.I32)
+        b.mov(counter, 0)
+        b.do_()
+        b.add(counter, counter, 1)
+        f = b.cmp(CmpOp.LT, counter, 4)
+        b.while_(f)
+        prog = b.finish()
+        assert prog.finalized
+
+    def test_num_regs_footprint(self):
+        b = KernelBuilder("k", 16)
+        r = b.vreg(DType.F32)
+        b.mov(r, 0.0)
+        prog = b.finish()
+        assert prog.num_regs == r.reg + 2
+
+    def test_disassembly_lists_all_instructions(self):
+        b = KernelBuilder("k", 16)
+        b.mov(b.vreg(), 0.0)
+        prog = b.finish()
+        listing = prog.disassemble()
+        assert "MOV(16)" in listing and "EOT" in listing
+
+    def test_opcode_histogram(self):
+        b = KernelBuilder("k", 16)
+        b.mov(b.vreg(), 0.0)
+        b.mov(b.vreg(), 1.0)
+        prog = b.finish()
+        hist = prog.dynamic_opcode_histogram()
+        assert hist[Opcode.MOV] == 2
+        assert hist[Opcode.EOT] == 1

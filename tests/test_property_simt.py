@@ -1,0 +1,207 @@
+"""Property-based differential testing of SIMT control flow.
+
+Hypothesis generates random structured programs (nested if/else,
+data-dependent loops with per-lane trip counts, predicated arithmetic);
+each is executed three ways:
+
+1. on the cycle-level simulator under the IVB baseline,
+2. on the simulator under SCC (compaction must be functionally
+   transparent — it only reorders lanes inside the ALU), and
+3. by a scalar per-lane golden interpreter written directly in numpy.
+
+All three must agree exactly, and the policies' ALU cycle counts must
+be monotone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import CompactionPolicy
+from repro.gpu import GpuConfig, GpuSimulator
+from repro.isa.builder import KernelBuilder
+from repro.isa.registers import FlagRef
+from repro.isa.types import CmpOp, DType
+
+WIDTH = 16
+N_ITEMS = 64
+
+
+@dataclass(frozen=True)
+class Fma:
+    mul: float
+    add: float
+
+
+@dataclass(frozen=True)
+class Branch:
+    bit: int  # condition: (gid >> bit) & 1 == 1
+    then_ops: Tuple["Node", ...]
+    else_ops: Tuple["Node", ...]
+
+
+@dataclass(frozen=True)
+class ValueBranch:
+    threshold: float  # condition: acc < threshold
+    then_ops: Tuple["Node", ...]
+    else_ops: Tuple["Node", ...]
+
+
+@dataclass(frozen=True)
+class Loop:
+    trip_mask: int  # per-lane trips: (gid & trip_mask) + 1
+    body: Tuple["Node", ...]
+
+
+Node = Union[Fma, Branch, ValueBranch, Loop]
+
+_coeff = st.sampled_from([0.5, 1.0, 1.25, -0.75])
+_addend = st.sampled_from([-1.0, 0.25, 1.0, 2.0])
+_fma = st.builds(Fma, _coeff, _addend)
+
+
+def _blocks(children):
+    return st.lists(children, min_size=1, max_size=3).map(tuple)
+
+
+_node = st.recursive(
+    _fma,
+    lambda children: st.one_of(
+        st.builds(Branch, st.integers(0, 3), _blocks(children),
+                  _blocks(children)),
+        st.builds(ValueBranch, st.sampled_from([-0.5, 0.0, 1.0, 5.0]),
+                  _blocks(children), _blocks(children)),
+        st.builds(Loop, st.sampled_from([1, 3, 7]), _blocks(children)),
+    ),
+    max_leaves=8,
+)
+_programs = _blocks(_node)
+
+
+class _Emitter:
+    """Compile an AST into a kernel; also count emitted loops for flags."""
+
+    def __init__(self, ops: Tuple[Node, ...]):
+        self.b = KernelBuilder("prop", WIDTH)
+        b = self.b
+        self.gid = b.global_id()
+        self.out_surf = b.surface_arg("out")
+        self.acc = b.vreg(DType.F32)
+        b.mov(self.acc, 1.0)
+        self.tmp_i = b.vreg(DType.I32)
+        self.trip = b.vreg(DType.I32)
+        self.counter_pool = [b.vreg(DType.I32) for _ in range(8)]
+        self.depth = 0
+        self._emit_block(ops)
+        addr = b.vreg(DType.I32)
+        b.shl(addr, self.gid, 2)
+        b.store(self.acc, addr, self.out_surf)
+        self.program = b.finish()
+
+    def _emit_block(self, ops: Tuple[Node, ...]) -> None:
+        for op in ops:
+            self._emit(op)
+
+    def _emit(self, op: Node) -> None:
+        b = self.b
+        if isinstance(op, Fma):
+            b.mad(self.acc, self.acc, op.mul, op.add)
+        elif isinstance(op, Branch):
+            b.shr(self.tmp_i, self.gid, op.bit)
+            b.and_(self.tmp_i, self.tmp_i, 1)
+            flag = b.cmp(CmpOp.NE, self.tmp_i, 0)
+            with b.if_(flag):
+                self._emit_block(op.then_ops)
+                b.else_()
+                self._emit_block(op.else_ops)
+        elif isinstance(op, ValueBranch):
+            flag = b.cmp(CmpOp.LT, self.acc, op.threshold)
+            with b.if_(flag):
+                self._emit_block(op.then_ops)
+                b.else_()
+                self._emit_block(op.else_ops)
+        elif isinstance(op, Loop):
+            if self.depth >= len(self.counter_pool):
+                return  # depth cap: skip over-nested loops
+            counter = self.counter_pool[self.depth]
+            self.depth += 1
+            b.and_(self.trip, self.gid, op.trip_mask)
+            trips = b.vreg(DType.I32)
+            b.add(trips, self.trip, 1)
+            b.mov(counter, 0)
+            b.do_()
+            self._emit_block(op.body)
+            b.add(counter, counter, 1)
+            flag = b.cmp(CmpOp.LT, counter, trips, flag=FlagRef(1))
+            b.while_(flag)
+            self.depth -= 1
+        else:  # pragma: no cover
+            raise TypeError(op)
+
+
+def _golden(ops: Tuple[Node, ...], gid: int) -> np.float32:
+    """Scalar per-lane interpreter (the reference semantics)."""
+    acc = np.float32(1.0)
+
+    # Track loop depth the same way the emitter caps it.
+    def run_with_depth(block, depth):
+        nonlocal acc
+        for op in block:
+            if isinstance(op, Fma):
+                acc = np.float32(acc * np.float32(op.mul) + np.float32(op.add))
+            elif isinstance(op, Branch):
+                taken = (gid >> op.bit) & 1
+                run_with_depth(op.then_ops if taken else op.else_ops, depth)
+            elif isinstance(op, ValueBranch):
+                run_with_depth(op.then_ops if acc < np.float32(op.threshold)
+                               else op.else_ops, depth)
+            elif isinstance(op, Loop):
+                if depth >= 8:
+                    continue
+                trips = (gid & op.trip_mask) + 1
+                for _ in range(trips):
+                    run_with_depth(op.body, depth + 1)
+
+    run_with_depth(ops, 0)
+    return acc
+
+
+def _run_on_simulator(program, policy) -> Tuple[np.ndarray, dict]:
+    out = np.zeros(N_ITEMS, dtype=np.float32)
+    config = GpuConfig(num_eus=2, policy=policy)
+    result = GpuSimulator(config).run(program, N_ITEMS, buffers={"out": out})
+    return out, result.alu_stats.cycles
+
+
+@settings(max_examples=30, deadline=None)
+@given(_programs)
+def test_simulator_matches_golden_interpreter(ops):
+    program = _Emitter(ops).program
+    out, _cycles = _run_on_simulator(program, CompactionPolicy.IVB)
+    expected = np.array([_golden(ops, g) for g in range(N_ITEMS)],
+                        dtype=np.float32)
+    with np.errstate(all="ignore"):
+        np.testing.assert_array_equal(out, expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(_programs)
+def test_compaction_is_functionally_transparent(ops):
+    program = _Emitter(ops).program
+    out_ivb, _ = _run_on_simulator(program, CompactionPolicy.IVB)
+    out_scc, _ = _run_on_simulator(program, CompactionPolicy.SCC)
+    np.testing.assert_array_equal(out_ivb, out_scc)
+
+
+@settings(max_examples=20, deadline=None)
+@given(_programs)
+def test_policy_cycles_monotone_on_random_programs(ops):
+    program = _Emitter(ops).program
+    _out, cycles = _run_on_simulator(program, CompactionPolicy.IVB)
+    assert (cycles[CompactionPolicy.RAW] >= cycles[CompactionPolicy.IVB]
+            >= cycles[CompactionPolicy.BCC] >= cycles[CompactionPolicy.SCC])

@@ -1,0 +1,178 @@
+"""Unit tests for repro.core.quads (mask and quad utilities)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.quads import (
+    QUAD_WIDTH,
+    VALID_SIMD_WIDTHS,
+    active_lanes,
+    active_quad_count,
+    active_quads,
+    clamp_mask,
+    format_mask,
+    lane_of_quad,
+    lanes_by_position,
+    mask_from_lanes,
+    num_quads,
+    optimal_cycles,
+    popcount,
+    quad_masks,
+    split_halves,
+    validate_width,
+)
+
+masks16 = st.integers(min_value=0, max_value=0xFFFF)
+masks8 = st.integers(min_value=0, max_value=0xFF)
+
+
+class TestValidateWidth:
+    @pytest.mark.parametrize("width", VALID_SIMD_WIDTHS)
+    def test_valid_widths_accepted(self, width):
+        validate_width(width)  # must not raise
+
+    @pytest.mark.parametrize("width", [0, 2, 3, 5, 12, 17, 64, -8])
+    def test_invalid_widths_rejected(self, width):
+        with pytest.raises(ValueError):
+            validate_width(width)
+
+
+class TestClampMask:
+    def test_in_range_unchanged(self):
+        assert clamp_mask(0xF0F0, 16) == 0xF0F0
+
+    def test_high_bits_dropped(self):
+        assert clamp_mask(0x1FFFF, 16) == 0xFFFF
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            clamp_mask(-1, 16)
+
+
+class TestPopcount:
+    @pytest.mark.parametrize(
+        "mask,expected", [(0, 0), (1, 1), (0xF, 4), (0xF0F0, 8), (0xFFFF, 16)]
+    )
+    def test_known_values(self, mask, expected):
+        assert popcount(mask) == expected
+
+    @given(masks16)
+    def test_matches_bin_count(self, mask):
+        assert popcount(mask) == bin(mask).count("1")
+
+
+class TestActiveLanes:
+    def test_empty(self):
+        assert active_lanes(0, 16) == []
+
+    def test_pattern(self):
+        assert active_lanes(0b1010, 8) == [1, 3]
+
+    @given(masks16)
+    def test_round_trip_with_mask_from_lanes(self, mask):
+        assert mask_from_lanes(active_lanes(mask, 16), 16) == mask
+
+
+class TestNumQuads:
+    @pytest.mark.parametrize("width,expected", [(1, 1), (4, 1), (8, 2), (16, 4), (32, 8)])
+    def test_values(self, width, expected):
+        assert num_quads(width) == expected
+
+
+class TestQuadMasks:
+    def test_paper_example(self):
+        assert quad_masks(0xF0F0, 16) == [0x0, 0xF, 0x0, 0xF]
+
+    def test_simd8(self):
+        assert quad_masks(0b1111_0001, 8) == [0x1, 0xF]
+
+    @given(masks16)
+    def test_reassembly(self, mask):
+        parts = quad_masks(mask, 16)
+        rebuilt = sum(qm << (QUAD_WIDTH * q) for q, qm in enumerate(parts))
+        assert rebuilt == mask
+
+
+class TestActiveQuads:
+    def test_indices(self):
+        assert active_quads(0xF0F0, 16) == [1, 3]
+
+    def test_count_agrees_with_list(self):
+        assert active_quad_count(0xF0F0, 16) == 2
+
+    @given(masks16)
+    def test_count_matches(self, mask):
+        assert active_quad_count(mask, 16) == len(active_quads(mask, 16))
+
+
+class TestOptimalCycles:
+    @pytest.mark.parametrize(
+        "mask,width,expected",
+        [(0, 16, 0), (0x1, 16, 1), (0xF, 16, 1), (0x1F, 16, 2),
+         (0xFFFF, 16, 4), (0xAAAA, 16, 2), (0xFF, 8, 2), (0x3, 8, 1)],
+    )
+    def test_values(self, mask, width, expected):
+        assert optimal_cycles(mask, width) == expected
+
+    @given(masks16)
+    def test_ceiling_formula(self, mask):
+        expected = -(-popcount(mask) // 4)
+        assert optimal_cycles(mask, 16) == expected
+
+
+class TestLaneOfQuad:
+    def test_mapping(self):
+        assert lane_of_quad(2, 3) == 11
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            lane_of_quad(0, 4)
+
+
+class TestLanesByPosition:
+    def test_docstring_case(self):
+        assert lanes_by_position(0b0101_0101, 8) == [[0, 1], [], [0, 1], []]
+
+    @given(masks16)
+    def test_total_lanes_preserved(self, mask):
+        queues = lanes_by_position(mask, 16)
+        assert sum(len(q) for q in queues) == popcount(mask)
+
+    @given(masks16)
+    def test_queue_membership_correct(self, mask):
+        queues = lanes_by_position(mask, 16)
+        for n, queue in enumerate(queues):
+            for q in queue:
+                assert (mask >> (q * 4 + n)) & 1
+
+
+class TestMaskFromLanes:
+    def test_basic(self):
+        assert mask_from_lanes([0, 4, 8, 12], 16) == 0x1111
+
+    def test_out_of_range_lane(self):
+        with pytest.raises(ValueError):
+            mask_from_lanes([16], 16)
+
+
+class TestSplitHalves:
+    def test_f0f0(self):
+        assert split_halves(0xF0F0, 16) == (0xF0, 0xF0)
+
+    def test_lower_only(self):
+        assert split_halves(0x00FF, 16) == (0xFF, 0x00)
+
+    def test_simd1_rejected(self):
+        with pytest.raises(ValueError):
+            split_halves(1, 1)
+
+
+class TestFormatMask:
+    def test_hex_and_bits(self):
+        out = format_mask(0xF0F0, 16)
+        assert out.startswith("0xF0F0")
+        assert "XXXX....XXXX...." in out
+
+    def test_simd8_width(self):
+        assert format_mask(0x0F, 8).startswith("0x0F")

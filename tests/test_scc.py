@@ -1,0 +1,169 @@
+"""Unit and property tests for Swizzled Cycle Compression (paper Fig. 6/7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bcc import bcc_cycles
+from repro.core.quads import optimal_cycles, popcount
+from repro.core.scc import (
+    LaneSlot,
+    scc_additional_savings,
+    scc_cycles,
+    scc_schedule,
+    swizzle_settings_for_cycle,
+)
+
+masks16 = st.integers(min_value=0, max_value=0xFFFF)
+masks8 = st.integers(min_value=0, max_value=0xFF)
+masks32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestLaneSlot:
+    def test_swizzled_flag(self):
+        assert not LaneSlot(quad=1, src_lane=2, out_lane=2).swizzled
+        assert LaneSlot(quad=1, src_lane=2, out_lane=0).swizzled
+
+    def test_global_lane(self):
+        assert LaneSlot(quad=2, src_lane=3, out_lane=0).global_lane == 11
+
+
+class TestSccCycles:
+    @pytest.mark.parametrize(
+        "mask,expected",
+        [(0x0000, 0), (0x0001, 1), (0xAAAA, 2), (0x1111, 1), (0xFFFF, 4),
+         (0x5555, 2), (0x0101, 1), (0xF0F0, 2)],
+    )
+    def test_known_masks(self, mask, expected):
+        assert scc_cycles(mask, 16) == expected
+
+    @given(masks16)
+    def test_equals_optimal(self, mask):
+        assert scc_cycles(mask, 16) == optimal_cycles(mask, 16)
+
+    def test_dtype_factor(self):
+        assert scc_cycles(0xAAAA, 16, dtype_factor=2) == 4
+
+
+class TestPaperFigure7Example:
+    """The worked example of paper Figure 7: mask 0101 0101 0101 0101."""
+
+    MASK = 0b0101_0101_0101_0101  # lanes 0 and 2 of every quad
+
+    def test_two_cycles(self):
+        schedule = scc_schedule(self.MASK, 16)
+        assert schedule.cycle_count == 2  # 8 active lanes / 4
+
+    def test_not_bcc_only(self):
+        schedule = scc_schedule(self.MASK, 16)
+        assert not schedule.bcc_only  # BCC alone would need 4 cycles
+        assert bcc_cycles(self.MASK, 16) == 4
+
+    def test_four_swizzles_total(self):
+        # Figure 7 shows two swizzles per cycle (L1->L0-type moves are
+        # from surplus lanes 0 and 2 into empty slots 1 and 3).
+        schedule = scc_schedule(self.MASK, 16)
+        assert schedule.swizzle_count == 4
+
+    def test_every_cycle_fully_packed(self):
+        schedule = scc_schedule(self.MASK, 16)
+        for cycle in schedule.cycles:
+            assert len(cycle) == 4
+
+    def test_covers_exactly_active_lanes(self):
+        schedule = scc_schedule(self.MASK, 16)
+        expected = [l for l in range(16) if (self.MASK >> l) & 1]
+        assert sorted(schedule.covered_lanes()) == expected
+
+
+class TestSccScheduleInvariants:
+    @given(masks16)
+    def test_partition_of_active_lanes_simd16(self, mask):
+        schedule = scc_schedule(mask, 16)
+        covered = sorted(schedule.covered_lanes())
+        assert covered == [l for l in range(16) if (mask >> l) & 1]
+
+    @given(masks8)
+    def test_partition_of_active_lanes_simd8(self, mask):
+        schedule = scc_schedule(mask, 8)
+        covered = sorted(schedule.covered_lanes())
+        assert covered == [l for l in range(8) if (mask >> l) & 1]
+
+    @given(masks32)
+    def test_partition_of_active_lanes_simd32(self, mask):
+        schedule = scc_schedule(mask, 32)
+        covered = sorted(schedule.covered_lanes())
+        assert covered == [l for l in range(32) if (mask >> l) & 1]
+
+    @given(masks16)
+    def test_cycle_count_is_optimal(self, mask):
+        assert scc_schedule(mask, 16).cycle_count == optimal_cycles(mask, 16)
+
+    @given(masks16)
+    def test_no_output_slot_driven_twice(self, mask):
+        for cycle in scc_schedule(mask, 16).cycles:
+            outs = [slot.out_lane for slot in cycle]
+            assert len(outs) == len(set(outs))
+
+    @given(masks16)
+    def test_at_most_four_slots_per_cycle(self, mask):
+        for cycle in scc_schedule(mask, 16).cycles:
+            assert len(cycle) <= 4
+
+    @given(masks16)
+    def test_bcc_only_flag_consistency(self, mask):
+        schedule = scc_schedule(mask, 16)
+        if schedule.bcc_only:
+            assert bcc_cycles(mask, 16) == optimal_cycles(mask, 16)
+            assert schedule.swizzle_count == 0
+
+    @given(masks16)
+    def test_unswizzle_is_inverse(self, mask):
+        schedule = scc_schedule(mask, 16)
+        for cycle, unswizzle in zip(schedule.cycles, schedule.unswizzle_settings()):
+            routed = {out: (q, lane) for out, q, lane in unswizzle}
+            for slot in cycle:
+                assert routed[slot.out_lane] == (slot.quad, slot.src_lane)
+
+    @given(masks16)
+    def test_deterministic(self, mask):
+        assert scc_schedule(mask, 16) == scc_schedule(mask, 16)
+
+
+class TestSccAdditionalSavings:
+    @given(masks16)
+    def test_definition(self, mask):
+        assert scc_additional_savings(mask, 16) == (
+            bcc_cycles(mask, 16) - scc_cycles(mask, 16)
+        )
+
+    def test_strided_mask_saves_beyond_bcc(self):
+        # 0x1111 (one lane per quad): BCC 4 cycles, SCC 1 cycle.
+        assert scc_additional_savings(0x1111, 16) == 3
+
+
+class TestSwizzleSettings:
+    def test_settings_for_packed_cycle(self):
+        schedule = scc_schedule(0b0101_0101_0101_0101, 16)
+        settings = swizzle_settings_for_cycle(schedule.cycles[0])
+        assert len(settings) == 4
+        assert all(s is not None for s in settings)
+
+    def test_disabled_slots_are_none(self):
+        schedule = scc_schedule(0x0001, 16)
+        settings = swizzle_settings_for_cycle(schedule.cycles[0])
+        assert settings[0] == (0, 0)
+        assert settings[1:] == [None, None, None]
+
+    def test_duplicate_out_lane_rejected(self):
+        bad = (LaneSlot(0, 0, 0), LaneSlot(1, 1, 0))
+        with pytest.raises(ValueError):
+            swizzle_settings_for_cycle(bad)
+
+
+class TestEmptyMask:
+    def test_zero_cycles(self):
+        schedule = scc_schedule(0, 16)
+        assert schedule.cycle_count == 0
+        assert schedule.cycles == ()
+        assert schedule.bcc_only

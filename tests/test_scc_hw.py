@@ -1,0 +1,77 @@
+"""Tests for the SCC control-word encoding (Figure 5c/7 hardware view)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.scc import scc_schedule
+from repro.core.scc_hw import (
+    ControlWord,
+    control_bits_per_instruction,
+    control_stream,
+    decode_cycle,
+    encode_cycle,
+    encode_schedule,
+)
+
+masks16 = st.integers(min_value=0, max_value=0xFFFF)
+masks32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestRoundTrip:
+    @given(masks16)
+    def test_encode_decode_simd16(self, mask):
+        schedule = scc_schedule(mask, 16)
+        for cycle, word in zip(schedule.cycles, encode_schedule(schedule)):
+            decoded = decode_cycle(word)
+            assert set(decoded) == set(cycle)
+
+    @given(masks32)
+    def test_encode_decode_simd32(self, mask):
+        schedule = scc_schedule(mask, 32)
+        for cycle, word in zip(schedule.cycles, encode_schedule(schedule)):
+            assert set(decode_cycle(word)) == set(cycle)
+
+    def test_figure7_mask_words(self):
+        words = control_stream(0xAAAA, 16)
+        assert len(words) == 2  # the Figure 7 example takes two cycles
+        # Every output lane is enabled in both cycles (fully packed).
+        for word in words:
+            assert all(field is not None for field in word.lane_fields())
+
+    def test_empty_mask_no_words(self):
+        assert control_stream(0, 16) == []
+
+    def test_disabled_lanes_encoded_as_zero(self):
+        words = control_stream(0x0001, 16)
+        assert len(words) == 1
+        fields = words[0].lane_fields()
+        assert fields[0] == (0, 0)
+        assert fields[1:] == [None, None, None]
+
+
+class TestEncoding:
+    def test_duplicate_output_lane_rejected(self):
+        from repro.core.scc import LaneSlot
+
+        with pytest.raises(ValueError):
+            encode_cycle((LaneSlot(0, 0, 0), LaneSlot(1, 1, 0)), 16)
+
+    def test_bits_per_lane_simd16(self):
+        word = ControlWord(width=16, value=0)
+        assert word.bits_per_lane == 5  # enable + 2 src + 2 quad
+
+    def test_bits_per_lane_simd32(self):
+        word = ControlWord(width=32, value=0)
+        assert word.bits_per_lane == 6  # 3 quad bits for 8 quads
+
+    def test_control_bits_budget(self):
+        # SIMD16: 4 cycles x 4 lanes x 5 bits.
+        assert control_bits_per_instruction(16) == 80
+        # SIMD8: 2 cycles x 4 lanes x 4 bits (1 quad bit).
+        assert control_bits_per_instruction(8) == 32
+
+    @given(masks16)
+    def test_word_fits_declared_bits(self, mask):
+        for word in control_stream(mask, 16):
+            assert word.value < (1 << (word.bits_per_lane * 4))

@@ -1,0 +1,72 @@
+"""Additional solver-workload internals: launch schedules and tails.
+
+The iterative solvers (Gauss, LU, NW, FW, PathFinder, bitonic sort) all
+drive the simulator through multi-launch host loops with shrinking or
+sweeping geometry; these tests pin the schedules themselves, separate
+from the numerical checks that run in the main workload tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.rodinia.nw import nw
+from repro.kernels.signal import bitonic_sort
+from repro.kernels.solvers import floyd_warshall, gauss, pathfinder
+
+
+def _steps_of(workload):
+    return list(workload.iter_steps())
+
+
+class TestLaunchSchedules:
+    def test_gauss_shrinking_launches(self):
+        dim = 10
+        steps = _steps_of(gauss(dim=dim))
+        assert len(steps) == dim - 1
+        sizes = [s.global_size for s in steps]
+        # (rows x cols) shrinks every pivot: strictly decreasing.
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[0] == (dim - 1) * dim
+        assert sizes[-1] == 1 * 2
+
+    def test_fw_constant_launches(self):
+        n = 8
+        steps = _steps_of(floyd_warshall(num_vertices=n))
+        assert len(steps) == n
+        assert all(s.global_size == n * n for s in steps)
+        assert [s.scalars["k"] for s in steps] == list(range(n))
+
+    def test_pathfinder_row_sweep(self):
+        steps = _steps_of(pathfinder(cols=64, rows=5))
+        assert [s.scalars["row"] for s in steps] == [1, 2, 3, 4]
+
+    def test_nw_diagonal_sweep_covers_matrix(self):
+        dim = 10
+        steps = _steps_of(nw(dim=dim))
+        assert len(steps) == 2 * dim - 3
+        # Launch sizes grow with the diagonal index (i in [1, d-1]).
+        assert [s.global_size for s in steps] == [d - 1 for d in
+                                                  range(2, 2 * dim - 1)]
+
+    def test_bitonic_pass_count(self):
+        n = 64  # log2(64)=6 -> 6*7/2 = 21 passes
+        steps = _steps_of(bitonic_sort(n=n))
+        assert len(steps) == 21
+        # Final pass has stride 1 and full size.
+        assert steps[-1].scalars["dist"] == 1
+        assert steps[-1].scalars["size"] == n
+
+
+class TestHostLoopsAreRestartable:
+    def test_iter_steps_can_run_twice_for_static_schedules(self):
+        workload = floyd_warshall(num_vertices=6)
+        first = [s.scalars["k"] for s in workload.iter_steps()]
+        second = [s.scalars["k"] for s in workload.iter_steps()]
+        assert first == second
+
+    def test_gauss_schedule_independent_of_buffers(self):
+        workload = gauss(dim=8)
+        before = [s.global_size for s in workload.iter_steps()]
+        workload.buffers["A"][:] = 0.0  # schedule must not depend on data
+        after = [s.global_size for s in workload.iter_steps()]
+        assert before == after

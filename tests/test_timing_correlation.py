@@ -1,0 +1,142 @@
+"""Timing-model correlation against closed-form expectations.
+
+The paper correlated GPGenSim's EU model with hardware micro-benchmarks
+to within 2 %.  We have no hardware, but the timing model has analytic
+consequences that simple kernels must exhibit; these tests pin them:
+
+* a dependent FMA chain is paced by occupancy + result latency;
+* independent FMAs are paced by pipe occupancy alone (4 cycles per
+  SIMD16 instruction on the 4-wide FPU);
+* BCC-compressed instructions are paced by the issue stage once quads
+  shrink below the issue period.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import CompactionPolicy
+from repro.gpu import GpuConfig, GpuSimulator
+from repro.isa.builder import KernelBuilder
+from repro.isa.opcodes import Opcode
+from repro.isa.types import DType
+
+
+def _run_single_thread(program, simd_width=16):
+    out = np.zeros(simd_width, dtype=np.float32)
+    config = GpuConfig(num_eus=1, threads_per_eu=1)
+    result = GpuSimulator(config).run(program, simd_width,
+                                      buffers={"out": out})
+    return result
+
+
+def _chain_kernel(k, independent=False, pred=None):
+    b = KernelBuilder("chain", 16)
+    gid = b.global_id()
+    out = b.surface_arg("out")
+    regs = [b.vreg(DType.F32) for _ in range(4)]
+    for reg in regs:
+        b.mov(reg, 1.0)
+    for i in range(k):
+        reg = regs[i % 4] if independent else regs[0]
+        b.mad(reg, reg, 1.0001, 0.25, pred=pred)
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    b.store(regs[0], addr, out)
+    return b.finish()
+
+
+class TestClosedFormPacing:
+    def test_dependent_chain_paced_by_latency(self):
+        # Spacing per dependent MAD: occupancy(4) + latency(5), rounded
+        # up to the next arbitration boundary -> 10 cycles.
+        k = 64
+        cycles = _run_single_thread(_chain_kernel(k)).total_cycles
+        expected = 10 * k
+        assert expected * 0.9 <= cycles <= expected * 1.3
+
+    def test_independent_stream_paced_by_occupancy(self):
+        # Four-register rotation removes the dependence: the FPU accepts
+        # a new SIMD16 instruction every 4 cycles.
+        k = 64
+        cycles = _run_single_thread(_chain_kernel(k, independent=True)).total_cycles
+        expected = 4 * k
+        assert expected * 0.9 <= cycles <= expected * 1.4
+
+    def test_dependent_vs_independent_ratio(self):
+        k = 64
+        dep = _run_single_thread(_chain_kernel(k)).total_cycles
+        ind = _run_single_thread(_chain_kernel(k, independent=True)).total_cycles
+        assert dep / ind == pytest.approx(10 / 4, rel=0.25)
+
+    def test_simd8_halves_occupancy(self):
+        def kernel(width):
+            b = KernelBuilder("w", width)
+            gid = b.global_id()
+            out = b.surface_arg("out")
+            regs = [b.vreg(DType.F32) for _ in range(4)]
+            for reg in regs:
+                b.mov(reg, 1.0)
+            for i in range(64):
+                b.mad(regs[i % 4], regs[i % 4], 1.0001, 0.25)
+            addr = b.vreg(DType.I32)
+            b.shl(addr, gid, 2)
+            b.store(regs[0], addr, out)
+            return b.finish()
+
+        c16 = _run_single_thread(kernel(16), 16).total_cycles
+        c8 = _run_single_thread(kernel(8), 8).total_cycles
+        # SIMD8 occupies the pipe 2 cycles/instr, but the issue stage
+        # allows only one instruction per 2 cycles from a single thread,
+        # so both run at the 2-cycle floor... SIMD16 at 4.
+        assert c16 / c8 == pytest.approx(2.0, rel=0.3)
+
+    def test_bcc_reaches_issue_floor(self):
+        # Mask 0x000F under BCC: 1 quad cycle per MAD, but a lone thread
+        # can only issue every other cycle -> 2 cycles per instruction.
+        k = 64
+        program = _chain_kernel(k, independent=True)
+        # Build the same kernel but predicated to a single quad.
+        b = KernelBuilder("pred", 16)
+        gid = b.global_id()
+        out = b.surface_arg("out")
+        lane = b.vreg(DType.I32)
+        b.and_(lane, gid, 15)
+        from repro.isa.types import CmpOp
+
+        flag = b.cmp(CmpOp.LT, lane, 4)
+        regs = [b.vreg(DType.F32) for _ in range(4)]
+        for reg in regs:
+            b.mov(reg, 1.0)
+        for i in range(k):
+            b.mad(regs[i % 4], regs[i % 4], 1.0001, 0.25, pred=flag)
+        addr = b.vreg(DType.I32)
+        b.shl(addr, gid, 2)
+        b.store(regs[0], addr, out)
+        masked = b.finish()
+
+        out_buf = np.zeros(16, dtype=np.float32)
+        config = GpuConfig(num_eus=1, threads_per_eu=1,
+                           policy=CompactionPolicy.BCC)
+        cycles = GpuSimulator(config).run(masked, 16,
+                                          buffers={"out": out_buf}).total_cycles
+        # Issue floor: one instruction per issue period (2 cycles).
+        expected = 2 * k
+        assert expected * 0.8 <= cycles <= expected * 1.6
+
+    def test_issue_width_four_breaks_the_floor(self):
+        # With two instructions per pass from the same... still distinct
+        # threads required: add a second thread via two SIMD16 slices.
+        program = _chain_kernel(64, independent=True)
+        out = np.zeros(32, dtype=np.float32)
+        config = GpuConfig(num_eus=1, threads_per_eu=2,
+                           policy=CompactionPolicy.IVB)
+        two_threads = GpuSimulator(config).run(
+            program, 32, buffers={"out": out}).total_cycles
+        out = np.zeros(16, dtype=np.float32)
+        config1 = GpuConfig(num_eus=1, threads_per_eu=1,
+                            policy=CompactionPolicy.IVB)
+        one_thread = GpuSimulator(config1).run(
+            program, 16, buffers={"out": out}).total_cycles
+        # Twice the work on two threads costs ~2x one thread's time when
+        # occupancy-bound (the pipe is already saturated by one thread).
+        assert two_threads == pytest.approx(2 * one_thread, rel=0.25)

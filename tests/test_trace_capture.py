@@ -1,0 +1,64 @@
+"""Cross-validation of the two evaluation methodologies.
+
+The paper uses execution-driven simulation where possible and trace
+profiling elsewhere (Section 5.1).  Here the simulator *captures* its
+own instruction-mask stream (the instrumented functional model) and the
+trace profiler replays it: the EU-cycle reductions must agree exactly,
+proving both paths implement the same cycle model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import CompactionPolicy
+from repro.gpu import GpuConfig, GpuSimulator
+from repro.kernels import WORKLOAD_REGISTRY
+from repro.trace.format import TraceEvent, write_trace, load_trace
+from repro.trace.profiler import profile_trace
+
+
+def _capture(name):
+    workload = WORKLOAD_REGISTRY[name]()
+    sink = []
+    sim = GpuSimulator(GpuConfig())
+    results = []
+    for step in workload.iter_steps():
+        results.append(sim.run(workload.program, step.global_size,
+                               step.local_size, workload.buffers,
+                               step.scalars, trace_sink=sink))
+    from repro.gpu.results import merge_results
+
+    return merge_results(results), sink
+
+
+class TestCapture:
+    @pytest.mark.parametrize("name", ["gnoise", "kmeans", "nested_l2"])
+    def test_methodologies_agree_exactly(self, name):
+        result, sink = _capture(name)
+        profile = profile_trace(name, sink)
+        for policy in (CompactionPolicy.BCC, CompactionPolicy.SCC):
+            assert profile.stats.reduction_pct(policy) == pytest.approx(
+                result.eu_cycle_reduction_pct(policy), abs=1e-9)
+
+    def test_event_count_matches_alu_instructions(self):
+        result, sink = _capture("nested_l1")
+        assert len(sink) == result.alu_stats.instructions
+
+    def test_events_are_valid(self):
+        _result, sink = _capture("gnoise")
+        assert all(isinstance(e, TraceEvent) for e in sink)
+        assert all(e.width in (8, 16, 32) for e in sink)
+
+    def test_captured_trace_round_trips_to_disk(self, tmp_path):
+        _result, sink = _capture("nested_l1")
+        path = tmp_path / "captured.trace"
+        write_trace(sink, path)
+        assert load_trace(path) == sink
+
+    def test_no_sink_no_capture(self):
+        workload = WORKLOAD_REGISTRY["nested_l1"]()
+        sim = GpuSimulator(GpuConfig())
+        step = next(workload.iter_steps())
+        result = sim.run(workload.program, step.global_size, step.local_size,
+                         workload.buffers, step.scalars)
+        assert result.instructions > 0  # plain run unaffected

@@ -1,0 +1,91 @@
+"""Tests for trace transformations (widen/narrow/subsample)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quads import popcount
+from repro.trace import (
+    TraceEvent,
+    narrow_trace,
+    profile_trace,
+    subsample_trace,
+    trace_events,
+    widen_trace,
+)
+
+masks16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestWiden:
+    def test_pairs_fuse(self):
+        events = [TraceEvent(16, 0x00FF), TraceEvent(16, 0xFF00)]
+        wide = list(widen_trace(events, 2))
+        assert wide == [TraceEvent(32, 0xFF0000FF)]
+
+    def test_tail_group_padded(self):
+        wide = list(widen_trace([TraceEvent(16, 0x000F)], 2))
+        assert wide == [TraceEvent(32, 0x000F)]
+
+    def test_factor_one_identity(self):
+        events = [TraceEvent(16, 0xAAAA)]
+        assert list(widen_trace(events, 1)) == events
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            list(widen_trace([], 3))
+
+    def test_unsupported_fused_width(self):
+        with pytest.raises(ValueError):
+            list(widen_trace([TraceEvent(32, 0x1)], 2))  # SIMD64 unsupported
+
+    def test_shapes_fuse_independently(self):
+        events = [TraceEvent(16, 0x1), TraceEvent(8, 0x1),
+                  TraceEvent(16, 0x2), TraceEvent(8, 0x2)]
+        wide = sorted(widen_trace(events, 2), key=lambda e: e.width)
+        assert wide[0].width == 16 and wide[0].mask == 0x201
+        assert wide[1].width == 32 and wide[1].mask == 0x20001
+
+    @given(st.lists(masks16, min_size=1, max_size=20))
+    def test_active_lanes_preserved(self, masks):
+        events = [TraceEvent(16, m) for m in masks]
+        total = sum(popcount(m) for m in masks)
+        widened = list(widen_trace(events, 2))
+        assert sum(popcount(e.mask) for e in widened) == total
+
+
+class TestNarrow:
+    def test_split(self):
+        narrow = list(narrow_trace([TraceEvent(32, 0xFF0000FF)], 2))
+        assert narrow == [TraceEvent(16, 0x00FF), TraceEvent(16, 0xFF00)]
+
+    def test_round_trip_full_groups(self):
+        events = [TraceEvent(16, 0x1234), TraceEvent(16, 0xABCD)]
+        assert list(narrow_trace(widen_trace(events, 2), 2)) == events
+
+    def test_indivisible_width(self):
+        with pytest.raises(ValueError):
+            list(narrow_trace([TraceEvent(4, 0xF)], 8))
+
+
+class TestSubsample:
+    def test_keep_every_two(self):
+        events = [TraceEvent(16, m) for m in (1, 2, 3, 4, 5)]
+        kept = list(subsample_trace(events, 2))
+        assert [e.mask for e in kept] == [1, 3, 5]
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            list(subsample_trace([], 0))
+
+
+class TestConclusionClaim:
+    def test_wider_machines_gain_more(self):
+        """Paper conclusion: intra-warp compaction benefit grows with
+        SIMD width on the same divergence behaviour."""
+        base = list(trace_events("luxmark_sky"))
+        reductions = []
+        for factor in (1, 2, 4):
+            profile = profile_trace("w", widen_trace(base, factor))
+            reductions.append(profile.scc_reduction_pct)
+        assert reductions[0] < reductions[1] < reductions[2]

@@ -1,0 +1,120 @@
+"""Tests for the workload framework itself (steps, verification, sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import CompactionPolicy
+from repro.gpu import GpuConfig
+from repro.isa.builder import KernelBuilder
+from repro.isa.types import DType
+from repro.kernels.workload import (
+    LaunchStep,
+    Workload,
+    run_workload,
+    run_workload_all_policies,
+)
+
+
+def _store_gid_program():
+    b = KernelBuilder("store_gid", 16)
+    gid = b.global_id()
+    out = b.surface_arg("out")
+    addr = b.vreg(DType.I32)
+    b.shl(addr, gid, 2)
+    b.store(gid, addr, out)
+    return b.finish()
+
+
+def _simple_workload(n=64, steps=None, check=None, max_steps=10_000):
+    return Workload(
+        name="simple",
+        program=_store_gid_program(),
+        buffers={"out": np.zeros(n, dtype=np.int32)},
+        steps=steps if steps is not None else [LaunchStep(global_size=n)],
+        check=check,
+        max_steps=max_steps,
+    )
+
+
+class TestStaticSteps:
+    def test_single_launch(self):
+        workload = _simple_workload()
+        result = run_workload(workload, GpuConfig())
+        assert result.workgroups >= 1
+        np.testing.assert_array_equal(workload.buffers["out"], np.arange(64))
+
+    def test_multiple_static_steps_accumulate(self):
+        workload = _simple_workload(
+            steps=[LaunchStep(global_size=64), LaunchStep(global_size=64)])
+        result = run_workload(workload, GpuConfig())
+        single = run_workload(_simple_workload(), GpuConfig())
+        assert result.instructions == 2 * single.instructions
+
+
+class TestDynamicSteps:
+    def test_host_loop_terminates_on_none(self):
+        calls = []
+
+        def steps(buffers, index):
+            calls.append(index)
+            if index >= 3:
+                return None
+            return LaunchStep(global_size=64)
+
+        run_workload(_simple_workload(steps=steps), GpuConfig())
+        assert calls == [0, 1, 2, 3]
+
+    def test_runaway_host_loop_guarded(self):
+        workload = _simple_workload(
+            steps=lambda buffers, index: LaunchStep(global_size=64),
+            max_steps=5)
+        with pytest.raises(RuntimeError, match="max_steps"):
+            run_workload(workload, GpuConfig())
+
+    def test_zero_launches_rejected(self):
+        workload = _simple_workload(steps=lambda buffers, index: None)
+        with pytest.raises(RuntimeError, match="no launches"):
+            run_workload(workload, GpuConfig())
+
+
+class TestVerification:
+    def test_check_called(self):
+        seen = {}
+
+        def check(buffers):
+            seen["called"] = True
+
+        run_workload(_simple_workload(check=check), GpuConfig())
+        assert seen["called"]
+
+    def test_verify_false_skips_check(self):
+        def check(buffers):
+            raise AssertionError("must not run")
+
+        run_workload(_simple_workload(check=check), GpuConfig(), verify=False)
+
+    def test_failing_check_propagates(self):
+        def check(buffers):
+            raise AssertionError("wrong answer")
+
+        with pytest.raises(AssertionError, match="wrong answer"):
+            run_workload(_simple_workload(check=check), GpuConfig())
+
+
+class TestPolicySweep:
+    def test_all_policies_run_fresh_instances(self):
+        instances = []
+
+        def factory():
+            workload = _simple_workload()
+            instances.append(workload)
+            return workload
+
+        results = run_workload_all_policies(factory)
+        assert set(results) == {"ivb", "bcc", "scc"}
+        assert len(instances) == 3  # one pristine instance per policy
+
+    def test_custom_policy_list(self):
+        results = run_workload_all_policies(
+            _simple_workload, policies=(CompactionPolicy.RAW,))
+        assert set(results) == {"raw"}

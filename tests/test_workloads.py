@@ -1,0 +1,183 @@
+"""Functional verification of the workload suite (small problem sizes).
+
+Every workload's device results are checked against its host reference
+inside ``run_workload(verify=True)``, so each test here certifies both
+that the kernel executes and that it computes the right answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GpuConfig
+from repro.kernels import (
+    WORKLOAD_REGISTRY,
+    bfs,
+    binomial_option,
+    black_scholes,
+    box_filter,
+    dot_product,
+    eigenvalue,
+    gaussian_noise,
+    hotspot,
+    kmeans_assign,
+    knn,
+    lavamd,
+    matrix_multiply,
+    matrix_vector,
+    mersenne_mix,
+    monte_carlo_asian,
+    nw,
+    particlefilter,
+    run_workload,
+    scan_reduce,
+    sobel,
+    transpose,
+    vector_add,
+)
+from repro.kernels.raytracing import ambient_occlusion, primary_rays
+
+CONFIG = GpuConfig()
+
+
+def _run(workload):
+    return run_workload(workload, CONFIG, verify=True)
+
+
+class TestCoherentWorkloads:
+    def test_vector_add(self):
+        result = _run(vector_add(n=512))
+        assert result.simd_efficiency > 0.99
+
+    def test_dot_product(self):
+        result = _run(dot_product(n=512))
+        assert result.simd_efficiency > 0.99
+
+    def test_matrix_vector(self):
+        result = _run(matrix_vector(rows=64, cols=32))
+        assert result.simd_efficiency > 0.99
+
+    def test_transpose(self):
+        result = _run(transpose(dim=32))
+        assert result.simd_efficiency > 0.99
+
+    def test_matrix_multiply(self):
+        result = _run(matrix_multiply(dim=16))
+        assert result.simd_efficiency > 0.99
+
+    def test_black_scholes(self):
+        result = _run(black_scholes(n=256))
+        assert result.simd_efficiency > 0.99
+
+    def test_binomial(self):
+        result = _run(binomial_option(n=128, depth=8))
+        assert result.simd_efficiency > 0.99
+
+    def test_box_filter(self):
+        result = _run(box_filter(dim=24))
+        assert result.simd_efficiency > 0.95
+
+    def test_mersenne(self):
+        result = _run(mersenne_mix(n=256, rounds=8))
+        assert result.simd_efficiency > 0.99
+
+
+class TestDivergentWorkloads:
+    def test_monte_carlo_asian(self):
+        result = _run(monte_carlo_asian(n=256, max_steps=12))
+        assert result.simd_efficiency < 1.0
+
+    def test_sobel(self):
+        result = _run(sobel(dim=24))
+        assert result.simd_efficiency < 1.0
+
+    def test_gaussian_noise(self):
+        result = _run(gaussian_noise(n=256))
+        assert result.simd_efficiency < 0.95
+
+    def test_kmeans(self):
+        result = _run(kmeans_assign(num_points=256, num_clusters=4))
+        assert result.simd_efficiency < 1.0
+
+    def test_knn(self):
+        result = _run(knn(num_points=64, num_queries=64))
+        assert result.instructions > 0
+
+    def test_eigenvalue(self):
+        result = _run(eigenvalue(matrix_dim=8, bisect_iters=16))
+        assert result.simd_efficiency < 1.0
+
+    def test_scan_reduce(self):
+        result = _run(scan_reduce(n=256, local_size=64))
+        assert result.simd_efficiency < 0.95
+
+
+class TestRodiniaWorkloads:
+    def test_bfs(self):
+        result = _run(bfs(num_nodes=256, avg_degree=4))
+        assert result.simd_efficiency < 0.6  # frontier sparsity
+
+    def test_hotspot(self):
+        result = _run(hotspot(dim=24, iterations=2))
+        assert result.simd_efficiency < 1.0
+
+    def test_lavamd(self):
+        result = _run(lavamd(num_particles=128, max_neighbors=12))
+        assert result.simd_efficiency < 0.7
+
+    def test_nw(self):
+        result = _run(nw(dim=24))
+        assert result.simd_efficiency < 0.95
+
+    def test_particlefilter(self):
+        result = _run(particlefilter(num_particles=128))
+        assert result.instructions > 0
+
+
+class TestRayTracingWorkloads:
+    def test_primary_rays(self):
+        result = _run(primary_rays("conf", width_px=16))
+        assert result.simd_efficiency < 1.0
+
+    def test_primary_rays_scene_variation(self):
+        dense = _run(primary_rays("conf", width_px=16))
+        sparse = _run(primary_rays("wm", width_px=16))
+        assert dense.kernel != sparse.kernel
+
+    def test_ambient_occlusion_simd8(self):
+        result = _run(ambient_occlusion("al", width_px=12, simd_width=8,
+                                        ao_samples=2))
+        assert result.simd_efficiency < 0.9
+
+    def test_ambient_occlusion_simd16(self):
+        result = _run(ambient_occlusion("al", width_px=12, simd_width=16,
+                                        ao_samples=2))
+        assert result.simd_efficiency < 0.9
+
+    def test_simd16_less_efficient_than_simd8(self):
+        # Paper: wider SIMD suffers more from divergence.
+        r8 = _run(ambient_occlusion("bl", width_px=12, simd_width=8,
+                                    ao_samples=2))
+        r16 = _run(ambient_occlusion("bl", width_px=12, simd_width=16,
+                                     ao_samples=2))
+        assert r16.simd_efficiency < r8.simd_efficiency
+
+
+class TestRegistry:
+    def test_registry_complete(self):
+        assert len(WORKLOAD_REGISTRY) >= 30
+
+    def test_factories_return_fresh_instances(self):
+        a = WORKLOAD_REGISTRY["va"]()
+        b = WORKLOAD_REGISTRY["va"]()
+        assert a.buffers["c"] is not b.buffers["c"]
+
+    def test_workload_names_match_keys(self):
+        for name in ("va", "bfs", "hotspot", "mca"):
+            assert WORKLOAD_REGISTRY[name]().name == name
+
+    def test_check_detects_corruption(self):
+        workload = vector_add(n=64)
+        _run(workload)
+        workload.buffers["c"][0] += 1.0
+        with pytest.raises(AssertionError):
+            workload.verify()

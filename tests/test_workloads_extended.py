@@ -1,0 +1,146 @@
+"""Functional verification of the extended workload suite.
+
+Covers the Table 1 stand-ins added beyond the initial set: solvers
+(Gauss, LU, Trd, FW, Path), signal/media (DCT8, FWHT, DWTH, SCnv,
+Bsort, AES), and search/learning (Bsearch, BP, HMM, SRD).  Every test
+runs the workload's host-reference check via ``run_workload``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GpuConfig
+from repro.kernels import WORKLOAD_REGISTRY, run_workload
+from repro.kernels.learn import backprop_layer, binary_search, hmm_viterbi, srad
+from repro.kernels.signal import (
+    aes_round,
+    bitonic_sort,
+    convolution,
+    dct8,
+    fwht,
+    haar_dwt,
+)
+from repro.kernels.solvers import (
+    floyd_warshall,
+    gauss,
+    lu_decompose,
+    pathfinder,
+    tridiagonal,
+)
+
+CONFIG = GpuConfig()
+
+
+def _run(workload):
+    return run_workload(workload, CONFIG, verify=True)
+
+
+class TestSolvers:
+    def test_gauss(self):
+        result = _run(gauss(dim=16))
+        assert result.workgroups > 0
+
+    def test_gauss_divergence_from_shrinking_launches(self):
+        result = _run(gauss(dim=16))
+        assert result.simd_efficiency < 1.0
+
+    def test_lu(self):
+        result = _run(lu_decompose(dim=14))
+        # The multiplier-column branch guarantees divergence.
+        assert result.simd_efficiency < 0.95
+
+    def test_tridiagonal_coherent(self):
+        result = _run(tridiagonal(systems=64, size=8))
+        assert result.simd_efficiency > 0.99
+
+    def test_floyd_warshall(self):
+        result = _run(floyd_warshall(num_vertices=12))
+        assert result.simd_efficiency < 1.0
+
+    def test_pathfinder(self):
+        result = _run(pathfinder(cols=128, rows=4))
+        assert result.instructions > 0
+
+
+class TestSignal:
+    def test_dct8(self):
+        result = _run(dct8(blocks=64))
+        assert result.simd_efficiency > 0.99
+
+    def test_fwht(self):
+        result = _run(fwht(groups=64))
+        assert result.simd_efficiency > 0.99
+
+    def test_haar_dwt(self):
+        result = _run(haar_dwt(n=256, levels=3))
+        assert result.simd_efficiency > 0.99
+
+    def test_convolution(self):
+        result = _run(convolution(n=256))
+        assert result.simd_efficiency > 0.99
+
+    def test_bitonic_sort(self):
+        result = _run(bitonic_sort(n=128))
+        # Half the lanes idle during every compare-and-swap pass.
+        assert 0.4 < result.simd_efficiency < 0.8
+
+    def test_bitonic_sort_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            bitonic_sort(n=100)
+
+    def test_aes_memory_divergent(self):
+        result = _run(aes_round(blocks=256))
+        assert result.simd_efficiency > 0.99  # coherent control...
+        assert result.memory_divergence > 2.0  # ...but divergent gathers
+
+
+class TestLearn:
+    def test_binary_search(self):
+        result = _run(binary_search(num_keys=256, table_size=256))
+        assert result.simd_efficiency < 1.0
+
+    def test_backprop(self):
+        result = _run(backprop_layer(neurons=128, inputs=12))
+        assert result.simd_efficiency < 1.0
+
+    def test_hmm(self):
+        result = _run(hmm_viterbi(sequences=64, timesteps=6))
+        assert result.simd_efficiency < 1.0
+
+    def test_srad(self):
+        result = _run(srad(dim=24))
+        assert result.simd_efficiency < 1.0
+
+
+class TestExtendedRegistry:
+    def test_registry_covers_new_workloads(self):
+        for name in ("gauss", "lu", "trd", "fw", "pathfinder", "dct8",
+                     "fwht", "dwth", "scnv", "bsort", "aes", "bsearch",
+                     "bp", "hmm", "srad"):
+            assert name in WORKLOAD_REGISTRY
+
+    def test_registry_size(self):
+        assert len(WORKLOAD_REGISTRY) >= 50
+
+    def test_categories_consistent(self):
+        coherent_expected = {"trd", "dct8", "fwht", "dwth", "scnv", "aes"}
+        for name in coherent_expected:
+            assert WORKLOAD_REGISTRY[name]().category == "coherent", name
+
+
+class TestGraphics:
+    def test_fragment_shade_verifies(self):
+        from repro.kernels.graphics import fragment_shade
+
+        result = _run(fragment_shade(width_px=24, num_tris=8))
+        # Edge-straddling warps give genuine fragment-quad divergence.
+        assert result.simd_efficiency < 0.9
+
+    def test_fragment_shade_registered(self):
+        assert "glfrag" in WORKLOAD_REGISTRY
+
+    def test_too_many_triangles_rejected(self):
+        from repro.kernels.graphics import fragment_shade
+
+        with pytest.raises(ValueError, match="31"):
+            fragment_shade(num_tris=40)
