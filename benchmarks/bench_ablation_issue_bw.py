@@ -14,21 +14,29 @@ from repro.core.policy import CompactionPolicy
 from repro.gpu.config import GpuConfig
 from repro.gpu.results import total_time_reduction_pct
 from repro.kernels.micro import predicated_pattern
-from repro.kernels.workload import run_workload
+from repro.runner import Job, default_runner
+
+
+def _pattern_factory():
+    return predicated_pattern(0x1111, n=1024, work=24)
 
 
 def _sweep():
+    jobs = {
+        (issue_width, policy): Job(
+            "predicated_0x1111", GpuConfig(issue_width=issue_width,
+                                           policy=policy),
+            factory=_pattern_factory)
+        for issue_width in (1, 2, 4)
+        for policy in (CompactionPolicy.IVB, CompactionPolicy.SCC)
+    }
+    results = default_runner().run(jobs.values())
     rows = []
     for issue_width in (1, 2, 4):
-        results = {}
-        for policy in (CompactionPolicy.IVB, CompactionPolicy.SCC):
-            config = GpuConfig(issue_width=issue_width, policy=policy)
-            results[policy] = run_workload(
-                predicated_pattern(0x1111, n=1024, work=24), config)
-        reduction = total_time_reduction_pct(
-            results[CompactionPolicy.IVB], results[CompactionPolicy.SCC])
-        rows.append((issue_width, results[CompactionPolicy.IVB].total_cycles,
-                     results[CompactionPolicy.SCC].total_cycles, reduction))
+        ivb = results[jobs[(issue_width, CompactionPolicy.IVB)]]
+        scc = results[jobs[(issue_width, CompactionPolicy.SCC)]]
+        rows.append((issue_width, ivb.total_cycles, scc.total_cycles,
+                     total_time_reduction_pct(ivb, scc)))
     return rows
 
 

@@ -16,7 +16,7 @@ from repro.gpu.simulator import GpuSimulator
 from repro.isa.builder import KernelBuilder
 from repro.isa.types import DType
 from repro.kernels.micro import branch_pattern, predicated_pattern
-from repro.kernels.workload import run_workload
+from repro.runner import Job, default_runner
 
 
 def _dispatch_tail_result(policy):
@@ -38,16 +38,28 @@ def _dispatch_tail_result(policy):
     return GpuSimulator(GpuConfig(policy=policy)).run(prog, n, buffers={"y": y})
 
 
+def _branch_factory():
+    return branch_pattern(0x000F, n=512, work=8)
+
+
+def _pred_factory():
+    return predicated_pattern(0x000F, n=512, work=16)
+
+
 def _collect():
     rows = []
     config_ivb = GpuConfig(policy=CompactionPolicy.IVB)
 
-    branch = run_workload(branch_pattern(0x000F, n=512, work=8), config_ivb)
+    branch_job = Job("branch_0x000F", config_ivb, factory=_branch_factory)
+    pred_job = Job("pred_0x000F", config_ivb, factory=_pred_factory)
+    results = default_runner().run([branch_job, pred_job])
+
+    branch = results[branch_job]
     rows.append(("control flow (IF 0x000F)",
                  branch.eu_cycle_reduction_pct(CompactionPolicy.BCC),
                  branch.eu_cycle_reduction_pct(CompactionPolicy.SCC)))
 
-    pred = run_workload(predicated_pattern(0x000F, n=512, work=16), config_ivb)
+    pred = results[pred_job]
     rows.append(("predication (pred 0x000F)",
                  pred.eu_cycle_reduction_pct(CompactionPolicy.BCC),
                  pred.eu_cycle_reduction_pct(CompactionPolicy.SCC)))

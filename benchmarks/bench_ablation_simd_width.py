@@ -10,11 +10,7 @@ and measure both effects directly.
 
 from repro.analysis.report import format_table
 from repro.core.policy import CompactionPolicy
-from repro.gpu.config import GpuConfig
-from repro.kernels.imaging import gaussian_noise
-from repro.kernels.learn import binary_search
-from repro.kernels.misc import eigenvalue
-from repro.kernels.workload import run_workload
+from repro.runner import Job, default_runner
 
 WIDTHS = (8, 16, 32)
 
@@ -23,22 +19,25 @@ WIDTHS = (8, 16, 32)
 # paper's Section 5.3 observation (the compiler emits SIMD8 RT kernels
 # under register pressure).  tests/test_register_pressure.py pins that.
 
-
-def _factories(width):
-    return {
-        "gnoise": lambda: gaussian_noise(n=512, simd_width=width),
-        "bsearch": lambda: binary_search(num_keys=512, table_size=512,
-                                         simd_width=width),
-        "eigenvalue": lambda: eigenvalue(matrix_dim=8, bisect_iters=12,
-                                         simd_width=width),
-    }
+#: registry name -> width-independent factory params.
+_PARAMS = {
+    "gnoise": {"n": 512},
+    "bsearch": {"num_keys": 512, "table_size": 512},
+    "eigenvalue": {"matrix_dim": 8, "bisect_iters": 12},
+}
 
 
 def _collect():
+    jobs = {
+        (name, width): Job(name, params={**params, "simd_width": width})
+        for name, params in _PARAMS.items()
+        for width in WIDTHS
+    }
+    results = default_runner().run(jobs.values())
     rows = []
-    for name in ("gnoise", "bsearch", "eigenvalue"):
+    for name in _PARAMS:
         for width in WIDTHS:
-            result = run_workload(_factories(width)[name](), GpuConfig())
+            result = results[jobs[(name, width)]]
             rows.append((
                 name, width, result.simd_efficiency,
                 result.eu_cycle_reduction_pct(CompactionPolicy.BCC),

@@ -120,6 +120,15 @@ Regenerate this file with:
 
     pytest benchmarks/ --benchmark-only
     python benchmarks/collect_results.py > EXPERIMENTS.md
+
+The experiment harnesses route their simulations through the shared
+`repro.runner` engine, which memoizes each unique (workload, config)
+pair in an on-disk cache (`$REPRO_CACHE_DIR`, default
+`~/.cache/repro-sim`).  A warm-cache regeneration replays stored
+results; delete the cache directory (or set `REPRO_NO_CACHE=1`) to force
+fresh simulation.  Cache keys include a hash of the simulator source, so
+entries invalidate automatically when the model changes.  Ad-hoc grids
+beyond the paper's figures can be produced with `python -m repro sweep`.
 """
 
 

@@ -13,6 +13,9 @@ The library provides:
   generators substituting for proprietary workload traces.
 * :mod:`repro.analysis` / :mod:`repro.area` — SIMD-efficiency reporting
   and the register-file area model.
+* :mod:`repro.runner` — the shared execution engine: deduplicated,
+  process-parallel, disk-cached ``(workload, config)`` simulation jobs
+  that every experiment and benchmark routes through.
 """
 
 from .core import (
@@ -28,6 +31,7 @@ from .core import (
 )
 from .gpu import GpuConfig, GpuSimulator, KernelRunResult
 from .isa import CmpOp, DType, KernelBuilder, Program
+from .runner import Job, ResultCache, Runner, default_runner
 
 __version__ = "1.0.0"
 
@@ -38,9 +42,13 @@ __all__ = [
     "DType",
     "GpuConfig",
     "GpuSimulator",
+    "Job",
     "KernelBuilder",
     "KernelRunResult",
     "Program",
+    "ResultCache",
+    "Runner",
+    "default_runner",
     "bcc_cycles",
     "bcc_schedule",
     "cycles_all_policies",

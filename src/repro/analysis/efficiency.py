@@ -14,7 +14,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.stats import CompactionStats, is_divergent
 from ..gpu.config import GpuConfig
-from ..kernels import WORKLOAD_REGISTRY, run_workload
+from ..kernels import WORKLOAD_REGISTRY
+from ..runner import Job, Runner, default_runner
 from ..trace.profiler import profile_trace
 from ..trace.workloads import TRACE_PROFILES, trace_events
 
@@ -39,21 +40,27 @@ class EfficiencyEntry:
 def simulator_efficiencies(
     names: Optional[Iterable[str]] = None,
     config: Optional[GpuConfig] = None,
+    runner: Optional[Runner] = None,
 ) -> List[EfficiencyEntry]:
-    """Run simulator workloads and collect their SIMD efficiencies."""
+    """Run simulator workloads and collect their SIMD efficiencies.
+
+    Simulations go through the shared :mod:`repro.runner` engine as one
+    batch, so results are deduplicated/cached with every other experiment.
+    """
     config = config if config is not None else GpuConfig()
-    entries = []
-    for name in (names if names is not None else WORKLOAD_REGISTRY):
-        result = run_workload(WORKLOAD_REGISTRY[name](), config)
-        entries.append(
-            EfficiencyEntry(
-                name=name,
-                source="simulator",
-                simd_efficiency=result.simd_efficiency,
-                stats=result.simd_stats,
-            )
+    engine = runner if runner is not None else default_runner()
+    ordered = list(names if names is not None else WORKLOAD_REGISTRY)
+    jobs = {name: Job(name, config) for name in ordered}
+    results = engine.run(jobs.values())
+    return [
+        EfficiencyEntry(
+            name=name,
+            source="simulator",
+            simd_efficiency=results[jobs[name]].simd_efficiency,
+            stats=results[jobs[name]].simd_stats,
         )
-    return entries
+        for name in ordered
+    ]
 
 
 def trace_efficiencies(names: Optional[Iterable[str]] = None) -> List[EfficiencyEntry]:

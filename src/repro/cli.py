@@ -7,12 +7,16 @@ Commands:
 * ``profile NAME_OR_FILE`` — profile a built-in or on-disk mask trace;
 * ``mask HEX`` — analyse one execution mask: cycles under every policy,
   the BCC micro-op schedule, and the SCC swizzle schedule;
-* ``experiment NAME`` — regenerate one paper table/figure.
+* ``experiment NAME`` — regenerate one paper table/figure (``--jobs N``
+  parallelizes, ``--no-cache`` bypasses the shared result cache);
+* ``sweep`` — run an arbitrary workload x policy x memory grid through
+  the shared runner and emit one table/JSON artifact.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -23,10 +27,36 @@ from .core.policy import CompactionPolicy, cycles_all_policies, parse_policy
 from .core.quads import format_mask
 from .core.scc import scc_schedule
 from .gpu.config import GpuConfig
-from .kernels import WORKLOAD_REGISTRY, run_workload
+from .kernels import DIVERGENT_WORKLOADS, RODINIA_WORKLOADS, WORKLOAD_REGISTRY, run_workload
 from .trace.format import read_trace
 from .trace.profiler import profile_trace
 from .trace.workloads import TRACE_PROFILES, trace_events
+
+
+def _runner_from_args(args, progress=False):
+    """Build a shared-engine Runner from the common CLI flags."""
+    from .runner import JobEvent, Runner
+
+    def _report(event: JobEvent) -> None:
+        print(f"[{event.index}/{event.total}] {event.job.workload} "
+              f"{event.status} ({event.elapsed:.2f}s)", file=sys.stderr)
+
+    cache = False if getattr(args, "no_cache", False) else (
+        getattr(args, "cache_dir", None) or "default")
+    return Runner(workers=getattr(args, "jobs", 1) or 1,
+                  cache=cache,
+                  verify=not getattr(args, "no_verify", False),
+                  progress=_report if progress else None)
+
+
+def _add_runner_flags(parser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for simulations (default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory (default "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-sim)")
 
 
 def _cmd_list(_args) -> int:
@@ -51,8 +81,15 @@ def _cmd_run(args) -> int:
         config = config.with_memory(dc_lines_per_cycle=2.0)
     if args.perfect_l3:
         config = config.with_memory(perfect_l3=True)
-    result = run_workload(WORKLOAD_REGISTRY[args.workload](), config,
-                          verify=not args.no_verify)
+    try:
+        result = run_workload(WORKLOAD_REGISTRY[args.workload](), config,
+                              verify=not args.no_verify)
+    except AssertionError as exc:
+        detail = f": {exc}" if str(exc) else ""
+        print(f"verification FAILED for workload {args.workload!r}{detail}\n"
+              f"(simulated output does not match the host reference; "
+              f"use --no-verify to inspect timing anyway)", file=sys.stderr)
+        return 1
     rows = [[key, value] for key, value in sorted(result.summary().items())]
     print(format_table(["metric", "value"], rows,
                        title=f"{args.workload} under {config.policy.value}"))
@@ -113,6 +150,7 @@ def _cmd_experiment(args) -> int:
     from . import experiments
 
     name = args.name
+    runner = _runner_from_args(args)
     if name == "table2":
         print(experiments.table2.render(
             experiments.table2.table2_analytic(), "Table 2 (analytic)"))
@@ -122,20 +160,142 @@ def _cmd_experiment(args) -> int:
     elif name == "area":
         print(experiments.area.render(experiments.area.area_data()))
     elif name == "fig03":
-        print(experiments.fig03.render(experiments.fig03.fig3_data()))
+        print(experiments.fig03.render(
+            experiments.fig03.fig3_data(runner=runner)))
     elif name == "fig09":
-        print(experiments.fig09.render(experiments.fig09.fig9_data()))
+        print(experiments.fig09.render(
+            experiments.fig09.fig9_data(runner=runner)))
     elif name == "fig10":
-        print(experiments.fig10.render(experiments.fig10.fig10_data()))
+        print(experiments.fig10.render(
+            experiments.fig10.fig10_data(runner=runner)))
     elif name == "fig11":
-        print(experiments.fig11.render(experiments.fig11.fig11_data()))
+        print(experiments.fig11.render(
+            experiments.fig11.fig11_data(runner=runner)))
     elif name == "fig12":
-        print(experiments.fig12.render(experiments.fig12.fig12_data()))
+        print(experiments.fig12.render(
+            experiments.fig12.fig12_data(runner=runner)))
     elif name == "table4":
-        print(experiments.table4.render(experiments.table4.table4_data()))
+        print(experiments.table4.render(
+            experiments.table4.table4_data(runner=runner)))
     else:
         print(f"unknown experiment {name!r}", file=sys.stderr)
         return 2
+    stats = runner.last_stats
+    if stats.unique:
+        print(f"runner: {stats.unique} unique simulation(s), "
+              f"{stats.cache_hits} cached, {stats.executed} executed "
+              f"in {stats.wall_seconds:.2f}s", file=sys.stderr)
+    return 0
+
+
+#: Named workload groups accepted by ``sweep --workloads``.
+WORKLOAD_GROUPS = {
+    "all": lambda: tuple(WORKLOAD_REGISTRY),
+    "divergent": lambda: DIVERGENT_WORKLOADS,
+    "rodinia": lambda: RODINIA_WORKLOADS,
+}
+
+
+def _sweep_workloads(spec: str) -> List[str]:
+    names: List[str] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token in WORKLOAD_GROUPS:
+            names.extend(WORKLOAD_GROUPS[token]())
+        else:
+            names.append(token)
+    return list(dict.fromkeys(names))
+
+
+def _cmd_sweep(args) -> int:
+    from .runner import Job
+
+    names = _sweep_workloads(args.workloads)
+    unknown = [n for n in names if n not in WORKLOAD_REGISTRY]
+    if unknown:
+        print(f"unknown workload(s): {', '.join(unknown)}; try `list`",
+              file=sys.stderr)
+        return 2
+    try:
+        policies = [parse_policy(p) for p in args.policies.split(",") if p]
+        dc_values = [float(v) for v in args.dc.split(",") if v]
+    except ValueError as exc:
+        print(f"bad sweep grid: {exc}", file=sys.stderr)
+        return 2
+    pl3_values = {"off": (False,), "on": (True,),
+                  "both": (False, True)}[args.perfect_l3]
+
+    runner = _runner_from_args(args, progress=args.progress)
+    jobs = {}
+    for name in names:
+        for policy in policies:
+            for dc in dc_values:
+                for pl3 in pl3_values:
+                    config = GpuConfig(policy=policy).with_memory(
+                        dc_lines_per_cycle=dc, perfect_l3=pl3)
+                    jobs[(name, policy, dc, pl3)] = Job(name, config)
+    results = runner.run(jobs.values())
+
+    records = []
+    for (name, policy, dc, pl3), job in jobs.items():
+        result = results[job]
+        records.append({
+            "workload": name,
+            "policy": policy.value,
+            "dc_lines_per_cycle": dc,
+            "perfect_l3": pl3,
+            "total_cycles": result.total_cycles,
+            "eu_cycles": result.eu_cycles,
+            "instructions": result.instructions,
+            "simd_efficiency": round(result.simd_efficiency, 6),
+            "l3_hit_rate": round(result.l3_hit_rate, 6),
+            "memory_divergence": round(result.memory_divergence, 6),
+            "bcc_eu_reduction_pct": round(
+                result.eu_cycle_reduction_pct(CompactionPolicy.BCC), 3),
+            "scc_eu_reduction_pct": round(
+                result.eu_cycle_reduction_pct(CompactionPolicy.SCC), 3),
+        })
+
+    stats = runner.last_stats
+    artifact = {
+        "grid": {
+            "workloads": names,
+            "policies": [p.value for p in policies],
+            "dc_lines_per_cycle": dc_values,
+            "perfect_l3": sorted(pl3_values),
+        },
+        "runner": {
+            "jobs": stats.requested,
+            "unique": stats.unique,
+            "cache_hits": stats.cache_hits,
+            "executed": stats.executed,
+            "wall_seconds": round(stats.wall_seconds, 3),
+            "workers": runner.workers,
+        },
+        "results": records,
+    }
+    if args.json:
+        text = json.dumps(artifact, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text + "\n")
+    if args.json != "-":
+        rows = [[r["workload"], r["policy"], f"{r['dc_lines_per_cycle']:g}",
+                 "yes" if r["perfect_l3"] else "no", r["total_cycles"],
+                 r["eu_cycles"], f"{r['simd_efficiency']:.3f}",
+                 f"{r['scc_eu_reduction_pct']:.1f}%"]
+                for r in records]
+        print(format_table(
+            ["workload", "policy", "DC", "PL3", "total cycles", "EU cycles",
+             "SIMD eff", "SCC EU reduction"],
+            rows, title="sweep results"))
+    print(f"sweep: {stats.requested} job(s), {stats.unique} unique, "
+          f"{stats.cache_hits} cached, {stats.executed} executed in "
+          f"{stats.wall_seconds:.2f}s with {runner.workers} worker(s)",
+          file=sys.stderr)
     return 0
 
 
@@ -173,6 +333,30 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "name",
         help="fig03|fig08|fig09|fig10|fig11|fig12|table2|table4|area")
+    _add_runner_flags(experiment)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a workload x policy x memory grid through the shared runner")
+    sweep.add_argument("--workloads", default="divergent",
+                       help="comma-separated workload names and/or groups "
+                            "(all, divergent, rodinia); default: divergent")
+    sweep.add_argument("--policies", default="ivb,bcc,scc",
+                       help="comma-separated policies (default ivb,bcc,scc)")
+    sweep.add_argument("--dc", default="1.0",
+                       help="comma-separated data-cluster lines/cycle "
+                            "values (default 1.0; Figure 11 DC2 is 2.0)")
+    sweep.add_argument("--perfect-l3", choices=("off", "on", "both"),
+                       default="off",
+                       help="include the infinite-L3 memory model in the grid")
+    sweep.add_argument("--json", metavar="PATH", default=None,
+                       help="write the JSON artifact to PATH ('-' for stdout "
+                            "instead of the table)")
+    sweep.add_argument("--no-verify", action="store_true",
+                       help="skip host reference checks")
+    sweep.add_argument("--progress", action="store_true",
+                       help="report per-job progress on stderr")
+    _add_runner_flags(sweep)
     return parser
 
 
@@ -184,6 +368,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": _cmd_profile,
         "mask": _cmd_mask,
         "experiment": _cmd_experiment,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

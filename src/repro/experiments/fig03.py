@@ -46,11 +46,13 @@ class Fig3Data:
 
 def fig3_data(sim_workloads: Optional[Sequence[str]] = DEFAULT_SIM_WORKLOADS,
               include_traces: bool = True,
-              config: Optional[GpuConfig] = None) -> Fig3Data:
+              config: Optional[GpuConfig] = None,
+              runner=None) -> Fig3Data:
     """Collect SIMD efficiencies from both methodologies."""
     entries: List[EfficiencyEntry] = []
     if sim_workloads:
-        entries.extend(simulator_efficiencies(sim_workloads, config))
+        entries.extend(simulator_efficiencies(sim_workloads, config,
+                                              runner=runner))
     if include_traces:
         entries.extend(trace_efficiencies())
     entries.sort(key=lambda e: e.simd_efficiency, reverse=True)

@@ -32,11 +32,13 @@ DEFAULT_DIVERGENT_WORKLOADS = (
 
 def fig9_data(sim_workloads: Optional[Sequence[str]] = DEFAULT_DIVERGENT_WORKLOADS,
               include_traces: bool = True,
-              config: Optional[GpuConfig] = None) -> Dict[str, Dict[str, float]]:
+              config: Optional[GpuConfig] = None,
+              runner=None) -> Dict[str, Dict[str, float]]:
     """Per-workload bucket fractions, keyed by workload name."""
     entries: List[EfficiencyEntry] = []
     if sim_workloads:
-        entries.extend(simulator_efficiencies(sim_workloads, config))
+        entries.extend(simulator_efficiencies(sim_workloads, config,
+                                              runner=runner))
     if include_traces:
         entries.extend(trace_efficiencies())
     divergent = [e for e in entries if e.divergent]

@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence
 from ..analysis.report import format_table
 from ..core.policy import CompactionPolicy
 from ..gpu.config import GpuConfig
-from ..kernels import WORKLOAD_REGISTRY, run_workload
+from ..runner import Job, default_runner
 from ..trace.profiler import profile_trace
 from ..trace.workloads import TRACE_PROFILES, trace_events
 from .fig09 import DEFAULT_DIVERGENT_WORKLOADS
@@ -38,12 +38,16 @@ class Fig10Bar:
 
 def fig10_data(sim_workloads: Optional[Sequence[str]] = DEFAULT_DIVERGENT_WORKLOADS,
                include_traces: bool = True,
-               config: Optional[GpuConfig] = None) -> List[Fig10Bar]:
+               config: Optional[GpuConfig] = None,
+               runner=None) -> List[Fig10Bar]:
     """EU-cycle reductions for the divergent workload population."""
     config = config if config is not None else GpuConfig()
+    engine = runner if runner is not None else default_runner()
     bars: List[Fig10Bar] = []
-    for name in sim_workloads or ():
-        result = run_workload(WORKLOAD_REGISTRY[name](), config)
+    jobs = {name: Job(name, config) for name in sim_workloads or ()}
+    results = engine.run(jobs.values())
+    for name, job in jobs.items():
+        result = results[job]
         bars.append(
             Fig10Bar(
                 name=name,

@@ -19,7 +19,8 @@ from ..core.policy import CompactionPolicy
 from ..gpu.config import GpuConfig
 from ..gpu.results import total_time_reduction_pct
 from ..kernels.raytracing import ambient_occlusion, primary_rays
-from ..kernels.workload import Workload, run_workload
+from ..kernels.workload import Workload
+from ..runner import Job, default_runner
 
 #: Factories for the paper's nine Figure 11 bars (scene x kind x width).
 def default_rt_workloads(width_px_pr: int = 32, width_px_ao: int = 24,
@@ -35,6 +36,34 @@ def default_rt_workloads(width_px_pr: int = 32, width_px_ao: int = 24,
                 lambda s=scene, w=width: ambient_occlusion(
                     s, width_px=width_px_ao, simd_width=w, ao_samples=ao_samples))
     return factories
+
+
+def default_rt_specs(width_px_pr: int = 32, width_px_ao: int = 24,
+                     ao_samples: int = 3) -> Dict[str, tuple]:
+    """Registry-name specs for the same nine bars.
+
+    Unlike :func:`default_rt_workloads`' closures, these are
+    ``(registry_name, params)`` pairs: picklable by name, so the shared
+    runner can cache them and fan them out across processes.
+    """
+    specs: Dict[str, tuple] = {}
+    for scene in ("al", "bl", "wm"):
+        specs[f"RT-PR-{scene.upper()}"] = (
+            f"rt_pr_{scene}", {"width_px": width_px_pr})
+    for width in (8, 16):
+        for scene in ("al", "bl", "wm"):
+            specs[f"RT-AO-{scene.upper()}{width}"] = (
+                f"rt_ao_{scene}{width}",
+                {"width_px": width_px_ao, "ao_samples": ao_samples})
+    return specs
+
+
+def _spec_job(spec, config: GpuConfig) -> Job:
+    """Build a runner job from a (name, params) spec or a legacy factory."""
+    if callable(spec):
+        return Job(getattr(spec, "__name__", "inline"), config, factory=spec)
+    name, params = spec
+    return Job(name, config, params=params)
 
 
 @dataclass
@@ -56,19 +85,35 @@ class Fig11Row:
 def fig11_data(
     factories: Optional[Dict[str, Callable[[], Workload]]] = None,
     base_config: Optional[GpuConfig] = None,
+    runner=None,
 ) -> List[Fig11Row]:
-    """Run every RT workload under {IVB,BCC,SCC} x {DC1,DC2}."""
-    factories = factories if factories is not None else default_rt_workloads()
+    """Run every RT workload under {IVB,BCC,SCC} x {DC1,DC2}.
+
+    All 6 configurations of every workload go to the shared runner as a
+    single batch, so the full grid parallelizes and caches.  *factories*
+    may map names to legacy zero-arg callables or to ``(registry_name,
+    params)`` specs; by default the registry specs are used.
+    """
+    specs = factories if factories is not None else default_rt_specs()
     base = base_config if base_config is not None else GpuConfig()
-    rows = []
-    for name, factory in factories.items():
-        results = {}
+    engine = runner if runner is not None else default_runner()
+    jobs: Dict[tuple, Job] = {}
+    for name, spec in specs.items():
         for policy in (CompactionPolicy.IVB, CompactionPolicy.BCC,
                        CompactionPolicy.SCC):
             for dc in (1.0, 2.0):
                 config = base.with_policy(policy).with_memory(
                     dc_lines_per_cycle=dc)
-                results[(policy, dc)] = run_workload(factory(), config)
+                jobs[(name, policy, dc)] = _spec_job(spec, config)
+    batch = engine.run(jobs.values())
+    rows = []
+    for name in specs:
+        results = {
+            (policy, dc): batch[jobs[(name, policy, dc)]]
+            for policy in (CompactionPolicy.IVB, CompactionPolicy.BCC,
+                           CompactionPolicy.SCC)
+            for dc in (1.0, 2.0)
+        }
         ivb1 = results[(CompactionPolicy.IVB, 1.0)]
         ivb2 = results[(CompactionPolicy.IVB, 2.0)]
         rows.append(

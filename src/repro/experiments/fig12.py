@@ -18,10 +18,18 @@ from ..analysis.report import format_table
 from ..core.policy import CompactionPolicy
 from ..gpu.config import GpuConfig
 from ..gpu.results import total_time_reduction_pct
-from ..kernels import WORKLOAD_REGISTRY
-from ..kernels.workload import Workload, run_workload
+from ..kernels.workload import Workload
+from ..runner import Job, default_runner
 
 RODINIA_NAMES = ("bfs", "hotspot", "lavamd", "nw", "particlefilter")
+
+
+def _job_for(name: str, factory, config: GpuConfig) -> Job:
+    """Named (cacheable) job when *factory* is the registry default,
+    inline job when the caller supplied a custom factory."""
+    if factory is None:
+        return Job(name, config)
+    return Job(name, config, factory=factory)
 
 
 @dataclass
@@ -40,20 +48,30 @@ class Fig12Row:
 def fig12_data(
     factories: Optional[Dict[str, Callable[[], Workload]]] = None,
     base_config: Optional[GpuConfig] = None,
+    runner=None,
 ) -> List[Fig12Row]:
-    """Run the Rodinia set under {IVB,BCC,SCC} x {128KB L3, perfect L3}."""
+    """Run the Rodinia set under {IVB,BCC,SCC} x {128KB L3, perfect L3}.
+
+    The whole 6-configuration grid for every kernel is submitted to the
+    shared runner as one batch (parallel + cached).
+    """
     if factories is None:
-        factories = {name: WORKLOAD_REGISTRY[name] for name in RODINIA_NAMES}
+        factories = {name: None for name in RODINIA_NAMES}
     base = base_config if base_config is not None else GpuConfig()
-    rows = []
+    engine = runner if runner is not None else default_runner()
+    grid = [(policy, perfect)
+            for policy in (CompactionPolicy.IVB, CompactionPolicy.BCC,
+                           CompactionPolicy.SCC)
+            for perfect in (False, True)]
+    jobs: Dict[tuple, Job] = {}
     for name, factory in factories.items():
-        results = {}
-        for policy in (CompactionPolicy.IVB, CompactionPolicy.BCC,
-                       CompactionPolicy.SCC):
-            for perfect in (False, True):
-                config = base.with_policy(policy).with_memory(
-                    perfect_l3=perfect)
-                results[(policy, perfect)] = run_workload(factory(), config)
+        for policy, perfect in grid:
+            config = base.with_policy(policy).with_memory(perfect_l3=perfect)
+            jobs[(name, policy, perfect)] = _job_for(name, factory, config)
+    batch = engine.run(jobs.values())
+    rows = []
+    for name in factories:
+        results = {key: batch[jobs[(name,) + key]] for key in grid}
         ivb = results[(CompactionPolicy.IVB, False)]
         ivb_pl3 = results[(CompactionPolicy.IVB, True)]
         rows.append(

@@ -29,8 +29,8 @@ from ..analysis.report import format_table
 from ..core.policy import CompactionPolicy, cycles_all_policies
 from ..core.quads import format_mask
 from ..gpu.config import GpuConfig
-from ..kernels.micro import nested_divergence, table2_path_masks
-from ..kernels.workload import run_workload
+from ..kernels.micro import table2_path_masks
+from ..runner import Job, default_runner
 
 
 @dataclass
@@ -81,7 +81,8 @@ def table2_analytic(width: int = 16) -> List[Table2Row]:
     return rows
 
 
-def table2_simulated(n: int = 512, config: Optional[GpuConfig] = None) -> List[Table2Row]:
+def table2_simulated(n: int = 512, config: Optional[GpuConfig] = None,
+                     runner=None) -> List[Table2Row]:
     """Measure the same decomposition from simulated nested kernels.
 
     The kernels carry common overhead (address math, compares) alongside
@@ -90,9 +91,13 @@ def table2_simulated(n: int = 512, config: Optional[GpuConfig] = None) -> List[T
     entries are preserved.
     """
     config = config if config is not None else GpuConfig()
+    engine = runner if runner is not None else default_runner()
+    jobs = {level: Job(f"nested_l{level}", config, params={"n": n})
+            for level in range(1, 5)}
+    batch = engine.run(jobs.values())
     rows = []
     for level in range(1, 5):
-        result = run_workload(nested_divergence(level, n=n), config)
+        result = batch[jobs[level]]
         cycles = result.alu_stats.cycles
         raw = cycles[CompactionPolicy.RAW]
         rows.append(

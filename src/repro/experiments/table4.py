@@ -21,8 +21,7 @@ from ..analysis.report import format_table
 from ..core.policy import CompactionPolicy
 from ..gpu.config import GpuConfig
 from ..gpu.results import total_time_reduction_pct
-from ..kernels import WORKLOAD_REGISTRY
-from ..kernels.workload import Workload, run_workload
+from ..runner import Job, default_runner
 from ..trace.profiler import profile_trace
 from ..trace.workloads import TRACE_PROFILES, trace_events
 from .fig09 import DEFAULT_DIVERGENT_WORKLOADS
@@ -56,15 +55,35 @@ def table4_data(
     sim_workloads: Sequence[str] = DEFAULT_DIVERGENT_WORKLOADS,
     timed_workloads: Sequence[str] = DEFAULT_TIMED_WORKLOADS,
     base_config: Optional[GpuConfig] = None,
+    runner=None,
 ) -> List[Table4Row]:
-    """Assemble all four Table 4 rows (runs many simulations)."""
+    """Assemble all four Table 4 rows (runs many simulations).
+
+    Every simulation — the EU-cycle population of row 1 and the timed
+    DC1/DC2 grids of rows 3-4 — goes to the shared runner as ONE batch,
+    so overlapping jobs (a timed workload at DC1 under IVB is the same
+    simulation as its row-1 entry) execute exactly once.
+    """
     base = base_config if base_config is not None else GpuConfig()
+    engine = runner if runner is not None else default_runner()
+
+    eu_jobs = {name: Job(name, base) for name in sim_workloads}
+    timed_jobs = {}
+    for dc in (1.0, 2.0):
+        for name in timed_workloads:
+            for policy in (CompactionPolicy.IVB, CompactionPolicy.BCC,
+                           CompactionPolicy.SCC):
+                config = base.with_policy(policy).with_memory(
+                    dc_lines_per_cycle=dc)
+                timed_jobs[(dc, name, policy)] = Job(name, config)
+    batch = engine.run(list(eu_jobs.values()) + list(timed_jobs.values()))
+
     rows: List[Table4Row] = []
 
     # Row 1: GPGenSim EU cycles over divergent simulator workloads.
     bcc_eu, scc_eu = [], []
     for name in sim_workloads:
-        result = run_workload(WORKLOAD_REGISTRY[name](), base)
+        result = batch[eu_jobs[name]]
         if result.simd_efficiency < 0.95:
             bcc_eu.append(result.eu_cycle_reduction_pct(CompactionPolicy.BCC))
             scc_eu.append(result.eu_cycle_reduction_pct(CompactionPolicy.SCC))
@@ -86,17 +105,11 @@ def table4_data(
     for dc, label in ((1.0, "Execution time (DC1)"), (2.0, "Execution time (DC2)")):
         bcc_t, scc_t = [], []
         for name in timed_workloads:
-            per_policy = {}
-            for policy in (CompactionPolicy.IVB, CompactionPolicy.BCC,
-                           CompactionPolicy.SCC):
-                config = base.with_policy(policy).with_memory(
-                    dc_lines_per_cycle=dc)
-                per_policy[policy] = run_workload(WORKLOAD_REGISTRY[name](), config)
-            ivb = per_policy[CompactionPolicy.IVB]
+            ivb = batch[timed_jobs[(dc, name, CompactionPolicy.IVB)]]
             bcc_t.append(total_time_reduction_pct(
-                ivb, per_policy[CompactionPolicy.BCC]))
+                ivb, batch[timed_jobs[(dc, name, CompactionPolicy.BCC)]]))
             scc_t.append(total_time_reduction_pct(
-                ivb, per_policy[CompactionPolicy.SCC]))
+                ivb, batch[timed_jobs[(dc, name, CompactionPolicy.SCC)]]))
         bmax, bavg = _maxavg(bcc_t)
         smax, savg = _maxavg(scc_t)
         rows.append(Table4Row(label, bmax, bavg, smax, savg))

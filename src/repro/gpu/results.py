@@ -43,11 +43,14 @@ class KernelRunResult:
 
     @property
     def l3_hit_rate(self) -> float:
-        return self.l3_hits / self.l3_accesses if self.l3_accesses else 1.0
+        """L3 hits per access; 0.0 for a kernel that never touched the L3
+        (a compute-only kernel has no hits to report, not a perfect rate)."""
+        return self.l3_hits / self.l3_accesses if self.l3_accesses else 0.0
 
     @property
     def llc_hit_rate(self) -> float:
-        return self.llc_hits / self.llc_accesses if self.llc_accesses else 1.0
+        """LLC hits per access; 0.0 when the LLC was never accessed."""
+        return self.llc_hits / self.llc_accesses if self.llc_accesses else 0.0
 
     @property
     def memory_divergence(self) -> float:
@@ -140,13 +143,23 @@ def merge_results(results) -> KernelRunResult:
     if not results:
         raise ValueError("merge_results needs at least one result")
     first = results[0]
+    policies = {r.policy for r in results}
+    if len(policies) > 1:
+        raise ValueError(
+            "cannot merge results timed under different policies: "
+            + ", ".join(sorted(p.value for p in policies))
+        )
+    # Preserve order but collapse repeats: a multi-step workload that
+    # launches the same kernel per step keeps its plain name, while a
+    # heterogeneous pipeline is labelled with every distinct kernel.
+    kernel_names = list(dict.fromkeys(r.kernel for r in results))
     alu = CompactionStats(min_cycles=first.alu_stats.min_cycles)
     simd = CompactionStats(min_cycles=first.simd_stats.min_cycles)
     for result in results:
         alu.merge(result.alu_stats)
         simd.merge(result.simd_stats)
     return KernelRunResult(
-        kernel=first.kernel,
+        kernel="+".join(kernel_names),
         policy=first.policy,
         total_cycles=sum(r.total_cycles for r in results),
         instructions=sum(r.instructions for r in results),

@@ -100,19 +100,30 @@ def run_workload(
 
 
 def run_workload_all_policies(workload_factory, config: Optional[GpuConfig] = None,
-                              policies=None) -> Dict[str, KernelRunResult]:
+                              policies=None, runner=None) -> Dict[str, KernelRunResult]:
     """Run fresh instances of a workload under several compaction policies.
 
-    *workload_factory* is called once per policy so each timed run starts
-    from pristine input data (outputs are written in place).
+    *workload_factory* is either a registry name (preferred — such jobs
+    are cacheable and can run in worker processes) or a zero-argument
+    factory called once per policy, so each timed run starts from
+    pristine input data (outputs are written in place).  All policy runs
+    go through the shared :mod:`repro.runner` engine as one batch.
     """
     from ..core.policy import CompactionPolicy
+    from .. import runner as runner_mod
 
+    engine = runner if runner is not None else runner_mod.default_runner()
     base = config if config is not None else GpuConfig()
     if policies is None:
         policies = (CompactionPolicy.IVB, CompactionPolicy.BCC, CompactionPolicy.SCC)
-    out: Dict[str, KernelRunResult] = {}
+    jobs: Dict[CompactionPolicy, runner_mod.Job] = {}
     for policy in policies:
-        workload = workload_factory()
-        out[policy.value] = run_workload(workload, base.with_policy(policy))
-    return out
+        if isinstance(workload_factory, str):
+            jobs[policy] = runner_mod.Job(workload_factory,
+                                          base.with_policy(policy))
+        else:
+            jobs[policy] = runner_mod.Job(
+                getattr(workload_factory, "__name__", "inline"),
+                base.with_policy(policy), factory=workload_factory)
+    results = engine.run(jobs.values())
+    return {policy.value: results[job] for policy, job in jobs.items()}

@@ -1,0 +1,495 @@
+"""Shared execution engine for every experiment and benchmark.
+
+All of the paper's evaluation artifacts reduce to the same primitive:
+simulate a ``(workload, GpuConfig)`` pair and keep the
+:class:`~repro.gpu.results.KernelRunResult`.  The figure/table modules
+used to do that serially and independently, re-simulating identical
+pairs many times per regeneration.  This module centralizes the
+primitive:
+
+* :class:`Job` names one simulation request.  Jobs are keyed by the
+  workload's registry name, its factory keyword arguments, and a stable
+  digest of the :class:`~repro.gpu.config.GpuConfig` dataclass, so two
+  experiments asking for the same simulation share one execution.
+* :class:`Runner` deduplicates a batch of jobs, consults an on-disk
+  :class:`ResultCache`, and fans cache misses out across a
+  ``concurrent.futures.ProcessPoolExecutor``.  Workloads are rebuilt
+  from :data:`~repro.kernels.WORKLOAD_REGISTRY` by name inside each
+  worker, so nothing unpicklable ever crosses the process boundary.
+* :class:`ResultCache` stores pickled results keyed by job identity plus
+  a *code salt* — a digest of the simulator's own source — so editing
+  the timing model invalidates everything while an unrelated edit (an
+  experiment harness, the CLI, docs) keeps the cache warm.
+
+Every simulation is deterministic (workload factories seed their RNGs),
+so parallel and cached runs are bit-identical to serial cold runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import itertools
+import json
+import os
+import pickle
+import re
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .gpu.config import GpuConfig
+from .gpu.results import KernelRunResult
+
+#: Bump when the cached payload layout changes incompatibly.
+CACHE_SCHEMA = 1
+
+#: Subpackages whose source participates in the cache code salt: exactly
+#: the ones that can change what a simulation measures.
+_SIM_PACKAGES = ("core", "eu", "gpu", "isa", "kernels", "memory", "trace")
+
+_inline_ids = itertools.count()
+
+
+# ---------------------------------------------------------------------------
+# Stable keying
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce *obj* to JSON-serializable data with a stable ordering."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, Mapping):
+        return {str(key): _canonical(value) for key, value in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(value) for value in obj]
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    raise TypeError(
+        f"cannot build a stable cache key from {type(obj).__name__!r} values"
+    )
+
+
+def stable_digest(obj: Any) -> str:
+    """Hex digest of *obj*'s canonical JSON form (config/params keying)."""
+    payload = json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def config_digest(config: GpuConfig) -> str:
+    """Stable short digest of a :class:`GpuConfig` (nested dataclasses included)."""
+    return stable_digest(config)
+
+
+@lru_cache(maxsize=1)
+def code_salt() -> str:
+    """Digest of the simulator's own source files.
+
+    Any edit to the packages that define what a simulation *measures*
+    (cycle model, EU, memory hierarchy, ISA, kernels) changes the salt
+    and therefore invalidates every cache entry; edits elsewhere
+    (experiments, analysis, CLI, this module's orchestration) do not.
+    """
+    digest = hashlib.sha256()
+    root = Path(__file__).resolve().parent
+    for package in _SIM_PACKAGES:
+        base = root / package
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(path.read_bytes())
+    digest.update(f"schema={CACHE_SCHEMA}".encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Jobs
+
+
+class Job:
+    """One simulation request: a workload plus the config to run it under.
+
+    Args:
+        workload: registry name (see :data:`repro.kernels.WORKLOAD_REGISTRY`)
+            or, for inline-factory jobs, a display label.
+        config: machine parameters for the run (default :class:`GpuConfig`).
+        params: keyword arguments for the workload factory (problem
+            sizes, SIMD width, ...).  Part of the job's identity.
+        factory: optional zero/keyword-arg callable returning a fresh
+            :class:`~repro.kernels.workload.Workload`.  Inline-factory
+            jobs run in the parent process and are never cached (the
+            callable has no stable identity); prefer registry names.
+        verify: run the workload's host reference check after simulating.
+    """
+
+    __slots__ = ("workload", "config", "params", "factory", "verify",
+                 "_inline_id", "_key")
+
+    def __init__(
+        self,
+        workload: str,
+        config: Optional[GpuConfig] = None,
+        params: Optional[Mapping[str, Any]] = None,
+        factory: Optional[Callable[..., Any]] = None,
+        verify: bool = True,
+    ) -> None:
+        self.workload = workload
+        self.config = config if config is not None else GpuConfig()
+        self.params: Tuple[Tuple[str, Any], ...] = tuple(
+            sorted((params or {}).items())
+        )
+        self.factory = factory
+        self.verify = verify
+        self._inline_id = None if factory is not None else -1
+        if factory is None:
+            from .kernels import WORKLOAD_REGISTRY
+
+            if workload not in WORKLOAD_REGISTRY:
+                raise KeyError(
+                    f"unknown workload {workload!r}; pass factory= for "
+                    f"out-of-registry workloads"
+                )
+        else:
+            self._inline_id = next(_inline_ids)
+        self._key = self._compute_key()
+
+    def _compute_key(self) -> str:
+        parts = [
+            self.workload,
+            stable_digest(dict(self.params)),
+            config_digest(self.config),
+        ]
+        if self.factory is not None:
+            # Inline factories have no stable identity: make the key
+            # unique so two different callables never alias.
+            parts.append(f"inline{self._inline_id}")
+        return "|".join(parts)
+
+    @property
+    def key(self) -> str:
+        """Identity of this job within a batch (and, if cacheable, on disk)."""
+        return self._key
+
+    @property
+    def cacheable(self) -> bool:
+        return self.factory is None
+
+    def build(self):
+        """Instantiate a fresh workload for this job."""
+        if self.factory is not None:
+            return self.factory(**dict(self.params))
+        from .kernels import WORKLOAD_REGISTRY
+
+        return WORKLOAD_REGISTRY[self.workload](**dict(self.params))
+
+    def execute(self) -> KernelRunResult:
+        """Simulate this job in the current process."""
+        from .kernels.workload import run_workload
+
+        return run_workload(self.build(), self.config, verify=self.verify)
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Job) and self._key == other._key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Job({self.workload!r}, params={dict(self.params)!r})"
+
+
+def _execute_named(workload: str, params: Tuple[Tuple[str, Any], ...],
+                   config: GpuConfig, verify: bool) -> KernelRunResult:
+    """Process-pool entry point: rebuild the workload by name and run it."""
+    from .kernels import WORKLOAD_REGISTRY
+    from .kernels.workload import run_workload
+
+    instance = WORKLOAD_REGISTRY[workload](**dict(params))
+    return run_workload(instance, config, verify=verify)
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-sim``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-sim"
+
+
+class ResultCache:
+    """Content-keyed pickle store of :class:`KernelRunResult`.
+
+    Entry names combine the (sanitized) workload name, the job key, and
+    the code salt; a corrupted or unreadable entry is treated as a miss
+    (and removed) so the job falls back to re-simulation.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 salt: Optional[str] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.salt = salt if salt is not None else code_salt()
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    def path_for(self, job: Job) -> Path:
+        name = re.sub(r"[^A-Za-z0-9_.-]", "_", job.workload)
+        digest = hashlib.sha256(
+            f"{job.key}|{self.salt}".encode("utf-8")
+        ).hexdigest()[:32]
+        return self.root / f"{name}-{digest}.pkl"
+
+    def load(self, job: Job) -> Optional[KernelRunResult]:
+        path = self.path_for(job)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            result = pickle.loads(data)
+            if not isinstance(result, KernelRunResult):
+                raise TypeError(f"cache entry holds {type(result).__name__}")
+        except Exception:
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, job: Job, result: KernelRunResult) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(job)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp.write_bytes(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+        os.replace(tmp, path)  # atomic even with concurrent writers
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# Runner
+
+
+@dataclass
+class JobEvent:
+    """Progress callback payload: one job was resolved."""
+
+    job: Job
+    status: str  # "cached" | "executed"
+    elapsed: float  # seconds spent resolving this job
+    index: int  # 1-based position among the batch's unique jobs
+    total: int  # number of unique jobs in the batch
+
+
+@dataclass
+class RunStats:
+    """Accounting for one :meth:`Runner.run` batch."""
+
+    requested: int = 0
+    unique: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    wall_seconds: float = 0.0
+
+
+class Runner:
+    """Deduplicating, caching, parallel executor of simulation jobs.
+
+    Args:
+        workers: process count for cache misses.  1 (default) runs
+            serially in-process; ``None`` reads ``$REPRO_JOBS``.
+        cache: a :class:`ResultCache`, a path for one, ``None``/"default"
+            for the default location, or ``False`` to disable caching.
+        verify: master switch for host reference checks (AND-ed with each
+            job's own flag).
+        progress: optional callable receiving a :class:`JobEvent` as each
+            unique job resolves.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        cache: Any = "default",
+        verify: bool = True,
+        progress: Optional[Callable[[JobEvent], None]] = None,
+    ) -> None:
+        if workers is None:
+            workers = int(os.environ.get("REPRO_JOBS", "1") or "1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        if cache is False or cache is None:
+            self.cache: Optional[ResultCache] = None
+        elif isinstance(cache, ResultCache):
+            self.cache = cache
+        elif cache == "default":
+            self.cache = (None if os.environ.get("REPRO_NO_CACHE")
+                          else ResultCache())
+        else:
+            self.cache = ResultCache(cache)
+        self.verify = verify
+        self.progress = progress
+        self.last_stats = RunStats()
+        # Cumulative counters across the runner's lifetime (test hooks).
+        self.total_executed = 0
+        self.total_cache_hits = 0
+
+    # -- public API --------------------------------------------------------
+
+    def run_one(self, workload: str, config: Optional[GpuConfig] = None,
+                **params: Any) -> KernelRunResult:
+        """Run a single registry workload through the engine."""
+        job = Job(workload, config, params=params)
+        return self.run([job])[job]
+
+    def run(self, jobs: Iterable[Job]) -> Dict[Job, KernelRunResult]:
+        """Resolve a batch of jobs; returns ``{job: result}``.
+
+        Duplicate jobs (same workload, params, and config) are simulated
+        once; every requested job still appears as a key in the returned
+        mapping, so callers can look results up with their own objects.
+        """
+        start = time.perf_counter()
+        requested = list(jobs)
+        unique: Dict[str, Job] = {}
+        for job in requested:
+            unique.setdefault(job.key, job)
+
+        stats = RunStats(requested=len(requested), unique=len(unique))
+        results: Dict[str, KernelRunResult] = {}
+        pending: List[Job] = []
+        progress_index = 0
+
+        def emit(job: Job, status: str, elapsed: float) -> None:
+            nonlocal progress_index
+            progress_index += 1
+            if self.progress is not None:
+                self.progress(JobEvent(job, status, elapsed,
+                                       progress_index, len(unique)))
+
+        for key, job in unique.items():
+            cached = (self.cache.load(job)
+                      if self.cache is not None and job.cacheable else None)
+            if cached is not None:
+                results[key] = cached
+                stats.cache_hits += 1
+                emit(job, "cached", 0.0)
+            else:
+                pending.append(job)
+
+        named = [job for job in pending if job.cacheable]
+        inline = [job for job in pending if not job.cacheable]
+
+        if len(named) > 1 and self.workers > 1:
+            self._run_pool(named, results, stats, emit)
+        else:
+            for job in named:
+                self._run_local(job, results, stats, emit)
+        for job in inline:
+            self._run_local(job, results, stats, emit)
+
+        stats.wall_seconds = time.perf_counter() - start
+        self.last_stats = stats
+        self.total_executed += stats.executed
+        self.total_cache_hits += stats.cache_hits
+        return {job: results[job.key] for job in requested}
+
+    # -- execution paths ---------------------------------------------------
+
+    def _finish(self, job: Job, result: KernelRunResult,
+                results: Dict[str, KernelRunResult], stats: RunStats,
+                emit, elapsed: float) -> None:
+        results[job.key] = result
+        stats.executed += 1
+        if self.cache is not None and job.cacheable:
+            self.cache.store(job, result)
+        emit(job, "executed", elapsed)
+
+    def _run_local(self, job: Job, results, stats, emit) -> None:
+        from .kernels.workload import run_workload
+
+        tick = time.perf_counter()
+        result = run_workload(job.build(), job.config,
+                              verify=job.verify and self.verify)
+        self._finish(job, result, results, stats, emit,
+                     time.perf_counter() - tick)
+
+    def _run_pool(self, named: List[Job], results, stats, emit) -> None:
+        workers = min(self.workers, len(named))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            started = {}
+            for job in named:
+                future = pool.submit(
+                    _execute_named, job.workload, job.params, job.config,
+                    job.verify and self.verify)
+                futures[future] = job
+                started[future] = time.perf_counter()
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding,
+                                         return_when=FIRST_COMPLETED)
+                for future in done:
+                    job = futures[future]
+                    self._finish(job, future.result(), results, stats, emit,
+                                 time.perf_counter() - started[future])
+
+
+# ---------------------------------------------------------------------------
+# Shared default runner (what experiments use when none is passed)
+
+_default_runner: Optional[Runner] = None
+
+
+def default_runner() -> Runner:
+    """Process-wide shared :class:`Runner`.
+
+    Configured from the environment on first use: ``$REPRO_JOBS`` sets
+    the worker count, ``$REPRO_NO_CACHE`` disables the on-disk cache,
+    ``$REPRO_CACHE_DIR`` relocates it.  Experiment modules route through
+    this instance unless an explicit runner is supplied, which is what
+    lets one figure's simulations satisfy another's.
+    """
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = Runner(workers=None)
+    return _default_runner
+
+
+def set_default_runner(runner: Optional[Runner]) -> Optional[Runner]:
+    """Replace the shared runner (CLI flags, tests); returns the old one."""
+    global _default_runner
+    previous = _default_runner
+    _default_runner = runner
+    return previous

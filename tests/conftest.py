@@ -1,0 +1,21 @@
+"""Shared fixtures for the fast test suite.
+
+The experiment harnesses route their simulations through the shared
+:mod:`repro.runner` engine.  During tests, that engine's on-disk cache
+is redirected into a session-scoped temporary directory so the suite
+never writes outside pytest's tmp tree — and repeated simulations of the
+same (workload, config) pair across test modules are served from the
+warm cache instead of being re-run.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_default_runner(tmp_path_factory):
+    from repro.runner import ResultCache, Runner, set_default_runner
+
+    cache = ResultCache(tmp_path_factory.mktemp("repro-result-cache"))
+    previous = set_default_runner(Runner(workers=1, cache=cache))
+    yield
+    set_default_runner(previous)

@@ -49,6 +49,99 @@ class TestRunCommand:
             main(["run", "va", "--policy", "tbc"])
 
 
+class TestRunVerificationFailure:
+    @staticmethod
+    def _failing_workload():
+        from repro.kernels.linalg import vector_add
+
+        workload = vector_add(n=64)
+
+        def bad_check(_buffers):
+            raise AssertionError("reference mismatch at lane 3")
+
+        workload.check = bad_check
+        return workload
+
+    def test_clean_message_and_nonzero_exit(self, monkeypatch, capsys):
+        from repro.kernels import WORKLOAD_REGISTRY
+
+        monkeypatch.setitem(WORKLOAD_REGISTRY, "failcheck",
+                            self._failing_workload)
+        assert main(["run", "failcheck"]) == 1
+        err = capsys.readouterr().err
+        assert "verification FAILED" in err
+        assert "failcheck" in err
+        assert "reference mismatch at lane 3" in err
+        assert "Traceback" not in err
+
+    def test_no_verify_bypasses_check(self, monkeypatch, capsys):
+        from repro.kernels import WORKLOAD_REGISTRY
+
+        monkeypatch.setitem(WORKLOAD_REGISTRY, "failcheck",
+                            self._failing_workload)
+        assert main(["run", "failcheck", "--no-verify"]) == 0
+
+
+class TestSweepCommand:
+    def test_grid_table_and_stats(self, tmp_path, capsys):
+        rc = main(["sweep", "--workloads", "va", "--policies", "ivb,scc",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "sweep results" in captured.out
+        assert "2 unique" in captured.err
+
+    def test_json_artifact(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "sweep.json"
+        rc = main(["sweep", "--workloads", "va", "--policies", "ivb",
+                   "--dc", "1.0,2.0", "--cache-dir", str(tmp_path / "cache"),
+                   "--json", str(out_path)])
+        assert rc == 0
+        artifact = json.loads(out_path.read_text())
+        assert artifact["runner"]["unique"] == 2
+        assert len(artifact["results"]) == 2
+        assert {r["dc_lines_per_cycle"] for r in artifact["results"]} == {1.0, 2.0}
+
+    def test_cache_reused_across_invocations(self, tmp_path, capsys):
+        args = ["sweep", "--workloads", "va", "--policies", "ivb",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "1 cached, 0 executed" in capsys.readouterr().err
+
+    def test_unknown_workload(self, tmp_path, capsys):
+        rc = main(["sweep", "--workloads", "nonexistent",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 2
+
+    def test_bad_policy_reported_cleanly(self, tmp_path, capsys):
+        rc = main(["sweep", "--workloads", "va", "--policies", "ivb,sccc",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "bad sweep grid" in err
+        assert "sccc" in err
+
+    def test_bad_dc_value_reported_cleanly(self, tmp_path, capsys):
+        rc = main(["sweep", "--workloads", "va", "--dc", "1.0,fast",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 2
+        assert "bad sweep grid" in capsys.readouterr().err
+
+    def test_workload_groups_resolve(self):
+        from repro.cli import _sweep_workloads
+        from repro.kernels import WORKLOAD_REGISTRY
+
+        names = _sweep_workloads("rodinia,va")
+        assert names[:5] == ["bfs", "hotspot", "lavamd", "nw",
+                             "particlefilter"]
+        assert "va" in names
+        assert all(name in WORKLOAD_REGISTRY for name in names)
+
+
 class TestProfileCommand:
     def test_builtin_trace(self, capsys):
         assert main(["profile", "glbench_pro"]) == 0

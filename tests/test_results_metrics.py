@@ -1,0 +1,68 @@
+"""Tests for the misleading-metric fixes in :mod:`repro.gpu.results`."""
+
+import pytest
+
+from repro.core.policy import CompactionPolicy
+from repro.core.stats import CompactionStats
+from repro.gpu.results import KernelRunResult, merge_results
+
+
+def _result(kernel="k", policy=CompactionPolicy.IVB, l3_hits=0, l3_accesses=0,
+            llc_hits=0, llc_accesses=0):
+    stats = CompactionStats()
+    stats.record(0xFFFF, 16)
+    return KernelRunResult(
+        kernel=kernel,
+        policy=policy,
+        total_cycles=100,
+        instructions=1,
+        alu_stats=stats,
+        simd_stats=stats,
+        l3_hits=l3_hits,
+        l3_accesses=l3_accesses,
+        llc_hits=llc_hits,
+        llc_accesses=llc_accesses,
+        dc_lines=0,
+        dram_lines=0,
+        memory_messages=0,
+        lines_requested=0,
+        workgroups=1,
+    )
+
+
+class TestHitRates:
+    def test_compute_only_kernel_reports_zero_not_perfect(self):
+        result = _result()
+        assert result.l3_hit_rate == 0.0
+        assert result.llc_hit_rate == 0.0
+        assert result.summary()["l3_hit_rate"] == 0.0
+        assert result.summary()["llc_hit_rate"] == 0.0
+
+    def test_real_rates_unchanged(self):
+        result = _result(l3_hits=3, l3_accesses=4, llc_hits=1, llc_accesses=2)
+        assert result.l3_hit_rate == pytest.approx(0.75)
+        assert result.llc_hit_rate == pytest.approx(0.5)
+
+
+class TestMergeValidation:
+    def test_policy_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="different policies"):
+            merge_results([_result(policy=CompactionPolicy.IVB),
+                           _result(policy=CompactionPolicy.SCC)])
+
+    def test_same_kernel_name_kept_plain(self):
+        merged = merge_results([_result(), _result(), _result()])
+        assert merged.kernel == "k"
+
+    def test_distinct_kernel_names_joined_in_order(self):
+        merged = merge_results([_result(kernel="init"),
+                                _result(kernel="solve"),
+                                _result(kernel="init")])
+        assert merged.kernel == "init+solve"
+
+    def test_counters_still_summed(self):
+        merged = merge_results([_result(l3_hits=1, l3_accesses=2),
+                                _result(l3_hits=1, l3_accesses=2)])
+        assert merged.l3_accesses == 4
+        assert merged.l3_hit_rate == pytest.approx(0.5)
+        assert merged.total_cycles == 200
