@@ -129,27 +129,55 @@ results; delete the cache directory (or set `REPRO_NO_CACHE=1`) to force
 fresh simulation.  Cache keys include a hash of the simulator source, so
 entries invalidate automatically when the model changes.  Ad-hoc grids
 beyond the paper's figures can be produced with `python -m repro sweep`.
+
+An interrupted regeneration is cheap to pick up: completed simulations
+replay from the cache, this generator skips (with a warning) any result
+file the interruption left missing or truncated, and `repro sweep` grids
+checkpoint to a journal — rerun with `--resume --json PATH` to continue
+where a crash or Ctrl-C stopped (see README "Failure handling").
 """
+
+
+def _read_section(path: Path):
+    """Return the result text, or ``(None, reason)`` if it is unusable.
+
+    An interrupted benchmark run can leave result files missing, empty,
+    truncated mid-write, or (on a bad disk day) unreadable; none of that
+    should take down the report for the sections that *did* complete.
+    """
+    if not path.exists():
+        return None, "missing"
+    try:
+        text = path.read_text(errors="strict")
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, f"unreadable ({type(exc).__name__}: {exc})"
+    if not text.strip():
+        return None, "empty (benchmark interrupted?)"
+    return text, None
 
 
 def main() -> int:
     parts = [HEADER]
-    missing = []
+    skipped = []
     for filename, title, expectation in SECTIONS:
         path = RESULTS / filename
         parts.append(f"\n## {title}\n")
         parts.append(expectation + "\n")
-        if path.exists():
+        text, reason = _read_section(path)
+        if text is not None:
             parts.append("```")
-            parts.append(path.read_text().rstrip())
+            parts.append(text.rstrip())
             parts.append("```")
         else:
-            missing.append(filename)
-            parts.append(f"*(missing: run the bench that writes {filename})*")
+            skipped.append(f"{filename}: {reason}")
+            parts.append(f"*({reason}: run the bench that writes "
+                         f"{filename})*")
     print("\n".join(parts))
-    if missing:
-        print(f"warning: {len(missing)} result file(s) missing: "
-              f"{', '.join(missing)}", file=sys.stderr)
+    if skipped:
+        print(f"warning: skipped {len(skipped)} result file(s):",
+              file=sys.stderr)
+        for entry in skipped:
+            print(f"  {entry}", file=sys.stderr)
         return 1
     return 0
 

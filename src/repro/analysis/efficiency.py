@@ -14,7 +14,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.stats import CompactionStats, is_divergent
 from ..gpu.config import GpuConfig
-from ..kernels import WORKLOAD_REGISTRY
+from ..kernels import FAULT_WORKLOADS, WORKLOAD_REGISTRY
 from ..runner import Job, Runner, default_runner
 from ..trace.profiler import profile_trace
 from ..trace.workloads import TRACE_PROFILES, trace_events
@@ -49,7 +49,9 @@ def simulator_efficiencies(
     """
     config = config if config is not None else GpuConfig()
     engine = runner if runner is not None else default_runner()
-    ordered = list(names if names is not None else WORKLOAD_REGISTRY)
+    if names is None:  # fault-injection entries never join the studies
+        names = (n for n in WORKLOAD_REGISTRY if n not in FAULT_WORKLOADS)
+    ordered = list(names)
     jobs = {name: Job(name, config) for name in ordered}
     results = engine.run(jobs.values())
     return [

@@ -10,24 +10,39 @@ Commands:
 * ``experiment NAME`` — regenerate one paper table/figure (``--jobs N``
   parallelizes, ``--no-cache`` bypasses the shared result cache);
 * ``sweep`` — run an arbitrary workload x policy x memory grid through
-  the shared runner and emit one table/JSON artifact.
+  the shared runner and emit one table/JSON artifact.  ``--resume``
+  continues an interrupted sweep from its checkpoint journal.
+
+Failures are typed (:mod:`repro.errors`) and map to stable exit codes:
+0 success, 1 verification mismatch, 2 usage error, 3 simulated deadlock,
+4 wall-clock timeout, 5 worker crash, 6 cache corruption, 130 interrupt.
+Every failure prints a one-line diagnosis on stderr — never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import os
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .analysis.report import format_table
 from .core.bcc import bcc_schedule
 from .core.policy import CompactionPolicy, cycles_all_policies, parse_policy
 from .core.quads import format_mask
 from .core.scc import scc_schedule
+from .errors import SimulationError, describe, exit_code_for
 from .gpu.config import GpuConfig
-from .kernels import DIVERGENT_WORKLOADS, RODINIA_WORKLOADS, WORKLOAD_REGISTRY, run_workload
+from .kernels import (
+    DIVERGENT_WORKLOADS,
+    FAULT_WORKLOADS,
+    RODINIA_WORKLOADS,
+    WORKLOAD_REGISTRY,
+    run_workload,
+)
 from .trace.format import read_trace
 from .trace.profiler import profile_trace
 from .trace.workloads import TRACE_PROFILES, trace_events
@@ -38,15 +53,18 @@ def _runner_from_args(args, progress=False):
     from .runner import JobEvent, Runner
 
     def _report(event: JobEvent) -> None:
+        note = f" [{describe(event.error)}]" if event.error is not None else ""
         print(f"[{event.index}/{event.total}] {event.job.workload} "
-              f"{event.status} ({event.elapsed:.2f}s)", file=sys.stderr)
+              f"{event.status} ({event.elapsed:.2f}s){note}", file=sys.stderr)
 
     cache = False if getattr(args, "no_cache", False) else (
         getattr(args, "cache_dir", None) or "default")
     return Runner(workers=getattr(args, "jobs", 1) or 1,
                   cache=cache,
                   verify=not getattr(args, "no_verify", False),
-                  progress=_report if progress else None)
+                  progress=_report if progress else None,
+                  timeout=getattr(args, "timeout", None),
+                  retries=getattr(args, "retries", 2))
 
 
 def _add_runner_flags(parser) -> None:
@@ -57,6 +75,13 @@ def _add_runner_flags(parser) -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="result-cache directory (default "
                              "$REPRO_CACHE_DIR or ~/.cache/repro-sim)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-job wall-clock budget in seconds; hung "
+                             "jobs die with a timeout error (default: none)")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="retries for transient worker failures "
+                             "(default 2); deterministic failures — "
+                             "deadlock, verification, timeout — never retry")
 
 
 def _cmd_list(_args) -> int:
@@ -77,14 +102,19 @@ def _cmd_run(args) -> int:
         print(f"unknown workload {args.workload!r}; try `list`", file=sys.stderr)
         return 2
     config = GpuConfig(policy=parse_policy(args.policy))
+    if args.max_cycles:
+        config = dataclasses.replace(config, max_cycles=args.max_cycles)
     if args.dc2:
         config = config.with_memory(dc_lines_per_cycle=2.0)
     if args.perfect_l3:
         config = config.with_memory(perfect_l3=True)
     try:
         result = run_workload(WORKLOAD_REGISTRY[args.workload](), config,
-                              verify=not args.no_verify)
+                              verify=not args.no_verify,
+                              host_seconds=args.timeout)
     except AssertionError as exc:
+        # VerificationError and plain reference-check AssertionErrors:
+        # keep the verbose, actionable message (exit code 1 either way).
         detail = f": {exc}" if str(exc) else ""
         print(f"verification FAILED for workload {args.workload!r}{detail}\n"
               f"(simulated output does not match the host reference; "
@@ -188,9 +218,12 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
-#: Named workload groups accepted by ``sweep --workloads``.
+#: Named workload groups accepted by ``sweep --workloads``.  The fault
+#: injection entries are registry members but never part of a group —
+#: they must be named explicitly to run.
 WORKLOAD_GROUPS = {
-    "all": lambda: tuple(WORKLOAD_REGISTRY),
+    "all": lambda: tuple(n for n in WORKLOAD_REGISTRY
+                         if n not in FAULT_WORKLOADS),
     "divergent": lambda: DIVERGENT_WORKLOADS,
     "rodinia": lambda: RODINIA_WORKLOADS,
 }
@@ -209,8 +242,29 @@ def _sweep_workloads(spec: str) -> List[str]:
     return list(dict.fromkeys(names))
 
 
+def _sweep_record(point, result) -> Dict[str, Any]:
+    """One deterministic result row of the sweep artifact."""
+    name, policy, dc, pl3 = point
+    return {
+        "workload": name,
+        "policy": policy.value,
+        "dc_lines_per_cycle": dc,
+        "perfect_l3": pl3,
+        "total_cycles": result.total_cycles,
+        "eu_cycles": result.eu_cycles,
+        "instructions": result.instructions,
+        "simd_efficiency": round(result.simd_efficiency, 6),
+        "l3_hit_rate": round(result.l3_hit_rate, 6),
+        "memory_divergence": round(result.memory_divergence, 6),
+        "bcc_eu_reduction_pct": round(
+            result.eu_cycle_reduction_pct(CompactionPolicy.BCC), 3),
+        "scc_eu_reduction_pct": round(
+            result.eu_cycle_reduction_pct(CompactionPolicy.SCC), 3),
+    }
+
+
 def _cmd_sweep(args) -> int:
-    from .runner import Job
+    from .runner import CheckpointJournal, Job, stable_digest
 
     names = _sweep_workloads(args.workloads)
     unknown = [n for n in names if n not in WORKLOAD_REGISTRY]
@@ -226,56 +280,110 @@ def _cmd_sweep(args) -> int:
         return 2
     pl3_values = {"off": (False,), "on": (True,),
                   "both": (False, True)}[args.perfect_l3]
+    if args.resume and (not args.json or args.json == "-"):
+        print("--resume needs --json PATH (the journal lives beside the "
+              "artifact)", file=sys.stderr)
+        return 2
 
-    runner = _runner_from_args(args, progress=args.progress)
-    jobs = {}
+    jobs: Dict[Any, Job] = {}
     for name in names:
         for policy in policies:
             for dc in dc_values:
                 for pl3 in pl3_values:
-                    config = GpuConfig(policy=policy).with_memory(
+                    config = GpuConfig(policy=policy)
+                    if args.max_cycles:
+                        config = dataclasses.replace(
+                            config, max_cycles=args.max_cycles)
+                    config = config.with_memory(
                         dc_lines_per_cycle=dc, perfect_l3=pl3)
                     jobs[(name, policy, dc, pl3)] = Job(name, config)
-    results = runner.run(jobs.values())
-
-    records = []
-    for (name, policy, dc, pl3), job in jobs.items():
-        result = results[job]
-        records.append({
-            "workload": name,
-            "policy": policy.value,
-            "dc_lines_per_cycle": dc,
-            "perfect_l3": pl3,
-            "total_cycles": result.total_cycles,
-            "eu_cycles": result.eu_cycles,
-            "instructions": result.instructions,
-            "simd_efficiency": round(result.simd_efficiency, 6),
-            "l3_hit_rate": round(result.l3_hit_rate, 6),
-            "memory_divergence": round(result.memory_divergence, 6),
-            "bcc_eu_reduction_pct": round(
-                result.eu_cycle_reduction_pct(CompactionPolicy.BCC), 3),
-            "scc_eu_reduction_pct": round(
-                result.eu_cycle_reduction_pct(CompactionPolicy.SCC), 3),
-        })
-
-    stats = runner.last_stats
-    artifact = {
-        "grid": {
-            "workloads": names,
-            "policies": [p.value for p in policies],
-            "dc_lines_per_cycle": dc_values,
-            "perfect_l3": sorted(pl3_values),
-        },
-        "runner": {
-            "jobs": stats.requested,
-            "unique": stats.unique,
-            "cache_hits": stats.cache_hits,
-            "executed": stats.executed,
-            "wall_seconds": round(stats.wall_seconds, 3),
-            "workers": runner.workers,
-        },
-        "results": records,
+    grid = {
+        "workloads": names,
+        "policies": [p.value for p in policies],
+        "dc_lines_per_cycle": dc_values,
+        "perfect_l3": sorted(pl3_values),
     }
+    grid_key = stable_digest({**grid, "verify": not args.no_verify,
+                              "max_cycles": args.max_cycles or 0})
+
+    # Checkpoint journal: written beside the JSON artifact whenever one
+    # is requested, consumed by --resume, deleted on success.  Only
+    # successful jobs are journaled — failures rerun on resume.
+    journal = None
+    resumed: Dict[str, Any] = {}
+    if args.json and args.json != "-":
+        journal = CheckpointJournal(Path(args.json + ".journal"), grid_key)
+        if args.resume:
+            loaded = journal.load()
+            if loaded is None:
+                print("sweep: no matching journal to resume; starting fresh",
+                      file=sys.stderr)
+            else:
+                resumed = loaded
+                print(f"sweep: resuming, {len(resumed)}/{len(jobs)} job(s) "
+                      f"already journaled", file=sys.stderr)
+        else:
+            journal.discard()  # a stale journal must not leak into this run
+
+    by_key = {job.key: point for point, job in jobs.items()}
+    pending = {point: job for point, job in jobs.items()
+               if job.key not in resumed}
+    interrupt_after = int(os.environ.get("REPRO_FAULT_INTERRUPT_AFTER", 0)
+                          or 0)
+    completed_this_run = 0
+
+    runner = _runner_from_args(args, progress=args.progress)
+    outer_progress = runner.progress
+
+    def _journaling_progress(event) -> None:
+        nonlocal completed_this_run
+        if outer_progress is not None:
+            outer_progress(event)
+        if event.status in ("cached", "executed"):
+            completed_this_run += 1
+            if journal is not None and event.result is not None:
+                point = by_key[event.job.key]
+                journal.append(event.job.key,
+                               {"record": _sweep_record(point, event.result)})
+            if interrupt_after and completed_this_run >= interrupt_after:
+                # Deterministic interruption point for the fault-injection
+                # CI job: stand-in for a Ctrl-C / SIGINT mid-sweep.
+                raise KeyboardInterrupt
+    runner.progress = _journaling_progress
+
+    try:
+        results = runner.run(pending.values(), strict=False)
+    except KeyboardInterrupt:
+        done = len(resumed) + completed_this_run
+        print(f"\nsweep interrupted: {done}/{len(jobs)} job(s) completed"
+              + (f"; resume with --resume --json {args.json}"
+                 if journal is not None else ""), file=sys.stderr)
+        return 130
+    stats = runner.last_stats
+
+    records: List[Dict[str, Any]] = []
+    failures: List[Dict[str, Any]] = []
+    exit_code = 0
+    for point, job in jobs.items():  # grid order: deterministic artifact
+        if job.key in resumed:
+            records.append(resumed[job.key]["record"])
+        elif job in results:
+            records.append(_sweep_record(point, results[job]))
+        elif job.key in stats.failures:
+            error = stats.failures[job.key]
+            name, policy, dc, pl3 = point
+            failures.append({
+                "workload": name,
+                "policy": policy.value,
+                "dc_lines_per_cycle": dc,
+                "perfect_l3": pl3,
+                "error": describe(error),
+                "exit_code": exit_code_for(error),
+            })
+            if exit_code == 0:
+                exit_code = exit_code_for(error)
+
+    artifact = {"grid": grid, "results": records, "failures": failures}
     if args.json:
         text = json.dumps(artifact, indent=2, sort_keys=True)
         if args.json == "-":
@@ -292,11 +400,20 @@ def _cmd_sweep(args) -> int:
             ["workload", "policy", "DC", "PL3", "total cycles", "EU cycles",
              "SIMD eff", "SCC EU reduction"],
             rows, title="sweep results"))
-    print(f"sweep: {stats.requested} job(s), {stats.unique} unique, "
-          f"{stats.cache_hits} cached, {stats.executed} executed in "
-          f"{stats.wall_seconds:.2f}s with {runner.workers} worker(s)",
-          file=sys.stderr)
-    return 0
+    summary = (f"sweep: {len(jobs)} job(s), {stats.unique} unique, "
+               f"{stats.cache_hits} cached, {stats.executed} executed in "
+               f"{stats.wall_seconds:.2f}s with {runner.workers} worker(s)")
+    if resumed:
+        summary += f"; {len(resumed)} resumed from journal"
+    if failures:
+        summary += f"; {len(failures)} FAILED"
+    print(summary, file=sys.stderr)
+    for failure in failures:
+        print(f"  FAILED {failure['workload']}/{failure['policy']}: "
+              f"{failure['error']}", file=sys.stderr)
+    if journal is not None and not failures:
+        journal.discard()  # sweep complete: the artifact is the record
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -318,6 +435,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="infinite L3 (Figure 12 PL3)")
     run.add_argument("--no-verify", action="store_true",
                      help="skip the host reference check")
+    run.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                     help="wall-clock budget; a hung simulation dies with "
+                          "a timeout error instead of spinning forever")
+    run.add_argument("--max-cycles", type=int, default=None, metavar="N",
+                     help="override the simulator cycle budget (deadlock "
+                          "watchdog; default 20M)")
 
     profile = sub.add_parser("profile", help="profile an execution-mask trace")
     profile.add_argument("trace", help="built-in trace name or file path")
@@ -356,6 +479,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip host reference checks")
     sweep.add_argument("--progress", action="store_true",
                        help="report per-job progress on stderr")
+    sweep.add_argument("--resume", action="store_true",
+                       help="continue an interrupted sweep from the "
+                            "checkpoint journal next to --json PATH")
+    sweep.add_argument("--max-cycles", type=int, default=None, metavar="N",
+                       help="override the simulator cycle budget for every "
+                            "job in the grid")
     _add_runner_flags(sweep)
     return parser
 
@@ -370,7 +499,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "sweep": _cmd_sweep,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        return 130
+    except SimulationError as exc:
+        # Typed failures (deadlock, timeout, worker crash, cache
+        # corruption, verification) exit with their own code and a
+        # one-line diagnosis — never a traceback.
+        print(describe(exc), file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,127 @@
+"""Typed failure taxonomy for simulation and experiment execution.
+
+Long batch campaigns (the paper's ~50-workload GPGenSim sweeps, our
+``repro sweep`` grids) fail in qualitatively different ways: a kernel
+whose scheduling deadlocks, a host reference check that disagrees with
+the simulated output, a worker process that dies, a cache entry a killed
+process left corrupted, a job that simply runs past its wall-clock
+budget.  Each gets its own :class:`SimulationError` subclass so callers
+(the runner's retry logic, the CLI's exit codes, per-job status in sweep
+artifacts) can react by *type* instead of string-matching messages.
+
+Exit-code contract (also documented in the README):
+
+====  =========================  =============================
+code  exception                  meaning
+====  =========================  =============================
+0     —                          success
+1     :class:`VerificationError` simulated output != host reference
+2     —                          usage error (argparse, bad grid)
+3     :class:`DeadlockError`     watchdog killed a hung/stalled kernel
+4     :class:`JobTimeoutError`   job exceeded its wall-clock budget
+5     :class:`WorkerCrashError`  worker process died / raised
+6     :class:`CacheCorruptionError`  unreadable result-cache entry
+8     :class:`SimulationError`   any other typed simulation failure
+130   ``KeyboardInterrupt``      interrupted (resumable via --resume)
+====  =========================  =============================
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "DeadlockError",
+    "VerificationError",
+    "WorkerCrashError",
+    "CacheCorruptionError",
+    "JobTimeoutError",
+    "exit_code_for",
+    "describe",
+]
+
+
+class SimulationError(Exception):
+    """Base class for every typed simulation/execution failure.
+
+    Class attributes:
+
+    * ``exit_code`` — the CLI process exit status for this failure kind.
+    * ``transient`` — whether a retry could plausibly succeed (worker
+      crashes may be environmental; deadlocks and verification failures
+      are deterministic and never retried).
+    """
+
+    exit_code = 8
+    transient = False
+
+
+class DeadlockError(SimulationError, RuntimeError):
+    """The simulator made no progress while work was still pending.
+
+    Raised by the watchdog in :class:`repro.gpu.simulator.GpuSimulator`:
+    either the event queue went empty with workgroups outstanding, the
+    cycle budget (``GpuConfig.max_cycles``) was exhausted, or no
+    instruction issued for ``GpuConfig.watchdog_cycles`` consecutive
+    cycles (a scheduling deadlock).
+    """
+
+    exit_code = 3
+
+
+class VerificationError(SimulationError, AssertionError):
+    """Simulated output does not match the workload's host reference.
+
+    Subclasses :class:`AssertionError` so existing callers (and tests)
+    that catch the reference check's assertion keep working.
+    """
+
+    exit_code = 1
+
+
+class JobTimeoutError(SimulationError):
+    """A job exceeded its wall-clock budget.
+
+    Raised in-process by the simulator's wall-clock check when a budget
+    is set, or synthesized by the runner when a worker overruns its
+    deadline and has to be killed from the parent.
+    """
+
+    exit_code = 4
+
+
+class WorkerCrashError(SimulationError):
+    """A worker process died or raised an unclassified exception.
+
+    The one *transient* failure kind: the runner retries these with
+    exponential backoff before giving up, and degrades from the process
+    pool to in-process serial execution when the pool itself breaks.
+    """
+
+    exit_code = 5
+    transient = True
+
+
+class CacheCorruptionError(SimulationError):
+    """A result-cache entry could not be read back.
+
+    By default corrupted entries are quarantined and re-simulated
+    silently; strict cache mode (``ResultCache(strict=True)`` or
+    ``$REPRO_STRICT_CACHE``) raises this instead.
+    """
+
+    exit_code = 6
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Process exit status for *exc* (KeyboardInterrupt maps to 130)."""
+    if isinstance(exc, SimulationError):
+        return exc.exit_code
+    if isinstance(exc, KeyboardInterrupt):
+        return 130
+    return 1
+
+
+def describe(exc: BaseException) -> str:
+    """One-line ``ErrorType: message`` rendering for logs and stderr."""
+    message = " ".join(str(exc).split()) or "(no detail)"
+    return f"{type(exc).__name__}: {message}"

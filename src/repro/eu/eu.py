@@ -53,6 +53,9 @@ class ExecutionUnit:
         self.threads: List[Optional[EUThread]] = [None] * config.threads_per_eu
         self._rr = 0  # rotating-priority pointer (paper: rotating/age arbiter)
         self.instructions_issued = 0
+        #: Threads that reached EOT — the simulator's deadlock watchdog
+        #: reads this (with instructions_issued) as its progress signal.
+        self.threads_retired = 0
 
     # -- thread management ---------------------------------------------------
 
@@ -161,6 +164,7 @@ class ExecutionUnit:
         elif op is Opcode.EOT:
             thread.state = ThreadState.DONE
             self.threads[slot] = None
+            self.threads_retired += 1
             if thread.workgroup is not None:
                 thread.workgroup.thread_done(now)
             return

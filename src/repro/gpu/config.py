@@ -35,6 +35,9 @@ class GpuConfig:
     dispatch_latency: int = 10
     barrier_latency: int = 2
     max_cycles: int = 20_000_000
+    #: Deadlock watchdog: abort if no instruction issues for this many
+    #: consecutive cycles while work is still pending (0 disables).
+    watchdog_cycles: int = 1_000_000
 
     def validate(self) -> None:
         if self.num_eus < 1 or self.threads_per_eu < 1:
@@ -45,6 +48,10 @@ class GpuConfig:
             raise ValueError(f"unknown arbiter policy {self.arbiter!r}")
         if self.dispatch_latency < 0 or self.barrier_latency < 0:
             raise ValueError("latencies must be non-negative")
+        if self.max_cycles < 1:
+            raise ValueError("max_cycles must be positive")
+        if self.watchdog_cycles < 0:
+            raise ValueError("watchdog_cycles must be non-negative")
         self.memory.validate()
 
     def with_policy(self, policy: CompactionPolicy) -> "GpuConfig":

@@ -107,6 +107,16 @@ class Launch:
         return self.next_wg >= self.num_workgroups
 
     @property
+    def pending_workgroups(self) -> int:
+        """Workgroups not yet placed on any EU (watchdog diagnostics)."""
+        return self.num_workgroups - self.next_wg
+
+    @property
+    def live_workgroups(self) -> int:
+        """Dispatched workgroups that have not finished yet."""
+        return sum(1 for wg in self.instances if not wg.done)
+
+    @property
     def done(self) -> bool:
         return self.all_dispatched and all(wg.done for wg in self.instances)
 

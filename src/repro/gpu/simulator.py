@@ -17,11 +17,13 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional
 
 import numpy as np
 
 from ..core.stats import CompactionStats
+from ..errors import DeadlockError, JobTimeoutError
 from ..eu.eu import NEVER, ExecutionUnit
 from ..isa.program import Program
 from ..memory.hierarchy import MemoryHierarchy
@@ -29,17 +31,29 @@ from .config import GpuConfig
 from .dispatch import Launch, bind_surfaces
 from .results import KernelRunResult
 
+__all__ = ["DeadlockError", "GpuSimulator"]
 
-class DeadlockError(RuntimeError):
-    """The simulator made no progress while work was still pending."""
+#: Cycle-loop iterations between wall-clock deadline checks.
+_WALL_CHECK_PERIOD = 64
 
 
 class GpuSimulator:
-    """Drives kernel launches through the configured GPU model."""
+    """Drives kernel launches through the configured GPU model.
 
-    def __init__(self, config: Optional[GpuConfig] = None) -> None:
+    Args:
+        config: machine parameters (defaults to :class:`GpuConfig`).
+        wall_deadline: optional ``time.monotonic()`` instant after which
+            the cycle loop aborts with :class:`~repro.errors.JobTimeoutError`
+            — the in-process half of the runner's per-job wall-clock
+            budget (the parent process enforces a grace backstop for
+            workers hung outside this loop).
+    """
+
+    def __init__(self, config: Optional[GpuConfig] = None,
+                 wall_deadline: Optional[float] = None) -> None:
         self.config = config if config is not None else GpuConfig()
         self.config.validate()
+        self.wall_deadline = wall_deadline
 
     def run(
         self,
@@ -78,12 +92,45 @@ class GpuSimulator:
         )
 
         now = 0
+        # Watchdog state: the last cycle at which any EU issued an
+        # instruction or retired a thread.  A scheduling deadlock keeps
+        # generating events (the dispatch nudge, pipe drains) without
+        # ever issuing, so the cycle budget alone would spin for a long
+        # time before tripping; the no-progress detector converts that
+        # into a typed error within ``watchdog_cycles``.
+        last_progress_cycle = 0
+        last_progress_mark = (0, 0)
+        iterations = 0
         while True:
             launch.dispatch(eus, now)
             for eu in eus:
                 eu.step(now)
             if launch.done:
                 break
+            mark = (
+                sum(eu.instructions_issued for eu in eus),
+                sum(eu.threads_retired for eu in eus),
+            )
+            if mark != last_progress_mark:
+                last_progress_mark = mark
+                last_progress_cycle = now
+            elif (config.watchdog_cycles
+                  and now - last_progress_cycle > config.watchdog_cycles):
+                raise DeadlockError(
+                    f"kernel {program.name!r} issued no instruction for "
+                    f"{now - last_progress_cycle} cycles (watchdog_cycles="
+                    f"{config.watchdog_cycles}) with {launch.pending_workgroups} "
+                    f"workgroups undispatched and {launch.live_workgroups} live"
+                )
+            iterations += 1
+            if (self.wall_deadline is not None
+                    and iterations % _WALL_CHECK_PERIOD == 0
+                    and time.monotonic() > self.wall_deadline):
+                raise JobTimeoutError(
+                    f"kernel {program.name!r} exceeded its wall-clock budget "
+                    f"at cycle {now} ({launch.pending_workgroups} workgroups "
+                    f"undispatched)"
+                )
             next_time = min(eu.next_event(now) for eu in eus)
             if not launch.all_dispatched and any(
                 eu.free_slots() >= launch.threads_per_wg for eu in eus
@@ -92,7 +139,7 @@ class GpuSimulator:
             if next_time >= NEVER:
                 raise DeadlockError(
                     f"kernel {program.name!r} stalled at cycle {now} with "
-                    f"{launch.num_workgroups - launch.next_wg} workgroups pending"
+                    f"{launch.pending_workgroups} workgroups pending"
                 )
             if next_time <= now:
                 raise DeadlockError(f"event time went backwards at cycle {now}")

@@ -9,6 +9,7 @@ names where one exists.
 
 from typing import Callable, Dict
 
+from .faults import FAULT_PREFIX, crash_once, sleep_then_run, spin_forever
 from .finance import binomial_option, black_scholes, monte_carlo_asian
 from .graphics import fragment_shade
 from .imaging import box_filter, gaussian_noise, sobel
@@ -83,7 +84,18 @@ WORKLOAD_REGISTRY: Dict[str, Callable[[], Workload]] = {
     "nested_l2": lambda **kw: nested_divergence(2, **kw),
     "nested_l3": lambda **kw: nested_divergence(3, **kw),
     "nested_l4": lambda **kw: nested_divergence(4, **kw),
+    # fault injection (testing/CI only; excluded from every group and
+    # from the result cache — see repro.kernels.faults)
+    "fault_spin": spin_forever,
+    "fault_sleep": sleep_then_run,
+    "fault_crash": crash_once,
 }
+
+#: Fault-injection entries: in the registry (so workers can rebuild them
+#: by name) but outside every experiment group.
+FAULT_WORKLOADS = tuple(
+    name for name in WORKLOAD_REGISTRY if name.startswith(FAULT_PREFIX)
+)
 
 #: The divergent subset evaluated in Figures 9-12.
 DIVERGENT_WORKLOADS = tuple(
@@ -92,7 +104,7 @@ DIVERGENT_WORKLOADS = tuple(
     if name not in (
         "va", "dp", "mvm", "transpose", "mm", "bscholes", "bop", "boxfilter",
         "mt", "dct8", "fwht", "dwth", "scnv", "aes", "trd",
-    )
+    ) + FAULT_WORKLOADS
 )
 
 #: The Rodinia subset of Figure 12.
@@ -100,6 +112,8 @@ RODINIA_WORKLOADS = ("bfs", "hotspot", "lavamd", "nw", "particlefilter")
 
 __all__ = [
     "DIVERGENT_WORKLOADS",
+    "FAULT_PREFIX",
+    "FAULT_WORKLOADS",
     "aes_round",
     "backprop_layer",
     "binary_search",
@@ -127,6 +141,7 @@ __all__ = [
     "black_scholes",
     "box_filter",
     "branch_pattern",
+    "crash_once",
     "dot_product",
     "eigenvalue",
     "gaussian_noise",
@@ -146,7 +161,9 @@ __all__ = [
     "run_workload",
     "run_workload_all_policies",
     "scan_reduce",
+    "sleep_then_run",
     "sobel",
+    "spin_forever",
     "table2_path_masks",
     "transpose",
     "vector_add",

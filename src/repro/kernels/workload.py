@@ -11,11 +11,13 @@ merged measurements.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
+from ..errors import JobTimeoutError, VerificationError
 from ..gpu.config import GpuConfig
 from ..gpu.results import KernelRunResult, merge_results
 from ..gpu.simulator import GpuSimulator
@@ -73,16 +75,33 @@ def run_workload(
     workload: Workload,
     config: Optional[GpuConfig] = None,
     verify: bool = True,
+    host_seconds: Optional[float] = None,
 ) -> KernelRunResult:
     """Simulate every launch step of *workload* under *config*.
 
     Returns the merged :class:`KernelRunResult`; when *verify* is True
     the workload's host reference check runs afterwards, so a passing
-    run certifies functional correctness as well as timing.
+    run certifies functional correctness as well as timing.  A failing
+    check raises :class:`~repro.errors.VerificationError`.
+
+    *host_seconds* caps the whole workload's wall-clock time: the cycle
+    loop and the gaps between launch steps check the deadline and raise
+    :class:`~repro.errors.JobTimeoutError` once it passes.  (Host code
+    that blocks without returning — a sleeping step source — can only be
+    interrupted from outside the process; the runner's pool enforces a
+    grace deadline for that case.)
     """
-    sim = GpuSimulator(config if config is not None else GpuConfig())
+    deadline = (time.monotonic() + host_seconds
+                if host_seconds is not None else None)
+    sim = GpuSimulator(config if config is not None else GpuConfig(),
+                       wall_deadline=deadline)
     results = []
     for step in workload.iter_steps():
+        if deadline is not None and time.monotonic() > deadline:
+            raise JobTimeoutError(
+                f"workload {workload.name!r} exceeded its {host_seconds:g}s "
+                f"wall-clock budget after {len(results)} launch step(s)"
+            )
         results.append(
             sim.run(
                 workload.program,
@@ -95,7 +114,16 @@ def run_workload(
     if not results:
         raise RuntimeError(f"workload {workload.name!r} produced no launches")
     if verify:
-        workload.verify()
+        try:
+            workload.verify()
+        except VerificationError:
+            raise
+        except AssertionError as exc:
+            detail = f": {exc}" if str(exc) else ""
+            raise VerificationError(
+                f"workload {workload.name!r} failed its host reference "
+                f"check{detail}"
+            ) from exc
     return merge_results(results)
 
 

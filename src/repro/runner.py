@@ -23,6 +23,16 @@ primitive:
 
 Every simulation is deterministic (workload factories seed their RNGs),
 so parallel and cached runs are bit-identical to serial cold runs.
+
+The engine is also *fault-tolerant* (a multi-hour regeneration pass must
+survive a single bad job): per-job wall-clock timeouts backed by the
+simulator's own watchdog, bounded retry with exponential backoff for
+transient worker failures, graceful degradation from the process pool to
+in-process serial execution when the pool breaks, crash-safe cache
+writes with quarantine of corrupted entries, and a
+:class:`CheckpointJournal` that lets ``repro sweep --resume`` skip
+already-completed jobs after a crash or Ctrl-C.  Failures are typed
+(:mod:`repro.errors`) and surface per-job in :class:`RunStats`.
 """
 
 from __future__ import annotations
@@ -37,11 +47,19 @@ import pickle
 import re
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
+from .errors import (
+    CacheCorruptionError,
+    JobTimeoutError,
+    SimulationError,
+    WorkerCrashError,
+    describe,
+)
 from .gpu.config import GpuConfig
 from .gpu.results import KernelRunResult
 
@@ -53,6 +71,7 @@ CACHE_SCHEMA = 1
 _SIM_PACKAGES = ("core", "eu", "gpu", "isa", "kernels", "memory", "trace")
 
 _inline_ids = itertools.count()
+_tmp_ids = itertools.count()
 
 
 # ---------------------------------------------------------------------------
@@ -182,7 +201,10 @@ class Job:
 
     @property
     def cacheable(self) -> bool:
-        return self.factory is None
+        # Fault-injection workloads (repro.kernels.faults) are registry
+        # entries, so workers can rebuild them by name, but their whole
+        # point is to misbehave — never let them poison the cache.
+        return self.factory is None and not self.workload.startswith("fault_")
 
     def build(self):
         """Instantiate a fresh workload for this job."""
@@ -209,13 +231,19 @@ class Job:
 
 
 def _execute_named(workload: str, params: Tuple[Tuple[str, Any], ...],
-                   config: GpuConfig, verify: bool) -> KernelRunResult:
-    """Process-pool entry point: rebuild the workload by name and run it."""
+                   config: GpuConfig, verify: bool,
+                   timeout: Optional[float] = None) -> KernelRunResult:
+    """Process-pool entry point: rebuild the workload by name and run it.
+
+    *timeout* arms the simulator's in-worker wall-clock watchdog, so a
+    hung kernel kills itself with a typed error instead of relying on
+    the parent to notice and terminate the whole pool.
+    """
     from .kernels import WORKLOAD_REGISTRY
     from .kernels.workload import run_workload
 
     instance = WORKLOAD_REGISTRY[workload](**dict(params))
-    return run_workload(instance, config, verify=verify)
+    return run_workload(instance, config, verify=verify, host_seconds=timeout)
 
 
 # ---------------------------------------------------------------------------
@@ -236,17 +264,34 @@ class ResultCache:
     """Content-keyed pickle store of :class:`KernelRunResult`.
 
     Entry names combine the (sanitized) workload name, the job key, and
-    the code salt; a corrupted or unreadable entry is treated as a miss
-    (and removed) so the job falls back to re-simulation.
+    the code salt.  Writes are crash-safe: the payload goes to a
+    uniquely-named temp file in the same directory, is fsynced, and is
+    ``os.replace``-d into place, so a killed process can never leave a
+    truncated entry behind (at worst an orphaned ``.*.tmp`` file, swept
+    by :meth:`clear`).  A corrupted or unreadable entry is *quarantined*
+    — moved into ``<root>/quarantine/`` for post-mortem inspection — and
+    treated as a miss so the job falls back to re-simulation; with
+    ``strict=True`` (or ``$REPRO_STRICT_CACHE``) it raises
+    :class:`~repro.errors.CacheCorruptionError` instead.
     """
 
     def __init__(self, root: Optional[os.PathLike] = None,
-                 salt: Optional[str] = None) -> None:
+                 salt: Optional[str] = None,
+                 strict: Optional[bool] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.salt = salt if salt is not None else code_salt()
+        if strict is None:
+            strict = bool(os.environ.get("REPRO_STRICT_CACHE"))
+        self.strict = strict
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        #: Quarantine destinations of entries condemned this session.
+        self.quarantined: List[Path] = []
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
 
     def path_for(self, job: Job) -> Path:
         name = re.sub(r"[^A-Za-z0-9_.-]", "_", job.workload)
@@ -266,32 +311,70 @@ class ResultCache:
             result = pickle.loads(data)
             if not isinstance(result, KernelRunResult):
                 raise TypeError(f"cache entry holds {type(result).__name__}")
-        except Exception:
+        except Exception as exc:
             self.corrupt += 1
             self.misses += 1
+            moved = self._quarantine(path)
+            if self.strict:
+                where = f"; quarantined to {moved}" if moved else ""
+                raise CacheCorruptionError(
+                    f"cache entry {path.name} is unreadable "
+                    f"({type(exc).__name__}: {exc}){where}"
+                ) from exc
+            return None
+        self.hits += 1
+        return result
+
+    def _quarantine(self, path: Path) -> Optional[Path]:
+        """Move a condemned entry aside; fall back to deleting it."""
+        target = self.quarantine_dir / path.name
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
-        self.hits += 1
-        return result
+        self.quarantined.append(target)
+        return target
 
     def store(self, job: Job, result: KernelRunResult) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(job)
-        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-        tmp.write_bytes(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
-        os.replace(tmp, path)  # atomic even with concurrent writers
+        # Unique per (process, sequence number): concurrent writers of
+        # the same entry never collide, and a crash mid-write leaves only
+        # this temp file — the published entry is always complete.
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{next(_tmp_ids)}.tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(pickle.dumps(result,
+                                      protocol=pickle.HIGHEST_PROTOCOL))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)  # atomic publish
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry (and stale temp files); returns the
+        number of entries removed."""
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.pkl"):
                 try:
                     path.unlink()
                     removed += 1
+                except OSError:
+                    pass
+            for stale in self.root.glob(".*.tmp"):
+                try:
+                    stale.unlink()
                 except OSError:
                     pass
         return removed
@@ -303,13 +386,20 @@ class ResultCache:
 
 @dataclass
 class JobEvent:
-    """Progress callback payload: one job was resolved."""
+    """Progress callback payload: one job was resolved.
+
+    ``result`` is set for "cached"/"executed" events and ``error`` for
+    "failed" ones, so a progress hook can double as a checkpoint writer
+    (this is how ``repro sweep`` journals completed jobs incrementally).
+    """
 
     job: Job
-    status: str  # "cached" | "executed"
+    status: str  # "cached" | "executed" | "failed"
     elapsed: float  # seconds spent resolving this job
     index: int  # 1-based position among the batch's unique jobs
     total: int  # number of unique jobs in the batch
+    result: Optional[KernelRunResult] = None
+    error: Optional[BaseException] = None
 
 
 @dataclass
@@ -321,10 +411,20 @@ class RunStats:
     cache_hits: int = 0
     executed: int = 0
     wall_seconds: float = 0.0
+    #: Jobs that ultimately failed (after retries), keyed by job key.
+    failures: Dict[str, BaseException] = field(default_factory=dict)
+    failed: int = 0
+    #: Individual retry attempts made for transient failures.
+    retried: int = 0
+    #: Failures that were wall-clock timeouts.
+    timeouts: int = 0
+    #: Times the process pool broke and execution fell back to serial.
+    degraded: int = 0
 
 
 class Runner:
-    """Deduplicating, caching, parallel executor of simulation jobs.
+    """Deduplicating, caching, parallel, fault-tolerant executor of
+    simulation jobs.
 
     Args:
         workers: process count for cache misses.  1 (default) runs
@@ -335,6 +435,24 @@ class Runner:
             job's own flag).
         progress: optional callable receiving a :class:`JobEvent` as each
             unique job resolves.
+        timeout: per-job wall-clock budget in seconds (``None`` = no
+            limit).  Enforced inside each job by the simulator's
+            watchdog; pool workers that still overrun (hung host code)
+            are killed from the parent after an additional grace period.
+        retries: bounded retry count for *transient* failures (worker
+            crashes, unclassified worker exceptions).  Typed
+            deterministic failures — deadlock, verification, timeout —
+            are never retried.
+        retry_backoff: base of the exponential backoff between retry
+            attempts (``retry_backoff * 2**(attempt-1)`` seconds; 0
+            disables sleeping, which tests use).
+        strict: when True (default), :meth:`run` re-raises the first
+            job failure after the batch drains; when False it returns
+            the successful results and leaves failures in
+            ``last_stats.failures`` for the caller to salvage.
+        timeout_grace: extra seconds the parent grants a pool worker
+            beyond ``timeout`` before killing the pool (default
+            ``max(2, timeout)``).
     """
 
     def __init__(
@@ -343,6 +461,11 @@ class Runner:
         cache: Any = "default",
         verify: bool = True,
         progress: Optional[Callable[[JobEvent], None]] = None,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        retry_backoff: float = 0.5,
+        strict: bool = True,
+        timeout_grace: Optional[float] = None,
     ) -> None:
         if workers is None:
             workers = int(os.environ.get("REPRO_JOBS", "1") or "1")
@@ -358,8 +481,19 @@ class Runner:
                           else ResultCache())
         else:
             self.cache = ResultCache(cache)
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
         self.verify = verify
         self.progress = progress
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.strict = strict
+        self.timeout_grace = timeout_grace
         self.last_stats = RunStats()
         # Cumulative counters across the runner's lifetime (test hooks).
         self.total_executed = 0
@@ -373,12 +507,21 @@ class Runner:
         job = Job(workload, config, params=params)
         return self.run([job])[job]
 
-    def run(self, jobs: Iterable[Job]) -> Dict[Job, KernelRunResult]:
+    def run(self, jobs: Iterable[Job],
+            strict: Optional[bool] = None) -> Dict[Job, KernelRunResult]:
         """Resolve a batch of jobs; returns ``{job: result}``.
 
         Duplicate jobs (same workload, params, and config) are simulated
         once; every requested job still appears as a key in the returned
         mapping, so callers can look results up with their own objects.
+
+        Failure policy: a job whose execution fails permanently (after
+        retries and pool degradation) lands in ``last_stats.failures``.
+        Under strict mode (the runner's default, overridable per call)
+        the first such failure is re-raised once the rest of the batch
+        has drained; otherwise the failed jobs are simply absent from
+        the returned mapping.  ``KeyboardInterrupt`` cancels pending
+        work, preserves everything already cached, and propagates.
         """
         start = time.perf_counter()
         requested = list(jobs)
@@ -391,39 +534,48 @@ class Runner:
         pending: List[Job] = []
         progress_index = 0
 
-        def emit(job: Job, status: str, elapsed: float) -> None:
+        def emit(job: Job, status: str, elapsed: float,
+                 result: Optional[KernelRunResult] = None,
+                 error: Optional[BaseException] = None) -> None:
             nonlocal progress_index
             progress_index += 1
             if self.progress is not None:
                 self.progress(JobEvent(job, status, elapsed,
-                                       progress_index, len(unique)))
+                                       progress_index, len(unique),
+                                       result, error))
 
-        for key, job in unique.items():
-            cached = (self.cache.load(job)
-                      if self.cache is not None and job.cacheable else None)
-            if cached is not None:
-                results[key] = cached
-                stats.cache_hits += 1
-                emit(job, "cached", 0.0)
+        try:
+            for key, job in unique.items():
+                cached = (self.cache.load(job)
+                          if self.cache is not None and job.cacheable
+                          else None)
+                if cached is not None:
+                    results[key] = cached
+                    stats.cache_hits += 1
+                    emit(job, "cached", 0.0, result=cached)
+                else:
+                    pending.append(job)
+
+            named = [job for job in pending if job.factory is None]
+            inline = [job for job in pending if job.factory is not None]
+
+            if len(named) > 1 and self.workers > 1:
+                self._run_pool(named, results, stats, emit)
             else:
-                pending.append(job)
-
-        named = [job for job in pending if job.cacheable]
-        inline = [job for job in pending if not job.cacheable]
-
-        if len(named) > 1 and self.workers > 1:
-            self._run_pool(named, results, stats, emit)
-        else:
-            for job in named:
+                for job in named:
+                    self._run_local(job, results, stats, emit)
+            for job in inline:
                 self._run_local(job, results, stats, emit)
-        for job in inline:
-            self._run_local(job, results, stats, emit)
+        finally:
+            stats.wall_seconds = time.perf_counter() - start
+            self.last_stats = stats
+            self.total_executed += stats.executed
+            self.total_cache_hits += stats.cache_hits
 
-        stats.wall_seconds = time.perf_counter() - start
-        self.last_stats = stats
-        self.total_executed += stats.executed
-        self.total_cache_hits += stats.cache_hits
-        return {job: results[job.key] for job in requested}
+        if (self.strict if strict is None else strict) and stats.failures:
+            raise next(iter(stats.failures.values()))
+        return {job: results[job.key]
+                for job in requested if job.key in results}
 
     # -- execution paths ---------------------------------------------------
 
@@ -434,36 +586,260 @@ class Runner:
         stats.executed += 1
         if self.cache is not None and job.cacheable:
             self.cache.store(job, result)
-        emit(job, "executed", elapsed)
+        emit(job, "executed", elapsed, result=result)
+
+    def _fail(self, job: Job, error: BaseException, stats: RunStats,
+              emit, elapsed: float) -> None:
+        stats.failed += 1
+        if isinstance(error, JobTimeoutError):
+            stats.timeouts += 1
+        stats.failures[job.key] = error
+        emit(job, "failed", elapsed, error=error)
+
+    def _backoff(self, attempt: int) -> None:
+        delay = self.retry_backoff * (2 ** (attempt - 1))
+        if delay > 0:
+            time.sleep(delay)
+
+    def _grace_seconds(self) -> float:
+        if self.timeout_grace is not None:
+            return self.timeout_grace
+        return max(2.0, self.timeout or 0.0)
 
     def _run_local(self, job: Job, results, stats, emit) -> None:
         from .kernels.workload import run_workload
 
-        tick = time.perf_counter()
-        result = run_workload(job.build(), job.config,
-                              verify=job.verify and self.verify)
-        self._finish(job, result, results, stats, emit,
-                     time.perf_counter() - tick)
+        attempt = 0
+        while True:
+            tick = time.perf_counter()
+            try:
+                result = run_workload(job.build(), job.config,
+                                      verify=job.verify and self.verify,
+                                      host_seconds=self.timeout)
+            except SimulationError as exc:
+                # Typed failures are deterministic: retrying a deadlock
+                # or a verification mismatch would reproduce it.
+                self._fail(job, exc, stats, emit,
+                           time.perf_counter() - tick)
+                return
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                if attempt < self.retries:
+                    attempt += 1
+                    stats.retried += 1
+                    self._backoff(attempt)
+                    continue
+                crash = WorkerCrashError(
+                    f"job {job.workload!r} failed after {attempt + 1} "
+                    f"attempt(s): {describe(exc)}")
+                crash.__cause__ = exc
+                self._fail(job, crash, stats, emit,
+                           time.perf_counter() - tick)
+                return
+            else:
+                self._finish(job, result, results, stats, emit,
+                             time.perf_counter() - tick)
+                return
 
     def _run_pool(self, named: List[Job], results, stats, emit) -> None:
-        workers = min(self.workers, len(named))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {}
-            started = {}
-            for job in named:
+        """Fan *named* jobs across worker processes, surviving faults.
+
+        Each round submits the outstanding jobs to a fresh
+        ``ProcessPoolExecutor``; jobs whose failure is transient come
+        back for the next round (bounded by ``retries``).  If a round's
+        pool breaks — a worker was OOM-killed, segfaulted, or had to be
+        terminated for overrunning its deadline — execution degrades to
+        in-process serial for whatever is left.
+        """
+        remaining = list(named)
+        attempt = {job.key: 0 for job in named}
+        while remaining:
+            remaining, pool_died = self._pool_round(remaining, attempt,
+                                                    results, stats, emit)
+            if pool_died and remaining:
+                stats.degraded += 1
+                for job in remaining:
+                    self._run_local(job, results, stats, emit)
+                return
+
+    def _pool_round(self, jobs: List[Job], attempt: Dict[str, int],
+                    results, stats, emit) -> Tuple[List[Job], bool]:
+        """One process-pool pass; returns (jobs to rerun, pool died?)."""
+        retry: List[Job] = []
+        broken = False
+        pool = ProcessPoolExecutor(max_workers=min(self.workers, len(jobs)))
+        futures: Dict[Any, Job] = {}
+        started: Dict[Any, float] = {}
+        try:
+            for job in jobs:
                 future = pool.submit(
                     _execute_named, job.workload, job.params, job.config,
-                    job.verify and self.verify)
+                    job.verify and self.verify, self.timeout)
                 futures[future] = job
-                started[future] = time.perf_counter()
+                started[future] = time.monotonic()
             outstanding = set(futures)
+            deadline = (None if self.timeout is None
+                        else self.timeout + self._grace_seconds())
             while outstanding:
-                done, outstanding = wait(outstanding,
-                                         return_when=FIRST_COMPLETED)
+                done, outstanding = wait(
+                    outstanding, timeout=None if deadline is None else 0.05,
+                    return_when=FIRST_COMPLETED)
                 for future in done:
                     job = futures[future]
-                    self._finish(job, future.result(), results, stats, emit,
-                                 time.perf_counter() - started[future])
+                    elapsed = time.monotonic() - started[future]
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        retry.append(job)
+                    except SimulationError as exc:
+                        self._fail(job, exc, stats, emit, elapsed)
+                    except Exception as exc:
+                        if attempt[job.key] < self.retries:
+                            attempt[job.key] += 1
+                            stats.retried += 1
+                            self._backoff(attempt[job.key])
+                            retry.append(job)
+                        else:
+                            crash = WorkerCrashError(
+                                f"job {job.workload!r} failed after "
+                                f"{attempt[job.key] + 1} attempt(s): "
+                                f"{describe(exc)}")
+                            crash.__cause__ = exc
+                            self._fail(job, crash, stats, emit, elapsed)
+                    else:
+                        self._finish(job, result, results, stats, emit,
+                                     elapsed)
+                if broken:
+                    # The pool manager saw a worker die: every future
+                    # still outstanding is lost with it.
+                    retry.extend(futures[f] for f in outstanding)
+                    return retry, True
+                if deadline is not None and outstanding:
+                    now = time.monotonic()
+                    overdue = [f for f in outstanding
+                               if now - started[f] > deadline]
+                    if overdue:
+                        # The in-worker watchdog should have fired long
+                        # ago: the worker is hung outside the simulator
+                        # loop.  Kill the pool; surviving jobs rerun.
+                        for future in overdue:
+                            job = futures[future]
+                            self._fail(job, JobTimeoutError(
+                                f"job {job.workload!r} exceeded its "
+                                f"{self.timeout:g}s budget (+"
+                                f"{self._grace_seconds():g}s grace) and "
+                                f"did not self-terminate; worker killed"),
+                                stats, emit, now - started[future])
+                        overdue_set = set(overdue)
+                        retry.extend(futures[f] for f in outstanding
+                                     if f not in overdue_set)
+                        broken = True
+                        self._terminate_pool(pool)
+                        return retry, True
+        except KeyboardInterrupt:
+            broken = True
+            for future in futures:
+                future.cancel()
+            raise
+        finally:
+            self._shutdown_pool(pool, wait_for_workers=not broken)
+        return retry, False
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Hard-kill a pool whose workers no longer respond."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - best effort
+                pass
+
+    @staticmethod
+    def _shutdown_pool(pool: ProcessPoolExecutor,
+                       wait_for_workers: bool) -> None:
+        try:
+            pool.shutdown(wait=wait_for_workers, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken pools may complain
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Sweep checkpointing
+
+
+class CheckpointJournal:
+    """Append-only journal of completed sweep jobs, for ``--resume``.
+
+    The journal is a JSONL file: a header line binding it to one sweep
+    grid (via :func:`stable_digest` of the grid spec), then one record
+    per completed job keyed by :attr:`Job.key`.  Appends are flushed and
+    fsynced, so a crash or Ctrl-C loses at most the record being
+    written; :meth:`load` tolerates a truncated trailing line for
+    exactly that reason.  A journal whose header does not match the
+    current grid (the sweep definition changed) is ignored wholesale
+    rather than resumed into a mixed artifact.
+    """
+
+    SCHEMA = 1
+
+    def __init__(self, path: os.PathLike, grid_key: str) -> None:
+        self.path = Path(path)
+        self.grid_key = grid_key
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """Return ``{job_key: record}`` for a compatible journal.
+
+        ``None`` means "nothing to resume": the file is missing, its
+        header is unreadable, or it describes a different grid.
+        Undecodable lines after a valid header (torn writes) are
+        skipped, salvaging every record before them.
+        """
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return None
+        if not lines:
+            return None
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return None
+        if (not isinstance(header, dict)
+                or header.get("schema") != self.SCHEMA
+                or header.get("grid") != self.grid_key):
+            return None
+        records: Dict[str, Any] = {}
+        for line in lines[1:]:
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn trailing write: keep what we have
+            if isinstance(entry, dict) and "key" in entry:
+                records[entry["key"]] = entry
+        return records
+
+    def append(self, key: str, record: Dict[str, Any]) -> None:
+        """Durably journal one completed job."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists()
+        with open(self.path, "a", encoding="utf-8") as fh:
+            if fresh:
+                fh.write(json.dumps({"schema": self.SCHEMA,
+                                     "grid": self.grid_key}) + "\n")
+            fh.write(json.dumps({"key": key, **record},
+                                sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def discard(self) -> None:
+        """Delete the journal (sweep completed; artifact published)."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,98 @@
+"""Crash-safe cache behaviour: atomic writes, quarantine, strict mode."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.errors import CacheCorruptionError
+from repro.gpu.results import KernelRunResult
+from repro.runner import Job, ResultCache, Runner
+
+
+class TestAtomicWrites:
+    def test_no_temp_files_survive_a_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        Runner(workers=1, cache=cache).run_one("va")
+        assert list(tmp_path.glob("*.pkl"))
+        assert not list(tmp_path.glob(".*.tmp"))
+
+    def test_interrupted_write_leaves_entry_intact(self, tmp_path,
+                                                   monkeypatch):
+        # First store publishes a good entry; a crash *during* a later
+        # store (os.replace never runs) must leave that entry readable.
+        cache = ResultCache(tmp_path)
+        runner = Runner(workers=1, cache=cache)
+        reference = runner.run_one("va")
+        entry = next(tmp_path.glob("*.pkl"))
+        good_bytes = entry.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at publish time")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            cache.store(Job("va"), reference)
+        monkeypatch.undo()
+        assert entry.read_bytes() == good_bytes
+        assert not list(tmp_path.glob(".*.tmp"))  # temp cleaned up
+
+    def test_clear_sweeps_stale_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        Runner(workers=1, cache=cache).run_one("va")
+        stale = tmp_path / ".leftover.pkl.123.0.tmp"
+        stale.write_bytes(b"half a pickle")
+        assert cache.clear() == 1
+        assert not stale.exists()
+
+
+class TestQuarantine:
+    def _poison(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        Runner(workers=1, cache=cache).run_one("va")
+        entry = next(tmp_path.glob("*.pkl"))
+        entry.write_bytes(b"definitely not a pickle")
+        return entry
+
+    def test_corrupt_entry_quarantined_not_deleted(self, tmp_path):
+        entry = self._poison(tmp_path)
+        cache = ResultCache(tmp_path)
+        assert cache.load(Job("va")) is None
+        assert cache.corrupt == 1
+        assert not entry.exists()
+        moved = cache.quarantine_dir / entry.name
+        assert moved.exists()  # preserved for post-mortem
+        assert cache.quarantined == [moved]
+
+    def test_strict_mode_raises_typed_error(self, tmp_path):
+        self._poison(tmp_path)
+        cache = ResultCache(tmp_path, strict=True)
+        with pytest.raises(CacheCorruptionError, match="quarantined"):
+            cache.load(Job("va"))
+
+    def test_strict_mode_from_environment(self, tmp_path, monkeypatch):
+        self._poison(tmp_path)
+        monkeypatch.setenv("REPRO_STRICT_CACHE", "1")
+        with pytest.raises(CacheCorruptionError):
+            ResultCache(tmp_path).load(Job("va"))
+
+    def test_wrong_type_quarantined_too(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        Runner(workers=1, cache=cache).run_one("va")
+        entry = next(tmp_path.glob("*.pkl"))
+        entry.write_bytes(pickle.dumps({"not": "a result"}))
+        again = ResultCache(tmp_path)
+        assert again.load(Job("va")) is None
+        assert (again.quarantine_dir / entry.name).exists()
+
+    def test_quarantined_entry_resimulates_identically(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = Runner(workers=1, cache=cache)
+        reference = runner.run_one("va")
+        self._poison(tmp_path)
+
+        recovered = Runner(workers=1, cache=ResultCache(tmp_path))
+        result = recovered.run_one("va")
+        assert isinstance(result, KernelRunResult)
+        assert recovered.last_stats.executed == 1
+        assert result.summary() == reference.summary()

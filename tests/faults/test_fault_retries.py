@@ -1,0 +1,171 @@
+"""Retry, degradation, and interrupt behaviour of the runner under faults."""
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    JobTimeoutError,
+    VerificationError,
+    WorkerCrashError,
+)
+from repro.gpu.config import GpuConfig
+from repro.runner import Job, Runner
+
+
+def _runner(**kwargs):
+    kwargs.setdefault("cache", False)
+    kwargs.setdefault("retry_backoff", 0.0)  # tests never sleep
+    return Runner(**kwargs)
+
+
+class TestSerialRetry:
+    def test_transient_crash_recovers_on_retry(self, tmp_path, monkeypatch):
+        marker = tmp_path / "crashed"
+        monkeypatch.setenv("REPRO_FAULT_MARKER", str(marker))
+        runner = _runner(workers=1, retries=2)
+        job = Job("fault_crash")
+        results = runner.run([job])
+        assert job in results
+        assert runner.last_stats.retried == 1
+        assert runner.last_stats.failed == 0
+        assert marker.exists()  # the first attempt really did crash
+
+    def test_exhausted_retries_become_worker_crash(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_MARKER", raising=False)
+        runner = _runner(workers=1, retries=1, strict=False)
+        results = runner.run([Job("fault_crash")])  # crashes every attempt
+        assert results == {}
+        assert runner.last_stats.retried == 1
+        assert runner.last_stats.failed == 1
+        error = next(iter(runner.last_stats.failures.values()))
+        assert isinstance(error, WorkerCrashError)
+        assert error.transient
+        assert "injected worker crash" in str(error)
+
+    def test_strict_mode_reraises_first_failure(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_MARKER", raising=False)
+        runner = _runner(workers=1, retries=0)  # strict is the default
+        with pytest.raises(WorkerCrashError):
+            runner.run([Job("fault_crash")])
+
+    def test_deterministic_failures_never_retry(self):
+        runner = _runner(workers=1, retries=5, strict=False)
+        runner.run([Job("fault_spin", GpuConfig(max_cycles=20_000))])
+        assert runner.last_stats.retried == 0
+        error = next(iter(runner.last_stats.failures.values()))
+        assert isinstance(error, DeadlockError)
+
+    def test_timeout_counted_and_not_retried(self):
+        runner = _runner(workers=1, retries=5, timeout=0.3, strict=False)
+        runner.run([Job("fault_spin")])
+        stats = runner.last_stats
+        assert stats.retried == 0
+        assert stats.timeouts == 1
+        assert isinstance(next(iter(stats.failures.values())),
+                          JobTimeoutError)
+
+    def test_verification_failure_is_typed_and_final(self, monkeypatch):
+        from repro.kernels import WORKLOAD_REGISTRY
+        from repro.kernels.linalg import vector_add
+
+        def bad_va(**kwargs):
+            workload = vector_add(**kwargs)
+
+            def bad_check(_buffers):
+                raise AssertionError("reference mismatch at lane 3")
+
+            workload.check = bad_check
+            return workload
+
+        monkeypatch.setitem(WORKLOAD_REGISTRY, "fault_badcheck", bad_va)
+        runner = _runner(workers=1, retries=5, strict=False)
+        runner.run([Job("fault_badcheck")])
+        assert runner.last_stats.retried == 0
+        error = next(iter(runner.last_stats.failures.values()))
+        assert isinstance(error, VerificationError)
+        assert isinstance(error, AssertionError)  # back-compat contract
+
+
+class TestPoolFaults:
+    def test_dead_worker_degrades_to_serial(self, tmp_path, monkeypatch):
+        # fault_crash in "exit" mode hard-kills its worker, breaking the
+        # pool; the runner must fall back to in-process serial and (the
+        # marker now existing) complete every job.
+        marker = tmp_path / "killed"
+        monkeypatch.setenv("REPRO_FAULT_MARKER", str(marker))
+        monkeypatch.setenv("REPRO_FAULT_MODE", "exit")
+        runner = _runner(workers=2, retries=2)
+        jobs = [Job("fault_crash"), Job("va"), Job("dp")]
+        results = runner.run(jobs)
+        assert len(results) == 3
+        assert runner.last_stats.degraded == 1
+        assert runner.last_stats.failed == 0
+
+    def test_transient_raise_retried_within_pool(self, tmp_path,
+                                                 monkeypatch):
+        marker = tmp_path / "raised"
+        monkeypatch.setenv("REPRO_FAULT_MARKER", str(marker))
+        monkeypatch.delenv("REPRO_FAULT_MODE", raising=False)
+        runner = _runner(workers=2, retries=2)
+        jobs = [Job("fault_crash"), Job("va"), Job("dp")]
+        results = runner.run(jobs)
+        assert len(results) == 3
+        assert runner.last_stats.retried == 1
+        assert runner.last_stats.degraded == 0
+
+    def test_parallel_equivalence_under_single_worker_failure(
+            self, tmp_path, monkeypatch):
+        # The satellite contract: a batch that loses one worker mid-run
+        # still produces results bit-identical to a clean serial run.
+        jobs = [Job("va"), Job("dp"), Job("mvm")]
+        serial = _runner(workers=1).run(jobs)
+
+        marker = tmp_path / "equiv"
+        monkeypatch.setenv("REPRO_FAULT_MARKER", str(marker))
+        monkeypatch.setenv("REPRO_FAULT_MODE", "exit")
+        faulty = _runner(workers=2, retries=2)
+        with_fault = faulty.run([Job("fault_crash")] + jobs)
+        assert faulty.last_stats.degraded == 1
+
+        for job in jobs:
+            a, b = serial[job], with_fault[job]
+            assert a.summary() == b.summary()
+            assert a.eu_cycles_by_policy() == b.eu_cycles_by_policy()
+
+    def test_in_worker_timeout_survives_pool(self):
+        # The hung job dies inside its worker (typed error through the
+        # future); its healthy sibling completes in the same pool.
+        runner = _runner(workers=2, timeout=15.0, retries=0, strict=False)
+        spin = Job("fault_spin")
+        good = Job("va")
+        results = runner.run([spin, good])
+        assert good in results and spin not in results
+        assert isinstance(runner.last_stats.failures[spin.key],
+                          JobTimeoutError)
+
+
+class TestInterrupt:
+    def test_keyboard_interrupt_propagates_with_stats(self):
+        seen = []
+
+        def hook(event):
+            seen.append(event.status)
+            raise KeyboardInterrupt
+
+        runner = _runner(workers=1, progress=hook)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run([Job("va"), Job("dp"), Job("mvm")])
+        # Work done before the interrupt is accounted, not lost.
+        assert seen == ["executed"]
+        assert runner.last_stats.executed == 1
+
+    def test_fault_jobs_never_cached(self, tmp_path):
+        from repro.runner import ResultCache
+
+        runner = Runner(workers=1, cache=ResultCache(tmp_path),
+                        retry_backoff=0.0, timeout=0.3, strict=False)
+        runner.run([Job("va"), Job("fault_spin")])
+        # va cached; the fault job left nothing behind.
+        names = [p.name for p in tmp_path.glob("*.pkl")]
+        assert len(names) == 1 and names[0].startswith("va-")
+        assert not Job("fault_spin").cacheable

@@ -100,9 +100,21 @@ class TestSweepCommand:
                    "--json", str(out_path)])
         assert rc == 0
         artifact = json.loads(out_path.read_text())
-        assert artifact["runner"]["unique"] == 2
+        assert artifact["grid"]["workloads"] == ["va"]
         assert len(artifact["results"]) == 2
+        assert artifact["failures"] == []
         assert {r["dc_lines_per_cycle"] for r in artifact["results"]} == {1.0, 2.0}
+
+    def test_json_artifact_is_deterministic(self, tmp_path, capsys):
+        # The artifact must be byte-stable across runs (cold vs. warm
+        # cache, serial vs. resumed) so interrupted sweeps can be
+        # verified against uninterrupted ones.
+        args = ["sweep", "--workloads", "va", "--policies", "ivb",
+                "--cache-dir", str(tmp_path / "cache")]
+        out_a, out_b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(args + ["--json", str(out_a)]) == 0
+        assert main(args + ["--json", str(out_b)]) == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
 
     def test_cache_reused_across_invocations(self, tmp_path, capsys):
         args = ["sweep", "--workloads", "va", "--policies", "ivb",
@@ -140,6 +152,17 @@ class TestSweepCommand:
                              "particlefilter"]
         assert "va" in names
         assert all(name in WORKLOAD_REGISTRY for name in names)
+
+    def test_groups_exclude_fault_workloads(self):
+        from repro.cli import _sweep_workloads
+        from repro.kernels import FAULT_WORKLOADS
+
+        assert FAULT_WORKLOADS  # the harness exists...
+        for group in ("all", "divergent", "rodinia"):
+            names = _sweep_workloads(group)
+            assert not set(names) & set(FAULT_WORKLOADS)
+        # ...but explicit naming still works
+        assert _sweep_workloads("fault_spin") == ["fault_spin"]
 
 
 class TestProfileCommand:

@@ -39,3 +39,23 @@ class TestCollectResults:
                               capture_output=True, text=True)
         assert proc.returncode == 1
         assert "missing" in proc.stdout or "missing" in proc.stderr
+
+    def test_tolerates_malformed_results(self, tmp_path):
+        # An interrupted benchmark run leaves empty/truncated/binary
+        # result files; the generator must warn and skip, not crash,
+        # and still embed the sections that are intact.
+        script = tmp_path / "collect_results.py"
+        script.write_text(SCRIPT.read_text())
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "test_area_regfile.txt").write_text("valid area table\n")
+        (results / "test_fig08_ivb_microbench.txt").write_text("")  # empty
+        (results / "test_table2_nesting.txt").write_bytes(
+            b"\xff\xfe garbage \x00")  # undecodable
+        proc = subprocess.run([sys.executable, str(script)],
+                              capture_output=True, text=True)
+        assert proc.returncode == 1
+        assert "valid area table" in proc.stdout  # intact section embedded
+        assert "test_fig08_ivb_microbench.txt: empty" in proc.stderr
+        assert "test_table2_nesting.txt: unreadable" in proc.stderr
+        assert "Traceback" not in proc.stderr
