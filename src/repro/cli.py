@@ -318,6 +318,11 @@ def _cmd_sweep(args) -> int:
             if loaded is None:
                 print("sweep: no matching journal to resume; starting fresh",
                       file=sys.stderr)
+                # A stale file (e.g. a different grid's journal) must be
+                # discarded, or append() would keep extending it under
+                # the old header and the next --resume would ignore
+                # every checkpoint written this run.
+                journal.discard()
             else:
                 resumed = loaded
                 print(f"sweep: resuming, {len(resumed)}/{len(jobs)} job(s) "

@@ -130,7 +130,7 @@ def sleep_then_run(seconds: float = 5.0, n: int = 64,
     )
 
 
-def crash_once(marker: str = "", mode: str = "raise", n: int = 64,
+def crash_once(marker: str = "", mode: Optional[str] = None, n: int = 64,
                simd_width: int = 8) -> Workload:
     """Crash the executing worker, optionally only on the first attempt.
 
@@ -143,15 +143,15 @@ def crash_once(marker: str = "", mode: str = "raise", n: int = 64,
         mode: ``"raise"`` raises ``RuntimeError`` (an unclassified
             worker failure, retried as transient); ``"exit"`` calls
             ``os._exit`` to kill the worker outright, breaking the
-            process pool.
+            process pool.  ``None`` (the default) defers to
+            ``$REPRO_FAULT_MODE``, falling back to ``"raise"``.
 
     Callers that cannot pass factory parameters (``repro sweep`` grids,
     CI scripts) can set ``$REPRO_FAULT_MARKER`` / ``$REPRO_FAULT_MODE``
     instead; explicit arguments win over the environment.
     """
     marker = marker or os.environ.get("REPRO_FAULT_MARKER", "")
-    if mode == "raise" and "REPRO_FAULT_MODE" in os.environ:
-        mode = os.environ["REPRO_FAULT_MODE"]
+    mode = mode or os.environ.get("REPRO_FAULT_MODE", "raise")
     if mode not in ("raise", "exit"):
         raise ValueError(f"unknown crash mode {mode!r}")
     buffers, check = _copy_buffers(n)

@@ -204,7 +204,10 @@ class Job:
         # Fault-injection workloads (repro.kernels.faults) are registry
         # entries, so workers can rebuild them by name, but their whole
         # point is to misbehave — never let them poison the cache.
-        return self.factory is None and not self.workload.startswith("fault_")
+        from .kernels import FAULT_PREFIX
+
+        return (self.factory is None
+                and not self.workload.startswith(FAULT_PREFIX))
 
     def build(self):
         """Instantiate a fresh workload for this job."""
@@ -668,17 +671,29 @@ class Runner:
         """One process-pool pass; returns (jobs to rerun, pool died?)."""
         retry: List[Job] = []
         broken = False
-        pool = ProcessPoolExecutor(max_workers=min(self.workers, len(jobs)))
+        workers = min(self.workers, len(jobs))
+        pool = ProcessPoolExecutor(max_workers=workers)
         futures: Dict[Any, Job] = {}
         started: Dict[Any, float] = {}
+        queue = list(jobs)
+
+        def submit_next() -> Any:
+            # Submission is throttled to the worker count so a submitted
+            # future is handed to a free worker at once, making its
+            # submit timestamp its running-start timestamp.  (Submitting
+            # everything up front would start the timeout clock on jobs
+            # still queued behind busy workers, spuriously condemning
+            # any job that waits longer than timeout+grace.)
+            job = queue.pop(0)
+            future = pool.submit(
+                _execute_named, job.workload, job.params, job.config,
+                job.verify and self.verify, self.timeout)
+            futures[future] = job
+            started[future] = time.monotonic()
+            return future
+
         try:
-            for job in jobs:
-                future = pool.submit(
-                    _execute_named, job.workload, job.params, job.config,
-                    job.verify and self.verify, self.timeout)
-                futures[future] = job
-                started[future] = time.monotonic()
-            outstanding = set(futures)
+            outstanding = {submit_next() for _ in range(workers)}
             deadline = (None if self.timeout is None
                         else self.timeout + self._grace_seconds())
             while outstanding:
@@ -711,12 +726,19 @@ class Runner:
                     else:
                         self._finish(job, result, results, stats, emit,
                                      elapsed)
+                    if queue and not broken:
+                        outstanding.add(submit_next())
                 if broken:
                     # The pool manager saw a worker die: every future
-                    # still outstanding is lost with it.
+                    # still outstanding is lost with it, as is anything
+                    # not yet submitted.
                     retry.extend(futures[f] for f in outstanding)
+                    retry.extend(queue)
                     return retry, True
                 if deadline is not None and outstanding:
+                    # Every outstanding future holds a worker (throttled
+                    # submission), so its clock measures execution, not
+                    # queueing.
                     now = time.monotonic()
                     overdue = [f for f in outstanding
                                if now - started[f] > deadline]
@@ -735,6 +757,7 @@ class Runner:
                         overdue_set = set(overdue)
                         retry.extend(futures[f] for f in outstanding
                                      if f not in overdue_set)
+                        retry.extend(queue)
                         broken = True
                         self._terminate_pool(pool)
                         return retry, True

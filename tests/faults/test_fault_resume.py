@@ -99,6 +99,26 @@ class TestSweepResume:
         assert "no matching journal" in capsys.readouterr().err
         assert len(json.loads(out.read_text())["results"]) == 1
 
+    def test_mismatched_journal_replaced_on_resume(self, tmp_path,
+                                                   monkeypatch, capsys):
+        # Regression: --resume over a journal from a *different* grid
+        # used to leave the stale file in place, so this run's records
+        # were appended under the old header and a second --resume
+        # ignored every one of them, redoing all completed work.
+        out = tmp_path / "y.json"
+        monkeypatch.setenv("REPRO_FAULT_INTERRUPT_AFTER", "1")
+        assert main(self.ARGS + ["--json", str(out)]) == 130  # old grid
+
+        args_b = ["sweep", "--workloads", "va,dp", "--policies", "ivb",
+                  "--no-cache", "--json", str(out), "--resume"]
+        assert main(args_b) == 130  # new grid, interrupted again
+        assert "no matching journal" in capsys.readouterr().err
+
+        monkeypatch.delenv("REPRO_FAULT_INTERRUPT_AFTER")
+        assert main(args_b) == 0
+        assert "resuming, 1/2 job(s)" in capsys.readouterr().err
+        assert len(json.loads(out.read_text())["results"]) == 2
+
     def test_stale_journal_discarded_without_resume_flag(
             self, tmp_path, monkeypatch, capsys):
         out = tmp_path / "x.json"

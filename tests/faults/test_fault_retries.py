@@ -18,6 +18,17 @@ def _runner(**kwargs):
     return Runner(**kwargs)
 
 
+class TestCrashOnceModes:
+    def test_explicit_mode_beats_environment(self, monkeypatch):
+        from repro.kernels.faults import crash_once
+
+        monkeypatch.setenv("REPRO_FAULT_MODE", "exit")
+        assert "(raise)" in crash_once(mode="raise").description
+        assert "(exit)" in crash_once().description  # env fills the default
+        monkeypatch.delenv("REPRO_FAULT_MODE")
+        assert "(raise)" in crash_once().description
+
+
 class TestSerialRetry:
     def test_transient_crash_recovers_on_retry(self, tmp_path, monkeypatch):
         marker = tmp_path / "crashed"
@@ -131,6 +142,21 @@ class TestPoolFaults:
             a, b = serial[job], with_fault[job]
             assert a.summary() == b.summary()
             assert a.eu_cycles_by_policy() == b.eu_cycles_by_policy()
+
+    def test_queued_jobs_do_not_age_against_the_deadline(self):
+        # Regression: jobs were all submitted up front with the deadline
+        # clock started at submit time, so any job queued behind a full
+        # pool for longer than timeout+grace was condemned as overdue —
+        # permanently failed and the whole pool killed — without ever
+        # running.  The budget must cover execution only, not queueing.
+        runner = _runner(workers=2, timeout=1.0, timeout_grace=0.2,
+                         retries=0, strict=False)
+        jobs = [Job("fault_sleep", params={"seconds": 0.4 + i / 1000})
+                for i in range(8)]  # 4 waves: last waits ~3x the deadline
+        results = runner.run(jobs)
+        assert len(results) == 8
+        assert runner.last_stats.timeouts == 0
+        assert runner.last_stats.failed == 0
 
     def test_in_worker_timeout_survives_pool(self):
         # The hung job dies inside its worker (typed error through the
