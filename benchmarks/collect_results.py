@@ -135,6 +135,23 @@ replay from the cache, this generator skips (with a warning) any result
 file the interruption left missing or truncated, and `repro sweep` grids
 checkpoint to a journal — rerun with `--resume --json PATH` to continue
 where a crash or Ctrl-C stopped (see README "Failure handling").
+
+To look *inside* any number below, rerun the grid point with telemetry
+and open the trace in [Perfetto](https://ui.perfetto.dev):
+
+    python -m repro run nested_l3 --policy bcc --trace-out nested_l3.json
+    python -m repro sweep --workloads bfs --policies bcc,scc \\
+        --trace-dir traces/
+
+Load the JSON in Perfetto (or `chrome://tracing`): each EU is a
+process with one timeline per pipe (`fpu`/`em`/`send`), a `quads` track
+showing every per-quad `quad_exec`/`quad_skip`/`swizzle` compaction
+decision, and an `occupancy` counter plotting the execution-mask
+population — the per-cycle story behind each table.  `--telemetry
+counters` adds the aggregate `telemetry.*` counters to a run's summary
+without the trace cost, and `python -m repro.telemetry.hostprof` writes
+the simulator's own performance baseline (see README "Profiling and
+tracing").
 """
 
 

@@ -108,10 +108,27 @@ def _cmd_run(args) -> int:
         config = config.with_memory(dc_lines_per_cycle=2.0)
     if args.perfect_l3:
         config = config.with_memory(perfect_l3=True)
+    telemetry_level = args.telemetry
+    if args.trace_out and telemetry_level == "off":
+        telemetry_level = "trace"  # a trace file needs events collected
+    if telemetry_level != "off":
+        config = config.with_telemetry(telemetry_level)
+    profiler = None
+    if args.profile or args.profile_out:
+        from .telemetry import HostProfiler
+
+        profiler = HostProfiler()
     try:
-        result = run_workload(WORKLOAD_REGISTRY[args.workload](), config,
-                              verify=not args.no_verify,
-                              host_seconds=args.timeout)
+        if profiler is not None:
+            profiler.start()
+        try:
+            result = run_workload(WORKLOAD_REGISTRY[args.workload](), config,
+                                  verify=not args.no_verify,
+                                  host_seconds=args.timeout,
+                                  hostprof=profiler)
+        finally:
+            if profiler is not None:
+                profiler.stop()
     except AssertionError as exc:
         # VerificationError and plain reference-check AssertionErrors:
         # keep the verbose, actionable message (exit code 1 either way).
@@ -120,13 +137,55 @@ def _cmd_run(args) -> int:
               f"(simulated output does not match the host reference; "
               f"use --no-verify to inspect timing anyway)", file=sys.stderr)
         return 1
-    rows = [[key, value] for key, value in sorted(result.summary().items())]
+    summary = result.summary(telemetry=telemetry_level != "off")
+    rows = [[key, value] for key, value in sorted(summary.items())]
     print(format_table(["metric", "value"], rows,
                        title=f"{args.workload} under {config.policy.value}"))
     for policy in (CompactionPolicy.BCC, CompactionPolicy.SCC):
         print(f"{policy.value.upper()} EU-cycle reduction vs IVB: "
               f"{result.eu_cycle_reduction_pct(policy):.1f}%")
+    if args.trace_out:
+        from .telemetry import export_chrome_trace
+
+        count = export_chrome_trace(result.telemetry, args.trace_out,
+                                    kernel=args.workload,
+                                    policy=config.policy.value)
+        print(f"wrote {count} trace event(s) to {args.trace_out} "
+              f"(load in Perfetto / chrome://tracing)", file=sys.stderr)
+    if profiler is not None:
+        _print_profile(profiler, args, result)
     return 0
+
+
+def _print_profile(profiler, args, result) -> None:
+    """Render the host profile; optionally write a BENCH_*.json record."""
+    report = profiler.report()
+    rows = [[name, entry["samples"], f"{entry['share']:.1%}",
+             f"{entry['est_seconds']:.3f}s"]
+            for name, entry in report["subsystems"].items()]
+    throughput = result.total_cycles / (report["host_seconds"] or 1e-12)
+    print(format_table(["subsystem", "samples", "share", "est time"], rows,
+                       title=f"host profile ({report['host_seconds']:.2f}s, "
+                             f"{report['samples']} samples, "
+                             f"{throughput:,.0f} cycles/s)"))
+    opcode_rows = [[name, entry["calls"], f"{entry['seconds']:.4f}s"]
+                   for name, entry in list(report["opcodes"].items())[:10]]
+    if opcode_rows:
+        print(format_table(["opcode", "issues", "host time"], opcode_rows,
+                           title="host time by opcode (top 10)"))
+    if args.profile_out:
+        from .telemetry.hostprof import write_bench_json
+
+        seconds = report["host_seconds"] or 1e-12
+        report["workload"] = args.workload
+        report["policy"] = args.policy
+        report["total_cycles"] = result.total_cycles
+        report["instructions"] = result.instructions
+        report["cycles_per_second"] = result.total_cycles / seconds
+        report["instructions_per_second"] = result.instructions / seconds
+        path = write_bench_json(args.profile_out, [report],
+                                label=f"run:{args.workload}")
+        print(f"wrote host profile to {path}", file=sys.stderr)
 
 
 def _cmd_profile(args) -> int:
@@ -284,6 +343,9 @@ def _cmd_sweep(args) -> int:
         print("--resume needs --json PATH (the journal lives beside the "
               "artifact)", file=sys.stderr)
         return 2
+    telemetry_level = args.telemetry
+    if args.trace_dir and telemetry_level == "off":
+        telemetry_level = "trace"  # per-job traces need events collected
 
     jobs: Dict[Any, Job] = {}
     for name in names:
@@ -296,6 +358,8 @@ def _cmd_sweep(args) -> int:
                             config, max_cycles=args.max_cycles)
                     config = config.with_memory(
                         dc_lines_per_cycle=dc, perfect_l3=pl3)
+                    if telemetry_level != "off":
+                        config = config.with_telemetry(telemetry_level)
                     jobs[(name, policy, dc, pl3)] = Job(name, config)
     grid = {
         "workloads": names,
@@ -304,7 +368,8 @@ def _cmd_sweep(args) -> int:
         "perfect_l3": sorted(pl3_values),
     }
     grid_key = stable_digest({**grid, "verify": not args.no_verify,
-                              "max_cycles": args.max_cycles or 0})
+                              "max_cycles": args.max_cycles or 0,
+                              "telemetry": telemetry_level})
 
     # Checkpoint journal: written beside the JSON artifact whenever one
     # is requested, consumed by --resume, deleted on success.  Only
@@ -388,6 +453,26 @@ def _cmd_sweep(args) -> int:
             if exit_code == 0:
                 exit_code = exit_code_for(error)
 
+    if args.trace_dir:
+        from .telemetry import export_chrome_trace
+
+        trace_dir = Path(args.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        exported = skipped = 0
+        for point, job in jobs.items():
+            result = results.get(job)
+            if result is None or result.telemetry is None:
+                skipped += 1  # failed, or resumed from a journal record
+                continue
+            name, policy, dc, pl3 = point
+            stem = f"{name}_{policy.value}_dc{dc:g}" + ("_pl3" if pl3 else "")
+            export_chrome_trace(result.telemetry, trace_dir / f"{stem}.json",
+                                kernel=name, policy=policy.value)
+            exported += 1
+        note = f"; {skipped} without telemetry skipped" if skipped else ""
+        print(f"sweep: wrote {exported} Chrome trace(s) to {trace_dir}{note}",
+              file=sys.stderr)
+
     artifact = {"grid": grid, "results": records, "failures": failures}
     if args.json:
         text = json.dumps(artifact, indent=2, sort_keys=True)
@@ -408,6 +493,9 @@ def _cmd_sweep(args) -> int:
     summary = (f"sweep: {len(jobs)} job(s), {stats.unique} unique, "
                f"{stats.cache_hits} cached, {stats.executed} executed in "
                f"{stats.wall_seconds:.2f}s with {runner.workers} worker(s)")
+    if stats.executed:
+        summary += (f"; {stats.host_seconds:.2f}s simulating at "
+                    f"{stats.cycles_per_second:,.0f} cycles/s")
     if resumed:
         summary += f"; {len(resumed)} resumed from journal"
     if failures:
@@ -446,6 +534,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-cycles", type=int, default=None, metavar="N",
                      help="override the simulator cycle budget (deadlock "
                           "watchdog; default 20M)")
+    run.add_argument("--telemetry", choices=("off", "counters", "trace"),
+                     default="off",
+                     help="telemetry level: 'counters' adds telemetry.* "
+                          "rows to the metrics table, 'trace' also records "
+                          "per-cycle events (default off)")
+    run.add_argument("--trace-out", metavar="PATH", default=None,
+                     help="write a Chrome-trace JSON of the run to PATH "
+                          "(implies --telemetry trace; open in Perfetto)")
+    run.add_argument("--profile", action="store_true",
+                     help="profile the simulator itself: host time by "
+                          "subsystem and by opcode")
+    run.add_argument("--profile-out", metavar="PATH", default=None,
+                     help="also write the host profile as a BENCH_*.json "
+                          "record (implies --profile)")
 
     profile = sub.add_parser("profile", help="profile an execution-mask trace")
     profile.add_argument("trace", help="built-in trace name or file path")
@@ -490,6 +592,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-cycles", type=int, default=None, metavar="N",
                        help="override the simulator cycle budget for every "
                             "job in the grid")
+    sweep.add_argument("--telemetry", choices=("off", "counters", "trace"),
+                       default="off",
+                       help="telemetry level for every job in the grid; the "
+                            "level is part of each job's cache key")
+    sweep.add_argument("--trace-dir", metavar="DIR", default=None,
+                       help="write one Chrome-trace JSON per grid point to "
+                            "DIR (implies --telemetry trace)")
     _add_runner_flags(sweep)
     return parser
 

@@ -17,7 +17,10 @@ instrumented functional model the paper uses for its trace studies.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
+
+import numpy as np
 
 from ..core.policy import execution_cycles
 from ..core.stats import CompactionStats
@@ -26,6 +29,7 @@ from ..isa.opcodes import Opcode, Pipe
 from ..isa.registers import RegRef
 from ..memory.cache import LINE_BYTES
 from ..memory.hierarchy import MemoryHierarchy
+from .grf import _mask_bools
 from .interp import execute_alu, gather, scatter
 from .pipes import PipeSet
 from .thread import EUThread, ThreadState
@@ -39,7 +43,8 @@ class ExecutionUnit:
 
     def __init__(self, eu_id: int, config, hierarchy: MemoryHierarchy,
                  alu_stats: CompactionStats, simd_stats: CompactionStats,
-                 trace_sink: Optional[list] = None) -> None:
+                 trace_sink: Optional[list] = None,
+                 telemetry=None, hostprof=None) -> None:
         self.eu_id = eu_id
         self.config = config
         self.hierarchy = hierarchy
@@ -49,6 +54,13 @@ class ExecutionUnit:
         #: appended as a TraceEvent -- the paper's instrumented
         #: functional model (Section 5.1), usable for offline profiling.
         self.trace_sink = trace_sink
+        #: Optional :class:`~repro.telemetry.collector.EuTelemetry` view.
+        #: None when telemetry is off: every emission site below is then
+        #: one attribute load and one branch, nothing more.
+        self.telemetry = telemetry
+        #: Optional :class:`~repro.telemetry.hostprof.HostProfiler` for
+        #: exact per-opcode host-time accounting (None when unprofiled).
+        self.hostprof = hostprof
         self.pipes = PipeSet()
         self.threads: List[Optional[EUThread]] = [None] * config.threads_per_eu
         self._rr = 0  # rotating-priority pointer (paper: rotating/age arbiter)
@@ -66,6 +78,9 @@ class ExecutionUnit:
         for slot, occupant in enumerate(self.threads):
             if occupant is None:
                 self.threads[slot] = thread
+                if self.telemetry is not None:
+                    self.telemetry.counters.incr("threads.dispatched")
+                    thread.scoreboard.attach_counters(self.telemetry.counters)
                 return
         raise RuntimeError(f"EU{self.eu_id} has no free thread slot")
 
@@ -80,6 +95,7 @@ class ExecutionUnit:
             return
         issued = 0
         order = self._arbitration_order()
+        tel = self.telemetry
         for slot in order:
             if issued >= self.config.issue_width:
                 break
@@ -90,11 +106,21 @@ class ExecutionUnit:
             if inst is None:
                 continue
             if thread.earliest_issue(now) > now:
+                if tel is not None:
+                    tel.stall(now, slot,
+                              "scoreboard"
+                              if thread.scoreboard.ready_at(inst) > now
+                              else "dispatch")
                 continue
             if inst.opcode.pipe is not Pipe.CTRL:
                 if not self.pipes.for_opcode(inst.opcode).can_accept(now):
+                    if tel is not None:
+                        tel.stall(now, slot, "pipe")
                     continue
-            self._issue(slot, thread, inst, now)
+            if self.hostprof is None:
+                self._issue(slot, thread, inst, now)
+            else:
+                self._issue_profiled(slot, thread, inst, now)
             issued += 1
         if issued:
             self._rr = (order[0] + 1) % len(self.threads)
@@ -125,6 +151,16 @@ class ExecutionUnit:
         return best
 
     # -- issue paths ----------------------------------------------------------
+
+    def _issue_profiled(self, slot: int, thread: EUThread, inst: Instruction,
+                        now: int) -> None:
+        """Issue wrapper charging exact host time to the opcode (hostprof)."""
+        start = time.perf_counter()
+        try:
+            self._issue(slot, thread, inst, now)
+        finally:
+            self.hostprof.add_opcode(inst.opcode.name,
+                                     time.perf_counter() - start)
 
     def _issue(self, slot: int, thread: EUThread, inst: Instruction, now: int) -> None:
         self.instructions_issued += 1
@@ -165,14 +201,21 @@ class ExecutionUnit:
             thread.state = ThreadState.DONE
             self.threads[slot] = None
             self.threads_retired += 1
+            if self.telemetry is not None:
+                self.telemetry.thread_retired(now)
             if thread.workgroup is not None:
                 thread.workgroup.thread_done(now)
             return
         else:  # pragma: no cover - exhaustive over CTRL opcodes
             raise NotImplementedError(f"control opcode {op}")
+        if self.telemetry is not None:
+            # Post-instruction mask population: the divergence timeline.
+            self.telemetry.ctrl_issue(now, inst, masks.current, inst.width)
         thread.advance(next_pc)
 
     def _issue_barrier(self, thread: EUThread, inst: Instruction, now: int) -> None:
+        if self.telemetry is not None:
+            self.telemetry.barrier(now)
         thread.advance(None)  # resume after the barrier on release
         wg = thread.workgroup
         if wg is None:
@@ -204,6 +247,9 @@ class ExecutionUnit:
         drain = pipe.issue(now, cycles)
         completion = drain + inst.opcode.latency
         thread.scoreboard.record(inst, completion)
+        if self.telemetry is not None:
+            self.telemetry.alu_issue(now, inst, exec_mask, cycles, pipe.name,
+                                     self.config.policy)
         execute_alu(inst, exec_mask, thread.grf, thread.flags, selector)
         thread.advance(None)
 
@@ -218,6 +264,8 @@ class ExecutionUnit:
         # SEND pipe occupancy: one cycle per 256-bit register moved.
         occupancy = max(1, dtype.regs_for_width(width))
         self.pipes.send.issue(now, occupancy)
+        if self.telemetry is not None:
+            self.telemetry.mem_issue(now, inst, exec_mask, occupancy)
 
         if exec_mask == 0:
             completion = now + 1  # suppressed message
@@ -258,11 +306,9 @@ class ExecutionUnit:
             values = thread.grf.read(inst.sources[1], inst.width)
             scatter(surface, offsets, values, exec_mask, inst.dtype)
 
-        lines = set()
         size = inst.dtype.size
-        for lane in range(inst.width):
-            if (exec_mask >> lane) & 1:
-                off = int(offsets[lane])
-                lines.add((inst.surface, off // LINE_BYTES))
-                lines.add((inst.surface, (off + size - 1) // LINE_BYTES))
-        return self.hierarchy.access(now, sorted(lines))
+        offs = offsets[_mask_bools(exec_mask, inst.width)].astype(np.int64)
+        line_nums = np.unique(np.concatenate(
+            [offs // LINE_BYTES, (offs + size - 1) // LINE_BYTES]))
+        lines = [(inst.surface, int(n)) for n in line_nums]
+        return self.hierarchy.access(now, lines)

@@ -70,10 +70,9 @@ def execute_alu(
             a = eval_operand(inst.sources[0], width, grf, dtype)
             b = eval_operand(inst.sources[1], width, grf, dtype)
             result = inst.cmp_op.apply(a, b)
-        bits = 0
-        for lane in range(width):
-            if (exec_mask >> lane) & 1 and bool(result[lane]):
-                bits |= 1 << lane
+        taken = np.asarray(result, dtype=bool) & _mask_bools(exec_mask, width)
+        bits = int.from_bytes(
+            np.packbits(taken, bitorder="little").tobytes(), "little")
         idx = inst.flag_dst.index
         # CMP updates flag bits only for enabled lanes.
         flags[idx] = (flags[idx] & ~exec_mask) | bits
@@ -163,23 +162,45 @@ def gather(surface: np.ndarray, offsets: np.ndarray, exec_mask: int, dtype: DTyp
     equivalent of a page fault — kernels are expected to guard).
     """
     width = offsets.shape[0]
-    out = np.zeros(width, dtype=dtype.np_dtype)
-    size = dtype.size
     view = surface.view(dtype.np_dtype)
-    for lane in range(width):
-        if not (exec_mask >> lane) & 1:
-            continue
+    enabled, idx = _checked_indices(surface, offsets, exec_mask, dtype,
+                                    view.shape[0], "reads")
+    if exec_mask == (1 << width) - 1:
+        return view[idx]
+    out = np.zeros(width, dtype=dtype.np_dtype)
+    out[enabled] = view[idx[enabled]]
+    return out
+
+
+def _checked_indices(surface: np.ndarray, offsets: np.ndarray,
+                     exec_mask: int, dtype: DType, count: int, verb: str):
+    """Validate per-lane byte offsets; return (enabled bools, element idx).
+
+    Matches the scalar loop's error semantics exactly: the first
+    offending *enabled* lane in lane order raises, with misalignment
+    checked before range for that lane.
+    """
+    size = dtype.size
+    enabled = _mask_bools(exec_mask, offsets.shape[0])
+    # Unsigned arithmetic folds the range check into one comparison:
+    # negative offsets wrap to huge values and fail ``idx >= count``.
+    # dtype sizes are powers of two dividing 2**64, so alignment
+    # remainders are unchanged by the wrap.
+    unsigned = offsets.astype(np.uint64, copy=False)
+    idx, rem = np.divmod(unsigned, np.uint64(size))
+    bad = rem != 0
+    bad |= idx >= count
+    bad &= enabled
+    if bad.any():
+        lane = int(np.argmax(bad))
         off = int(offsets[lane])
         if off % size != 0:
             raise ValueError(f"misaligned {dtype} access at byte offset {off}")
-        idx = off // size
-        if not 0 <= idx < view.shape[0]:
-            raise IndexError(
-                f"lane {lane} reads byte offset {off}, beyond surface of "
-                f"{surface.size} bytes"
-            )
-        out[lane] = view[idx]
-    return out
+        raise IndexError(
+            f"lane {lane} {verb} byte offset {off}, beyond surface of "
+            f"{surface.size} bytes"
+        )
+    return enabled, idx
 
 
 def scatter(
@@ -190,19 +211,13 @@ def scatter(
     When several enabled lanes target the same offset, the highest lane
     wins (matching the sequential quad write-back order of the hardware).
     """
-    size = dtype.size
     view = surface.view(dtype.np_dtype)
-    width = offsets.shape[0]
-    for lane in range(width):
-        if not (exec_mask >> lane) & 1:
-            continue
-        off = int(offsets[lane])
-        if off % size != 0:
-            raise ValueError(f"misaligned {dtype} access at byte offset {off}")
-        idx = off // size
-        if not 0 <= idx < view.shape[0]:
-            raise IndexError(
-                f"lane {lane} writes byte offset {off}, beyond surface of "
-                f"{surface.size} bytes"
-            )
-        view[idx] = values[lane]
+    enabled, idx = _checked_indices(surface, offsets, exec_mask, dtype,
+                                    view.shape[0], "writes")
+    # Fancy assignment applies lanes in order, so duplicate offsets keep
+    # the highest enabled lane's value — the hardware's quad write-back
+    # order.
+    if exec_mask == (1 << offsets.shape[0]) - 1:
+        view[idx] = values
+    else:
+        view[idx[enabled]] = values[enabled]

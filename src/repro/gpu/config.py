@@ -38,6 +38,11 @@ class GpuConfig:
     #: Deadlock watchdog: abort if no instruction issues for this many
     #: consecutive cycles while work is still pending (0 disables).
     watchdog_cycles: int = 1_000_000
+    #: Telemetry level: "off" (default; zero-overhead no-op), "counters"
+    #: (hierarchical per-EU counter registry), or "trace" (additionally
+    #: per-cycle events exportable as a Chrome/Perfetto trace).  Part of
+    #: the dataclass, so it joins the runner's cache key automatically.
+    telemetry: str = "off"
 
     def validate(self) -> None:
         if self.num_eus < 1 or self.threads_per_eu < 1:
@@ -52,7 +57,17 @@ class GpuConfig:
             raise ValueError("max_cycles must be positive")
         if self.watchdog_cycles < 0:
             raise ValueError("watchdog_cycles must be non-negative")
+        from ..telemetry.collector import TELEMETRY_LEVELS
+
+        if self.telemetry not in TELEMETRY_LEVELS:
+            raise ValueError(
+                f"unknown telemetry level {self.telemetry!r}; expected one "
+                f"of: {', '.join(TELEMETRY_LEVELS)}")
         self.memory.validate()
+
+    def with_telemetry(self, level: str) -> "GpuConfig":
+        """Copy of this config at a different telemetry level."""
+        return dataclasses.replace(self, telemetry=level)
 
     def with_policy(self, policy: CompactionPolicy) -> "GpuConfig":
         """Copy of this config running under a different compaction policy."""

@@ -72,6 +72,7 @@ class Launch:
         surfaces: Sequence[np.ndarray],
         scalars: Dict[str, float],
         config,
+        telemetry=None,
     ) -> None:
         if not program.finalized:
             raise ValueError(f"program {program.name!r} was not finalized")
@@ -101,6 +102,8 @@ class Launch:
         self.next_wg = 0
         self.instances: List[WorkgroupInstance] = []
         self._thread_counter = 0
+        #: Optional run-level TelemetryCollector (None when off).
+        self.telemetry = telemetry
 
     @property
     def all_dispatched(self) -> bool:
@@ -137,6 +140,12 @@ class Launch:
                 for thread in instance.threads:
                     eu.add_thread(thread)
                 placed += 1
+                if self.telemetry is not None:
+                    self.telemetry.counters.incr("dispatch.workgroups")
+                    self.telemetry.instant(
+                        "gpu/dispatch", "wg_dispatch", now,
+                        {"wg": instance.wg_id, "eu": eu.eu_id,
+                         "threads": len(instance.threads)})
         return placed
 
     def _materialize(self, wg_id: int, now: int) -> WorkgroupInstance:

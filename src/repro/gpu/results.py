@@ -12,10 +12,11 @@ the simulator with a different ``config.policy``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from ..core.policy import CompactionPolicy
 from ..core.stats import CompactionStats
+from ..telemetry.events import TelemetryResult
 
 
 @dataclass
@@ -40,6 +41,10 @@ class KernelRunResult:
     fpu_busy_cycles: int = 0
     em_busy_cycles: int = 0
     send_busy_cycles: int = 0
+    #: Telemetry captured during the run (None when the config ran with
+    #: ``telemetry="off"``).  Carrying it here is what propagates traces
+    #: through the runner's process pool and on-disk cache.
+    telemetry: Optional[TelemetryResult] = None
 
     @property
     def l3_hit_rate(self) -> float:
@@ -104,8 +109,15 @@ class KernelRunResult:
             return 0.0
         return self.dc_lines / self.total_cycles
 
-    def summary(self) -> Dict[str, float]:
-        """Flat metrics dict for report tables."""
+    def summary(self, telemetry: bool = False) -> Dict[str, float]:
+        """Flat metrics dict for report tables.
+
+        The base dict is independent of whether the run was traced —
+        telemetry must never perturb reported metrics.  Passing
+        ``telemetry=True`` additionally flattens the run's counter
+        registry in as ``telemetry.<name>`` keys (no-op when the run
+        was not instrumented).
+        """
         out = {
             "total_cycles": float(self.total_cycles),
             "instructions": float(self.instructions),
@@ -118,6 +130,9 @@ class KernelRunResult:
         }
         for policy in CompactionPolicy:
             out[f"eu_cycles_{policy.value}"] = float(self.alu_stats.cycles[policy])
+        if telemetry and self.telemetry is not None:
+            for name, value in self.telemetry.counters.items():
+                out[f"telemetry.{name}"] = float(value)
         return out
 
 
@@ -177,4 +192,9 @@ def merge_results(results) -> KernelRunResult:
         fpu_busy_cycles=sum(r.fpu_busy_cycles for r in results),
         em_busy_cycles=sum(r.em_busy_cycles for r in results),
         send_busy_cycles=sum(r.send_busy_cycles for r in results),
+        telemetry=(
+            TelemetryResult.merge([r.telemetry for r in results])
+            if all(r.telemetry is not None for r in results)
+            else None
+        ),
     )

@@ -27,6 +27,7 @@ from ..errors import DeadlockError, JobTimeoutError
 from ..eu.eu import NEVER, ExecutionUnit
 from ..isa.program import Program
 from ..memory.hierarchy import MemoryHierarchy
+from ..telemetry.collector import make_collector
 from .config import GpuConfig
 from .dispatch import Launch, bind_surfaces
 from .results import KernelRunResult
@@ -50,10 +51,14 @@ class GpuSimulator:
     """
 
     def __init__(self, config: Optional[GpuConfig] = None,
-                 wall_deadline: Optional[float] = None) -> None:
+                 wall_deadline: Optional[float] = None,
+                 hostprof=None) -> None:
         self.config = config if config is not None else GpuConfig()
         self.config.validate()
         self.wall_deadline = wall_deadline
+        #: Optional :class:`~repro.telemetry.hostprof.HostProfiler`:
+        #: threaded to the EUs for exact per-opcode host-time accounting.
+        self.hostprof = hostprof
 
     def run(
         self,
@@ -74,12 +79,16 @@ class GpuSimulator:
         functional model of paper Section 5.1).
         """
         config = self.config
-        hierarchy = MemoryHierarchy(config.memory)
+        collector = make_collector(config)
+        hierarchy = MemoryHierarchy(config.memory, telemetry=collector)
         alu_stats = CompactionStats(min_cycles=1)
         simd_stats = CompactionStats(min_cycles=1)
         eus = [
             ExecutionUnit(i, config, hierarchy, alu_stats, simd_stats,
-                          trace_sink)
+                          trace_sink,
+                          telemetry=(collector.eu(i) if collector is not None
+                                     else None),
+                          hostprof=self.hostprof)
             for i in range(config.num_eus)
         ]
         launch = Launch(
@@ -89,6 +98,7 @@ class GpuSimulator:
             bind_surfaces(program, buffers or {}),
             scalars or {},
             config,
+            telemetry=collector,
         )
 
         now = 0
@@ -151,6 +161,8 @@ class GpuSimulator:
 
         return KernelRunResult(
             kernel=program.name,
+            telemetry=(collector.result(now) if collector is not None
+                       else None),
             policy=config.policy,
             total_cycles=now,
             instructions=sum(eu.instructions_issued for eu in eus),

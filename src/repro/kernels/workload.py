@@ -76,6 +76,7 @@ def run_workload(
     config: Optional[GpuConfig] = None,
     verify: bool = True,
     host_seconds: Optional[float] = None,
+    hostprof=None,
 ) -> KernelRunResult:
     """Simulate every launch step of *workload* under *config*.
 
@@ -90,11 +91,15 @@ def run_workload(
     that blocks without returning — a sleeping step source — can only be
     interrupted from outside the process; the runner's pool enforces a
     grace deadline for that case.)
+
+    *hostprof* optionally attaches a
+    :class:`~repro.telemetry.hostprof.HostProfiler` for exact per-opcode
+    host-time accounting inside the EUs.
     """
     deadline = (time.monotonic() + host_seconds
                 if host_seconds is not None else None)
     sim = GpuSimulator(config if config is not None else GpuConfig(),
-                       wall_deadline=deadline)
+                       wall_deadline=deadline, hostprof=hostprof)
     results = []
     for step in workload.iter_steps():
         if deadline is not None and time.monotonic() > deadline:

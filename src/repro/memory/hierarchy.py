@@ -48,9 +48,13 @@ class MemoryParams:
 class MemoryHierarchy:
     """Shared memory system timing model for the whole GPU."""
 
-    def __init__(self, params: MemoryParams) -> None:
+    def __init__(self, params: MemoryParams, telemetry=None) -> None:
         params.validate()
         self.params = params
+        #: Optional run-level TelemetryCollector (None when off): every
+        #: SIMD memory message then becomes a span on the "gpu/mem"
+        #: track plus hit/miss counters.
+        self.telemetry = telemetry
         self.l3 = Cache(
             "L3", params.l3_size, params.l3_assoc, LINE_BYTES, perfect=params.perfect_l3
         )
@@ -73,6 +77,8 @@ class MemoryHierarchy:
         line_ids = tuple(line_ids)
         self.messages += 1
         self.lines_requested += len(line_ids)
+        tel = self.telemetry
+        l3_hits_before = self.l3.stats.hits if tel is not None else 0
         completion = float(now)
         for line_id in line_ids:
             start = self.data_cluster.grant(now)
@@ -83,7 +89,17 @@ class MemoryHierarchy:
                     dram_start = self.dram.grant(done)
                     done = dram_start + self.params.dram_latency
             completion = max(completion, done)
-        return int(round(completion))
+        completed = int(round(completion))
+        if tel is not None:
+            hits = self.l3.stats.hits - l3_hits_before
+            counters = tel.counters
+            counters.incr("memory.messages")
+            counters.incr("memory.lines", len(line_ids))
+            counters.incr("memory.l3_hits", hits)
+            counters.incr("memory.l3_misses", len(line_ids) - hits)
+            tel.span("gpu/mem", "mem_message", now, completed - now,
+                     {"lines": len(line_ids), "l3_hits": hits})
+        return completed
 
     def memory_divergence(self) -> float:
         """Average distinct line requests per memory message (paper metric)."""

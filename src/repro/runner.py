@@ -414,6 +414,11 @@ class RunStats:
     cache_hits: int = 0
     executed: int = 0
     wall_seconds: float = 0.0
+    #: Host seconds spent actually simulating (sum of per-job elapsed
+    #: time over executed jobs; cache hits cost ~0 and are excluded).
+    host_seconds: float = 0.0
+    #: Simulated GPU cycles produced by the executed jobs.
+    total_cycles: int = 0
     #: Jobs that ultimately failed (after retries), keyed by job key.
     failures: Dict[str, BaseException] = field(default_factory=dict)
     failed: int = 0
@@ -423,6 +428,14 @@ class RunStats:
     timeouts: int = 0
     #: Times the process pool broke and execution fell back to serial.
     degraded: int = 0
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Simulator throughput: simulated cycles per host second of
+        execution (0.0 when nothing was executed this batch)."""
+        if self.host_seconds <= 0:
+            return 0.0
+        return self.total_cycles / self.host_seconds
 
 
 class Runner:
@@ -587,6 +600,8 @@ class Runner:
                 emit, elapsed: float) -> None:
         results[job.key] = result
         stats.executed += 1
+        stats.host_seconds += elapsed
+        stats.total_cycles += result.total_cycles
         if self.cache is not None and job.cacheable:
             self.cache.store(job, result)
         emit(job, "executed", elapsed, result=result)

@@ -1,0 +1,48 @@
+"""Telemetry: per-cycle event tracing, counters, and host profiling.
+
+The simulator's headline numbers (``KernelRunResult``) are end-of-run
+aggregates; this package captures *where the cycles went* while they are
+being spent, at three opt-in levels selected by
+:attr:`repro.gpu.config.GpuConfig.telemetry`:
+
+* ``"off"`` (default) — nothing is allocated and every instrumentation
+  site reduces to one ``is not None`` check, so timing-sensitive runs
+  are unaffected;
+* ``"counters"`` — a hierarchical counter/timer registry accumulates
+  per-EU issue/stall/compaction tallies, merged per-run and exposed via
+  ``KernelRunResult.summary(telemetry=True)``;
+* ``"trace"`` — additionally records per-cycle events (pipe occupancy
+  spans, per-quad BCC/SCC execute/skip decisions, SCC swizzles, mask
+  occupancy timelines, memory messages) exportable as a Chrome-trace
+  JSON that Perfetto loads directly.
+
+:mod:`repro.telemetry.hostprof` is the fourth surface: a sampling
+profiler for the *simulator itself* (which subsystem and which opcode
+burns host wall time), feeding the ``BENCH_*.json`` baselines.
+"""
+
+from .chrome_trace import (
+    chrome_trace_dict,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
+from .collector import TELEMETRY_LEVELS, EuTelemetry, TelemetryCollector, make_collector
+from .counters import CounterRegistry
+from .events import Event, TelemetryResult
+from .hostprof import HostProfiler, profile_run, write_bench_json
+
+__all__ = [
+    "CounterRegistry",
+    "Event",
+    "EuTelemetry",
+    "HostProfiler",
+    "TELEMETRY_LEVELS",
+    "TelemetryCollector",
+    "TelemetryResult",
+    "chrome_trace_dict",
+    "export_chrome_trace",
+    "make_collector",
+    "profile_run",
+    "validate_chrome_trace",
+    "write_bench_json",
+]

@@ -1,0 +1,162 @@
+"""Chrome Trace Event Format (Perfetto-loadable) export.
+
+Renders a :class:`~repro.telemetry.events.TelemetryResult` as the JSON
+object format of the Trace Event spec: ``{"traceEvents": [...]}`` with
+``X`` (complete), ``i`` (instant), ``C`` (counter), and ``M`` (metadata)
+records.  Tracks map onto the viewer's process/thread hierarchy:
+
+* each EU becomes a *process* (``pid`` = EU id + 1) whose *threads* are
+  its pipes (``fpu``, ``em``, ``send``), its compaction decisions
+  (``quads``), its front end, and its mask-occupancy counter;
+* run-level tracks (dispatch, the shared memory hierarchy) live in
+  ``pid`` 0, named "GPU".
+
+Timestamps are simulator cycles emitted as the spec's microseconds —
+only relative placement matters, and Perfetto's timeline then reads
+directly in cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .events import PHASE_COUNTER, PHASE_INSTANT, PHASE_SPAN, TelemetryResult
+
+#: ``ph`` values this exporter emits (plus "M" metadata).
+_EXPORTED_PHASES = (PHASE_SPAN, PHASE_INSTANT, PHASE_COUNTER)
+
+
+def _split_track(track: str) -> Tuple[str, str]:
+    """``"eu3/fpu"`` -> (``"eu3"``, ``"fpu"``); bare tracks go to the GPU."""
+    if "/" in track:
+        process, lane = track.split("/", 1)
+        return process, lane
+    return "gpu", track
+
+
+def _process_ids(tracks) -> Dict[str, int]:
+    """Stable pid assignment: GPU is 0, EUs follow their EU id."""
+    pids: Dict[str, int] = {"gpu": 0}
+    for process in sorted({_split_track(t)[0] for t in tracks}):
+        if process.startswith("eu") and process[2:].isdigit():
+            pids[process] = int(process[2:]) + 1
+    next_pid = max(pids.values(), default=0) + 1
+    for process in sorted({_split_track(t)[0] for t in tracks}):
+        if process not in pids:
+            pids[process] = next_pid
+            next_pid += 1
+    return pids
+
+
+def chrome_trace_dict(telemetry: TelemetryResult, *,
+                      kernel: str = "", policy: str = "") -> Dict[str, object]:
+    """Build the Trace Event Format object for *telemetry*."""
+    tracks = sorted({event.track for event in telemetry.events})
+    pids = _process_ids(tracks)
+    tids: Dict[str, int] = {}
+    records: List[Dict[str, object]] = []
+
+    for process, pid in sorted(pids.items(), key=lambda item: item[1]):
+        label = "GPU" if process == "gpu" else process.upper()
+        records.append({"name": "process_name", "ph": "M", "pid": pid,
+                        "tid": 0, "args": {"name": label}})
+    for track in tracks:
+        process, lane = _split_track(track)
+        lanes = [t for t in tracks if _split_track(t)[0] == process]
+        tids[track] = lanes.index(track)
+        records.append({"name": "thread_name", "ph": "M",
+                        "pid": pids[process], "tid": tids[track],
+                        "args": {"name": lane}})
+
+    for event in telemetry.events:
+        process, _ = _split_track(event.track)
+        record: Dict[str, object] = {
+            "name": event.name,
+            "cat": "sim",
+            "ph": event.ph,
+            "ts": event.ts,
+            "pid": pids[process],
+            "tid": tids[event.track],
+        }
+        if event.ph == PHASE_SPAN:
+            record["dur"] = event.dur
+        if event.ph == PHASE_INSTANT:
+            record["s"] = "t"  # thread-scoped instant
+        if event.args:
+            record["args"] = dict(event.args)
+        records.append(record)
+
+    meta: Dict[str, object] = {
+        "telemetry_level": telemetry.level,
+        "total_cycles": telemetry.total_cycles,
+    }
+    if kernel:
+        meta["kernel"] = kernel
+    if policy:
+        meta["policy"] = policy
+    return {
+        "traceEvents": records,
+        "displayTimeUnit": "ms",
+        "otherData": meta,
+    }
+
+
+def export_chrome_trace(telemetry: Optional[TelemetryResult],
+                        destination: Union[str, Path], *,
+                        kernel: str = "", policy: str = "") -> int:
+    """Write the Chrome-trace JSON; returns the number of trace events.
+
+    Raises ``ValueError`` when the run carried no telemetry (level
+    ``"off"``) — the caller forgot to enable tracing in the config.
+    """
+    if telemetry is None:
+        raise ValueError(
+            "run carried no telemetry; set GpuConfig.telemetry='trace' "
+            "(CLI: --trace-out implies it)")
+    payload = chrome_trace_dict(telemetry, kernel=kernel, policy=policy)
+    path = Path(destination)
+    path.write_text(json.dumps(payload, separators=(",", ":"),
+                               sort_keys=True) + "\n", encoding="utf-8")
+    return sum(1 for r in payload["traceEvents"] if r["ph"] != "M")
+
+
+def validate_chrome_trace(trace: Union[Dict[str, object], str, Path]) -> int:
+    """Check *trace* against the Trace Event Format contract.
+
+    Verifies the required keys per record (``name``/``ph``/``ts``/
+    ``pid``/``tid``, plus ``dur`` for complete events) and that ``ts`` is
+    monotonically non-decreasing within every ``(pid, tid)`` track.
+    Returns the number of non-metadata events; raises ``ValueError`` on
+    the first violation.  Used by the test suite and the CI smoke job.
+    """
+    if isinstance(trace, (str, Path)):
+        trace = json.loads(Path(trace).read_text(encoding="utf-8"))
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("trace must be a JSON object with 'traceEvents'")
+    last_ts: Dict[Tuple[int, int], float] = {}
+    counted = 0
+    for index, record in enumerate(trace["traceEvents"]):
+        for key in ("name", "ph"):
+            if key not in record:
+                raise ValueError(f"event {index} missing required key {key!r}")
+        ph = record["ph"]
+        if ph == "M":
+            continue
+        if ph not in _EXPORTED_PHASES:
+            raise ValueError(f"event {index} has unexpected phase {ph!r}")
+        for key in ("ts", "pid", "tid"):
+            if key not in record:
+                raise ValueError(f"event {index} missing required key {key!r}")
+        if ph == PHASE_SPAN and "dur" not in record:
+            raise ValueError(f"complete event {index} missing 'dur'")
+        track = (record["pid"], record["tid"])
+        ts = record["ts"]
+        if ts < last_ts.get(track, float("-inf")):
+            raise ValueError(
+                f"event {index} breaks ts monotonicity on track {track}: "
+                f"{ts} < {last_ts[track]}")
+        last_ts[track] = ts
+        counted += 1
+    return counted

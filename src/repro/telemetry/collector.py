@@ -1,0 +1,273 @@
+"""The run-level telemetry collector and its per-EU views.
+
+One :class:`TelemetryCollector` exists per simulated kernel launch when
+``GpuConfig.telemetry`` is not ``"off"``; the simulator hands each
+:class:`~repro.eu.eu.ExecutionUnit` an :class:`EuTelemetry` view bound
+to its EU id, and run-level components (dispatcher, memory hierarchy)
+emit directly on the collector.  When telemetry is off, no collector is
+ever constructed and every instrumentation site in the timing model is a
+single ``if self.telemetry is not None`` guard — the zero-overhead
+contract the overhead test enforces.
+
+Event semantics are deliberately close to the hardware questions the
+paper asks: which quads did BCC suppress, which lanes did SCC swizzle,
+how full is the execution mask, which pipe was busy when.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.bcc import bcc_schedule
+from ..core.policy import CompactionPolicy
+from ..core.quads import popcount
+from ..core.scc import scc_schedule
+from .counters import CounterRegistry
+from .events import (
+    PHASE_COUNTER,
+    PHASE_INSTANT,
+    PHASE_SPAN,
+    Event,
+    TelemetryResult,
+)
+
+#: Valid values of ``GpuConfig.telemetry``.
+TELEMETRY_LEVELS = ("off", "counters", "trace")
+
+
+def make_collector(config) -> Optional["TelemetryCollector"]:
+    """Build the collector a :class:`GpuConfig` asks for (None if off)."""
+    level = getattr(config, "telemetry", "off")
+    if level == "off":
+        return None
+    if level not in TELEMETRY_LEVELS:
+        raise ValueError(
+            f"unknown telemetry level {level!r}; expected one of "
+            f"{', '.join(TELEMETRY_LEVELS)}")
+    return TelemetryCollector(level, config.num_eus)
+
+
+class TelemetryCollector:
+    """Accumulates counters and (at the trace level) per-cycle events."""
+
+    def __init__(self, level: str, num_eus: int) -> None:
+        if level not in TELEMETRY_LEVELS or level == "off":
+            raise ValueError(f"collector needs an enabled level, got {level!r}")
+        self.level = level
+        self.tracing = level == "trace"
+        self.counters = CounterRegistry()  # run-level (dispatch, memory)
+        self.events: List[Event] = []
+        self._eus = [EuTelemetry(self, eu_id) for eu_id in range(num_eus)]
+
+    def eu(self, eu_id: int) -> "EuTelemetry":
+        """The per-EU view handed to ``ExecutionUnit``."""
+        return self._eus[eu_id]
+
+    # -- run-level emission (dispatch, memory hierarchy) -------------------
+
+    def instant(self, track: str, name: str, ts: int,
+                args: Optional[Dict[str, object]] = None) -> None:
+        if self.tracing:
+            self.events.append(Event(PHASE_INSTANT, track, name, ts, 0, args))
+
+    def span(self, track: str, name: str, ts: int, dur: int,
+             args: Optional[Dict[str, object]] = None) -> None:
+        if self.tracing:
+            self.events.append(Event(PHASE_SPAN, track, name, ts,
+                                     max(dur, 1), args))
+
+    def sample(self, track: str, name: str, ts: int, value: float) -> None:
+        if self.tracing:
+            self.events.append(Event(PHASE_COUNTER, track, name, ts, 0,
+                                     {"value": value}))
+
+    # -- finalization ------------------------------------------------------
+
+    def result(self, total_cycles: int) -> TelemetryResult:
+        """Freeze into the picklable per-run bundle.
+
+        Per-EU counters are merged into run totals (the hierarchical
+        per-EU -> per-run roll-up); events are sorted by timestamp so
+        every track's timeline is monotonic.
+        """
+        merged = CounterRegistry.merged(
+            [self.counters] + [eu.counters for eu in self._eus])
+        events = sorted(self.events, key=lambda e: (e.ts, e.track, e.name))
+        return TelemetryResult(
+            level=self.level,
+            counters=merged.as_dict(),
+            events=events,
+            total_cycles=total_cycles,
+        )
+
+
+class EuTelemetry:
+    """Per-EU emission surface, bound to the EU's tracks.
+
+    Every method is called from the EU's issue loop *only when telemetry
+    is enabled* — the EU holds ``None`` otherwise — so these methods can
+    afford dictionary work the disabled path must never pay.
+    """
+
+    __slots__ = ("collector", "eu_id", "counters", "tracing",
+                 "_fpu", "_em", "_send", "_quads", "_front", "_occ")
+
+    def __init__(self, collector: TelemetryCollector, eu_id: int) -> None:
+        self.collector = collector
+        self.eu_id = eu_id
+        self.counters = CounterRegistry()
+        self.tracing = collector.tracing
+        base = f"eu{eu_id}"
+        self._fpu = f"{base}/fpu"
+        self._em = f"{base}/em"
+        self._send = f"{base}/send"
+        self._quads = f"{base}/quads"
+        self._front = f"{base}/frontend"
+        self._occ = f"{base}/occupancy"
+
+    def _pipe_track(self, pipe_name: str) -> str:
+        if pipe_name == "fpu":
+            return self._fpu
+        if pipe_name == "em":
+            return self._em
+        return self._send
+
+    # -- issue events ------------------------------------------------------
+
+    def alu_issue(self, now: int, inst, exec_mask: int, cycles: int,
+                  pipe_name: str, policy: CompactionPolicy) -> None:
+        """One ALU instruction entered a pipe for *cycles* quad-cycles."""
+        counters = self.counters
+        counters.incr("issue.alu")
+        counters.incr("issue.total")
+        counters.incr(f"opcode.{inst.opcode.name.lower()}")
+        active = popcount(exec_mask)
+        counters.incr("lanes.active", active)
+        counters.incr("lanes.issued", inst.width)
+        counters.incr("cycles.alu", cycles)
+        if self.tracing:
+            events = self.collector.events
+            events.append(Event(
+                PHASE_SPAN, self._pipe_track(pipe_name),
+                inst.opcode.name.lower(), now, max(cycles, 1),
+                {"mask": f"0x{exec_mask:X}", "width": inst.width,
+                 "active": active, "policy": policy.value}))
+            events.append(Event(PHASE_COUNTER, self._occ, "active_lanes",
+                                now, 0, {"value": active}))
+        self._quad_events(now, inst, exec_mask, policy)
+
+    def _quad_events(self, now: int, inst, exec_mask: int,
+                     policy: CompactionPolicy) -> None:
+        """Per-quad compaction decisions — the paper's per-cycle story.
+
+        BCC: one ``quad_exec``/``quad_skip`` instant per aligned quad.
+        SCC: one ``quad_exec`` per *packed* execution cycle (listing the
+        global lanes it covers), a ``swizzle`` instant per lane moved out
+        of its home position, and ``quad_skip`` for the quad slots the
+        packing freed.  Other policies make no per-quad decision.
+
+        The ``compaction.*`` counters accumulate at both enabled levels;
+        the per-quad instants only at the trace level.
+        """
+        tracing = self.tracing
+        events = self.collector.events
+        counters = self.counters
+        if policy is CompactionPolicy.BCC:
+            schedule = bcc_schedule(exec_mask, inst.width)
+            counters.incr("compaction.quads_executed", len(schedule.ops))
+            counters.incr("compaction.quads_skipped", len(schedule.suppressed))
+            if not tracing:
+                return
+            for op in schedule.ops:
+                events.append(Event(
+                    PHASE_INSTANT, self._quads, "quad_exec", now, 0,
+                    {"quad": op.quad, "lane_enable": f"0x{op.lane_enable:X}",
+                     "policy": "bcc"}))
+            for quad in schedule.suppressed:
+                events.append(Event(
+                    PHASE_INSTANT, self._quads, "quad_skip", now, 0,
+                    {"quad": quad, "policy": "bcc"}))
+        elif policy is CompactionPolicy.SCC:
+            schedule = scc_schedule(exec_mask, inst.width)
+            skipped = inst.width // 4 - len(schedule.cycles)
+            counters.incr("compaction.quads_executed", len(schedule.cycles))
+            counters.incr("compaction.quads_skipped", max(skipped, 0))
+            counters.incr("compaction.swizzles", schedule.swizzle_count)
+            if not tracing:
+                return
+            for index, cycle in enumerate(schedule.cycles):
+                lanes = [slot.global_lane for slot in cycle]
+                events.append(Event(
+                    PHASE_INSTANT, self._quads, "quad_exec", now, 0,
+                    {"quad": index, "lanes": lanes, "policy": "scc",
+                     "swizzles": sum(1 for s in cycle if s.swizzled)}))
+                for slot in cycle:
+                    if slot.swizzled:
+                        events.append(Event(
+                            PHASE_INSTANT, self._quads, "swizzle", now, 0,
+                            {"out_lane": slot.out_lane, "quad": slot.quad,
+                             "src_lane": slot.src_lane}))
+            for index in range(len(schedule.cycles), inst.width // 4):
+                events.append(Event(
+                    PHASE_INSTANT, self._quads, "quad_skip", now, 0,
+                    {"quad": index, "policy": "scc"}))
+
+    def mem_issue(self, now: int, inst, exec_mask: int,
+                  occupancy: int) -> None:
+        """One memory message went down the SEND pipe."""
+        counters = self.counters
+        counters.incr("issue.mem")
+        counters.incr("issue.total")
+        counters.incr(f"opcode.{inst.opcode.name.lower()}")
+        counters.incr("lanes.active", popcount(exec_mask))
+        counters.incr("lanes.issued", inst.width)
+        if self.tracing:
+            self.collector.events.append(Event(
+                PHASE_SPAN, self._send, inst.opcode.name.lower(), now,
+                max(occupancy, 1),
+                {"mask": f"0x{exec_mask:X}", "width": inst.width}))
+
+    def ctrl_issue(self, now: int, inst, mask_after: int, width: int) -> None:
+        """A control instruction executed in the front end.
+
+        Emits the post-instruction mask population — the mask-occupancy
+        timeline that shows divergence evolving through IF/ELSE/WHILE.
+        """
+        counters = self.counters
+        counters.incr("issue.ctrl")
+        counters.incr("issue.total")
+        counters.incr(f"opcode.{inst.opcode.name.lower()}")
+        if self.tracing:
+            events = self.collector.events
+            events.append(Event(
+                PHASE_INSTANT, self._front, inst.opcode.name.lower(), now))
+            events.append(Event(
+                PHASE_COUNTER, self._occ, "active_lanes", now, 0,
+                {"value": popcount(mask_after)}))
+
+    def barrier(self, now: int) -> None:
+        self.counters.incr("issue.barrier")
+        self.counters.incr("issue.total")
+        if self.tracing:
+            self.collector.events.append(Event(
+                PHASE_INSTANT, self._front, "barrier", now))
+
+    def stall(self, now: int, slot: int, reason: str) -> None:
+        """A ready thread could not issue this arbitration pass."""
+        self.counters.incr(f"stall.{reason}")
+        if self.tracing:
+            self.collector.events.append(Event(
+                PHASE_INSTANT, self._front, f"stall_{reason}", now, 0,
+                {"slot": slot}))
+
+    def thread_retired(self, now: int) -> None:
+        """The thread's EOT issued — an instruction like any other, so
+        the issue counters keep ``issue.total == instructions``."""
+        counters = self.counters
+        counters.incr("issue.ctrl")
+        counters.incr("issue.total")
+        counters.incr("opcode.eot")
+        counters.incr("threads.retired")
+        if self.tracing:
+            self.collector.events.append(Event(
+                PHASE_INSTANT, self._front, "eot", now))

@@ -1,0 +1,78 @@
+"""Hierarchical counter/timer registry.
+
+Counters live in flat dicts under dotted names; hierarchy is a naming
+convention (``"issue.alu"``, ``"stall.scoreboard"``,
+``"compaction.swizzles"``) so merging per-EU registries into a per-run
+view is a plain sum — no tree bookkeeping on the hot path.  Timers
+record both accumulated seconds (``<name>.seconds``) and call counts
+(``<name>.calls``) so rates can be derived after merging.
+
+The registry is deliberately tiny: ``incr`` is the only operation the
+simulator's issue loop performs, and only when telemetry is enabled at
+all — the disabled path never constructs a registry.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterable
+
+
+class CounterRegistry:
+    """A flat bag of dotted-name counters with merge support."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = {}
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Add *amount* to counter *name* (creating it at zero)."""
+        values = self._values
+        values[name] = values.get(name, 0.0) + amount
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._values.get(name, default)
+
+    @contextmanager
+    def timer(self, name: str):
+        """Time a block: accumulates ``<name>.seconds`` and ``<name>.calls``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.incr(f"{name}.seconds", time.perf_counter() - start)
+            self.incr(f"{name}.calls")
+
+    def merge(self, other: "CounterRegistry", prefix: str = "") -> None:
+        """Sum *other*'s counters into this registry.
+
+        With *prefix*, names arrive as ``"<prefix>.<name>"`` — used to
+        keep a per-EU breakdown next to the run totals when wanted.
+        """
+        values = self._values
+        for name, value in other._values.items():
+            key = f"{prefix}.{name}" if prefix else name
+            values[key] = values.get(key, 0.0) + value
+
+    @staticmethod
+    def merged(parts: Iterable["CounterRegistry"]) -> "CounterRegistry":
+        """New registry holding the sum of *parts* (per-EU -> per-run)."""
+        out = CounterRegistry()
+        for part in parts:
+            out.merge(part)
+        return out
+
+    def as_dict(self) -> Dict[str, float]:
+        """Counters as a sorted plain dict (picklable, JSON-friendly)."""
+        return {name: self._values[name] for name in sorted(self._values)}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __bool__(self) -> bool:
+        return bool(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CounterRegistry({self._values!r})"

@@ -1,0 +1,108 @@
+"""Telemetry event records and the per-run result bundle.
+
+An :class:`Event` is one observation on one *track* — a named timeline
+such as ``"eu0/fpu"`` (EU 0's FPU pipe) or ``"gpu/mem"`` (the shared
+memory hierarchy).  Timestamps are simulator cycles, which Chrome-trace
+consumers render as microseconds; only relative placement matters.
+
+Three phases mirror the Trace Event Format phases they export to:
+
+* ``"X"`` — a *span*: something occupied the track for ``dur`` cycles
+  (a pipe executing an instruction, a memory message in flight);
+* ``"i"`` — an *instant*: a point decision (a quad skipped by BCC, a
+  swizzle performed by SCC, a stall, a workgroup dispatch);
+* ``"C"`` — a *counter* sample: a value as of ``ts`` (active-lane
+  population after each mask-stack change).
+
+:class:`TelemetryResult` is the picklable end-of-run bundle attached to
+:class:`~repro.gpu.results.KernelRunResult` — it crosses process-pool
+boundaries and lives in the on-disk result cache, so it holds only plain
+data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: Event phases, matching the Trace Event Format ``ph`` values used.
+PHASE_SPAN = "X"
+PHASE_INSTANT = "i"
+PHASE_COUNTER = "C"
+
+_PHASES = (PHASE_SPAN, PHASE_INSTANT, PHASE_COUNTER)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One telemetry observation on one track.
+
+    Attributes:
+        ph: phase — ``"X"`` span, ``"i"`` instant, ``"C"`` counter.
+        track: timeline name, ``"<process>/<lane>"`` (e.g. ``"eu2/fpu"``).
+        name: event name (opcode, ``"quad_skip"``, ``"active_lanes"``...).
+        ts: start cycle.
+        dur: duration in cycles (spans only; 0 otherwise).
+        args: optional payload rendered into the trace's ``args`` field.
+    """
+
+    ph: str
+    track: str
+    name: str
+    ts: int
+    dur: int = 0
+    args: Optional[Dict[str, object]] = None
+
+    def shifted(self, offset: int) -> "Event":
+        """Copy of this event displaced *offset* cycles later."""
+        if offset == 0:
+            return self
+        return Event(self.ph, self.track, self.name, self.ts + offset,
+                     self.dur, self.args)
+
+
+@dataclass
+class TelemetryResult:
+    """Everything telemetry captured during one kernel launch (picklable).
+
+    Attributes:
+        level: the :class:`~repro.gpu.config.GpuConfig` telemetry level
+            that produced this bundle (``"counters"`` or ``"trace"``).
+        counters: merged hierarchical counters — per-EU registries summed
+            into run totals under dotted names (``"issue.alu"``,
+            ``"stall.pipe"``, ``"compaction.quads_skipped"``...).
+        events: per-cycle events in non-decreasing ``ts`` order (empty at
+            the ``"counters"`` level).
+        total_cycles: cycle span covered by this bundle (used to offset
+            events when multi-launch workloads are merged).
+    """
+
+    level: str
+    counters: Dict[str, float] = field(default_factory=dict)
+    events: List[Event] = field(default_factory=list)
+    total_cycles: int = 0
+
+    @staticmethod
+    def merge(parts: Sequence["TelemetryResult"]) -> "TelemetryResult":
+        """Concatenate multi-launch telemetry into one timeline.
+
+        Counters are summed; each launch's events are shifted by the
+        cumulative cycle count of the launches before it, so the merged
+        timeline stays monotonic per track — exactly how the workload's
+        launches follow each other on the simulated GPU.
+        """
+        if not parts:
+            raise ValueError("TelemetryResult.merge needs at least one part")
+        merged = TelemetryResult(level=parts[0].level)
+        offset = 0
+        for part in parts:
+            if part.level != merged.level:
+                raise ValueError(
+                    f"cannot merge telemetry levels {merged.level!r} and "
+                    f"{part.level!r}")
+            for name, value in part.counters.items():
+                merged.counters[name] = merged.counters.get(name, 0.0) + value
+            merged.events.extend(e.shifted(offset) for e in part.events)
+            offset += part.total_cycles
+        merged.total_cycles = offset
+        return merged

@@ -1,0 +1,273 @@
+"""Host-side profiler: where does the *simulator* spend wall time?
+
+The ROADMAP's "fast as the hardware allows" goal needs measurements of
+the simulator itself, not the simulated machine.  :class:`HostProfiler`
+combines two cheap views:
+
+* a **sampling thread** that captures the profiled thread's Python stack
+  every ``interval`` seconds (via ``sys._current_frames``) and
+  attributes each sample to a simulator subsystem (``eu``, ``memory``,
+  ``gpu``, ``core``, ``isa``, ...) by the innermost ``repro`` frame's
+  package, plus the concrete ``module:function`` hotspot;
+* **per-opcode timers** fed by the EU's issue loop (only when a profiler
+  is attached — the unprofiled path keeps its single ``None`` guard), so
+  "which instruction class burns host time" is exact, not sampled.
+
+:func:`profile_run` wraps one workload run; the module is also runnable
+(``python -m repro.telemetry.hostprof``) as the harness that writes the
+``benchmarks/results/BENCH_*.json`` performance baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: Schema tag of the BENCH_*.json files this module writes.
+BENCH_SCHEMA = 1
+
+_REPRO_ROOT = Path(__file__).resolve().parent.parent  # src/repro
+
+
+def _subsystem_of(filename: str) -> Optional[str]:
+    """Map a frame's file to its repro subpackage (None for foreign code)."""
+    try:
+        relative = Path(filename).resolve().relative_to(_REPRO_ROOT)
+    except ValueError:
+        return None
+    parts = relative.parts
+    return parts[0] if len(parts) > 1 else "repro"
+
+
+class HostProfiler:
+    """Samples one thread's stack and accumulates per-opcode host time."""
+
+    def __init__(self, interval: float = 0.001) -> None:
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.interval = interval
+        self.samples = 0
+        self.subsystem_samples: Counter = Counter()
+        self.hotspot_samples: Counter = Counter()
+        self.opcode_seconds: Dict[str, float] = {}
+        self.opcode_calls: Dict[str, int] = {}
+        self.host_seconds = 0.0
+        self._target_ident: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._started_at = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "HostProfiler":
+        """Begin sampling the calling thread."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already running")
+        self._target_ident = threading.get_ident()
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(target=self._sample_loop,
+                                        name="repro-hostprof", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self.host_seconds += time.perf_counter() - self._started_at
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "HostProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _sample_loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            frame = sys._current_frames().get(self._target_ident)
+            if frame is None:
+                continue
+            self.samples += 1
+            subsystem = "other"
+            walker = frame
+            while walker is not None:
+                found = _subsystem_of(walker.f_code.co_filename)
+                if found is not None:
+                    subsystem = found
+                    hotspot = (f"{Path(walker.f_code.co_filename).stem}:"
+                               f"{walker.f_code.co_name}")
+                    self.hotspot_samples[hotspot] += 1
+                    break
+                walker = walker.f_back
+            self.subsystem_samples[subsystem] += 1
+
+    # -- exact per-opcode accounting (fed by the EU issue loop) ------------
+
+    def add_opcode(self, opcode: str, seconds: float) -> None:
+        self.opcode_seconds[opcode] = (
+            self.opcode_seconds.get(opcode, 0.0) + seconds)
+        self.opcode_calls[opcode] = self.opcode_calls.get(opcode, 0) + 1
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self, top: int = 15) -> Dict[str, Any]:
+        """Structured profile: subsystem shares, hotspots, opcode times."""
+        total = self.samples or 1
+        subsystems = {
+            name: {
+                "samples": count,
+                "share": count / total,
+                "est_seconds": self.host_seconds * count / total,
+            }
+            for name, count in self.subsystem_samples.most_common()
+        }
+        hotspots = [
+            {"site": site, "samples": count, "share": count / total}
+            for site, count in self.hotspot_samples.most_common(top)
+        ]
+        opcodes = {
+            name: {"seconds": self.opcode_seconds[name],
+                   "calls": self.opcode_calls[name]}
+            for name in sorted(self.opcode_seconds,
+                               key=self.opcode_seconds.get, reverse=True)
+        }
+        return {
+            "host_seconds": self.host_seconds,
+            "sample_interval": self.interval,
+            "samples": self.samples,
+            "subsystems": subsystems,
+            "hotspots": hotspots,
+            "opcodes": opcodes,
+        }
+
+
+def profile_run(workload_name: str, config=None,
+                interval: float = 0.001, verify: bool = True):
+    """Run one registry workload under the profiler.
+
+    Returns ``(KernelRunResult, profile_report_dict)``; the report gains
+    per-run throughput (``total_cycles``, ``cycles_per_second``) so a
+    single call yields a complete BENCH record.
+    """
+    from ..gpu.config import GpuConfig
+    from ..kernels import WORKLOAD_REGISTRY
+    from ..kernels.workload import run_workload
+
+    config = config if config is not None else GpuConfig()
+    profiler = HostProfiler(interval=interval)
+    with profiler:
+        result = run_workload(WORKLOAD_REGISTRY[workload_name](), config,
+                              verify=verify, hostprof=profiler)
+    report = profiler.report()
+    seconds = report["host_seconds"] or 1e-12
+    report["workload"] = workload_name
+    report["policy"] = config.policy.value
+    report["total_cycles"] = result.total_cycles
+    report["instructions"] = result.instructions
+    report["cycles_per_second"] = result.total_cycles / seconds
+    report["instructions_per_second"] = result.instructions / seconds
+    return result, report
+
+
+def write_bench_json(destination, reports: List[Dict[str, Any]],
+                     label: str = "baseline") -> Path:
+    """Write a BENCH_*.json baseline from per-workload profile reports."""
+    merged_subsystems: Counter = Counter()
+    merged_opcodes: Dict[str, Dict[str, float]] = {}
+    for report in reports:
+        for name, entry in report["subsystems"].items():
+            merged_subsystems[name] += entry["samples"]
+        for name, entry in report["opcodes"].items():
+            slot = merged_opcodes.setdefault(name, {"seconds": 0.0, "calls": 0})
+            slot["seconds"] += entry["seconds"]
+            slot["calls"] += entry["calls"]
+    total_samples = sum(merged_subsystems.values()) or 1
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "generated_by": "repro.telemetry.hostprof",
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "workloads": {
+            report["workload"]: {
+                "policy": report["policy"],
+                "host_seconds": round(report["host_seconds"], 6),
+                "total_cycles": report["total_cycles"],
+                "instructions": report["instructions"],
+                "cycles_per_second": round(report["cycles_per_second"], 1),
+                "instructions_per_second": round(
+                    report["instructions_per_second"], 1),
+            }
+            for report in reports
+        },
+        "subsystems": {
+            name: {"samples": count, "share": round(count / total_samples, 4)}
+            for name, count in merged_subsystems.most_common()
+        },
+        "opcodes": {
+            name: {"seconds": round(entry["seconds"], 6),
+                   "calls": int(entry["calls"])}
+            for name, entry in sorted(merged_opcodes.items(),
+                                      key=lambda kv: -kv[1]["seconds"])
+        },
+    }
+    path = Path(destination)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+#: Default workload set for the committed baseline: one coherent kernel,
+#: one branchy divergent kernel, one memory-divergent Rodinia kernel.
+BASELINE_WORKLOADS = ("va", "nested_l2", "bfs")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.telemetry.hostprof``: write a BENCH baseline."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.hostprof",
+        description="Profile the simulator and write a BENCH_*.json baseline")
+    parser.add_argument("--out", default="benchmarks/results/BENCH_baseline.json",
+                        help="output path (default "
+                             "benchmarks/results/BENCH_baseline.json)")
+    parser.add_argument("--workloads", default=",".join(BASELINE_WORKLOADS),
+                        help="comma-separated registry workloads "
+                             f"(default {','.join(BASELINE_WORKLOADS)})")
+    parser.add_argument("--policy", default="scc",
+                        help="compaction policy to profile under (default scc)")
+    parser.add_argument("--interval", type=float, default=0.001,
+                        help="stack-sampling interval in seconds")
+    parser.add_argument("--label", default="baseline")
+    args = parser.parse_args(argv)
+
+    from ..core.policy import parse_policy
+    from ..gpu.config import GpuConfig
+
+    config = GpuConfig(policy=parse_policy(args.policy))
+    reports = []
+    for name in (n.strip() for n in args.workloads.split(",") if n.strip()):
+        _, report = profile_run(name, config, interval=args.interval)
+        reports.append(report)
+        print(f"{name}: {report['host_seconds']:.2f}s host, "
+              f"{report['cycles_per_second']:,.0f} cycles/s, "
+              f"{report['samples']} samples", file=sys.stderr)
+    path = write_bench_json(args.out, reports, label=args.label)
+    print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    raise SystemExit(main())

@@ -188,8 +188,11 @@ class TestInterrupt:
     def test_fault_jobs_never_cached(self, tmp_path):
         from repro.runner import ResultCache
 
+        # The budget only needs to kill fault_spin; keep generous
+        # headroom over va's ~0.3s runtime so a loaded machine doesn't
+        # spuriously time the real job out.
         runner = Runner(workers=1, cache=ResultCache(tmp_path),
-                        retry_backoff=0.0, timeout=0.3, strict=False)
+                        retry_backoff=0.0, timeout=2.0, strict=False)
         runner.run([Job("va"), Job("fault_spin")])
         # va cached; the fault job left nothing behind.
         names = [p.name for p in tmp_path.glob("*.pkl")]

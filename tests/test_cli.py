@@ -82,6 +82,51 @@ class TestRunVerificationFailure:
         assert main(["run", "failcheck", "--no-verify"]) == 0
 
 
+class TestRunTelemetry:
+    def test_counters_appear_in_summary(self, capsys):
+        assert main(["run", "nested_l2", "--policy", "scc",
+                     "--telemetry", "counters"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry.issue.total" in out
+        assert "telemetry.compaction.quads_executed" in out
+
+    def test_off_by_default(self, capsys):
+        assert main(["run", "va"]) == 0
+        assert "telemetry." not in capsys.readouterr().out
+
+    def test_trace_out_writes_valid_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry.chrome_trace import validate_chrome_trace
+
+        path = tmp_path / "t.json"
+        assert main(["run", "nested_l3", "--policy", "bcc",
+                     "--trace-out", str(path)]) == 0
+        err = capsys.readouterr().err
+        assert "trace event(s)" in err and "Perfetto" in err
+        trace = json.loads(path.read_text())
+        assert validate_chrome_trace(trace) > 0
+        assert trace["otherData"]["kernel"] == "nested_l3"
+        assert trace["otherData"]["policy"] == "bcc"
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert "quad_exec" in names and "quad_skip" in names
+
+    def test_profile_prints_host_report(self, capsys):
+        assert main(["run", "va", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "host profile" in out
+        assert "cycles/s" in out
+
+    def test_profile_out_writes_bench_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bench.json"
+        assert main(["run", "va", "--profile-out", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["label"] == "run:va"
+        assert "va" in payload["workloads"]
+
+
 class TestSweepCommand:
     def test_grid_table_and_stats(self, tmp_path, capsys):
         rc = main(["sweep", "--workloads", "va", "--policies", "ivb,scc",
@@ -163,6 +208,40 @@ class TestSweepCommand:
             assert not set(names) & set(FAULT_WORKLOADS)
         # ...but explicit naming still works
         assert _sweep_workloads("fault_spin") == ["fault_spin"]
+
+
+class TestSweepTelemetry:
+    def test_trace_dir_writes_one_trace_per_point(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry.chrome_trace import validate_chrome_trace
+
+        trace_dir = tmp_path / "traces"
+        rc = main(["sweep", "--workloads", "va", "--policies", "bcc,scc",
+                   "--cache-dir", str(tmp_path / "cache"),
+                   "--trace-dir", str(trace_dir)])
+        assert rc == 0
+        assert "wrote 2 Chrome trace(s)" in capsys.readouterr().err
+        written = sorted(p.name for p in trace_dir.glob("*.json"))
+        assert written == ["va_bcc_dc1.json", "va_scc_dc1.json"]
+        for path in trace_dir.glob("*.json"):
+            assert validate_chrome_trace(json.loads(path.read_text())) > 0
+
+    def test_telemetry_level_changes_cache_key(self, tmp_path, capsys):
+        args = ["sweep", "--workloads", "va", "--policies", "ivb",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        # Same grid at a different telemetry level must not hit the
+        # plain run's cache entry (it carries no telemetry payload).
+        assert main(args + ["--telemetry", "counters"]) == 0
+        assert "0 cached, 1 executed" in capsys.readouterr().err
+
+    def test_summary_reports_throughput(self, tmp_path, capsys):
+        assert main(["sweep", "--workloads", "va", "--policies", "ivb",
+                     "--cache-dir", str(tmp_path)]) == 0
+        err = capsys.readouterr().err
+        assert "simulating at" in err and "cycles/s" in err
 
 
 class TestProfileCommand:

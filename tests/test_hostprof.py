@@ -1,0 +1,113 @@
+"""Tests for the host-side profiler (where the simulator spends time)."""
+
+import json
+import time
+
+import pytest
+
+from repro.gpu.config import GpuConfig
+from repro.telemetry.hostprof import (
+    BASELINE_WORKLOADS,
+    BENCH_SCHEMA,
+    HostProfiler,
+    _subsystem_of,
+    main,
+    profile_run,
+    write_bench_json,
+)
+
+
+class TestSubsystemAttribution:
+    def test_repro_files_map_to_their_package(self):
+        import repro.eu.eu as eu_mod
+        import repro.telemetry.hostprof as hostprof_mod
+
+        assert _subsystem_of(eu_mod.__file__) == "eu"
+        assert _subsystem_of(hostprof_mod.__file__) == "telemetry"
+
+    def test_foreign_files_map_to_none(self):
+        assert _subsystem_of(json.__file__) is None
+        assert _subsystem_of("/nonexistent/place.py") is None
+
+
+class TestHostProfiler:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError, match="interval"):
+            HostProfiler(interval=0)
+
+    def test_start_twice_rejected(self):
+        profiler = HostProfiler()
+        with profiler:
+            with pytest.raises(RuntimeError, match="already running"):
+                profiler.start()
+
+    def test_samples_busy_work(self):
+        profiler = HostProfiler(interval=0.0005)
+        with profiler:
+            deadline = time.perf_counter() + 0.08
+            while time.perf_counter() < deadline:
+                sum(range(500))
+        assert profiler.samples > 0
+        assert profiler.host_seconds > 0.05
+
+    def test_opcode_accounting_is_exact(self):
+        profiler = HostProfiler()
+        profiler.add_opcode("MAD", 0.25)
+        profiler.add_opcode("MAD", 0.25)
+        profiler.add_opcode("LOAD", 0.1)
+        report = profiler.report()
+        assert report["opcodes"]["MAD"] == {"seconds": 0.5, "calls": 2}
+        assert list(report["opcodes"]) == ["MAD", "LOAD"]  # by time, desc
+
+    def test_report_shares_sum_to_one(self):
+        profiler = HostProfiler(interval=0.0005)
+        with profiler:
+            deadline = time.perf_counter() + 0.05
+            while time.perf_counter() < deadline:
+                sum(range(500))
+        report = profiler.report()
+        shares = [entry["share"] for entry in report["subsystems"].values()]
+        assert shares and sum(shares) == pytest.approx(1.0)
+
+
+class TestProfileRun:
+    def test_profiles_a_real_run(self):
+        result, report = profile_run("nested_l1", GpuConfig(),
+                                     interval=0.0005)
+        assert report["workload"] == "nested_l1"
+        assert report["total_cycles"] == result.total_cycles
+        assert report["cycles_per_second"] > 0
+        # The issue loop feeds exact opcode timings.
+        assert report["opcodes"]
+        assert "eu" in report["subsystems"]
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            profile_run("no_such_kernel")
+
+
+class TestBenchJson:
+    def test_baseline_workloads_are_registered(self):
+        from repro.kernels import WORKLOAD_REGISTRY
+
+        assert set(BASELINE_WORKLOADS) <= set(WORKLOAD_REGISTRY)
+
+    def test_write_bench_json_schema(self, tmp_path):
+        _, report = profile_run("nested_l1", interval=0.0005)
+        path = write_bench_json(tmp_path / "BENCH_test.json", [report],
+                                label="test")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["label"] == "test"
+        assert "nested_l1" in payload["workloads"]
+        entry = payload["workloads"]["nested_l1"]
+        assert {"policy", "host_seconds", "total_cycles",
+                "cycles_per_second"} <= set(entry)
+
+    def test_main_writes_baseline(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_baseline.json"
+        assert main(["--out", str(out), "--workloads", "nested_l1",
+                     "--interval", "0.0005"]) == 0
+        payload = json.loads(out.read_text())
+        assert list(payload["workloads"]) == ["nested_l1"]
+        assert "wrote" in capsys.readouterr().err

@@ -188,3 +188,50 @@ class TestGatherScatter:
         scatter(backing.view(np.uint8), offsets,
                 np.full(16, 7.0, np.float32), 0x0003, DType.F32)
         assert backing[0] == 7.0 and backing[1] == 7.0 and backing[2] == 0.0
+
+    def test_scatter_conflict_under_partial_mask(self):
+        # Duplicate offsets with some of the colliding lanes disabled:
+        # the winner is the highest *enabled* lane, not the highest lane.
+        backing = np.zeros(4, dtype=np.float32)
+        offsets = np.zeros(16, dtype=np.int32)
+        scatter(backing.view(np.uint8), offsets,
+                np.arange(16, dtype=np.float32), 0x000B, DType.F32)
+        assert backing[0] == 3.0  # lanes 0,1,3 enabled; lane 3 wins
+
+    def test_bad_offsets_in_disabled_lanes_ignored(self):
+        surface = np.arange(16, dtype=np.float32).view(np.uint8)
+        offsets = np.array([0, -4, 2, 1 << 20] + [0] * 12, dtype=np.int32)
+        values = gather(surface, offsets, 0x0001, DType.F32)
+        assert values[0] == 0.0
+        scatter(surface, offsets, np.full(16, 9.0, np.float32),
+                0x0001, DType.F32)
+
+    def test_error_reports_first_bad_lane(self):
+        surface = np.zeros(16, dtype=np.float32).view(np.uint8)
+        offsets = np.array([0, 4, 996, 1000] + [0] * 12, dtype=np.int32)
+        with pytest.raises(IndexError,
+                           match=r"lane 2 reads byte offset 996"):
+            gather(surface, offsets, FULL16, DType.F32)
+
+    def test_alignment_checked_before_range(self):
+        # A misaligned offset that is also out of range reports the
+        # alignment fault, matching the lane-at-a-time reference order.
+        surface = np.zeros(16, dtype=np.float32).view(np.uint8)
+        offsets = np.array([998] + [0] * 15, dtype=np.int32)
+        with pytest.raises(ValueError,
+                           match=r"misaligned f32 access at byte offset 998"):
+            gather(surface, offsets, FULL16, DType.F32)
+
+    def test_negative_offset_is_out_of_range(self):
+        surface = np.zeros(16, dtype=np.float32).view(np.uint8)
+        offsets = np.array([0, -4] + [0] * 14, dtype=np.int32)
+        with pytest.raises(IndexError,
+                           match=r"lane 1 reads byte offset -4"):
+            gather(surface, offsets, FULL16, DType.F32)
+
+    def test_scatter_error_says_writes(self):
+        surface = np.zeros(16, dtype=np.float32).view(np.uint8)
+        offsets = np.full(16, 1 << 20, dtype=np.int32)
+        with pytest.raises(IndexError, match=r"lane 0 writes"):
+            scatter(surface, offsets, np.zeros(16, np.float32),
+                    FULL16, DType.F32)
