@@ -92,13 +92,24 @@ def classify(entries: Iterable[EfficiencyEntry]) -> Tuple[List[EfficiencyEntry],
 def utilization_breakdown(entries: Iterable[EfficiencyEntry]) -> Dict[str, Dict[str, float]]:
     """Per-workload Figure 9 bucket fractions, in FIG9 bucket order.
 
-    Buckets outside the canonical six (odd widths, zero-active) are
-    summed into an ``"other"`` column so every instruction is accounted.
+    Buckets outside the canonical six — odd widths, fully masked-off
+    instructions (``"0/16"``, ``"0/8"``) — are accounted explicitly:
+    ``"other"`` is their summed fraction, never a ``1 - sum`` residue
+    (which would silently absorb bucket-accounting bugs and rounding
+    error).  Every row is checked to sum to 1.0; a workload with no
+    instructions reports an all-zero row.
     """
     table: Dict[str, Dict[str, float]] = {}
     for entry in entries:
         fractions = entry.stats.bucket_fractions()
         row = {bucket: fractions.get(bucket, 0.0) for bucket in FIG9_BUCKET_ORDER}
-        row["other"] = max(0.0, 1.0 - sum(row.values()))
+        row["other"] = sum(fraction for label, fraction in fractions.items()
+                           if label not in FIG9_BUCKET_ORDER)
+        total = sum(row.values())
+        if fractions and abs(total - 1.0) > 1e-9:
+            raise AssertionError(
+                f"utilization buckets for {entry.name!r} sum to {total!r}, "
+                f"not 1.0 (bucket fractions: {fractions})"
+            )
         table[entry.name] = row
     return table

@@ -12,6 +12,9 @@ Commands:
 * ``sweep`` — run an arbitrary workload x policy x memory grid through
   the shared runner and emit one table/JSON artifact.  ``--resume``
   continues an interrupted sweep from its checkpoint journal.
+* ``verify`` — cross-policy differential verification: run workloads
+  under all four compaction policies, assert functional identity and
+  cycle ordering, fuzz the analytic core, and emit a violation report.
 
 Failures are typed (:mod:`repro.errors`) and map to stable exit codes:
 0 success, 1 verification mismatch, 2 usage error, 3 simulated deadlock,
@@ -509,6 +512,61 @@ def _cmd_sweep(args) -> int:
     return exit_code
 
 
+def _cmd_verify(args) -> int:
+    from .verify import run_verify
+
+    names = _sweep_workloads("all" if args.all else args.workloads)
+    unknown = [n for n in names if n not in WORKLOAD_REGISTRY]
+    if unknown:
+        print(f"unknown workload(s): {', '.join(unknown)}; try `list`",
+              file=sys.stderr)
+        return 2
+    faulty = [n for n in names if n in FAULT_WORKLOADS]
+    if faulty:
+        print(f"fault-injection workload(s) cannot be verified: "
+              f"{', '.join(faulty)}", file=sys.stderr)
+        return 2
+    if not names:
+        print("nothing to verify: empty workload list", file=sys.stderr)
+        return 2
+    if args.fuzz < 0:
+        print(f"--fuzz must be >= 0, got {args.fuzz}", file=sys.stderr)
+        return 2
+
+    runner = _runner_from_args(args, progress=args.progress)
+    report = run_verify(names, runner=runner, fuzz_iterations=args.fuzz,
+                        seed=args.seed, timed_tolerance=args.timed_tolerance)
+
+    if args.json:
+        text = json.dumps(report.as_artifact(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text + "\n")
+    if args.json != "-":
+        rows = []
+        for verdict in report.workloads:
+            cycles = {policy: verdict.metrics.get(policy, {}).get(
+                "total_cycles", "-") for policy in ("raw", "ivb", "bcc", "scc")}
+            status = ("ok" if verdict.passed else
+                      "ERROR" if verdict.error is not None else
+                      f"FAIL({len(verdict.violations)})")
+            rows.append([verdict.workload, cycles["raw"], cycles["ivb"],
+                         cycles["bcc"], cycles["scc"], status])
+        print(format_table(
+            ["workload", "raw", "ivb", "bcc", "scc", "status"],
+            rows, title="cross-policy differential verification"))
+        prop_rows = [[prop.name, prop.cases,
+                      "ok" if prop.passed else f"FAIL({len(prop.violations)})"]
+                     for prop in report.properties]
+        if prop_rows:
+            print(format_table(["property", "cases", "status"], prop_rows,
+                               title="property/fuzz checks"))
+    for line in report.summary_lines():
+        print(line, file=sys.stderr)
+    return report.exit_code()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -600,6 +658,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write one Chrome-trace JSON per grid point to "
                             "DIR (implies --telemetry trace)")
     _add_runner_flags(sweep)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differentially verify every compaction policy against the "
+             "others and fuzz the analytic core")
+    verify.add_argument("--workloads", default="all",
+                        help="comma-separated workload names and/or groups "
+                             "(all, divergent, rodinia); default: all")
+    verify.add_argument("--all", action="store_true",
+                        help="verify every non-fault registry workload "
+                             "(same as --workloads all)")
+    verify.add_argument("--fuzz", type=int, default=500, metavar="N",
+                        help="random cases per property family (default "
+                             "500; 0 disables the fuzz layer)")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="fuzzer seed, recorded in the artifact for "
+                             "reproduction (default 0)")
+    verify.add_argument("--json", metavar="PATH", default=None,
+                        help="write the violation-report artifact to PATH "
+                             "('-' for stdout instead of the tables)")
+    verify.add_argument("--timed-tolerance", type=float, default=0.01,
+                        metavar="FRAC",
+                        help="relative slack for the timed total-cycle "
+                             "ordering check (default 0.01; analytic EU-"
+                             "cycle ordering is always exact)")
+    verify.add_argument("--progress", action="store_true",
+                        help="report per-job progress on stderr")
+    _add_runner_flags(verify)
     return parser
 
 
@@ -612,6 +698,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "mask": _cmd_mask,
         "experiment": _cmd_experiment,
         "sweep": _cmd_sweep,
+        "verify": _cmd_verify,
     }
     try:
         return handlers[args.command](args)

@@ -94,6 +94,7 @@ class ExecutionUnit:
         if now % self.config.issue_period != 0:
             return
         issued = 0
+        last_issued = -1
         order = self._arbitration_order()
         tel = self.telemetry
         for slot in order:
@@ -122,8 +123,13 @@ class ExecutionUnit:
             else:
                 self._issue_profiled(slot, thread, inst, now)
             issued += 1
+            last_issued = slot
         if issued:
-            self._rr = (order[0] + 1) % len(self.threads)
+            # Rotate past the last slot that actually issued, not past
+            # the head of the order: a stalled head thread that never got
+            # to issue must keep its priority, or it can be starved by
+            # the threads behind it issuing pass after pass.
+            self._rr = (last_issued + 1) % len(self.threads)
 
     def _arbitration_order(self) -> List[int]:
         n = len(self.threads)
@@ -255,7 +261,15 @@ class ExecutionUnit:
 
     def _issue_memory(self, thread: EUThread, inst: Instruction, now: int) -> None:
         exec_mask = thread.masks.exec_mask(thread.pred_mask(inst))
-        self.simd_stats.record(exec_mask, inst.width, inst.dtype_factor)
+        # SEND register-file traffic is the message payload it actually
+        # moves: the address register (plus store data) read from the
+        # GRF, and the load result written back.  The ALU defaults
+        # (2 src + 1 dst) would overcharge every memory instruction and
+        # inflate the Section 4.1 RF-savings metric.
+        num_src = sum(1 for s in inst.sources if isinstance(s, RegRef))
+        num_dst = 1 if inst.opcode.writes_dst else 0
+        self.simd_stats.record(exec_mask, inst.width, inst.dtype_factor,
+                               num_src, num_dst)
         width = inst.width
         dtype = inst.dtype
         addr_ref = inst.sources[0]

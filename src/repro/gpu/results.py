@@ -45,6 +45,12 @@ class KernelRunResult:
     #: ``telemetry="off"``).  Carrying it here is what propagates traces
     #: through the runner's process pool and on-disk cache.
     telemetry: Optional[TelemetryResult] = None
+    #: SHA-256 digest of every output buffer after the run (name, dtype,
+    #: shape, and bytes), set by :func:`repro.kernels.workload.run_workload`.
+    #: This is what lets ``repro verify`` assert bit-identical outputs
+    #: across compaction policies without shipping the buffers through
+    #: the process pool and the on-disk cache.
+    buffers_digest: Optional[str] = None
 
     @property
     def l3_hit_rate(self) -> float:

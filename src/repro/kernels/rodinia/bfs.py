@@ -129,4 +129,10 @@ def bfs(num_nodes: int = 1024, avg_degree: int = 6, simd_width: int = 16,
         category="divergent",
         description="level-synchronous breadth-first search (Rodinia)",
         max_steps=num_nodes + 2,
+        # Threads of one launch race benignly on `levels`: a neighbour
+        # marked by an earlier-scheduled thread is no longer "unvisited"
+        # for later ones, so store predicates (and hence mask statistics)
+        # depend on the policy's cycle interleaving.  The final levels
+        # array is unaffected — every racing write stores level + 1.
+        mask_deterministic=False,
     )

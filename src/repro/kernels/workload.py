@@ -11,6 +11,7 @@ merged measurements.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Union
@@ -50,6 +51,14 @@ class Workload:
     category: str = "divergent"  # paper's coherent/divergent classification
     description: str = ""
     max_steps: int = 10_000
+    #: False for workloads whose execution masks legitimately depend on
+    #: simulation timing — e.g. level-synchronous BFS, where threads of
+    #: one launch race (benignly) on the levels array, so which lanes see
+    #: a neighbour as "unvisited" varies with the policy's cycle
+    #: interleaving.  ``repro verify`` still requires bit-identical final
+    #: buffers and instruction counts for such workloads, but not
+    #: identical per-instruction mask statistics.
+    mask_deterministic: bool = True
 
     def iter_steps(self) -> Iterator[LaunchStep]:
         """Yield launch steps, consulting the host loop if dynamic."""
@@ -71,12 +80,31 @@ class Workload:
             self.check(self.buffers)
 
 
+def digest_buffers(buffers: Dict[str, np.ndarray]) -> str:
+    """Deterministic SHA-256 digest of a workload's buffer contents.
+
+    Covers every buffer's name, dtype, shape, and raw bytes (in sorted
+    name order), so two simulations produced bit-identical data iff
+    their digests match.  ``repro verify`` compares this across
+    compaction policies to certify functional equivalence.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(buffers):
+        array = np.ascontiguousarray(buffers[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
 def run_workload(
     workload: Workload,
     config: Optional[GpuConfig] = None,
     verify: bool = True,
     host_seconds: Optional[float] = None,
     hostprof=None,
+    trace_sink: Optional[List] = None,
 ) -> KernelRunResult:
     """Simulate every launch step of *workload* under *config*.
 
@@ -95,6 +123,11 @@ def run_workload(
     *hostprof* optionally attaches a
     :class:`~repro.telemetry.hostprof.HostProfiler` for exact per-opcode
     host-time accounting inside the EUs.
+
+    *trace_sink*, when a list, collects every launch step's issued ALU
+    instructions as :class:`~repro.trace.format.TraceEvent` records (the
+    paper's instrumented functional model), which is how ``repro
+    verify`` cross-checks the simulator against the trace profiler.
     """
     deadline = (time.monotonic() + host_seconds
                 if host_seconds is not None else None)
@@ -114,6 +147,7 @@ def run_workload(
                 step.local_size,
                 buffers=workload.buffers,
                 scalars=step.scalars,
+                trace_sink=trace_sink,
             )
         )
     if not results:
@@ -129,7 +163,9 @@ def run_workload(
                 f"workload {workload.name!r} failed its host reference "
                 f"check{detail}"
             ) from exc
-    return merge_results(results)
+    merged = merge_results(results)
+    merged.buffers_digest = digest_buffers(workload.buffers)
+    return merged
 
 
 def run_workload_all_policies(workload_factory, config: Optional[GpuConfig] = None,

@@ -1,0 +1,95 @@
+"""Cross-policy differential verification harness (``repro verify``).
+
+Three evidence layers certify that the simulator's four compaction
+policies (RAW/IVB/BCC/SCC) are timing-only variants of one machine:
+
+1. :mod:`repro.verify.differential` — every registered workload run
+   under all four policies with bit-identical outputs, identical
+   instruction streams/statistics, and ordered cycle counts;
+2. :mod:`repro.verify.properties` — randomized property checks of the
+   analytic cycle models, SCC schedules, crossbar control words, and
+   stats accumulators, plus a simulator-vs-trace-profiler replay check;
+3. :mod:`repro.verify.report` — the typed violation report and JSON
+   artifact both layers feed, with :mod:`repro.errors` exit codes.
+
+:func:`run_verify` is the orchestration entry point the CLI wraps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..gpu.config import GpuConfig
+from ..runner import Runner
+from .differential import (
+    TIMED_ORDERING_TOLERANCE,
+    VERIFIED_POLICIES,
+    run_differential,
+    verifiable_workloads,
+    verify_workload_results,
+)
+from .properties import fuzz_masks, random_mask, verify_sim_vs_profiler
+from .report import (
+    ARTIFACT_SCHEMA,
+    PropertyReport,
+    VerifyReport,
+    Violation,
+    WorkloadVerdict,
+    error_verdict,
+)
+
+#: Workloads the simulator-vs-profiler replay runs on by default: small
+#: and shape-diverse (coherent, data-divergent, nested-control-flow,
+#: loop-divergent), because these runs are in-process and uncached.
+SIM_VS_PROFILER_DEFAULT = ("va", "gnoise", "bsearch", "bsort")
+
+
+def run_verify(
+    names: Optional[Sequence[str]] = None,
+    base_config: Optional[GpuConfig] = None,
+    runner: Optional[Runner] = None,
+    fuzz_iterations: int = 500,
+    seed: int = 0,
+    profiler_names: Optional[Sequence[str]] = None,
+    timed_tolerance: float = TIMED_ORDERING_TOLERANCE,
+) -> VerifyReport:
+    """Run the full verification harness and aggregate one report.
+
+    *names* defaults to every non-fault registry workload.  Differential
+    simulations go through the shared runner (parallel + cached); the
+    fuzz layer is pure analytics; the sim-vs-profiler replay runs on
+    *profiler_names* (default: a small shape-diverse subset of *names*).
+    """
+    workload_names = list(names) if names is not None else verifiable_workloads()
+    report = VerifyReport()
+    report.workloads = run_differential(workload_names, base_config, runner,
+                                        timed_tolerance=timed_tolerance)
+    if fuzz_iterations > 0:
+        report.properties.extend(fuzz_masks(fuzz_iterations, seed=seed))
+    if profiler_names is None:
+        profiler_names = [name for name in SIM_VS_PROFILER_DEFAULT
+                          if name in workload_names]
+    if profiler_names:
+        report.properties.append(
+            verify_sim_vs_profiler(profiler_names, base_config))
+    return report
+
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "PropertyReport",
+    "SIM_VS_PROFILER_DEFAULT",
+    "TIMED_ORDERING_TOLERANCE",
+    "VERIFIED_POLICIES",
+    "VerifyReport",
+    "Violation",
+    "WorkloadVerdict",
+    "error_verdict",
+    "fuzz_masks",
+    "random_mask",
+    "run_differential",
+    "run_verify",
+    "verifiable_workloads",
+    "verify_sim_vs_profiler",
+    "verify_workload_results",
+]

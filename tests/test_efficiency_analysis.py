@@ -71,3 +71,42 @@ class TestUtilizationBreakdownEdgeCases:
         assert row["1-4/8"] == pytest.approx(0.5)
         assert row["1-4/16"] == pytest.approx(0.5)
         assert sum(row.values()) == pytest.approx(1.0)
+
+    def test_fully_masked_instructions_accounted_explicitly(self):
+        # "0/16" is not a canonical Figure 9 bucket; it must show up as
+        # summed "other" mass, exactly, not as a 1-minus-sum residue.
+        stats = CompactionStats()
+        stats.record(0x0000, 16)
+        stats.record(0x0000, 16)
+        stats.record(0x1111, 16)
+        stats.record(0x00, 8)
+        entry = EfficiencyEntry("masked", "test", stats.simd_efficiency, stats)
+        row = utilization_breakdown([entry])["masked"]
+        assert row["other"] == pytest.approx(0.75)
+        assert row["1-4/16"] == pytest.approx(0.25)
+        assert sum(row.values()) == pytest.approx(1.0, abs=1e-12)
+
+    def test_canonical_only_row_has_exactly_zero_other(self):
+        stats = CompactionStats()
+        for mask in (0xFFFF, 0x00FF, 0x0F0F, 0x0001):
+            stats.record(mask, 16)
+        entry = EfficiencyEntry("canon", "test", stats.simd_efficiency, stats)
+        row = utilization_breakdown([entry])["canon"]
+        assert row["other"] == 0.0  # exact: a sum of no terms, not a residue
+
+    def test_inconsistent_buckets_raise_instead_of_clamping(self):
+        # A bucket-accounting bug (counts exceeding the instruction
+        # total) must surface as an error; the old max(0, 1 - sum)
+        # residue silently clamped it to an all-plausible row.
+        stats = CompactionStats()
+        stats.record(0xFFFF, 16)
+        stats.instructions = 1
+        stats.bucket_counts["13-16/16"] = 3  # corrupt: 3 counts, 1 instr
+        entry = EfficiencyEntry("bad", "test", 1.0, stats)
+        with pytest.raises(AssertionError, match="sum to"):
+            utilization_breakdown([entry])
+
+    def test_empty_stats_report_all_zero_row(self):
+        entry = EfficiencyEntry("empty", "test", 1.0, CompactionStats())
+        row = utilization_breakdown([entry])["empty"]
+        assert set(row.values()) == {0.0}

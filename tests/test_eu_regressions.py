@@ -1,0 +1,103 @@
+"""Regression tests for EU arbitration and SEND statistics accounting."""
+
+import numpy as np
+
+from repro.core.stats import CompactionStats
+from repro.eu.eu import ExecutionUnit
+from repro.eu.thread import EUThread
+from repro.gpu import GpuConfig, GpuSimulator
+from repro.isa.builder import KernelBuilder
+from repro.memory.hierarchy import MemoryHierarchy, MemoryParams
+from repro.isa.types import DType
+
+
+def _independent_movs(count: int = 4):
+    """Program of *count* MOVs to distinct registers (never scoreboarded)."""
+    b = KernelBuilder("arb", 16)
+    for _ in range(count):
+        b.mov(b.vreg(DType.F32), 1.5)
+    return b.finish()
+
+
+def _eu(**config_kwargs):
+    config = GpuConfig(num_eus=1, **config_kwargs)
+    return ExecutionUnit(0, config, MemoryHierarchy(MemoryParams()),
+                         CompactionStats(), CompactionStats())
+
+
+class TestRotatingArbiterStarvation:
+    """The rotating pointer must advance past the slot that *issued*.
+
+    Rotating past the head of the arbitration order instead demotes a
+    stalled head thread to lowest priority every pass — the threads
+    behind it can then starve it indefinitely.
+    """
+
+    def test_pointer_rotates_past_issuing_slot_not_order_head(self):
+        eu = _eu()
+        stalled = EUThread(0, _independent_movs(), 0xFFFF, start_cycle=100)
+        ready = EUThread(1, _independent_movs(), 0xFFFF)
+        eu.threads[0] = stalled
+        eu.threads[3] = ready
+
+        eu.step(0)  # slot 0 is dispatch-stalled; slot 3 issues
+
+        assert ready.instructions_executed == 1
+        assert stalled.instructions_executed == 0
+        # Rotate past slot 3 (the issuer).  The buggy arbiter rotated
+        # past order[0] == 0, putting the stalled head dead last.
+        assert eu._rr == 4
+
+    def test_stalled_head_keeps_priority_once_ready(self):
+        eu = _eu(issue_width=1)
+        stalled = EUThread(0, _independent_movs(), 0xFFFF, start_cycle=100)
+        ready = EUThread(1, _independent_movs(), 0xFFFF)
+        eu.threads[0] = stalled
+        eu.threads[3] = ready
+
+        eu.step(0)
+        stalled.stall_until = 0  # the head thread becomes ready
+
+        # Next contended pass (cycle 4: the first MOV drains the FPU
+        # pipe for 4 quad cycles): the head must beat the slot-3 thread
+        # that issued last pass.  Under the buggy rotation slot 3 stayed
+        # ahead of slot 0 and won every subsequent pass.
+        eu.step(4)
+        assert stalled.instructions_executed == 1
+        assert ready.instructions_executed == 1
+
+
+class TestSendRfAccounting:
+    def test_send_records_actual_operand_counts(self):
+        # 3 loads (1 address read + 1 result write) and 2 stores
+        # (value + address reads, no writeback): each moves 2 operands
+        # over SIMD16's 4 quads = 8 half-register accesses.  The old
+        # code recorded every SEND with the ALU default 2 src + 1 dst,
+        # inflating each to 12.
+        b = KernelBuilder("sendk", 16)
+        gid = b.global_id()
+        src = b.surface_arg("src")
+        out = b.surface_arg("out")
+        addr = b.vreg(DType.I32)
+        b.shl(addr, gid, 2)
+        val = b.vreg(DType.F32)
+        for _ in range(3):
+            b.load(val, addr, src)
+        for _ in range(2):
+            b.store(val, addr, out)
+        program = b.finish()
+
+        n = 16  # one SIMD16 thread, fully enabled
+        buffers = {"src": np.ones(n, np.float32),
+                   "out": np.zeros(n, np.float32)}
+        result = GpuSimulator(GpuConfig(num_eus=1)).run(
+            program, n, buffers=buffers)
+
+        sends = result.simd_stats.instructions - result.alu_stats.instructions
+        assert sends == 5
+        send_rf_baseline = (result.simd_stats.rf_accesses_baseline
+                            - result.alu_stats.rf_accesses_baseline)
+        send_rf_bcc = (result.simd_stats.rf_accesses_bcc
+                       - result.alu_stats.rf_accesses_bcc)
+        assert send_rf_baseline == 8 * sends
+        assert send_rf_bcc == 8 * sends  # full mask: all 4 quads active
