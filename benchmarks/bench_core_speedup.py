@@ -1,0 +1,47 @@
+"""Tracks the two-phase core's wall-clock win over the interpreter.
+
+Times a small workload subset under both engines (fresh instances,
+best-of-N process time, verification off), asserts functional identity
+via output digests, and regenerates
+``benchmarks/results/BENCH_core_speedup.json``.  The committed artifact
+for the full baseline trio is produced by
+``python -m repro.telemetry.corebench``; this bench keeps the recipe
+executable and the schema honest in CI.
+"""
+
+import json
+from pathlib import Path
+
+from repro.telemetry.corebench import check_artifact, collect
+
+RESULTS = Path(__file__).parent / "results" / "BENCH_core_speedup.json"
+
+
+def test_core_speedup(benchmark, emit):
+    payload = benchmark.pedantic(
+        lambda: collect(("va", "nested_l2"), repeats=2),
+        rounds=1, iterations=1)
+
+    assert check_artifact(payload) == []
+    lines = []
+    for name, row in payload["workloads"].items():
+        # Digest equality is asserted inside collect(); re-assert the
+        # recorded flag so the artifact can't silently drop it.
+        assert row["digests_match"]
+        # CPU-time speedup is noise-tolerant; anything near 1x means the
+        # fast engine regressed structurally.
+        assert row["speedup_vs_interp"] > 1.5, (name, row)
+        lines.append(f"{name:12s} interp {row['interp_seconds']:8.3f}s   "
+                     f"fast {row['fast_seconds']:8.3f}s   "
+                     f"{row['speedup_vs_interp']:6.2f}x")
+    emit("core engine speedup (interp vs fast)\n" + "\n".join(lines))
+
+    RESULTS.parent.mkdir(exist_ok=True)
+    committed = json.loads(RESULTS.read_text()) if RESULTS.is_file() else None
+    if committed is not None:
+        # Don't clobber a fuller committed artifact with the CI subset;
+        # just require it to be schema-valid.
+        assert check_artifact(committed) == []
+    else:
+        RESULTS.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                           + "\n")

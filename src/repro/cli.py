@@ -104,7 +104,7 @@ def _cmd_run(args) -> int:
     if args.workload not in WORKLOAD_REGISTRY:
         print(f"unknown workload {args.workload!r}; try `list`", file=sys.stderr)
         return 2
-    config = GpuConfig(policy=parse_policy(args.policy))
+    config = GpuConfig(policy=parse_policy(args.policy), engine=args.engine)
     if args.max_cycles:
         config = dataclasses.replace(config, max_cycles=args.max_cycles)
     if args.dc2:
@@ -355,7 +355,7 @@ def _cmd_sweep(args) -> int:
         for policy in policies:
             for dc in dc_values:
                 for pl3 in pl3_values:
-                    config = GpuConfig(policy=policy)
+                    config = GpuConfig(policy=policy, engine=args.engine)
                     if args.max_cycles:
                         config = dataclasses.replace(
                             config, max_cycles=args.max_cycles)
@@ -369,6 +369,7 @@ def _cmd_sweep(args) -> int:
         "policies": [p.value for p in policies],
         "dc_lines_per_cycle": dc_values,
         "perfect_l3": sorted(pl3_values),
+        "engine": args.engine,
     }
     grid_key = stable_digest({**grid, "verify": not args.no_verify,
                               "max_cycles": args.max_cycles or 0,
@@ -534,8 +535,11 @@ def _cmd_verify(args) -> int:
         return 2
 
     runner = _runner_from_args(args, progress=args.progress)
-    report = run_verify(names, runner=runner, fuzz_iterations=args.fuzz,
-                        seed=args.seed, timed_tolerance=args.timed_tolerance)
+    base_config = GpuConfig(engine=args.engine)
+    report = run_verify(names, base_config=base_config, runner=runner,
+                        fuzz_iterations=args.fuzz,
+                        seed=args.seed, timed_tolerance=args.timed_tolerance,
+                        engine_parity=not args.no_engine_parity)
 
     if args.json:
         text = json.dumps(report.as_artifact(), indent=2, sort_keys=True)
@@ -544,18 +548,32 @@ def _cmd_verify(args) -> int:
         else:
             Path(args.json).write_text(text + "\n")
     if args.json != "-":
+        from .verify.engines import PARITY_SUFFIX
+
         rows = []
+        parity_rows = []
         for verdict in report.workloads:
-            cycles = {policy: verdict.metrics.get(policy, {}).get(
-                "total_cycles", "-") for policy in ("raw", "ivb", "bcc", "scc")}
             status = ("ok" if verdict.passed else
                       "ERROR" if verdict.error is not None else
                       f"FAIL({len(verdict.violations)})")
+            if verdict.workload.endswith(PARITY_SUFFIX):
+                cycles = {eng: verdict.metrics.get(eng, {}).get(
+                    "total_cycles", "-") for eng in ("interp", "fast")}
+                parity_rows.append(
+                    [verdict.workload[:-len(PARITY_SUFFIX)],
+                     cycles["interp"], cycles["fast"], status])
+                continue
+            cycles = {policy: verdict.metrics.get(policy, {}).get(
+                "total_cycles", "-") for policy in ("raw", "ivb", "bcc", "scc")}
             rows.append([verdict.workload, cycles["raw"], cycles["ivb"],
                          cycles["bcc"], cycles["scc"], status])
         print(format_table(
             ["workload", "raw", "ivb", "bcc", "scc", "status"],
             rows, title="cross-policy differential verification"))
+        if parity_rows:
+            print(format_table(
+                ["workload", "interp", "fast", "status"], parity_rows,
+                title="engine parity (interp vs fast total cycles)"))
         prop_rows = [[prop.name, prop.cases,
                       "ok" if prop.passed else f"FAIL({len(prop.violations)})"]
                      for prop in report.properties]
@@ -580,6 +598,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("workload")
     run.add_argument("--policy", default="ivb",
                      help="raw | ivb | bcc | scc (default ivb)")
+    run.add_argument("--engine", choices=("interp", "fast"), default="interp",
+                     help="execution core: 'interp' interleaves functional "
+                          "execution with the cycle loop; 'fast' runs a "
+                          "batched functional pass first and replays its "
+                          "trace through the same timing model (default "
+                          "interp)")
     run.add_argument("--dc2", action="store_true",
                      help="double data-cluster bandwidth (Figure 11 DC2)")
     run.add_argument("--perfect-l3", action="store_true",
@@ -629,6 +653,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workloads", default="divergent",
                        help="comma-separated workload names and/or groups "
                             "(all, divergent, rodinia); default: divergent")
+    sweep.add_argument("--engine", choices=("interp", "fast"),
+                       default="interp",
+                       help="execution core for every grid point (see "
+                            "`run --engine`; cache keys include it)")
     sweep.add_argument("--policies", default="ivb,bcc,scc",
                        help="comma-separated policies (default ivb,bcc,scc)")
     sweep.add_argument("--dc", default="1.0",
@@ -683,6 +711,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="relative slack for the timed total-cycle "
                              "ordering check (default 0.01; analytic EU-"
                              "cycle ordering is always exact)")
+    verify.add_argument("--engine", choices=("interp", "fast"),
+                        default="interp",
+                        help="execution core the cross-policy runs use "
+                             "(default interp)")
+    verify.add_argument("--no-engine-parity", action="store_true",
+                        help="skip the interp-vs-fast engine-parity layer "
+                             "(on by default: each workload runs under "
+                             "both engines and must agree bit-for-bit)")
     verify.add_argument("--progress", action="store_true",
                         help="report per-job progress on stderr")
     _add_runner_flags(verify)

@@ -93,6 +93,32 @@ class CompactionStats:
         self.rf_accesses_bcc += active_quads * operands
         self.scc_swizzles += swizzles
 
+    def record_bulk(
+        self, mask: int, width: int, dtype_factor: int = 1, num_src: int = 2,
+        num_dst: int = 1, count: int = 1,
+    ) -> None:
+        """Record *count* identical instructions in one call.
+
+        Exactly equivalent to calling :meth:`record` *count* times —
+        every counter update is linear in the event — but pays the
+        per-event accounting once.  The fast engine aggregates each
+        launch's functional trace into ``(signature, count)`` pairs and
+        records them here, off the per-issue hot path.
+        """
+        active, cycles, label, active_quads, total_quads, swizzles = (
+            _record_info(mask, width, dtype_factor, self.min_cycles)
+        )
+        self.instructions += count
+        self.enabled_lane_slots += active * count
+        self.issued_lane_slots += width * count
+        for policy, cyc in zip(POLICY_ORDER, cycles):
+            self.cycles[policy] += cyc * count
+        self.bucket_counts[label] = self.bucket_counts.get(label, 0) + count
+        operands = num_src + num_dst
+        self.rf_accesses_baseline += total_quads * operands * count
+        self.rf_accesses_bcc += active_quads * operands * count
+        self.scc_swizzles += swizzles * count
+
     def record_stream(self, events: Iterable[Tuple[int, int]]) -> None:
         """Record an iterable of ``(mask, width)`` events."""
         for mask, width in events:

@@ -1,0 +1,605 @@
+"""Batched functional execution engine (phase one of the fast core).
+
+The paper's methodology (Section 5.1) runs an instrumented *functional*
+model to collect per-instruction mask traces, then feeds those traces to
+timing models.  ``GpuConfig(engine="fast")`` adopts the same split: this
+module interprets a whole kernel launch functionally with **batched
+numpy** — one vectorized kernel per opcode across every thread sitting
+at the same program counter — and records, per thread, a compact issue
+trace that :mod:`repro.eu.replay` then pushes through the unchanged
+cycle-accurate timing model.
+
+Why this is sound: the timing model (arbiter, pipes, scoreboard, memory
+hierarchy, compaction policies) consumes only each instruction's
+``(pc, exec_mask)`` plus the memory lines it touches — never register
+values.  The cross-policy verification harness already pins that
+architectural results are interleaving-independent (identical digests
+across RAW/IVB/BCC/SCC, whose timings interleave threads differently),
+so the canonical lockstep interleaving used here (all threads at the
+smallest pc first, ascending thread id within a wavefront) produces the
+same buffers, flags, and per-thread mask streams as the interleaved
+interpreter.
+
+Trace schema — one entry per issued instruction, ``(pc, mask, aux)``:
+
+* ALU:      ``mask`` is the final execution mask (for SEL: the current
+  mask, matching the stats convention); ``aux`` is ``None``.
+* CTRL:     ``mask`` is the *post-instruction* mask-stack population
+  (what telemetry records); ``aux`` is ``None``.
+* BARRIER:  ``mask`` is the current mask; ``aux`` is ``None``.
+* SLM:      ``mask`` is the execution mask; ``aux`` is the bank-conflict
+  cycle count, or ``None`` when the message was suppressed (mask 0).
+* global:   ``mask`` is the execution mask; ``aux`` is the sorted tuple
+  of distinct cache-line numbers touched (``None`` when suppressed), so
+  replay drives :class:`~repro.memory.hierarchy.MemoryHierarchy` with
+  exactly the lines the interpreter would have requested.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import compress
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DeadlockError, JobTimeoutError
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode, Pipe
+from ..isa.program import ParamKind, Program
+from ..isa.registers import NUM_GRF_REGS, Imm, RegRef
+from ..isa.types import SLOTS_PER_REG, DType
+from ..memory.cache import LINE_BYTES
+from ..memory.slm import SlmAllocation, SlmTiming
+from .interp import _int_div, _shift_amounts, gather, scatter
+from .maskstack import MaskStack
+
+__all__ = ["run_functional"]
+
+#: Per-thread functional status codes (plain ints for numpy storage).
+_ACTIVE, _AT_BARRIER, _DONE = 0, 1, 2
+
+#: Wall-clock deadline polling period, in wavefronts.
+_WALL_CHECK_PERIOD = 64
+
+TraceEntry = Tuple[int, int, object]
+
+
+def run_functional(
+    program: Program,
+    global_size: int,
+    local_size: int,
+    surfaces: List[np.ndarray],
+    scalars: Dict[str, float],
+    config,
+    wall_deadline: Optional[float] = None,
+) -> List[List[TraceEntry]]:
+    """Execute a launch functionally; return one issue trace per thread.
+
+    Thread enumeration (ids, dispatch masks, partial tails) matches
+    :meth:`repro.gpu.dispatch.Launch._materialize` exactly, so trace
+    index *i* belongs to the thread the replay launch materializes with
+    ``thread_id == i``.  Buffers behind *surfaces* are mutated in place,
+    exactly as the interleaved interpreter would.
+    """
+    return _BatchEngine(
+        program, global_size, local_size, surfaces, scalars, config,
+        wall_deadline,
+    ).run()
+
+
+class _BatchEngine:
+    """Vectorized lockstep interpreter over every thread of one launch."""
+
+    def __init__(self, program, global_size, local_size, surfaces, scalars,
+                 config, wall_deadline):
+        self.program = program
+        self.instructions = program.instructions
+        self.config = config
+        self.surfaces = surfaces
+        self.wall_deadline = wall_deadline
+        width = program.simd_width
+        self.width = width
+
+        # -- thread geometry (mirrors Launch._materialize) ----------------
+        threads_per_wg = local_size // width
+        num_workgroups = -(-global_size // local_size)
+        wg_of: List[int] = []
+        dispatch_masks: List[int] = []
+        global_bases: List[int] = []
+        local_bases: List[int] = []
+        for wg_id in range(num_workgroups):
+            wg_base = wg_id * local_size
+            wg_items = min(local_size, global_size - wg_base)
+            for t in range(threads_per_wg):
+                local_base = t * width
+                if local_base >= wg_items:
+                    break
+                lanes_valid = min(width, wg_items - local_base)
+                wg_of.append(wg_id)
+                dispatch_masks.append((1 << lanes_valid) - 1)
+                global_bases.append(wg_base + local_base)
+                local_bases.append(local_base)
+        n = len(wg_of)
+        self.n_threads = n
+        self.wg_of = np.asarray(wg_of, dtype=np.int64)
+        self.num_workgroups = num_workgroups
+
+        # -- architectural state ------------------------------------------
+        self.storage = np.zeros((n, NUM_GRF_REGS * SLOTS_PER_REG),
+                                dtype=np.uint32)
+        self.flags = np.zeros((2, n), dtype=np.uint64)
+        self.pc = np.zeros(n, dtype=np.int64)
+        self.status = np.zeros(n, dtype=np.int8)
+        self.masks = [MaskStack(width, m) for m in dispatch_masks]
+        #: Vector mirror of each thread's ``masks[i].current``.
+        self.current = np.asarray(dispatch_masks, dtype=np.uint64)
+        self.traces: List[List[TraceEntry]] = [[] for _ in range(n)]
+        self._lane_shifts = np.arange(width, dtype=np.uint64)
+        self._lane_bits = (np.uint64(1) << self._lane_shifts)
+        #: Reusable 0..n_threads arange for per-group row indexing.
+        self._row_arange = np.arange(n, dtype=np.int64)
+        #: Threads of each workgroup (row indices), for barrier release.
+        self._wg_rows = [
+            np.nonzero(self.wg_of == wg)[0] for wg in range(num_workgroups)
+        ]
+        #: (id(imm), dtype, width) -> cached 1-row constant array.
+        self._imm_cache: dict = {}
+
+        self.slm_data = [
+            SlmAllocation(program.slm_bytes) if program.slm_bytes else None
+            for _ in range(num_workgroups)
+        ]
+        self.slm_timing = [
+            SlmTiming(config.slm_latency, config.slm_banks)
+            for _ in range(num_workgroups)
+        ]
+
+        self._write_payloads(np.asarray(global_bases, dtype=np.int64),
+                             np.asarray(local_bases, dtype=np.int64), scalars)
+
+    # -- dispatch payload -----------------------------------------------------
+
+    def _write_payloads(self, global_bases, local_bases, scalars) -> None:
+        program = self.program
+        width = self.width
+        lanes = np.arange(width, dtype=np.int64)
+        if program.gid_reg is not None:
+            vals = (global_bases[:, None] + lanes[None, :]).astype(np.int32)
+            self._store_raw(program.gid_reg, vals)
+        if program.lid_reg is not None:
+            vals = (local_bases[:, None] + lanes[None, :]).astype(np.int32)
+            self._store_raw(program.lid_reg, vals)
+        for param in program.scalar_params():
+            if param.name not in scalars:
+                raise ValueError(
+                    f"kernel {program.name!r} missing scalar argument "
+                    f"{param.name!r}"
+                )
+            dtype = DType.F32 if param.kind is ParamKind.SCALAR_F32 else DType.I32
+            row = np.full((1, width), scalars[param.name],
+                          dtype=dtype.np_dtype)
+            raw = np.broadcast_to(row.view(np.uint32), (self.n_threads, width))
+            start = param.reg * SLOTS_PER_REG
+            self.storage[:, start:start + width] = raw
+
+    def _store_raw(self, reg: int, values: np.ndarray) -> None:
+        raw = np.ascontiguousarray(values).view(np.uint32)
+        start = reg * SLOTS_PER_REG
+        self.storage[:, start:start + raw.shape[1]] = raw
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> List[List[TraceEntry]]:
+        status = self.status
+        # One wavefront issues at most one instruction per active thread,
+        # and the interleaved core issues at most one instruction per
+        # thread per issue period — so the cycle budget translates to a
+        # wavefront budget without loosening the deadlock net.
+        max_wavefronts = self.config.max_cycles // max(1, self.config.issue_period) + 1
+        wavefront = 0
+        while True:
+            active = np.nonzero(status == _ACTIVE)[0]
+            if active.size == 0:
+                if bool(np.all(status == _DONE)):
+                    return self.traces
+                raise DeadlockError(
+                    f"kernel {self.program.name!r} stalled in the functional "
+                    f"pass: every live thread is waiting at a barrier"
+                )
+            pcs = self.pc[active]
+            order = np.argsort(pcs, kind="stable")
+            rows_sorted = active[order]
+            pcs_sorted = pcs[order]
+            start = 0
+            total = rows_sorted.size
+            while start < total:
+                pc = int(pcs_sorted[start])
+                end = int(np.searchsorted(pcs_sorted, pc, side="right"))
+                self._exec_group(pc, rows_sorted[start:end])
+                start = end
+            self._release_barriers()
+            wavefront += 1
+            if wavefront > max_wavefronts:
+                raise DeadlockError(
+                    f"kernel {self.program.name!r} exceeded "
+                    f"max_cycles={self.config.max_cycles} (functional pass)"
+                )
+            if (self.wall_deadline is not None
+                    and wavefront % _WALL_CHECK_PERIOD == 0
+                    and time.monotonic() > self.wall_deadline):
+                raise JobTimeoutError(
+                    f"kernel {self.program.name!r} exceeded its wall-clock "
+                    f"budget in the functional pass (wavefront {wavefront})"
+                )
+
+    def _release_barriers(self) -> None:
+        status = self.status
+        waiting = np.nonzero(status == _AT_BARRIER)[0]
+        if waiting.size == 0:
+            return
+        for wg in np.unique(self.wg_of[waiting]):
+            rows = self._wg_rows[wg]
+            st = status[rows]
+            # Same release rule as WorkgroupInstance._maybe_release: the
+            # barrier opens once every non-retired thread has arrived.
+            if not np.any(st == _ACTIVE):
+                status[rows[st == _AT_BARRIER]] = _ACTIVE
+
+    # -- per-group execution --------------------------------------------------
+
+    def _exec_group(self, pc: int, rows: np.ndarray) -> None:
+        inst = self.instructions[pc]
+        op = inst.opcode
+        if op.pipe is Pipe.CTRL:
+            self._exec_ctrl(pc, inst, rows)
+            return
+        if op is Opcode.BARRIER:
+            self._exec_barrier(pc, inst, rows)
+            return
+        if op is Opcode.SEL:
+            exec_masks = self.current[rows]
+            selectors = self._pred_values(inst, rows)
+        else:
+            selectors = None
+            if inst.pred is None:
+                exec_masks = self.current[rows]
+            else:
+                exec_masks = self.current[rows] & self._pred_values(inst, rows)
+        if op.is_memory:
+            self._exec_memory(pc, inst, rows, exec_masks)
+        else:
+            self._exec_alu(pc, inst, rows, exec_masks, selectors)
+
+    def _pred_values(self, inst: Instruction, rows: np.ndarray) -> np.ndarray:
+        values = self.flags[inst.pred.index][rows]
+        if inst.pred.negate:
+            values = ~values
+        return values & np.uint64((1 << inst.width) - 1)
+
+    def _pred_value_row(self, inst: Instruction, row: int) -> Optional[int]:
+        if inst.pred is None:
+            return None
+        value = int(self.flags[inst.pred.index][row])
+        if inst.pred.negate:
+            value = ~value
+        return value & ((1 << inst.width) - 1)
+
+    # -- control flow ---------------------------------------------------------
+
+    def _exec_ctrl(self, pc: int, inst: Instruction, rows: np.ndarray) -> None:
+        op = inst.opcode
+        instructions = self.instructions
+        for row in rows:
+            row = int(row)
+            masks = self.masks[row]
+            next_pc: Optional[int] = None
+            if op is Opcode.IF:
+                target_is_else = (
+                    inst.target > 0
+                    and instructions[inst.target - 1].opcode is Opcode.ELSE
+                )
+                next_pc = masks.do_if(self._pred_value_row(inst, row),
+                                      inst.target, target_is_else)
+            elif op is Opcode.ELSE:
+                next_pc = masks.do_else(inst.target)
+            elif op is Opcode.ENDIF:
+                masks.do_endif()
+            elif op is Opcode.DO:
+                next_pc = masks.do_do(inst.target)
+            elif op is Opcode.BREAK:
+                masks.do_break(self._pred_value_row(inst, row))
+            elif op is Opcode.WHILE:
+                next_pc = masks.do_while(self._pred_value_row(inst, row),
+                                         inst.target)
+            elif op is Opcode.EOT:
+                self.traces[row].append((pc, masks.current, None))
+                self.status[row] = _DONE
+                continue
+            else:  # pragma: no cover - exhaustive over CTRL opcodes
+                raise NotImplementedError(f"control opcode {op}")
+            # Post-instruction mask population, as telemetry records it.
+            self.traces[row].append((pc, masks.current, None))
+            self.current[row] = masks.current
+            self.pc[row] = pc + 1 if next_pc is None else next_pc
+
+    def _exec_barrier(self, pc: int, inst: Instruction, rows: np.ndarray) -> None:
+        for row in rows:
+            self.traces[int(row)].append((pc, int(self.current[row]), None))
+        self.pc[rows] += 1
+        self.status[rows] = _AT_BARRIER
+
+    # -- ALU ------------------------------------------------------------------
+
+    def _exec_alu(self, pc: int, inst: Instruction, rows: np.ndarray,
+                  exec_masks: np.ndarray,
+                  selectors: Optional[np.ndarray]) -> None:
+        width = inst.width
+        op = inst.opcode
+        dtype = inst.dtype
+
+        if op is Opcode.CMP:
+            with np.errstate(all="ignore"):
+                a = self._read_src(inst.sources[0], rows, width, dtype)
+                b = self._read_src(inst.sources[1], rows, width, dtype)
+                result = inst.cmp_op.apply(a, b)
+            taken = np.asarray(result, dtype=bool) & self._enabled(exec_masks, width)
+            bits = (taken * self._lane_bits[None, :width]).sum(
+                axis=1, dtype=np.uint64)
+            idx = inst.flag_dst.index
+            self.flags[idx][rows] = (self.flags[idx][rows] & ~exec_masks) | bits
+        elif op is Opcode.SEL:
+            a = self._read_src(inst.sources[0], rows, width, dtype)
+            b = self._read_src(inst.sources[1], rows, width, dtype)
+            sel = self._enabled(selectors, width)
+            self._write_reg(inst.dst, rows, width,
+                            np.where(sel, a, b), exec_masks)
+        else:
+            with np.errstate(all="ignore"):
+                result = self._alu_value(inst, rows, width, dtype)
+            self._write_reg(inst.dst, rows, width,
+                            np.asarray(result, dtype=dtype.np_dtype),
+                            exec_masks)
+
+        self._append_entries(pc, rows, exec_masks)
+        self.pc[rows] += 1
+
+    def _alu_value(self, inst, rows, width, dtype):
+        op = inst.opcode
+        if op is Opcode.CVT:
+            src = self._read_src(inst.sources[0], rows, width, inst.src_dtype)
+            return src.astype(dtype.np_dtype)
+        srcs = [self._read_src(s, rows, width, dtype) for s in inst.sources]
+        if op is Opcode.MOV:
+            return srcs[0]
+        if op is Opcode.ADD:
+            return srcs[0] + srcs[1]
+        if op is Opcode.SUB:
+            return srcs[0] - srcs[1]
+        if op is Opcode.MUL:
+            return srcs[0] * srcs[1]
+        if op is Opcode.MAD:
+            return srcs[0] * srcs[1] + srcs[2]
+        if op is Opcode.MIN:
+            return np.minimum(srcs[0], srcs[1])
+        if op is Opcode.MAX:
+            return np.maximum(srcs[0], srcs[1])
+        if op is Opcode.ABS:
+            return np.abs(srcs[0])
+        if op is Opcode.FLOOR:
+            return np.floor(srcs[0]) if dtype.is_float else srcs[0]
+        if op is Opcode.AND:
+            return srcs[0] & srcs[1]
+        if op is Opcode.OR:
+            return srcs[0] | srcs[1]
+        if op is Opcode.XOR:
+            return srcs[0] ^ srcs[1]
+        if op is Opcode.NOT:
+            return ~srcs[0]
+        if op is Opcode.SHL:
+            # Same uint64-domain evaluation as the scalar interpreter.
+            return (
+                srcs[0].astype(np.int64).astype(np.uint64)
+                << _shift_amounts(srcs[1], dtype).astype(np.uint64)
+            ).astype(dtype.np_dtype)
+        if op is Opcode.SHR:
+            return (srcs[0].astype(np.int64)
+                    >> _shift_amounts(srcs[1], dtype)).astype(dtype.np_dtype)
+        if op is Opcode.DIV:
+            return (srcs[0] / srcs[1] if dtype.is_float
+                    else _int_div(srcs[0], srcs[1]))
+        if op is Opcode.SQRT:
+            return np.sqrt(srcs[0])
+        if op is Opcode.RSQRT:
+            return 1.0 / np.sqrt(srcs[0])
+        if op is Opcode.SIN:
+            return np.sin(srcs[0])
+        if op is Opcode.COS:
+            return np.cos(srcs[0])
+        if op is Opcode.EXP:
+            return np.exp(srcs[0])
+        if op is Opcode.LOG:
+            return np.log(srcs[0])
+        if op is Opcode.POW:
+            return np.power(srcs[0], srcs[1])
+        raise NotImplementedError(f"functional model missing for {op}")
+
+    # -- memory ---------------------------------------------------------------
+
+    def _exec_memory(self, pc: int, inst: Instruction, rows: np.ndarray,
+                     exec_masks: np.ndarray) -> None:
+        width = inst.width
+        offsets = self._read_reg(inst.sources[0], rows, width)
+        if inst.opcode.is_slm:
+            self._exec_slm(pc, inst, rows, exec_masks, offsets)
+        else:
+            self._exec_global(pc, inst, rows, exec_masks, offsets)
+        self.pc[rows] += 1
+
+    def _exec_slm(self, pc, inst, rows, exec_masks, offsets) -> None:
+        program = self.program
+        store_values = None
+        if inst.opcode is not Opcode.LOAD_SLM:
+            store_values = self._read_reg(inst.sources[1], rows, inst.width)
+        for i, row in enumerate(rows):
+            row = int(row)
+            mask = int(exec_masks[i])
+            if mask == 0:
+                self.traces[row].append((pc, 0, None))
+                continue
+            wg = int(self.wg_of[row])
+            slm = self.slm_data[wg]
+            if slm is None:
+                raise RuntimeError(
+                    f"kernel {program.name!r} uses SLM but none was allocated"
+                )
+            cycles = self.slm_timing[wg].access_cycles(offsets[i], mask)
+            if inst.opcode is Opcode.LOAD_SLM:
+                values = gather(slm.data, offsets[i], mask, inst.dtype)
+                self._write_reg(inst.dst, np.asarray([row]), inst.width,
+                                values[None, :],
+                                np.asarray([mask], dtype=np.uint64))
+            else:
+                scatter(slm.data, offsets[i], store_values[i], mask,
+                        inst.dtype)
+            self.traces[row].append((pc, mask, cycles))
+
+    def _exec_global(self, pc, inst, rows, exec_masks, offsets) -> None:
+        width = inst.width
+        dtype = inst.dtype
+        size = dtype.size
+        surface = self.surfaces[inst.surface]
+        view = surface.view(dtype.np_dtype)
+        count = view.shape[0]
+        enabled = self._enabled(exec_masks, width)
+
+        # Same validation as interp._checked_indices, vectorized over the
+        # group; the canonical issue order makes "first offending lane"
+        # the lowest (thread, lane) pair.  The uint64 domain folds the
+        # negative-offset case into the range check.
+        unsigned = offsets.astype(np.uint64)
+        idx, rem = np.divmod(unsigned, np.uint64(size))
+        bad = rem != 0
+        bad |= idx >= count
+        bad &= enabled
+        if bad.any():
+            row_bad = int(np.argmax(bad.any(axis=1)))
+            lane = int(np.argmax(bad[row_bad]))
+            off = int(offsets[row_bad, lane])
+            verb = "writes" if inst.opcode.is_store else "reads"
+            if off % size != 0:
+                raise ValueError(
+                    f"misaligned {dtype} access at byte offset {off}")
+            raise IndexError(
+                f"lane {lane} {verb} byte offset {off}, beyond surface of "
+                f"{surface.size} bytes"
+            )
+        all_enabled = bool(enabled.all())
+        if inst.opcode is Opcode.LOAD:
+            idx_safe = idx if all_enabled else np.where(enabled, idx, 0)
+            self._write_reg(inst.dst, rows, width, view[idx_safe], exec_masks)
+        else:
+            values = self._read_reg(inst.sources[1], rows, width)
+            if all_enabled:
+                view[idx.ravel()] = values.ravel()
+            else:
+                flat_enabled = enabled.ravel()
+                # Row-major flatten: within a row the highest lane wins
+                # (the hardware's quad write-back order); across rows
+                # the highest thread wins, matching the canonical
+                # ascending issue order.
+                view[idx.ravel()[flat_enabled]] = values.ravel()[flat_enabled]
+
+        # Validation proved every enabled offset is in range, so the
+        # unsigned image of the offsets is exact for line numbering.
+        lo = unsigned // LINE_BYTES
+        hi = (unsigned + np.uint64(size - 1)) // LINE_BYTES
+        # Per-row sorted distinct line numbers, without a per-row set:
+        # disabled lanes are overwritten with the row's first enabled
+        # line (rows with mask == 0 get aux None, so the fill value is
+        # then irrelevant), the concatenated lo/hi row is sorted, and
+        # duplicates collapse via a keep-first-of-run mask.  ``tolist``
+        # materializes plain ints so aux tuples never hold numpy scalars.
+        if not all_enabled:
+            first = lo[self._row_arange[:lo.shape[0]],
+                       enabled.argmax(axis=1)][:, None]
+            lo = np.where(enabled, lo, first)
+            hi = np.where(enabled, hi, first)
+        both = np.concatenate([lo, hi], axis=1)
+        both.sort(axis=1)
+        keep = np.empty(both.shape, dtype=bool)
+        keep[:, 0] = True
+        keep[:, 1:] = both[:, 1:] != both[:, :-1]
+        lines_rows = both.tolist()
+        keep_rows = keep.tolist()
+        traces = self.traces
+        for row, mask, lines, keep_row in zip(
+                rows.tolist(), exec_masks.tolist(), lines_rows, keep_rows):
+            aux = tuple(compress(lines, keep_row)) if mask else None
+            traces[row].append((pc, mask, aux))
+
+    # -- register-file access -------------------------------------------------
+
+    def _enabled(self, masks: np.ndarray, width: int) -> np.ndarray:
+        """Boolean (rows, width) lane-enable matrix for a mask vector."""
+        return ((masks[:, None] >> self._lane_shifts[None, :width])
+                & np.uint64(1)).astype(bool)
+
+    def _read_src(self, operand, rows, width, dtype) -> np.ndarray:
+        if isinstance(operand, RegRef):
+            values = self._read_reg(operand, rows, width)
+            if operand.dtype is not dtype:
+                values = values.astype(dtype.np_dtype)
+            return values
+        if isinstance(operand, Imm):
+            # Broadcast a cached 1-row constant instead of materializing
+            # a fresh (rows, width) array per group; every consumer only
+            # reads sources, so the shared read-only view is safe.
+            key = (id(operand), dtype, width)
+            row = self._imm_cache.get(key)
+            if row is None:
+                row = self._imm_cache[key] = np.full(
+                    (1, width), operand.value, dtype=dtype.np_dtype)
+            return np.broadcast_to(row, (rows.shape[0], width))
+        raise TypeError(f"cannot evaluate operand {operand!r}")
+
+    def _slot_span(self, ref: RegRef, width: int) -> Tuple[int, int]:
+        start = ref.reg * SLOTS_PER_REG
+        slots = width * ref.dtype.size // 4
+        if slots == 0:  # sub-32-bit widths never occur; guard anyway
+            slots = 1
+        end = start + slots
+        if end > NUM_GRF_REGS * SLOTS_PER_REG:
+            raise ValueError(
+                f"operand {ref} at SIMD{width} overflows the GRF "
+                f"(slots {start}..{end - 1})"
+            )
+        return start, end
+
+    def _read_reg(self, ref: RegRef, rows: np.ndarray, width: int) -> np.ndarray:
+        start, end = self._slot_span(ref, width)
+        block = self.storage[rows, start:end]  # advanced index: a copy
+        return block.view(ref.dtype.np_dtype)
+
+    def _write_reg(self, ref: RegRef, rows: np.ndarray, width: int,
+                   values: np.ndarray, exec_masks: np.ndarray) -> None:
+        start, end = self._slot_span(ref, width)
+        values = np.asarray(values, dtype=ref.dtype.np_dtype)
+        full = np.uint64((1 << width) - 1)
+        if bool(np.all(exec_masks == full)):
+            raw = np.ascontiguousarray(values).view(np.uint32)
+            self.storage[rows, start:end] = raw.reshape(rows.shape[0],
+                                                        end - start)
+            return
+        block = self.storage[rows, start:end]
+        typed = block.view(ref.dtype.np_dtype)
+        np.copyto(typed, values, where=self._enabled(exec_masks, width))
+        self.storage[rows, start:end] = block
+
+    # -- trace helpers --------------------------------------------------------
+
+    def _append_entries(self, pc: int, rows: np.ndarray,
+                        exec_masks: np.ndarray) -> None:
+        traces = self.traces
+        for row, mask in zip(rows.tolist(), exec_masks.tolist()):
+            traces[row].append((pc, mask, None))

@@ -38,6 +38,73 @@ from .thread import EUThread, ThreadState
 NEVER = 1 << 62
 
 
+def _send_occupancy(inst: Instruction) -> int:
+    """SEND pipe occupancy of one memory message, in cycles.
+
+    One cycle per 256-bit GRF register the message moves out of the
+    register file: the per-lane address payload for every access, plus
+    the data payload for stores (``sources[1]``).  Loads receive their
+    data through write-back, which the scoreboard charges separately.
+    Cached on the instruction — immutable after program finalization.
+    """
+    cached = inst.__dict__.get("_send_occupancy_cache")
+    if cached is None:
+        moved = sum(len(s.regs(inst.width)) for s in inst.sources
+                    if isinstance(s, RegRef))
+        cached = max(1, moved)
+        inst.__dict__["_send_occupancy_cache"] = cached
+    return cached
+
+
+def _num_reg_sources(inst: Instruction) -> int:
+    """Register source-operand count (RF-traffic accounting), cached."""
+    cached = inst.__dict__.get("_num_reg_sources_cache")
+    if cached is None:
+        cached = sum(1 for s in inst.sources if isinstance(s, RegRef))
+        inst.__dict__["_num_reg_sources_cache"] = cached
+    return cached
+
+
+def _inst_deps(inst: Instruction):
+    """(register, flag) dependency tuples of an instruction, cached.
+
+    Exactly the registers and flags :meth:`Scoreboard.ready_at` probes:
+    reads + writes (RAW/WAW), the predicate flag, and the CMP flag
+    destination.  The hot scan loops inline the readiness max over these
+    instead of calling ``ready_at``.
+    """
+    deps = inst.__dict__.get("_deps_cache")
+    if deps is None:
+        regs = tuple(inst.reads()) + tuple(inst.writes())
+        flags = []
+        if inst.pred is not None:
+            flags.append(inst.pred.index)
+        if inst.flag_dst is not None and inst.flag_dst.index not in flags:
+            flags.append(inst.flag_dst.index)
+        deps = (regs, tuple(flags))
+        inst.__dict__["_deps_cache"] = deps
+    return deps
+
+
+#: Opcode pipe -> index into :attr:`PipeSet.by_index`.
+_PIPE_INDEX = {Pipe.FPU: 0, Pipe.EM: 1, Pipe.SEND: 2}
+
+
+def _pipe_index(inst: Instruction) -> int:
+    """Pipe index of an instruction (-1 for CTRL), cached on it.
+
+    The arbitration scan and the event-floor walk resolve the pipe for
+    every resident thread every pass; one dict probe on the instruction
+    beats the enum dispatch in :meth:`PipeSet.for_opcode`.
+    """
+    idx = inst.__dict__.get("_pipe_index_cache")
+    if idx is None:
+        pipe = inst.opcode.pipe
+        idx = -1 if pipe is Pipe.CTRL else _PIPE_INDEX[pipe]
+        inst.__dict__["_pipe_index_cache"] = idx
+    return idx
+
+
 class ExecutionUnit:
     """One EU: thread slots, pipes, and the issue/timing logic."""
 
@@ -63,21 +130,42 @@ class ExecutionUnit:
         self.hostprof = hostprof
         self.pipes = PipeSet()
         self.threads: List[Optional[EUThread]] = [None] * config.threads_per_eu
+        #: Count of empty thread slots, kept in sync by :meth:`add_thread`
+        #: and the EOT retire path — the dispatcher probes every EU every
+        #: event cycle, so this must not be a scan.
+        self._free = config.threads_per_eu
         self._rr = 0  # rotating-priority pointer (paper: rotating/age arbiter)
         self.instructions_issued = 0
         #: Threads that reached EOT — the simulator's deadlock watchdog
         #: reads this (with instructions_issued) as its progress signal.
         self.threads_retired = 0
+        #: Cached state-only event floor: the earliest arbitration cycle
+        #: at which any resident thread could issue, ignoring the caller's
+        #: ``now``.  Valid until this EU's state changes — and every
+        #: mutation that can affect it (issues, EOT retires, barrier
+        #: arrivals/releases of the workgroups resident here) happens
+        #: inside this EU's own ``step``, or in :meth:`add_thread`; both
+        #: invalidate.  Lets ``step`` skip whole arbitration scans and
+        #: ``next_event`` skip whole thread walks while the EU waits.
+        self._event_floor: Optional[int] = None
+        #: Precomputed arbitration orders, one per rotating-pointer value.
+        self._orders: Optional[List[List[int]]] = None
+        #: (mask, width, dtype_factor) -> policy execution cycles, a plain
+        #: dict in front of :func:`execution_cycles` for the hot issue
+        #: paths (the policy is fixed for the EU's lifetime).
+        self._cycles_memo: dict = {}
 
     # -- thread management ---------------------------------------------------
 
     def free_slots(self) -> int:
-        return sum(1 for t in self.threads if t is None)
+        return self._free
 
     def add_thread(self, thread: EUThread) -> None:
+        self._event_floor = None
         for slot, occupant in enumerate(self.threads):
             if occupant is None:
                 self.threads[slot] = thread
+                self._free -= 1
                 if self.telemetry is not None:
                     self.telemetry.counters.incr("threads.dispatched")
                     thread.scoreboard.attach_counters(self.telemetry.counters)
@@ -93,31 +181,53 @@ class ExecutionUnit:
         """Run one arbitration pass (call only on even cycles)."""
         if now % self.config.issue_period != 0:
             return
+        # Nothing can issue before the cached event floor, so the whole
+        # scan would be a no-op — unless telemetry wants the per-slot
+        # stall events the scan emits.
+        floor = self._event_floor
+        if floor is not None and now < floor and self.telemetry is None:
+            return
         issued = 0
         last_issued = -1
         order = self._arbitration_order()
         tel = self.telemetry
+        threads = self.threads
+        pipes = self.pipes.by_index
+        issue_width = self.config.issue_width
+        active = ThreadState.ACTIVE
         for slot in order:
-            if issued >= self.config.issue_width:
+            if issued >= issue_width:
                 break
-            thread = self.threads[slot]
-            if thread is None or thread.state is not ThreadState.ACTIVE:
+            thread = threads[slot]
+            if thread is None or thread.state is not active:
                 continue
-            inst = thread.current_instruction()
+            # Inlined current_instruction / ready_floor / _pipe_index:
+            # this scan runs for every resident thread on every event
+            # cycle, so each avoided call is measurable host time.
+            inst = thread._inst_cache
             if inst is None:
-                continue
-            if thread.earliest_issue(now) > now:
+                inst = thread.current_instruction()
+                if inst is None:
+                    continue
+            ready = thread._ready_cache
+            if ready is None:
+                ready = thread._ready_cache = thread.scoreboard.ready_at(inst)
+            if ready < thread.stall_until:
+                ready = thread.stall_until
+            if ready > now:
                 if tel is not None:
                     tel.stall(now, slot,
                               "scoreboard"
                               if thread.scoreboard.ready_at(inst) > now
                               else "dispatch")
                 continue
-            if inst.opcode.pipe is not Pipe.CTRL:
-                if not self.pipes.for_opcode(inst.opcode).can_accept(now):
-                    if tel is not None:
-                        tel.stall(now, slot, "pipe")
-                    continue
+            pidx = inst.__dict__.get("_pipe_index_cache")
+            if pidx is None:
+                pidx = _pipe_index(inst)
+            if pidx >= 0 and pipes[pidx].busy_until > now:
+                if tel is not None:
+                    tel.stall(now, slot, "pipe")
+                continue
             if self.hostprof is None:
                 self._issue(slot, thread, inst, now)
             else:
@@ -130,30 +240,101 @@ class ExecutionUnit:
             # to issue must keep its priority, or it can be starved by
             # the threads behind it issuing pass after pass.
             self._rr = (last_issued + 1) % len(self.threads)
+            self._event_floor = None
+        elif floor is not None and floor <= now:
+            # A stale floor in the past would defeat the skip above.
+            self._event_floor = None
 
     def _arbitration_order(self) -> List[int]:
-        n = len(self.threads)
-        if self.config.arbiter == "fixed":
-            return list(range(n))
-        return [(self._rr + i) % n for i in range(n)]
+        orders = self._orders
+        if orders is None:
+            n = len(self.threads)
+            if self.config.arbiter == "fixed":
+                # ``_rr`` still rotates on issue but fixed priority
+                # ignores it: every pass scans from slot 0.
+                orders = [list(range(n))] * n
+            else:
+                orders = [[(r + i) % n for i in range(n)] for r in range(n)]
+            self._orders = orders
+        return orders[self._rr]
 
     def next_event(self, now: int) -> int:
-        """Earliest future cycle at which this EU could issue something."""
+        """Earliest future cycle at which this EU could issue something.
+
+        Per thread the candidate is ``align(max(ready, pipe_busy,
+        now + 1))``; since the round-up to the arbitration boundary is
+        monotone, ``align(max(a, b)) == max(align(a), align(b))`` and
+        the ``now + 1`` floor factors out of the minimum:
+        ``min_i align(max(r_i, b_i, now+1)) ==
+        max(min_i align(max(r_i, b_i)), align(now+1))``.  The first term
+        depends only on EU state, so it is cached in ``_event_floor``.
+        """
+        floor = self._event_floor
+        if floor is None:
+            floor = self._event_floor = self._compute_event_floor()
+        period = self.config.issue_period
+        t = now + 1
+        if t % period != 0:
+            t += period - (t % period)
+        return floor if floor > t else t
+
+    def _compute_event_floor(self) -> int:
+        """State-only part of :meth:`next_event` (no ``now`` floor).
+
+        The round-up to the arbitration boundary is monotone, so it
+        commutes with the min over threads and is applied once at the
+        end.  The scoreboard readiness max is inlined over the cached
+        dependency lists (see :func:`_inst_deps`) rather than calling
+        ``ready_at`` — this walk runs after every issuing pass.
+        """
         best = NEVER
+        pipes = self.pipes.by_index
+        active = ThreadState.ACTIVE
         for thread in self.threads:
-            if thread is None or thread.state is not ThreadState.ACTIVE:
+            if thread is None or thread.state is not active:
                 continue
-            inst = thread.current_instruction()
+            inst = thread._inst_cache
             if inst is None:
-                continue
-            t = thread.earliest_issue(now + 1)
-            if inst.opcode.pipe is not Pipe.CTRL:
-                t = max(t, self.pipes.for_opcode(inst.opcode).busy_until)
-            # Align to the next arbitration boundary.
+                inst = thread.current_instruction()
+                if inst is None:
+                    continue
+            t = thread._ready_cache
+            if t is None:
+                scoreboard = thread.scoreboard
+                reg_ready = scoreboard._reg_ready
+                flag_ready = scoreboard._flag_ready
+                t = 0
+                if reg_ready or flag_ready:
+                    deps = inst.__dict__.get("_deps_cache")
+                    if deps is None:
+                        deps = _inst_deps(inst)
+                    if reg_ready:
+                        for reg in deps[0]:
+                            r = reg_ready.get(reg, 0)
+                            if r > t:
+                                t = r
+                    if flag_ready:
+                        for flag in deps[1]:
+                            r = flag_ready.get(flag, 0)
+                            if r > t:
+                                t = r
+                thread._ready_cache = t
+            if t < thread.stall_until:
+                t = thread.stall_until
+            pidx = inst.__dict__.get("_pipe_index_cache")
+            if pidx is None:
+                pidx = _pipe_index(inst)
+            if pidx >= 0:
+                busy = pipes[pidx].busy_until
+                if busy > t:
+                    t = busy
+            if t < best:
+                best = t
+        if best < NEVER:
             period = self.config.issue_period
-            if t % period != 0:
-                t += period - (t % period)
-            best = min(best, t)
+            rem = best % period
+            if rem:
+                best += period - rem
         return best
 
     # -- issue paths ----------------------------------------------------------
@@ -206,6 +387,7 @@ class ExecutionUnit:
         elif op is Opcode.EOT:
             thread.state = ThreadState.DONE
             self.threads[slot] = None
+            self._free += 1
             self.threads_retired += 1
             if self.telemetry is not None:
                 self.telemetry.thread_retired(now)
@@ -237,7 +419,7 @@ class ExecutionUnit:
         else:
             exec_mask = thread.masks.exec_mask(thread.pred_mask(inst))
             selector = 0
-        num_src = sum(1 for s in inst.sources if isinstance(s, RegRef))
+        num_src = _num_reg_sources(inst)
         self.alu_stats.record(exec_mask, inst.width, inst.dtype_factor, num_src)
         self.simd_stats.record(exec_mask, inst.width, inst.dtype_factor, num_src)
         if self.trace_sink is not None:
@@ -266,17 +448,19 @@ class ExecutionUnit:
         # GRF, and the load result written back.  The ALU defaults
         # (2 src + 1 dst) would overcharge every memory instruction and
         # inflate the Section 4.1 RF-savings metric.
-        num_src = sum(1 for s in inst.sources if isinstance(s, RegRef))
+        num_src = _num_reg_sources(inst)
         num_dst = 1 if inst.opcode.writes_dst else 0
         self.simd_stats.record(exec_mask, inst.width, inst.dtype_factor,
                                num_src, num_dst)
         width = inst.width
-        dtype = inst.dtype
         addr_ref = inst.sources[0]
         offsets = thread.grf.read(addr_ref, width)
 
-        # SEND pipe occupancy: one cycle per 256-bit register moved.
-        occupancy = max(1, dtype.regs_for_width(width))
+        # SEND pipe occupancy: one cycle per 256-bit register the message
+        # moves out of the GRF — the address payload, plus the data
+        # payload for stores.  (Loads return their data via write-back,
+        # charged by the scoreboard, not by message occupancy.)
+        occupancy = _send_occupancy(inst)
         self.pipes.send.issue(now, occupancy)
         if self.telemetry is not None:
             self.telemetry.mem_issue(now, inst, exec_mask, occupancy)

@@ -40,9 +40,14 @@ def eval_operand(op, width: int, grf: RegisterFile, dtype: DType) -> np.ndarray:
     raise TypeError(f"cannot evaluate operand {op!r}")
 
 
-def _shift_amounts(values: np.ndarray) -> np.ndarray:
-    """Clamp shift amounts to the type's bit width (hardware behaviour)."""
-    return np.clip(values.astype(np.int64), 0, 31)
+def _shift_amounts(values: np.ndarray, dtype: DType) -> np.ndarray:
+    """Clamp shift amounts to the type's bit width (hardware behaviour).
+
+    The clamp ceiling follows the *operand* type: 31 for 32-bit types,
+    63 for 64-bit ones.  A single [0, 31] clamp would silently truncate
+    I64 shifts by 32..63 to a 31-bit shift.
+    """
+    return np.clip(values.astype(np.int64), 0, dtype.size * 8 - 1)
 
 
 def execute_alu(
@@ -118,13 +123,16 @@ def execute_alu(
         elif op is Opcode.NOT:
             result = ~srcs[0]
         elif op is Opcode.SHL:
-            result = (srcs[0].astype(np.int64) << _shift_amounts(srcs[1])).astype(
-                dtype.np_dtype
-            )
+            # Left shifts run in the uint64 domain, where wrap-around is
+            # well defined; a 64-bit value shifted in int64 would
+            # overflow for amounts the [0, 63] clamp now admits.
+            result = (
+                srcs[0].astype(np.int64).astype(np.uint64)
+                << _shift_amounts(srcs[1], dtype).astype(np.uint64)
+            ).astype(dtype.np_dtype)
         elif op is Opcode.SHR:
-            result = (srcs[0].astype(np.int64) >> _shift_amounts(srcs[1])).astype(
-                dtype.np_dtype
-            )
+            result = (srcs[0].astype(np.int64)
+                      >> _shift_amounts(srcs[1], dtype)).astype(dtype.np_dtype)
         elif op is Opcode.DIV:
             result = srcs[0] / srcs[1] if dtype.is_float else _int_div(srcs[0], srcs[1])
         elif op is Opcode.SQRT:

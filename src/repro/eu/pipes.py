@@ -51,6 +51,9 @@ class PipeSet:
         self.fpu = ExecPipe("fpu")
         self.em = ExecPipe("em")
         self.send = ExecPipe("send")
+        #: Index-addressable view (see ``repro.eu.eu._pipe_index``) so hot
+        #: loops can skip the enum dispatch in :meth:`for_opcode`.
+        self.by_index = (self.fpu, self.em, self.send)
 
     def for_opcode(self, opcode: Opcode) -> ExecPipe:
         """Pipe an opcode dispatches to (CTRL ops consume no pipe)."""

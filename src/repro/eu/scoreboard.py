@@ -32,6 +32,8 @@ class Scoreboard:
 
     def ready_at(self, inst: Instruction) -> int:
         """Earliest cycle at which *inst*'s dependencies are all met."""
+        if not self._reg_ready and not self._flag_ready:
+            return 0  # nothing in flight — common right after dispatch
         ready = 0
         for reg in inst.reads():
             ready = max(ready, self._reg_ready.get(reg, 0))

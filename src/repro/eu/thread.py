@@ -55,6 +55,20 @@ class EUThread:
         self.stall_until = start_cycle
         self.instructions_executed = 0
         self.last_issue_cycle = -1
+        #: Cached scoreboard ready cycle of the *current* instruction.
+        #: Valid between issues: only this thread's own issues mutate its
+        #: scoreboard, and every issue ends in :meth:`advance`, which
+        #: invalidates the cache.  ``step``/``next_event`` probe
+        #: ``earliest_issue`` several times per thread per event cycle,
+        #: so this turns repeated dependence scans into one integer max.
+        self._ready_cache: Optional[int] = None
+        #: Cached current instruction (same lifetime as ``_ready_cache``:
+        #: set on first lookup while ACTIVE, cleared by :meth:`advance`;
+        #: the barrier and EOT state transitions both go through
+        #: ``advance`` first, so a non-None cache implies it matches
+        #: ``program.instructions[pc]``).  The EU's arbitration scan and
+        #: event-floor walk read it directly after checking the state.
+        self._inst_cache: Optional[Instruction] = None
 
     @property
     def done(self) -> bool:
@@ -64,7 +78,10 @@ class EUThread:
         """The next instruction to issue, or None when the thread is done."""
         if self.state is not ThreadState.ACTIVE:
             return None
-        return self.program.instructions[self.pc]
+        inst = self._inst_cache
+        if inst is None:
+            inst = self._inst_cache = self.program.instructions[self.pc]
+        return inst
 
     def pred_mask(self, inst: Instruction) -> Optional[int]:
         """Evaluate the instruction's predicate flag (None = unpredicated)."""
@@ -78,18 +95,31 @@ class EUThread:
     def advance(self, next_pc: Optional[int]) -> None:
         """Move to *next_pc* (or fall through) after issuing an instruction."""
         self.pc = self.pc + 1 if next_pc is None else next_pc
+        self._ready_cache = None
+        self._inst_cache = None
         if not 0 <= self.pc <= len(self.program.instructions):
             raise RuntimeError(
                 f"thread {self.thread_id} jumped to invalid pc {self.pc}"
             )
 
-    def earliest_issue(self, now: int) -> int:
-        """Earliest cycle this thread's next instruction could issue.
+    def ready_floor(self) -> int:
+        """Absolute earliest cycle the next instruction could issue.
 
         Considers dispatch/barrier stalls and scoreboard dependencies,
-        but not pipe availability (the EU adds that).
+        but not pipe availability (the EU adds that).  Unlike
+        :meth:`earliest_issue` this is not floored at any *now*, so the
+        EU can cache it as an event-time lower bound.
         """
-        inst = self.current_instruction()
-        if inst is None:
-            return 1 << 62  # effectively never; barrier release resets stall
-        return max(now, self.stall_until, self.scoreboard.ready_at(inst))
+        ready = self._ready_cache
+        if ready is None:
+            inst = self.current_instruction()
+            if inst is None:
+                return 1 << 62  # effectively never; barrier release resets stall
+            ready = self._ready_cache = self.scoreboard.ready_at(inst)
+        stall = self.stall_until
+        return ready if ready >= stall else stall
+
+    def earliest_issue(self, now: int) -> int:
+        """Earliest cycle >= *now* this thread's next instruction could issue."""
+        ready = self.ready_floor()
+        return ready if ready > now else now

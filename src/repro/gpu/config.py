@@ -15,6 +15,9 @@ from dataclasses import dataclass, field
 from ..core.policy import CompactionPolicy
 from ..memory.hierarchy import MemoryParams
 
+#: Valid values of :attr:`GpuConfig.engine`.
+ENGINES = ("interp", "fast")
+
 
 @dataclass
 class GpuConfig:
@@ -43,6 +46,15 @@ class GpuConfig:
     #: per-cycle events exportable as a Chrome/Perfetto trace).  Part of
     #: the dataclass, so it joins the runner's cache key automatically.
     telemetry: str = "off"
+    #: Execution core: "interp" (default) interleaves the functional
+    #: interpreter with the cycle loop, instruction by instruction;
+    #: "fast" runs a batched functional pass first (one vectorized numpy
+    #: kernel per opcode across all live threads) and then replays the
+    #: recorded issue trace through the same cycle-accurate timing model.
+    #: Functionally and statistically identical (``repro verify
+    #: --engine fast``); part of the dataclass, so it joins the runner's
+    #: cache key automatically.
+    engine: str = "interp"
 
     def validate(self) -> None:
         if self.num_eus < 1 or self.threads_per_eu < 1:
@@ -63,11 +75,19 @@ class GpuConfig:
             raise ValueError(
                 f"unknown telemetry level {self.telemetry!r}; expected one "
                 f"of: {', '.join(TELEMETRY_LEVELS)}")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown execution engine {self.engine!r}; expected one "
+                f"of: {', '.join(ENGINES)}")
         self.memory.validate()
 
     def with_telemetry(self, level: str) -> "GpuConfig":
         """Copy of this config at a different telemetry level."""
         return dataclasses.replace(self, telemetry=level)
+
+    def with_engine(self, engine: str) -> "GpuConfig":
+        """Copy of this config running on a different execution core."""
+        return dataclasses.replace(self, engine=engine)
 
     def with_policy(self, policy: CompactionPolicy) -> "GpuConfig":
         """Copy of this config running under a different compaction policy."""

@@ -102,6 +102,11 @@ class Launch:
         self.next_wg = 0
         self.instances: List[WorkgroupInstance] = []
         self._thread_counter = 0
+        #: Scan frontier for :attr:`done`: instances below this index are
+        #: known complete.  A workgroup's ``done`` is monotone, so the
+        #: frontier only moves forward — the per-cycle poll from the
+        #: simulator loop is amortized O(1) instead of O(instances).
+        self._done_frontier = 0
         #: Optional run-level TelemetryCollector (None when off).
         self.telemetry = telemetry
 
@@ -121,18 +126,32 @@ class Launch:
 
     @property
     def done(self) -> bool:
-        return self.all_dispatched and all(wg.done for wg in self.instances)
+        if self.next_wg < self.num_workgroups:
+            return False
+        instances = self.instances
+        count = len(instances)
+        i = self._done_frontier
+        while i < count and instances[i].done:
+            i += 1
+        self._done_frontier = i
+        return i == count
 
     def dispatch(self, eus: Sequence[ExecutionUnit], now: int) -> int:
         """Place as many pending workgroups as EU slots allow.
 
         Returns the number of workgroups dispatched this call.
         """
+        if self.next_wg >= self.num_workgroups:
+            return 0
         placed = 0
+        threads_per_wg = self.threads_per_wg
+        num_workgroups = self.num_workgroups
         for eu in eus:
+            # ``eu._free`` is the free_slots() counter, read directly on
+            # this per-cycle path.
             while (
-                not self.all_dispatched
-                and eu.free_slots() >= self.threads_per_wg
+                self.next_wg < num_workgroups
+                and eu._free >= threads_per_wg
             ):
                 instance = self._materialize(self.next_wg, now)
                 self.next_wg += 1
@@ -164,17 +183,25 @@ class Launch:
                 break
             lanes_valid = min(width, wg_items - local_base)
             dispatch_mask = (1 << lanes_valid) - 1
-            thread = EUThread(
-                thread_id=self._thread_counter,
-                program=program,
-                dispatch_mask=dispatch_mask,
-                workgroup=instance,
-                start_cycle=now + config.dispatch_latency,
+            thread = self._make_thread(
+                self._thread_counter, dispatch_mask, instance,
+                now + config.dispatch_latency,
             )
             self._thread_counter += 1
             self._write_payload(thread, wg_base + local_base, local_base)
             instance.threads.append(thread)
         return instance
+
+    def _make_thread(self, thread_id: int, dispatch_mask: int,
+                     instance: WorkgroupInstance, start_cycle: int) -> EUThread:
+        """Thread-materialization hook (the replay launch overrides it)."""
+        return EUThread(
+            thread_id=thread_id,
+            program=self.program,
+            dispatch_mask=dispatch_mask,
+            workgroup=instance,
+            start_cycle=start_cycle,
+        )
 
     def _write_payload(self, thread: EUThread, global_base: int, local_base: int) -> None:
         program = self.program

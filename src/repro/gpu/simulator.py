@@ -83,23 +83,46 @@ class GpuSimulator:
         hierarchy = MemoryHierarchy(config.memory, telemetry=collector)
         alu_stats = CompactionStats(min_cycles=1)
         simd_stats = CompactionStats(min_cycles=1)
+        surfaces = bind_surfaces(program, buffers or {})
+        if config.engine == "fast":
+            # Two-phase core: a batched functional pass computes all
+            # architectural state and records per-thread issue traces;
+            # the cycle loop below replays those traces through the
+            # unchanged timing machinery (same ExecutionUnit code paths
+            # for arbitration, pipes, scoreboards, and the hierarchy).
+            from ..eu.batch import run_functional
+            from ..eu.replay import (ReplayExecutionUnit, ReplayLaunch,
+                                     record_trace_stats)
+
+            eu_cls, launch_cls = ReplayExecutionUnit, ReplayLaunch
+        else:
+            eu_cls, launch_cls = ExecutionUnit, Launch
         eus = [
-            ExecutionUnit(i, config, hierarchy, alu_stats, simd_stats,
-                          trace_sink,
-                          telemetry=(collector.eu(i) if collector is not None
-                                     else None),
-                          hostprof=self.hostprof)
+            eu_cls(i, config, hierarchy, alu_stats, simd_stats,
+                   trace_sink,
+                   telemetry=(collector.eu(i) if collector is not None
+                              else None),
+                   hostprof=self.hostprof)
             for i in range(config.num_eus)
         ]
-        launch = Launch(
+        launch = launch_cls(
             program,
             global_size,
             local_size,
-            bind_surfaces(program, buffers or {}),
+            surfaces,
             scalars or {},
             config,
             telemetry=collector,
         )
+        if config.engine == "fast":
+            # Launch construction above already validated the geometry,
+            # so the functional pass can assume it (and resolves
+            # local_size the same way the launch did).
+            launch.traces = run_functional(
+                program, global_size, launch.local_size, surfaces,
+                scalars or {}, config, self.wall_deadline,
+            )
+            record_trace_stats(program, launch.traces, alu_stats, simd_stats)
 
         now = 0
         # Watchdog state: the last cycle at which any EU issued an
@@ -111,16 +134,32 @@ class GpuSimulator:
         last_progress_cycle = 0
         last_progress_mark = (0, 0)
         iterations = 0
+        # With telemetry off, an EU whose cached event floor lies in the
+        # future cannot issue and emits nothing — its step would early-out
+        # anyway (see ExecutionUnit.step), so skip even the call.  Any
+        # state change that could lower the floor (add_thread, its own
+        # issues) clears the cache, making the floor None and the EU
+        # steppable again.
+        skip_floors = collector is None
+        all_dispatched = launch.all_dispatched
         while True:
-            launch.dispatch(eus, now)
+            if not all_dispatched:
+                launch.dispatch(eus, now)
+                all_dispatched = launch.all_dispatched
             for eu in eus:
+                if skip_floors:
+                    floor = eu._event_floor
+                    if floor is not None and now < floor:
+                        continue
                 eu.step(now)
             if launch.done:
                 break
-            mark = (
-                sum(eu.instructions_issued for eu in eus),
-                sum(eu.threads_retired for eu in eus),
-            )
+            issued_total = 0
+            retired_total = 0
+            for eu in eus:
+                issued_total += eu.instructions_issued
+                retired_total += eu.threads_retired
+            mark = (issued_total, retired_total)
             if mark != last_progress_mark:
                 last_progress_mark = mark
                 last_progress_cycle = now
@@ -141,11 +180,30 @@ class GpuSimulator:
                     f"at cycle {now} ({launch.pending_workgroups} workgroups "
                     f"undispatched)"
                 )
-            next_time = min(eu.next_event(now) for eu in eus)
-            if not launch.all_dispatched and any(
-                eu.free_slots() >= launch.threads_per_wg for eu in eus
-            ):
-                next_time = min(next_time, now + 1)
+            # Inlined min over ExecutionUnit.next_event: the align(now+1)
+            # term is identical for every EU, so min_e max(floor_e, t)
+            # == max(min_e floor_e, t) and one align suffices.
+            floor_min = NEVER
+            for eu in eus:
+                floor = eu._event_floor
+                if floor is None:
+                    floor = eu._event_floor = eu._compute_event_floor()
+                if floor < floor_min:
+                    floor_min = floor
+            period = config.issue_period
+            next_time = now + 1
+            rem = next_time % period
+            if rem:
+                next_time += period - rem
+            if floor_min > next_time:
+                next_time = floor_min
+            if not all_dispatched:
+                threads_per_wg = launch.threads_per_wg
+                for eu in eus:
+                    if eu._free >= threads_per_wg:
+                        if now + 1 < next_time:
+                            next_time = now + 1
+                        break
             if next_time >= NEVER:
                 raise DeadlockError(
                     f"kernel {program.name!r} stalled at cycle {now} with "

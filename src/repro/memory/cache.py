@@ -83,7 +83,11 @@ class Cache:
         if self.perfect:
             self.stats.hits += 1
             return True
-        way = self._sets.setdefault(self._set_index(line_id), OrderedDict())
+        sets = self._sets
+        index = hash(line_id) % self.num_sets
+        way = sets.get(index)
+        if way is None:
+            way = sets[index] = OrderedDict()
         if line_id in way:
             way.move_to_end(line_id)
             self.stats.hits += 1

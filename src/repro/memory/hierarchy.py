@@ -74,7 +74,8 @@ class MemoryHierarchy:
         Returns:
             Completion cycle (all lines delivered).
         """
-        line_ids = tuple(line_ids)
+        if type(line_ids) is not tuple and type(line_ids) is not list:
+            line_ids = tuple(line_ids)
         self.messages += 1
         self.lines_requested += len(line_ids)
         tel = self.telemetry

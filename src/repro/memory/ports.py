@@ -25,19 +25,22 @@ class BandwidthPort:
         self.name = name
         self.lines_per_cycle = lines_per_cycle
         self._next_free = 0.0
+        self._cycles_per_line = 1.0 / lines_per_cycle
         self.lines_transferred = 0
 
     @property
     def cycles_per_line(self) -> float:
-        return 1.0 / self.lines_per_cycle
+        return self._cycles_per_line
 
     def grant(self, now: float) -> float:
         """Reserve the next transfer slot at or after *now*.
 
         Returns the cycle at which the line begins transferring.
         """
-        start = max(float(now), self._next_free)
-        self._next_free = start + self.cycles_per_line
+        start = self._next_free
+        if now > start:
+            start = float(now)
+        self._next_free = start + self._cycles_per_line
         self.lines_transferred += 1
         return start
 

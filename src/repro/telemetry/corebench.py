@@ -1,0 +1,232 @@
+"""Engine speedup benchmark: interp vs fast wall clock per workload.
+
+``python -m repro.telemetry.corebench`` times each requested registry
+workload under both execution engines — the interleaved interpreter and
+the two-phase functional+replay fast core — and writes
+``benchmarks/results/BENCH_core_speedup.json``.
+
+Two speedup figures are recorded per workload, with different
+semantics:
+
+* ``speedup_vs_interp`` — fast vs interp *at the same commit*, both
+  measured in this invocation.  This is the honest marginal value of
+  flipping ``--engine fast`` today; it understates the two-phase
+  redesign because the shared infrastructure work that shipped with it
+  (event-floor caching, dispatch and memory-path streamlining) sped the
+  interpreter up as well.
+* ``speedup_vs_baseline`` — fast vs the committed hostprof baseline's
+  ``host_seconds`` for the same workload
+  (``benchmarks/results/BENCH_baseline.json``, recorded on the
+  pre-redesign core under the same policy).  This is the end-to-end
+  wall-clock win a user upgrading from the baseline commit observes.
+
+Timing methodology: ``time.process_time()`` (CPU time — robust against
+machine load), best of ``--repeats`` runs, a fresh workload instance
+per run (outputs are written in place; BFS mutates its frontier), host
+reference checks off so only simulation is on the clock.  Functional
+equality between the engines is still asserted on every run via the
+output-buffer digests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Schema version of the BENCH_core_speedup.json artifact.
+CORE_BENCH_SCHEMA = 1
+
+#: Default workload set: the hostprof baseline trio (coherent, branchy
+#: divergent, memory-divergent), so ``speedup_vs_baseline`` is defined
+#: for every default row.
+DEFAULT_WORKLOADS = ("va", "nested_l2", "bfs")
+
+DEFAULT_BASELINE = "benchmarks/results/BENCH_baseline.json"
+DEFAULT_OUT = "benchmarks/results/BENCH_core_speedup.json"
+
+
+def time_workload(name: str, config, repeats: int = 3):
+    """Best-of-*repeats* process time for one workload under *config*.
+
+    Returns ``(best_seconds, last_result)``; every repeat runs a fresh
+    workload instance so mutated buffers never leak across runs.
+    """
+    from ..kernels import WORKLOAD_REGISTRY
+    from ..kernels.workload import run_workload
+
+    factory = WORKLOAD_REGISTRY[name]
+    best = math.inf
+    result = None
+    for _ in range(max(1, repeats)):
+        workload = factory()
+        start = time.process_time()
+        result = run_workload(workload, config, verify=False)
+        best = min(best, time.process_time() - start)
+    return best, result
+
+
+def collect(
+    names: Sequence[str] = DEFAULT_WORKLOADS,
+    policy: str = "scc",
+    repeats: int = 3,
+    baseline_path: Optional[str] = DEFAULT_BASELINE,
+) -> Dict[str, Any]:
+    """Measure *names* under both engines; return the artifact payload.
+
+    Raises :class:`AssertionError` if any workload's output digests
+    diverge between the engines — a speedup number for a wrong answer
+    is worthless.
+    """
+    from ..core.policy import parse_policy
+    from ..gpu.config import GpuConfig
+
+    base_config = GpuConfig(policy=parse_policy(policy))
+    baseline_workloads: Dict[str, Any] = {}
+    if baseline_path and Path(baseline_path).is_file():
+        baseline_workloads = json.loads(
+            Path(baseline_path).read_text()).get("workloads", {})
+
+    rows: Dict[str, Dict[str, Any]] = {}
+    for name in names:
+        interp_s, interp_r = time_workload(
+            name, base_config.with_engine("interp"), repeats)
+        fast_s, fast_r = time_workload(
+            name, base_config.with_engine("fast"), repeats)
+        assert fast_r.buffers_digest == interp_r.buffers_digest, (
+            f"{name}: engines disagree functionally "
+            f"({fast_r.buffers_digest} != {interp_r.buffers_digest})")
+        row: Dict[str, Any] = {
+            "interp_seconds": round(interp_s, 6),
+            "fast_seconds": round(fast_s, 6),
+            "speedup_vs_interp": round(interp_s / max(fast_s, 1e-12), 3),
+            "total_cycles_interp": interp_r.total_cycles,
+            "total_cycles_fast": fast_r.total_cycles,
+            "instructions": fast_r.instructions,
+            "digests_match": True,
+        }
+        base = baseline_workloads.get(name)
+        if base and base.get("policy") == policy:
+            row["baseline_seconds"] = base["host_seconds"]
+            row["speedup_vs_baseline"] = round(
+                base["host_seconds"] / max(fast_s, 1e-12), 3)
+        rows[name] = row
+
+    def _geomean(key: str) -> Optional[float]:
+        values = [row[key] for row in rows.values() if key in row]
+        if not values:
+            return None
+        return round(math.exp(sum(math.log(v) for v in values)
+                              / len(values)), 3)
+
+    summary: Dict[str, Any] = {
+        "geomean_speedup_vs_interp": _geomean("speedup_vs_interp"),
+    }
+    vs_base = [row["speedup_vs_baseline"] for row in rows.values()
+               if "speedup_vs_baseline" in row]
+    if vs_base:
+        summary["geomean_speedup_vs_baseline"] = _geomean(
+            "speedup_vs_baseline")
+        summary["min_speedup_vs_baseline"] = min(vs_base)
+
+    return {
+        "schema": CORE_BENCH_SCHEMA,
+        "label": "core-speedup",
+        "generated_by": "repro.telemetry.corebench",
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "policy": policy,
+        "repeats": repeats,
+        "semantics": {
+            "speedup_vs_interp": "fast vs interp wall clock, both engines "
+                                 "measured at this commit (best-of-N "
+                                 "process time)",
+            "speedup_vs_baseline": "fast engine vs the committed "
+                                   "BENCH_baseline.json host_seconds for "
+                                   "the same workload and policy "
+                                   "(pre-redesign core)",
+        },
+        "workloads": rows,
+        "summary": summary,
+    }
+
+
+def check_artifact(payload: Dict[str, Any]) -> List[str]:
+    """Schema-check a core-speedup artifact; returns problem strings."""
+    problems = []
+    if payload.get("schema") != CORE_BENCH_SCHEMA:
+        problems.append(f"schema must be {CORE_BENCH_SCHEMA}, "
+                        f"got {payload.get('schema')!r}")
+    workloads = payload.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        problems.append("workloads must be a non-empty mapping")
+        return problems
+    required = ("interp_seconds", "fast_seconds", "speedup_vs_interp",
+                "total_cycles_interp", "total_cycles_fast",
+                "instructions", "digests_match")
+    for name, row in workloads.items():
+        for key in required:
+            if key not in row:
+                problems.append(f"{name}: missing {key}")
+        if not row.get("digests_match"):
+            problems.append(f"{name}: engine output digests diverged")
+        for key in ("interp_seconds", "fast_seconds"):
+            if key in row and not row[key] > 0:
+                problems.append(f"{name}: {key} must be positive")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.telemetry.corebench``: write the speedup bench."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.corebench",
+        description="Benchmark interp vs fast engine wall clock and write "
+                    "BENCH_core_speedup.json")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"output path (default {DEFAULT_OUT})")
+    parser.add_argument("--workloads", default=",".join(DEFAULT_WORKLOADS),
+                        help="comma-separated registry workloads "
+                             f"(default {','.join(DEFAULT_WORKLOADS)})")
+    parser.add_argument("--policy", default="scc",
+                        help="compaction policy to time under (default scc, "
+                             "matching the hostprof baseline)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per engine per workload; best is kept "
+                             "(default 3)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="BENCH_baseline.json to compute "
+                             "speedup_vs_baseline against (default "
+                             f"{DEFAULT_BASELINE}; missing file skips it)")
+    args = parser.parse_args(argv)
+
+    names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+    payload = collect(names, policy=args.policy, repeats=args.repeats,
+                      baseline_path=args.baseline)
+    problems = check_artifact(payload)
+    if problems:
+        for problem in problems:
+            print(f"artifact check: {problem}", file=sys.stderr)
+        return 1
+    path = Path(args.out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    for name, row in payload["workloads"].items():
+        vs_base = row.get("speedup_vs_baseline")
+        extra = f", {vs_base}x vs baseline" if vs_base is not None else ""
+        print(f"{name}: interp {row['interp_seconds']:.3f}s, fast "
+              f"{row['fast_seconds']:.3f}s ({row['speedup_vs_interp']}x"
+              f"{extra})", file=sys.stderr)
+    print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

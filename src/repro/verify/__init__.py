@@ -12,6 +12,13 @@ policies (RAW/IVB/BCC/SCC) are timing-only variants of one machine:
 3. :mod:`repro.verify.report` — the typed violation report and JSON
    artifact both layers feed, with :mod:`repro.errors` exit codes.
 
+A fourth, engine-parity layer (:mod:`repro.verify.engines`) runs each
+workload under both execution engines — the interleaved interpreter and
+the two-phase functional+replay fast core — and requires bit-identical
+digests, instruction counts, stats fingerprints, and (for
+mask-deterministic workloads) exact ``total_cycles``.  It is on by
+default; ``repro verify --no-engine-parity`` skips it.
+
 :func:`run_verify` is the orchestration entry point the CLI wraps.
 """
 
@@ -27,6 +34,11 @@ from .differential import (
     run_differential,
     verifiable_workloads,
     verify_workload_results,
+)
+from .engines import (
+    ENGINE_TIMING_TOLERANCE,
+    run_engine_parity,
+    verify_engine_results,
 )
 from .properties import fuzz_masks, random_mask, verify_sim_vs_profiler
 from .report import (
@@ -52,6 +64,7 @@ def run_verify(
     seed: int = 0,
     profiler_names: Optional[Sequence[str]] = None,
     timed_tolerance: float = TIMED_ORDERING_TOLERANCE,
+    engine_parity: bool = True,
 ) -> VerifyReport:
     """Run the full verification harness and aggregate one report.
 
@@ -59,11 +72,18 @@ def run_verify(
     simulations go through the shared runner (parallel + cached); the
     fuzz layer is pure analytics; the sim-vs-profiler replay runs on
     *profiler_names* (default: a small shape-diverse subset of *names*).
+    With *engine_parity* (the default), each workload additionally runs
+    under both execution engines and the results are cross-checked —
+    the interp leg dedupes against the differential runs through the
+    result cache, so the marginal cost is one fast run per workload.
     """
     workload_names = list(names) if names is not None else verifiable_workloads()
     report = VerifyReport()
     report.workloads = run_differential(workload_names, base_config, runner,
                                         timed_tolerance=timed_tolerance)
+    if engine_parity:
+        report.workloads.extend(
+            run_engine_parity(workload_names, base_config, runner))
     if fuzz_iterations > 0:
         report.properties.extend(fuzz_masks(fuzz_iterations, seed=seed))
     if profiler_names is None:
@@ -77,6 +97,7 @@ def run_verify(
 
 __all__ = [
     "ARTIFACT_SCHEMA",
+    "ENGINE_TIMING_TOLERANCE",
     "PropertyReport",
     "SIM_VS_PROFILER_DEFAULT",
     "TIMED_ORDERING_TOLERANCE",
@@ -88,8 +109,10 @@ __all__ = [
     "fuzz_masks",
     "random_mask",
     "run_differential",
+    "run_engine_parity",
     "run_verify",
     "verifiable_workloads",
+    "verify_engine_results",
     "verify_sim_vs_profiler",
     "verify_workload_results",
 ]

@@ -1,6 +1,7 @@
 """Regression tests for EU arbitration and SEND statistics accounting."""
 
 import numpy as np
+import pytest
 
 from repro.core.stats import CompactionStats
 from repro.eu.eu import ExecutionUnit
@@ -101,3 +102,126 @@ class TestSendRfAccounting:
                        - result.alu_stats.rf_accesses_bcc)
         assert send_rf_baseline == 8 * sends
         assert send_rf_bcc == 8 * sends  # full mask: all 4 quads active
+
+
+class TestSendStoreOccupancy:
+    """Regression: stores must hold the SEND pipe for their data payload.
+
+    A SIMD16 store moves its address payload (2 GRF registers of I32)
+    *and* its data payload (2 registers of F32) out of the register
+    file; the old occupancy charged only the address, so back-to-back
+    stores issued twice as fast as the RF port allows and the fig09
+    SEND-utilization split undercounted store traffic.
+    """
+
+    def test_store_occupancy_includes_data_payload(self):
+        from repro.eu.eu import _send_occupancy
+        from repro.isa.opcodes import Opcode
+
+        b = KernelBuilder("occ", 16)
+        surf = b.surface_arg("data")
+        gid = b.global_id()
+        addr = b.shl(b.vreg(DType.I32), gid, 2)
+        val = b.mov(b.vreg(DType.F32), 1.0)
+        b.store(val, addr, surf)
+        b.load(b.vreg(DType.F32), addr, surf)
+        program = b.finish()
+
+        load = next(i for i in program.instructions
+                    if i.opcode is Opcode.LOAD)
+        store = next(i for i in program.instructions
+                     if i.opcode is Opcode.STORE)
+        addr_regs = len(addr.regs(16))
+        data_regs = len(val.regs(16))
+        assert _send_occupancy(load) == addr_regs
+        assert _send_occupancy(store) == addr_regs + data_regs
+
+    def test_send_pipe_busy_cycles_charge_store_payload(self):
+        # End-to-end: one SIMD16 thread, one load and one store.  The
+        # SEND pipe must be busy for 2 (load address) + 4 (store address
+        # + data) cycles; the pre-fix occupancy yielded 4 total.
+        b = KernelBuilder("occ2", 16)
+        surf = b.surface_arg("data")
+        gid = b.global_id()
+        addr = b.shl(b.vreg(DType.I32), gid, 2)
+        x = b.load(b.vreg(DType.F32), addr, surf)
+        b.store(b.add(b.vreg(DType.F32), x, 1.0), addr, surf)
+        program = b.finish()
+
+        buffers = {"data": np.ones(16, np.float32)}
+        result = GpuSimulator(GpuConfig(num_eus=1)).run(
+            program, 16, buffers=buffers)
+        assert result.send_busy_cycles == 6
+        np.testing.assert_array_equal(buffers["data"], 2.0)
+
+
+def _random_alu_program(rng):
+    """Random SIMD8 dependency chain across the FPU and EM pipes."""
+    b = KernelBuilder(f"ne{rng.randrange(1 << 30)}", 8)
+    regs = [b.mov(b.vreg(DType.F32), 1.5)]
+    for _ in range(rng.randrange(4, 10)):
+        if rng.random() < 0.3:
+            regs.append(b.sqrt(b.vreg(DType.F32), rng.choice(regs)))
+        else:
+            regs.append(b.add(b.vreg(DType.F32), rng.choice(regs),
+                              rng.choice(regs)))
+    return b.finish()
+
+
+class TestNextEventBruteForce:
+    """`next_event` pinned against stepping every cycle.
+
+    The event accelerator is only allowed to *skip* cycles the EU
+    provably cannot issue on.  For random dependency chains, staggered
+    dispatch times, and every issue period 1..4, the issue history
+    (cycle, cumulative instructions) of an EU driven via ``next_event``
+    hops must be identical to the same EU stepped at every single
+    cycle — a floor that is ever too high would delay an issue and
+    diverge the histories.
+    """
+
+    @staticmethod
+    def _drive(seed, issue_period, event_driven):
+        import random
+
+        rng = random.Random(seed)
+        config = GpuConfig(num_eus=1, issue_period=issue_period)
+        eu = ExecutionUnit(0, config, MemoryHierarchy(MemoryParams()),
+                           CompactionStats(), CompactionStats())
+        num_threads = rng.randrange(2, 5)
+        programs = [_random_alu_program(rng) for _ in range(num_threads)]
+        for i, program in enumerate(programs):
+            eu.add_thread(EUThread(i, program, 0xFF,
+                                   start_cycle=rng.randrange(0, 7)))
+        history = []
+        issued = 0
+        now = 0
+        for _ in range(100_000):
+            eu.step(now)
+            if eu.instructions_issued != issued:
+                issued = eu.instructions_issued
+                history.append((now, issued))
+            if eu.threads_retired == num_threads:
+                return history
+            now = eu.next_event(now) if event_driven else now + 1
+        raise AssertionError("EU failed to drain within the horizon")
+
+    @pytest.mark.parametrize("issue_period", (1, 2, 3, 4))
+    @pytest.mark.parametrize("seed", range(6))
+    def test_event_hops_match_cycle_scan(self, seed, issue_period):
+        brute = self._drive(seed, issue_period, event_driven=False)
+        hops = self._drive(seed, issue_period, event_driven=True)
+        assert hops == brute
+
+    @pytest.mark.parametrize("issue_period", (1, 3))
+    def test_next_event_is_aligned_and_future(self, issue_period):
+        eu = ExecutionUnit(0, GpuConfig(num_eus=1,
+                                        issue_period=issue_period),
+                           MemoryHierarchy(MemoryParams()),
+                           CompactionStats(), CompactionStats())
+        eu.add_thread(EUThread(0, _independent_movs(), 0xFFFF,
+                               start_cycle=17))
+        for now in range(0, 24):
+            nxt = eu.next_event(now)
+            assert nxt > now
+            assert nxt % issue_period == 0

@@ -90,6 +90,28 @@ class TestArithmetic:
         # Shift amounts clamp to 31: result is 1 << 31 wrapped to int32 min.
         assert grf.read(dst, 16)[0] == np.int32(-2**31)
 
+    def test_i64_shl_beyond_31_not_truncated(self, grf):
+        # Regression: the clamp ceiling must follow the operand width.
+        # A fixed [0, 31] clamp silently turned this 40-bit shift into a
+        # 31-bit one (and the int64 intermediate kept it from wrapping).
+        dst = RegRef(10, DType.I64)
+        _exec(Opcode.SHL, dst, [Imm(1, DType.I64), Imm(40, DType.I64)], grf,
+              dtype=DType.I64)
+        np.testing.assert_array_equal(grf.read(dst, 16), np.int64(1) << 40)
+
+    def test_i64_shr_beyond_31_not_truncated(self, grf):
+        dst = RegRef(10, DType.I64)
+        _exec(Opcode.SHR, dst, [Imm(1 << 45, DType.I64), Imm(40, DType.I64)],
+              grf, dtype=DType.I64)
+        np.testing.assert_array_equal(grf.read(dst, 16), 32)
+
+    def test_i64_shift_clamps_at_63(self, grf):
+        dst = RegRef(10, DType.I64)
+        _exec(Opcode.SHR, dst, [Imm(-1, DType.I64), Imm(200, DType.I64)],
+              grf, dtype=DType.I64)
+        # Arithmetic shift of -1 by the clamped 63 stays -1.
+        np.testing.assert_array_equal(grf.read(dst, 16), -1)
+
     def test_min_max(self, grf):
         dst = RegRef(10, DType.F32)
         _exec(Opcode.MIN, dst, [RegRef(0), Imm(4.0)], grf)

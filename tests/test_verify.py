@@ -217,9 +217,13 @@ class TestVerifyCli:
         assert code == 0
         artifact = json.loads(artifact_path.read_text())
         assert artifact["passed"] is True
-        assert artifact["counts"]["workloads"] == 1
+        # One cross-policy verdict plus the interp-vs-fast parity verdict.
+        assert artifact["counts"]["workloads"] == 2
+        names = [w["workload"] for w in artifact["workloads"]]
+        assert names == ["va", "va@engines"]
         assert {p["name"] for p in artifact["properties"]} >= {
             "cycle-model", "unswizzle-inversion", "crossbar-roundtrip",
             "sim-vs-profiler"}
-        assert "1/1 workload(s) passed" in captured.err
+        assert "2/2 workload(s) passed" in captured.err
         assert "cross-policy differential verification" in captured.out
+        assert "engine parity" in captured.out
