@@ -15,11 +15,17 @@ Commands:
 * ``verify`` — cross-policy differential verification: run workloads
   under all four compaction policies, assert functional identity and
   cycle ordering, fuzz the analytic core, and emit a violation report.
+* ``serve`` — long-lived simulation daemon: an HTTP/JSON job service on
+  top of the shared runner (submit/status/result/trace/cancel), with
+  in-flight dedup, a durable job journal, and graceful SIGTERM drain.
+* ``client`` — talk to a running ``serve`` daemon: submit jobs, watch
+  them, fetch results/traces/metrics.
 
 Failures are typed (:mod:`repro.errors`) and map to stable exit codes:
 0 success, 1 verification mismatch, 2 usage error, 3 simulated deadlock,
-4 wall-clock timeout, 5 worker crash, 6 cache corruption, 130 interrupt.
-Every failure prints a one-line diagnosis on stderr — never a traceback.
+4 wall-clock timeout, 5 worker crash, 6 cache corruption, 7 service
+error, 130 interrupt.  Every failure prints a one-line diagnosis on
+stderr — never a traceback.
 """
 
 from __future__ import annotations
@@ -140,13 +146,31 @@ def _cmd_run(args) -> int:
               f"(simulated output does not match the host reference; "
               f"use --no-verify to inspect timing anyway)", file=sys.stderr)
         return 1
-    summary = result.summary(telemetry=telemetry_level != "off")
-    rows = [[key, value] for key, value in sorted(summary.items())]
-    print(format_table(["metric", "value"], rows,
-                       title=f"{args.workload} under {config.policy.value}"))
-    for policy in (CompactionPolicy.BCC, CompactionPolicy.SCC):
-        print(f"{policy.value.upper()} EU-cycle reduction vs IVB: "
-              f"{result.eu_cycle_reduction_pct(policy):.1f}%")
+    if args.json:
+        # The same typed payload the serve daemon stores for a job, so
+        # daemon-vs-foreground bit-identity is `diff` on two files.
+        from .serve.jobs import JobSpec, result_payload
+
+        spec = JobSpec(workload=args.workload, policy=args.policy,
+                       engine=args.engine, telemetry=telemetry_level,
+                       dc_lines_per_cycle=2.0 if args.dc2 else 1.0,
+                       perfect_l3=args.perfect_l3,
+                       max_cycles=args.max_cycles,
+                       verify=not args.no_verify)
+        text = json.dumps(result_payload(spec, result), indent=2,
+                          sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text + "\n")
+    if args.json != "-":
+        summary = result.summary(telemetry=telemetry_level != "off")
+        rows = [[key, value] for key, value in sorted(summary.items())]
+        print(format_table(["metric", "value"], rows,
+                           title=f"{args.workload} under {config.policy.value}"))
+        for policy in (CompactionPolicy.BCC, CompactionPolicy.SCC):
+            print(f"{policy.value.upper()} EU-cycle reduction vs IVB: "
+                  f"{result.eu_cycle_reduction_pct(policy):.1f}%")
     if args.trace_out:
         from .telemetry import export_chrome_trace
 
@@ -499,7 +523,8 @@ def _cmd_sweep(args) -> int:
                f"{stats.wall_seconds:.2f}s with {runner.workers} worker(s)")
     if stats.executed:
         summary += (f"; {stats.host_seconds:.2f}s simulating at "
-                    f"{stats.cycles_per_second:,.0f} cycles/s")
+                    f"{stats.cycles_per_second:,.0f} cycles/s, "
+                    f"{stats.queue_seconds:.2f}s queued")
     if resumed:
         summary += f"; {len(resumed)} resumed from journal"
     if failures:
@@ -585,6 +610,122 @@ def _cmd_verify(args) -> int:
     return report.exit_code()
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve.http import serve_forever
+    from .serve.service import JobService
+
+    data_dir = Path(args.data_dir).expanduser()
+    runner = _runner_from_args(args)
+    service = JobService(
+        data_dir,
+        runner=runner,
+        queue_limit=args.queue_limit,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        batch_max=args.batch_max,
+    )
+    recovered = int(service.counters.get("serve.jobs.recovered"))
+    if recovered:
+        print(f"serve: recovered {recovered} unresolved job(s) from the "
+              f"journal", file=sys.stderr)
+
+    def _ready(bound) -> None:
+        host, port = bound[0], bound[1]
+        print(f"serve: listening on http://{host}:{port} "
+              f"(data dir {data_dir}, {runner.workers} worker(s), "
+              f"queue limit {args.queue_limit})", file=sys.stderr, flush=True)
+
+    code = asyncio.run(serve_forever(service, args.host, args.port,
+                                     ready=_ready))
+    pending = len(service.list_jobs(state="queued"))
+    note = f"; {pending} queued job(s) journaled for restart" if pending else ""
+    print(f"serve: drained cleanly{note}", file=sys.stderr)
+    return code
+
+
+def _client_spec(args) -> Dict[str, Any]:
+    """Assemble the POST /jobs payload from ``client submit`` flags."""
+    params: Dict[str, Any] = {}
+    for item in args.param or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"bad --param {item!r}; expected KEY=VALUE")
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    spec: Dict[str, Any] = {
+        "workload": args.workload,
+        "policy": args.policy,
+        "engine": args.engine,
+        "telemetry": args.telemetry,
+        "verify": not args.no_verify,
+    }
+    if args.dc2:
+        spec["dc_lines_per_cycle"] = 2.0
+    if args.perfect_l3:
+        spec["perfect_l3"] = True
+    if args.max_cycles:
+        spec["max_cycles"] = args.max_cycles
+    if params:
+        spec["params"] = params
+    return spec
+
+
+def _cmd_client(args) -> int:
+    from .serve.client import ServeClient
+
+    client = ServeClient(host=args.host, port=args.port,
+                         client_id=args.client_id)
+
+    def emit(body: Any, path: Optional[str] = None) -> None:
+        text = json.dumps(body, indent=2, sort_keys=True)
+        if path:
+            Path(path).write_text(text + "\n")
+            print(f"wrote {path}", file=sys.stderr)
+        else:
+            print(text)
+
+    action = args.action
+    if action == "submit":
+        status = client.submit(_client_spec(args))
+        if args.watch:
+            status = client.watch(status["id"], timeout=args.watch_timeout)
+            if status["state"] == "done":
+                emit(client.result(status["id"]), args.out)
+            else:
+                emit(status)
+            return 0 if status["state"] == "done" else (
+                status.get("exit_code") or 7)
+        emit(status)
+    elif action == "status":
+        emit(client.status(args.job_id))
+    elif action == "watch":
+        status = client.watch(args.job_id, timeout=args.watch_timeout)
+        emit(status)
+        return 0 if status["state"] == "done" else (
+            status.get("exit_code") or 7)
+    elif action == "result":
+        body = client.result(args.job_id)
+        emit(body, args.out)
+        if body.get("state") == "failed":
+            return body.get("exit_code") or 7
+    elif action == "trace":
+        emit(client.trace(args.job_id), args.out)
+    elif action == "cancel":
+        emit(client.cancel(args.job_id))
+    elif action == "jobs":
+        emit(client.jobs(state=args.state, workload=args.workload,
+                         limit=args.limit))
+    elif action == "metrics":
+        emit(client.metrics())
+    elif action == "health":
+        emit(client.health())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -624,6 +765,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace-out", metavar="PATH", default=None,
                      help="write a Chrome-trace JSON of the run to PATH "
                           "(implies --telemetry trace; open in Perfetto)")
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="write the typed result payload (digest, counts, "
+                          "stats fingerprints — the same document `repro "
+                          "serve` stores per job) to PATH, '-' for stdout")
     run.add_argument("--profile", action="store_true",
                      help="profile the simulator itself: host time by "
                           "subsystem and by opcode")
@@ -722,6 +867,96 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--progress", action="store_true",
                         help="report per-job progress on stderr")
     _add_runner_flags(verify)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation daemon: an HTTP/JSON job service on top "
+             "of the shared runner")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="bind port (default 8642; 0 picks a free port)")
+    serve.add_argument("--data-dir",
+                       default=os.environ.get("REPRO_SERVE_DIR",
+                                              "~/.cache/repro-sim/serve"),
+                       help="daemon state directory: job journal + exported "
+                            "traces (default $REPRO_SERVE_DIR or "
+                            "~/.cache/repro-sim/serve)")
+    serve.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                       help="max queued jobs before submissions get 503 "
+                            "(default 64)")
+    serve.add_argument("--rate-limit", type=float, default=None,
+                       metavar="PER_SEC",
+                       help="per-client submission rate limit; exceeding "
+                            "clients get 429 (default: unlimited)")
+    serve.add_argument("--rate-burst", type=int, default=None, metavar="N",
+                       help="token-bucket burst depth for --rate-limit")
+    serve.add_argument("--batch-max", type=int, default=32, metavar="N",
+                       help="max queued jobs dispatched to the runner as "
+                            "one batch (default 32)")
+    serve.add_argument("--no-verify", action="store_true",
+                       help="skip host reference checks for served jobs")
+    _add_runner_flags(serve)
+
+    client = sub.add_parser(
+        "client", help="talk to a running `repro serve` daemon")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=8642)
+    client.add_argument("--client-id", default="",
+                        help="client identity sent as X-Repro-Client "
+                             "(rate limits apply per identity)")
+    csub = client.add_subparsers(dest="action", required=True)
+
+    submit = csub.add_parser("submit", help="submit one job")
+    submit.add_argument("workload")
+    submit.add_argument("--policy", default="ivb")
+    submit.add_argument("--engine", choices=("interp", "fast"),
+                        default="interp")
+    submit.add_argument("--telemetry", choices=("off", "counters", "trace"),
+                        default="off")
+    submit.add_argument("--dc2", action="store_true",
+                        help="double data-cluster bandwidth")
+    submit.add_argument("--perfect-l3", action="store_true")
+    submit.add_argument("--max-cycles", type=int, default=None, metavar="N")
+    submit.add_argument("--no-verify", action="store_true")
+    submit.add_argument("--param", action="append", metavar="KEY=VALUE",
+                        help="workload factory parameter (JSON value or "
+                             "bare string; repeatable)")
+    submit.add_argument("--watch", action="store_true",
+                        help="block until the job finishes and print its "
+                             "result")
+    submit.add_argument("--watch-timeout", type=float, default=300.0,
+                        metavar="SEC")
+    submit.add_argument("--out", metavar="PATH", default=None,
+                        help="with --watch: write the result JSON to PATH")
+
+    status = csub.add_parser("status", help="one job's status")
+    status.add_argument("job_id")
+
+    watch = csub.add_parser("watch", help="poll a job to completion")
+    watch.add_argument("job_id")
+    watch.add_argument("--watch-timeout", type=float, default=300.0,
+                       metavar="SEC")
+
+    result = csub.add_parser("result", help="fetch a finished job's result")
+    result.add_argument("job_id")
+    result.add_argument("--out", metavar="PATH", default=None)
+
+    trace = csub.add_parser("trace", help="fetch a job's Chrome trace")
+    trace.add_argument("job_id")
+    trace.add_argument("--out", metavar="PATH", default=None)
+
+    cancel = csub.add_parser("cancel", help="cancel a queued job")
+    cancel.add_argument("job_id")
+
+    jobs = csub.add_parser("jobs", help="list the daemon's jobs")
+    jobs.add_argument("--state", default=None,
+                      help="queued|running|done|failed|cancelled")
+    jobs.add_argument("--workload", default=None)
+    jobs.add_argument("--limit", type=int, default=None)
+
+    csub.add_parser("metrics", help="service counters and gauges")
+    csub.add_parser("health", help="daemon liveness")
     return parser
 
 
@@ -735,6 +970,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "sweep": _cmd_sweep,
         "verify": _cmd_verify,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
     }
     try:
         return handlers[args.command](args)

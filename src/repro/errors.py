@@ -21,9 +21,16 @@ code  exception                  meaning
 4     :class:`JobTimeoutError`   job exceeded its wall-clock budget
 5     :class:`WorkerCrashError`  worker process died / raised
 6     :class:`CacheCorruptionError`  unreadable result-cache entry
+7     :class:`ServiceError`      serve daemon rejected / lost a request
 8     :class:`SimulationError`   any other typed simulation failure
 130   ``KeyboardInterrupt``      interrupted (resumable via --resume)
 ====  =========================  =============================
+
+The service errors double as HTTP statuses: every
+:class:`SimulationError` carries an ``http_status`` class attribute the
+``repro serve`` daemon uses verbatim when a request maps onto that
+failure (429 for :class:`RateLimitError`, 503 for
+:class:`QueueFullError`, 500 otherwise).
 """
 
 from __future__ import annotations
@@ -35,6 +42,9 @@ __all__ = [
     "WorkerCrashError",
     "CacheCorruptionError",
     "JobTimeoutError",
+    "ServiceError",
+    "QueueFullError",
+    "RateLimitError",
     "exit_code_for",
     "describe",
 ]
@@ -49,10 +59,13 @@ class SimulationError(Exception):
     * ``transient`` — whether a retry could plausibly succeed (worker
       crashes may be environmental; deadlocks and verification failures
       are deterministic and never retried).
+    * ``http_status`` — the response status the ``repro serve`` daemon
+      answers with when this failure terminates a request.
     """
 
     exit_code = 8
     transient = False
+    http_status = 500
 
 
 class DeadlockError(SimulationError, RuntimeError):
@@ -110,6 +123,41 @@ class CacheCorruptionError(SimulationError):
     """
 
     exit_code = 6
+
+
+class ServiceError(SimulationError):
+    """The ``repro serve`` daemon rejected or could not honor a request.
+
+    Base of the service-side taxonomy: raised client-side by
+    :class:`repro.serve.client.ServeClient` when the daemon is
+    unreachable or answers with an error the client cannot map to a
+    more specific type, and subclassed for the daemon's own typed
+    rejections below.
+    """
+
+    exit_code = 7
+
+
+class QueueFullError(ServiceError):
+    """The daemon's bounded job queue is full (or it is draining).
+
+    Mapped to HTTP 503 with a ``Retry-After`` hint: backpressure, not
+    failure — the submission can be retried once the queue drains.
+    """
+
+    http_status = 503
+    transient = True
+
+
+class RateLimitError(ServiceError):
+    """A client exceeded its per-client submission rate limit.
+
+    Mapped to HTTP 429; like :class:`QueueFullError` this is
+    backpressure and safe to retry after the advertised delay.
+    """
+
+    http_status = 429
+    transient = True
 
 
 def exit_code_for(exc: BaseException) -> int:

@@ -9,7 +9,13 @@ names where one exists.
 
 from typing import Callable, Dict
 
-from .faults import FAULT_PREFIX, crash_once, sleep_then_run, spin_forever
+from .faults import (
+    FAULT_PREFIX,
+    count_executions,
+    crash_once,
+    sleep_then_run,
+    spin_forever,
+)
 from .finance import binomial_option, black_scholes, monte_carlo_asian
 from .graphics import fragment_shade
 from .imaging import box_filter, gaussian_noise, sobel
@@ -89,6 +95,7 @@ WORKLOAD_REGISTRY: Dict[str, Callable[[], Workload]] = {
     "fault_spin": spin_forever,
     "fault_sleep": sleep_then_run,
     "fault_crash": crash_once,
+    "fault_count": count_executions,
 }
 
 #: Fault-injection entries: in the registry (so workers can rebuild them
@@ -141,6 +148,7 @@ __all__ = [
     "black_scholes",
     "box_filter",
     "branch_pattern",
+    "count_executions",
     "crash_once",
     "dot_product",
     "eigenvalue",

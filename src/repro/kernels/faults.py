@@ -22,6 +22,11 @@ fault injection can never poison real experiment results.
 * :func:`crash_once` — raises or hard-exits in the worker; with a
   *marker* file the fault fires exactly once, so retries and serial
   degradation can be shown to recover.
+* :func:`count_executions` — appends one line to a *counter* file per
+  execution (optionally sleeping first); because fault workloads are
+  never cached, the line count is an exact execution count, which is
+  how the serve-layer dedup tests prove "two identical submissions,
+  one simulation".
 """
 
 from __future__ import annotations
@@ -177,4 +182,46 @@ def crash_once(marker: str = "", mode: Optional[str] = None, n: int = 64,
         check=check,
         category="fault",
         description=f"crashes the worker ({mode}); oneshot when marker given",
+    )
+
+
+def count_executions(counter: str = "", sleep: float = 0.0, n: int = 64,
+                     simd_width: int = 8) -> Workload:
+    """Append one line to *counter* per execution, then run the payload.
+
+    Args:
+        counter: path of the tally file; each execution durably appends
+            one ``<pid>\\n`` line before launching.  Fault workloads are
+            never cached, so the number of lines equals the number of
+            actual simulations — the ground truth the in-flight dedup
+            tests assert against.  Empty defers to
+            ``$REPRO_FAULT_COUNTER`` (and counts nothing if that is
+            unset too).
+        sleep: optional host-side delay before the launch, to hold the
+            job in flight long enough for a concurrent duplicate
+            submission to arrive.
+    """
+    counter = counter or os.environ.get("REPRO_FAULT_COUNTER", "")
+    buffers, check = _copy_buffers(n)
+
+    def steps(_buffers, index: int) -> Optional[LaunchStep]:
+        if index == 0:
+            if counter:
+                with open(counter, "a", encoding="utf-8") as fh:
+                    fh.write(f"{os.getpid()}\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            if sleep:
+                time.sleep(sleep)
+            return LaunchStep(global_size=n)
+        return None
+
+    return Workload(
+        name="fault_count",
+        program=_copy_kernel("fault_count", simd_width),
+        buffers=buffers,
+        steps=steps,
+        check=check,
+        category="fault",
+        description="tallies executions in a file; proves dedup/retry counts",
     )

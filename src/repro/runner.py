@@ -267,15 +267,20 @@ class ResultCache:
     """Content-keyed pickle store of :class:`KernelRunResult`.
 
     Entry names combine the (sanitized) workload name, the job key, and
-    the code salt.  Writes are crash-safe: the payload goes to a
-    uniquely-named temp file in the same directory, is fsynced, and is
-    ``os.replace``-d into place, so a killed process can never leave a
-    truncated entry behind (at worst an orphaned ``.*.tmp`` file, swept
-    by :meth:`clear`).  A corrupted or unreadable entry is *quarantined*
-    — moved into ``<root>/quarantine/`` for post-mortem inspection — and
-    treated as a miss so the job falls back to re-simulation; with
-    ``strict=True`` (or ``$REPRO_STRICT_CACHE``) it raises
-    :class:`~repro.errors.CacheCorruptionError` instead.
+    the code salt.  Entries are *sharded* two directory levels deep by
+    digest prefix (``<root>/ab/cd/<name>-abcd....pkl``) so a
+    service-scale cache of hundreds of thousands of results never
+    degrades into one giant flat directory; flat entries written by
+    older versions are still found and transparently migrated into
+    their shard on first read.  Writes are crash-safe: the payload goes
+    to a uniquely-named temp file in the same directory, is fsynced, and
+    is ``os.replace``-d into place, so a killed process can never leave
+    a truncated entry behind (at worst an orphaned ``.*.tmp`` file,
+    swept by :meth:`clear`).  A corrupted or unreadable entry is
+    *quarantined* — moved into ``<root>/quarantine/`` for post-mortem
+    inspection — and treated as a miss so the job falls back to
+    re-simulation; with ``strict=True`` (or ``$REPRO_STRICT_CACHE``) it
+    raises :class:`~repro.errors.CacheCorruptionError` instead.
     """
 
     def __init__(self, root: Optional[os.PathLike] = None,
@@ -289,6 +294,9 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        #: Flat (pre-sharding) entries migrated into their shard this
+        #: session.
+        self.migrated = 0
         #: Quarantine destinations of entries condemned this session.
         self.quarantined: List[Path] = []
 
@@ -296,20 +304,44 @@ class ResultCache:
     def quarantine_dir(self) -> Path:
         return self.root / "quarantine"
 
-    def path_for(self, job: Job) -> Path:
+    def _entry_name(self, job: Job) -> str:
         name = re.sub(r"[^A-Za-z0-9_.-]", "_", job.workload)
         digest = hashlib.sha256(
             f"{job.key}|{self.salt}".encode("utf-8")
         ).hexdigest()[:32]
-        return self.root / f"{name}-{digest}.pkl"
+        return f"{name}-{digest}.pkl"
+
+    def path_for(self, job: Job) -> Path:
+        """Sharded location of *job*'s entry: ``<root>/ab/cd/<entry>``.
+
+        The shard is the first four hex digits of the entry digest (the
+        trailing part of the file name), giving a 256x256 fanout.
+        """
+        entry = self._entry_name(job)
+        digest = entry.rsplit("-", 1)[1]
+        return self.root / digest[:2] / digest[2:4] / entry
+
+    def legacy_path_for(self, job: Job) -> Path:
+        """Pre-sharding flat location (read-through migration source)."""
+        return self.root / self._entry_name(job)
 
     def load(self, job: Job) -> Optional[KernelRunResult]:
         path = self.path_for(job)
+        migrate_from: Optional[Path] = None
         try:
             data = path.read_bytes()
         except OSError:
-            self.misses += 1
-            return None
+            # Fall back to the flat pre-sharding layout; a hit there is
+            # migrated into its shard below so the flat directory drains
+            # as it is read.
+            legacy = self.legacy_path_for(job)
+            try:
+                data = legacy.read_bytes()
+            except OSError:
+                self.misses += 1
+                return None
+            migrate_from = legacy
+            path = legacy
         try:
             result = pickle.loads(data)
             if not isinstance(result, KernelRunResult):
@@ -325,8 +357,20 @@ class ResultCache:
                     f"({type(exc).__name__}: {exc}){where}"
                 ) from exc
             return None
+        if migrate_from is not None:
+            self._migrate(job, migrate_from)
         self.hits += 1
         return result
+
+    def _migrate(self, job: Job, legacy: Path) -> None:
+        """Move a readable flat entry into its shard (best effort)."""
+        target = self.path_for(job)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(legacy, target)
+        except OSError:  # pragma: no cover - racing writer/reader
+            return
+        self.migrated += 1
 
     def _quarantine(self, path: Path) -> Optional[Path]:
         """Move a condemned entry aside; fall back to deleting it."""
@@ -344,8 +388,8 @@ class ResultCache:
         return target
 
     def store(self, job: Job, result: KernelRunResult) -> None:
-        self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
         # Unique per (process, sequence number): concurrent writers of
         # the same entry never collide, and a crash mid-write leaves only
         # this temp file — the published entry is always complete.
@@ -366,20 +410,23 @@ class ResultCache:
 
     def clear(self) -> int:
         """Delete every cache entry (and stale temp files); returns the
-        number of entries removed."""
+        number of entries removed.  Covers both the sharded layout and
+        any flat pre-sharding leftovers."""
         removed = 0
         if self.root.is_dir():
-            for path in self.root.glob("*.pkl"):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
-            for stale in self.root.glob(".*.tmp"):
-                try:
-                    stale.unlink()
-                except OSError:
-                    pass
+            for pattern in ("*.pkl", "*/*/*.pkl"):
+                for path in self.root.glob(pattern):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+            for pattern in (".*.tmp", "*/*/.*.tmp"):
+                for stale in self.root.glob(pattern):
+                    try:
+                        stale.unlink()
+                    except OSError:
+                        pass
         return removed
 
 
@@ -398,11 +445,16 @@ class JobEvent:
 
     job: Job
     status: str  # "cached" | "executed" | "failed"
-    elapsed: float  # seconds spent resolving this job
+    elapsed: float  # seconds spent *executing* this job (0 for cached)
     index: int  # 1-based position among the batch's unique jobs
     total: int  # number of unique jobs in the batch
     result: Optional[KernelRunResult] = None
     error: Optional[BaseException] = None
+    #: Seconds this job spent waiting to start (behind earlier jobs in
+    #: the serial path, or queued behind busy pool workers) before its
+    #: execution clock began.  Kept separate from ``elapsed`` so wait
+    #: and execution are never conflated (the PR-3 deadline bug).
+    queue_wait: float = 0.0
 
 
 @dataclass
@@ -417,6 +469,11 @@ class RunStats:
     #: Host seconds spent actually simulating (sum of per-job elapsed
     #: time over executed jobs; cache hits cost ~0 and are excluded).
     host_seconds: float = 0.0
+    #: Host seconds jobs spent *queued* before execution began (sum of
+    #: per-job waits over executed and failed jobs).  Disjoint from
+    #: ``host_seconds``: wait and execution are first-class, separate
+    #: quantities.
+    queue_seconds: float = 0.0
     #: Simulated GPU cycles produced by the executed jobs.
     total_cycles: int = 0
     #: Jobs that ultimately failed (after retries), keyed by job key.
@@ -552,13 +609,14 @@ class Runner:
 
         def emit(job: Job, status: str, elapsed: float,
                  result: Optional[KernelRunResult] = None,
-                 error: Optional[BaseException] = None) -> None:
+                 error: Optional[BaseException] = None,
+                 queue_wait: float = 0.0) -> None:
             nonlocal progress_index
             progress_index += 1
             if self.progress is not None:
                 self.progress(JobEvent(job, status, elapsed,
                                        progress_index, len(unique),
-                                       result, error))
+                                       result, error, queue_wait))
 
         try:
             for key, job in unique.items():
@@ -575,13 +633,14 @@ class Runner:
             named = [job for job in pending if job.factory is None]
             inline = [job for job in pending if job.factory is not None]
 
+            queued_since = time.monotonic()
             if len(named) > 1 and self.workers > 1:
-                self._run_pool(named, results, stats, emit)
+                self._run_pool(named, results, stats, emit, queued_since)
             else:
                 for job in named:
-                    self._run_local(job, results, stats, emit)
+                    self._run_local(job, results, stats, emit, queued_since)
             for job in inline:
-                self._run_local(job, results, stats, emit)
+                self._run_local(job, results, stats, emit, queued_since)
         finally:
             stats.wall_seconds = time.perf_counter() - start
             self.last_stats = stats
@@ -597,22 +656,24 @@ class Runner:
 
     def _finish(self, job: Job, result: KernelRunResult,
                 results: Dict[str, KernelRunResult], stats: RunStats,
-                emit, elapsed: float) -> None:
+                emit, elapsed: float, queue_wait: float = 0.0) -> None:
         results[job.key] = result
         stats.executed += 1
         stats.host_seconds += elapsed
+        stats.queue_seconds += queue_wait
         stats.total_cycles += result.total_cycles
         if self.cache is not None and job.cacheable:
             self.cache.store(job, result)
-        emit(job, "executed", elapsed, result=result)
+        emit(job, "executed", elapsed, result=result, queue_wait=queue_wait)
 
     def _fail(self, job: Job, error: BaseException, stats: RunStats,
-              emit, elapsed: float) -> None:
+              emit, elapsed: float, queue_wait: float = 0.0) -> None:
         stats.failed += 1
         if isinstance(error, JobTimeoutError):
             stats.timeouts += 1
+        stats.queue_seconds += queue_wait
         stats.failures[job.key] = error
-        emit(job, "failed", elapsed, error=error)
+        emit(job, "failed", elapsed, error=error, queue_wait=queue_wait)
 
     def _backoff(self, attempt: int) -> None:
         delay = self.retry_backoff * (2 ** (attempt - 1))
@@ -624,9 +685,14 @@ class Runner:
             return self.timeout_grace
         return max(2.0, self.timeout or 0.0)
 
-    def _run_local(self, job: Job, results, stats, emit) -> None:
+    def _run_local(self, job: Job, results, stats, emit,
+                   queued_since: Optional[float] = None) -> None:
         from .kernels.workload import run_workload
 
+        # Time spent behind earlier jobs of this batch, measured up to
+        # the moment execution (first attempt) begins.
+        queue_wait = (max(0.0, time.monotonic() - queued_since)
+                      if queued_since is not None else 0.0)
         attempt = 0
         while True:
             tick = time.perf_counter()
@@ -638,7 +704,7 @@ class Runner:
                 # Typed failures are deterministic: retrying a deadlock
                 # or a verification mismatch would reproduce it.
                 self._fail(job, exc, stats, emit,
-                           time.perf_counter() - tick)
+                           time.perf_counter() - tick, queue_wait)
                 return
             except (KeyboardInterrupt, SystemExit):
                 raise
@@ -653,14 +719,15 @@ class Runner:
                     f"attempt(s): {describe(exc)}")
                 crash.__cause__ = exc
                 self._fail(job, crash, stats, emit,
-                           time.perf_counter() - tick)
+                           time.perf_counter() - tick, queue_wait)
                 return
             else:
                 self._finish(job, result, results, stats, emit,
-                             time.perf_counter() - tick)
+                             time.perf_counter() - tick, queue_wait)
                 return
 
-    def _run_pool(self, named: List[Job], results, stats, emit) -> None:
+    def _run_pool(self, named: List[Job], results, stats, emit,
+                  queued_since: Optional[float] = None) -> None:
         """Fan *named* jobs across worker processes, surviving faults.
 
         Each round submits the outstanding jobs to a fresh
@@ -672,17 +739,24 @@ class Runner:
         """
         remaining = list(named)
         attempt = {job.key: 0 for job in named}
+        queued_at = (queued_since if queued_since is not None
+                     else time.monotonic())
         while remaining:
             remaining, pool_died = self._pool_round(remaining, attempt,
-                                                    results, stats, emit)
+                                                    results, stats, emit,
+                                                    queued_at)
             if pool_died and remaining:
                 stats.degraded += 1
                 for job in remaining:
-                    self._run_local(job, results, stats, emit)
+                    self._run_local(job, results, stats, emit, queued_at)
                 return
+            # Retry rounds measure waiting from the moment the jobs
+            # became runnable again, not from the original batch start.
+            queued_at = time.monotonic()
 
     def _pool_round(self, jobs: List[Job], attempt: Dict[str, int],
-                    results, stats, emit) -> Tuple[List[Job], bool]:
+                    results, stats, emit,
+                    queued_at: float) -> Tuple[List[Job], bool]:
         """One process-pool pass; returns (jobs to rerun, pool died?)."""
         retry: List[Job] = []
         broken = False
@@ -690,6 +764,7 @@ class Runner:
         pool = ProcessPoolExecutor(max_workers=workers)
         futures: Dict[Any, Job] = {}
         started: Dict[Any, float] = {}
+        waited: Dict[Any, float] = {}
         queue = list(jobs)
 
         def submit_next() -> Any:
@@ -705,6 +780,7 @@ class Runner:
                 job.verify and self.verify, self.timeout)
             futures[future] = job
             started[future] = time.monotonic()
+            waited[future] = max(0.0, started[future] - queued_at)
             return future
 
         try:
@@ -718,13 +794,15 @@ class Runner:
                 for future in done:
                     job = futures[future]
                     elapsed = time.monotonic() - started[future]
+                    queue_wait = waited[future]
                     try:
                         result = future.result()
                     except BrokenProcessPool:
                         broken = True
                         retry.append(job)
                     except SimulationError as exc:
-                        self._fail(job, exc, stats, emit, elapsed)
+                        self._fail(job, exc, stats, emit, elapsed,
+                                   queue_wait)
                     except Exception as exc:
                         if attempt[job.key] < self.retries:
                             attempt[job.key] += 1
@@ -737,10 +815,11 @@ class Runner:
                                 f"{attempt[job.key] + 1} attempt(s): "
                                 f"{describe(exc)}")
                             crash.__cause__ = exc
-                            self._fail(job, crash, stats, emit, elapsed)
+                            self._fail(job, crash, stats, emit, elapsed,
+                                       queue_wait)
                     else:
                         self._finish(job, result, results, stats, emit,
-                                     elapsed)
+                                     elapsed, queue_wait)
                     if queue and not broken:
                         outstanding.add(submit_next())
                 if broken:
@@ -768,7 +847,8 @@ class Runner:
                                 f"{self.timeout:g}s budget (+"
                                 f"{self._grace_seconds():g}s grace) and "
                                 f"did not self-terminate; worker killed"),
-                                stats, emit, now - started[future])
+                                stats, emit, now - started[future],
+                                waited[future])
                         overdue_set = set(overdue)
                         retry.extend(futures[f] for f in outstanding
                                      if f not in overdue_set)

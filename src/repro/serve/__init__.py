@@ -1,0 +1,41 @@
+"""Simulation-as-a-service: the ``repro serve`` daemon and its client.
+
+A long-lived asyncio daemon exposing the runner over HTTP/JSON —
+submit workload x policy x config jobs, poll status, fetch typed
+results and Chrome traces — with in-flight dedup, a durable job
+journal for restart recovery, admission control (bounded queue +
+per-client rate limiting) and graceful SIGTERM drain.  Stdlib only.
+
+Layers (each importable on its own):
+
+* :mod:`repro.serve.jobs` — JobSpec/JobRecord/result payloads;
+* :mod:`repro.serve.journal` — durable JSONL job journal;
+* :mod:`repro.serve.service` — queue, dedup, dispatch, metrics;
+* :mod:`repro.serve.http` — the HTTP surface + graceful shutdown;
+* :mod:`repro.serve.client` — synchronous client (``repro client``).
+"""
+
+from .client import ServeClient, ServeClientError
+from .jobs import RESULT_SCHEMA, JobRecord, JobSpec, JobState, result_payload
+from .journal import ServeJournal
+from .service import (
+    JobService,
+    NotCancellableError,
+    RateLimiter,
+    UnknownJobError,
+)
+
+__all__ = [
+    "RESULT_SCHEMA",
+    "JobRecord",
+    "JobService",
+    "JobSpec",
+    "JobState",
+    "NotCancellableError",
+    "RateLimiter",
+    "ServeClient",
+    "ServeClientError",
+    "ServeJournal",
+    "UnknownJobError",
+    "result_payload",
+]

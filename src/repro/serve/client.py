@@ -1,0 +1,142 @@
+"""Synchronous client for the ``repro serve`` daemon.
+
+Thin stdlib-``http.client`` wrapper used by the ``repro client`` CLI,
+the test-suite, and the CI smoke job.  Every method returns the decoded
+JSON body; non-2xx responses raise :class:`ServeClientError` carrying
+the HTTP status and the daemon's error message, and
+:meth:`ServeClient.watch` polls a job to a terminal state.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, Optional
+
+from ..errors import ServiceError
+
+#: Poll period for :meth:`ServeClient.watch` (seconds).
+WATCH_INTERVAL = 0.25
+
+TERMINAL = ("done", "failed", "cancelled")
+
+
+class ServeClientError(ServiceError):
+    """The daemon answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """One daemon endpoint (``host:port``), one request per call."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 client_id: str = "", timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                body: Optional[Any] = None) -> Any:
+        """One JSON round-trip; typed error on non-2xx responses."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        headers = {"Content-Type": "application/json",
+                   "Connection": "close"}
+        if self.client_id:
+            headers["X-Repro-Client"] = self.client_id
+        try:
+            conn.request(method, path,
+                         body=(json.dumps(body) if body is not None
+                               else None),
+                         headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except OSError as exc:
+            raise ServeClientError(
+                0, f"cannot reach repro serve at "
+                   f"{self.host}:{self.port}: {exc}") from exc
+        finally:
+            conn.close()
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            payload = {"error": raw[:200].decode("latin-1")}
+        if response.status >= 400:
+            message = (payload.get("error", f"HTTP {response.status}")
+                       if isinstance(payload, dict) else str(payload))
+            raise ServeClientError(response.status, message)
+        return payload
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("GET", "/metrics")
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit one JobSpec payload; returns the job status body."""
+        return self.request("POST", "/jobs", body=spec)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/jobs/{job_id}/result")
+
+    def trace(self, job_id: str) -> Any:
+        return self.request("GET", f"/jobs/{job_id}/trace")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request("DELETE", f"/jobs/{job_id}")
+
+    def jobs(self, **filters: Any) -> Dict[str, Any]:
+        query = "&".join(f"{key}={value}" for key, value in filters.items()
+                         if value is not None)
+        return self.request("GET", "/jobs" + (f"?{query}" if query else ""))
+
+    # -- conveniences ------------------------------------------------------
+
+    def watch(self, job_id: str, timeout: float = 300.0,
+              interval: float = WATCH_INTERVAL) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns it.
+
+        Raises :class:`ServeClientError` (status 0) on deadline — the
+        job itself is left alone.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status.get("state") in TERMINAL:
+                return status
+            if time.monotonic() >= deadline:
+                raise ServeClientError(
+                    0, f"job {job_id} still {status.get('state')!r} "
+                       f"after {timeout:g}s")
+            time.sleep(interval)
+
+    def wait_ready(self, timeout: float = 10.0,
+                   interval: float = 0.1) -> Dict[str, Any]:
+        """Block until /healthz answers (daemon startup handshake)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except ServeClientError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)
+
+    def iter_watch(self, job_ids, timeout: float = 300.0
+                   ) -> Iterator[Dict[str, Any]]:
+        """Watch several jobs, yielding each as it completes."""
+        for job_id in job_ids:
+            yield self.watch(job_id, timeout=timeout)

@@ -1,0 +1,238 @@
+"""The ``repro serve`` HTTP surface: stdlib-asyncio JSON-over-HTTP.
+
+A deliberately small hand-rolled HTTP/1.1 server on
+``asyncio.start_server`` — no web framework, keeping the daemon inside
+the repo's no-new-dependencies rule.  One connection carries one
+request; every response is JSON (traces are JSON too) and carries
+``Connection: close``.
+
+Routes::
+
+    POST   /jobs             submit a JobSpec            -> 202 status
+    GET    /jobs             list jobs (?state=&workload=&client=&limit=)
+    GET    /jobs/{id}        job status
+    GET    /jobs/{id}/result typed result payload        (done jobs)
+    GET    /jobs/{id}/trace  Chrome trace JSON           (telemetry=trace)
+    DELETE /jobs/{id}        cancel a queued job
+    GET    /metrics          service counters + gauges
+    GET    /healthz          liveness (also reports draining)
+
+Error mapping is typed end to end: admission and lookup failures are
+:class:`~repro.errors.SimulationError` subclasses whose ``http_status``
+chooses the response code (429 rate limit, 503 queue full/draining,
+404 unknown job, 409 not cancellable), and malformed specs are 400s.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .. import __version__
+from ..errors import SimulationError
+from .jobs import JobState
+from .service import JobService
+
+#: Largest request body the daemon will read (a JobSpec is tiny).
+MAX_BODY = 1 << 20
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request that maps straight to an HTTP error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeApp:
+    """Routes HTTP requests onto one :class:`JobService`."""
+
+    def __init__(self, service: JobService) -> None:
+        self.service = service
+
+    # -- request plumbing --------------------------------------------------
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        """One connection, one request, one JSON response."""
+        try:
+            status, body = await self._dispatch(reader, writer)
+        except HttpError as exc:
+            status, body = exc.status, {"error": str(exc)}
+        except SimulationError as exc:
+            status = exc.http_status
+            body = {"error": str(exc), "exit_code": exc.exit_code}
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            status, body = 500, {"error": f"internal error: {exc}"}
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Server: repro-serve/{__version__}\r\n"
+            f"Connection: close\r\n\r\n").encode("ascii")
+        try:
+            writer.write(head + payload)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _dispatch(self, reader: asyncio.StreamReader,
+                        writer: asyncio.StreamWriter
+                        ) -> Tuple[int, Dict[str, Any]]:
+        request = await reader.readline()
+        parts = request.decode("latin-1").split()
+        if len(parts) < 2:
+            raise HttpError(400, "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY:
+            raise HttpError(413, f"body larger than {MAX_BODY} bytes")
+        raw = await reader.readexactly(length) if length else b""
+        split = urlsplit(target)
+        query = {key: values[-1]
+                 for key, values in parse_qs(split.query).items()}
+        peer = writer.get_extra_info("peername")
+        client = headers.get("x-repro-client") or (
+            peer[0] if isinstance(peer, tuple) and peer else "-")
+        return self._route(method, split.path, query, raw, client)
+
+    def _route(self, method: str, path: str, query: Dict[str, str],
+               raw: bytes, client: str) -> Tuple[int, Dict[str, Any]]:
+        segments = [s for s in path.split("/") if s]
+        if segments == ["healthz"] and method == "GET":
+            return 200, {"ok": True, "draining": self.service.draining,
+                         "version": __version__}
+        if segments == ["metrics"] and method == "GET":
+            return 200, self.service.metrics()
+        if segments and segments[0] == "jobs":
+            if len(segments) == 1:
+                if method == "POST":
+                    return self._submit(raw, client)
+                if method == "GET":
+                    return self._list(query)
+                raise HttpError(405, f"{method} not allowed on /jobs")
+            job_id = segments[1]
+            if len(segments) == 2:
+                if method == "GET":
+                    return 200, self.service.get(job_id).as_status()
+                if method == "DELETE":
+                    return 200, self.service.cancel(job_id).as_status()
+                raise HttpError(405, f"{method} not allowed on /jobs/{{id}}")
+            if len(segments) == 3 and method == "GET":
+                if segments[2] == "result":
+                    return self._result(job_id)
+                if segments[2] == "trace":
+                    return self._trace(job_id)
+        raise HttpError(404, f"no route for {method} {path}")
+
+    # -- handlers ----------------------------------------------------------
+
+    def _submit(self, raw: bytes, client: str) -> Tuple[int, Dict[str, Any]]:
+        try:
+            payload = json.loads(raw.decode("utf-8") or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not JSON: {exc}")
+        try:
+            record = self.service.submit(payload, client=client)
+        except ValueError as exc:
+            raise HttpError(400, str(exc))
+        return 202, record.as_status()
+
+    def _list(self, query: Dict[str, str]) -> Tuple[int, Dict[str, Any]]:
+        limit: Optional[int] = None
+        if "limit" in query:
+            try:
+                limit = max(1, int(query["limit"]))
+            except ValueError:
+                raise HttpError(400, "limit must be an integer")
+        records = self.service.list_jobs(
+            state=query.get("state"), workload=query.get("workload"),
+            client=query.get("client"), limit=limit)
+        return 200, {"jobs": [r.as_status() for r in records],
+                     "total": len(self.service.jobs)}
+
+    def _result(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        record = self.service.get(job_id)
+        if record.state == JobState.FAILED:
+            return 200, {"id": record.id, "state": record.state,
+                         "error": record.error,
+                         "exit_code": record.exit_code}
+        if record.state != JobState.DONE or record.result is None:
+            raise HttpError(409, f"job {job_id} is {record.state}; "
+                                 f"no result yet")
+        return 200, {"id": record.id, "state": record.state,
+                     "cache_hit": record.cache_hit,
+                     "queue_wait_seconds": record.queue_wait,
+                     "exec_seconds": record.exec_seconds,
+                     "result": record.result}
+
+    def _trace(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        record = self.service.get(job_id)
+        if record.trace_path is None:
+            raise HttpError(
+                404, f"job {job_id} has no trace (telemetry="
+                     f"{record.spec.telemetry!r}, state {record.state})")
+        try:
+            return 200, json.loads(Path(record.trace_path)
+                                   .read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise HttpError(500, f"trace unreadable: {exc}")
+
+
+async def serve_forever(service: JobService, host: str, port: int,
+                        ready=None, install_signals: bool = True,
+                        stop: Optional[asyncio.Event] = None) -> int:
+    """Run the daemon until SIGTERM/SIGINT, then drain gracefully.
+
+    Drain semantics: new submissions get 503, the running batch
+    finishes, queued jobs stay journaled for the next daemon.  Returns
+    the process exit code (0 for a clean drain).  Tests inject their
+    own *stop* event instead of signalling the process.
+    """
+    app = ServeApp(service)
+    await service.start()
+    server = await asyncio.start_server(app.handle, host, port)
+    if stop is None:
+        stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    if install_signals:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+    bound = server.sockets[0].getsockname() if server.sockets else (host, port)
+    if ready is not None:
+        ready(bound)
+    try:
+        await stop.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.drain()
+    return 0

@@ -1,0 +1,236 @@
+"""Job specifications and records for the ``repro serve`` daemon.
+
+A :class:`JobSpec` is the JSON surface of one simulation request — the
+workload x policy x config point a client submits to ``POST /jobs`` —
+and compiles down to the same :class:`repro.runner.Job` the CLI's
+``run``/``sweep`` commands build, so a job served by the daemon is
+*by construction* the same simulation (same content key, same cache
+entry, same result) as a foreground ``repro run``.
+
+A :class:`JobRecord` is the daemon's book-keeping for one submission:
+lifecycle state, wait/execution timing (kept separate — see the PR-3
+deadline bug), dedup linkage, and the typed JSON result payload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from ..core.policy import CompactionPolicy, parse_policy
+from ..gpu.config import ENGINES, GpuConfig
+from ..gpu.results import KernelRunResult
+from ..runner import Job
+
+#: Bump when the result-payload layout changes incompatibly.
+RESULT_SCHEMA = 1
+
+#: Telemetry levels a job may request (mirrors GpuConfig validation).
+TELEMETRY_LEVELS = ("off", "counters", "trace")
+
+
+class JobState:
+    """Lifecycle states of a served job (plain strings, JSON-friendly)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: States a job can never leave.
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One workload x policy x config submission, as JSON data.
+
+    Field semantics match the ``repro run``/``repro sweep`` flags of the
+    same name; everything participates in the runner's content key, so
+    two specs that compare equal dedup onto one execution.
+    """
+
+    workload: str
+    policy: str = "ivb"
+    engine: str = "interp"
+    telemetry: str = "off"
+    dc_lines_per_cycle: float = 1.0
+    perfect_l3: bool = False
+    max_cycles: Optional[int] = None
+    verify: bool = True
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    #: Payload keys accepted by :meth:`from_payload`.
+    FIELDS = ("workload", "policy", "engine", "telemetry",
+              "dc_lines_per_cycle", "perfect_l3", "max_cycles", "verify",
+              "params")
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "JobSpec":
+        """Parse and validate a client JSON body; ValueError on bad specs."""
+        if not isinstance(payload, Mapping):
+            raise ValueError("job spec must be a JSON object")
+        unknown = sorted(set(payload) - set(cls.FIELDS))
+        if unknown:
+            raise ValueError(f"unknown job spec field(s): {', '.join(unknown)}")
+        workload = payload.get("workload")
+        if not isinstance(workload, str) or not workload:
+            raise ValueError("job spec needs a 'workload' name")
+        from ..kernels import WORKLOAD_REGISTRY
+
+        if workload not in WORKLOAD_REGISTRY:
+            raise ValueError(f"unknown workload {workload!r}")
+        policy = payload.get("policy", "ivb")
+        try:
+            parse_policy(policy)
+        except (ValueError, TypeError) as exc:
+            raise ValueError(str(exc)) from exc
+        engine = payload.get("engine", "interp")
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of: "
+                f"{', '.join(ENGINES)}")
+        telemetry = payload.get("telemetry", "off")
+        if telemetry not in TELEMETRY_LEVELS:
+            raise ValueError(
+                f"unknown telemetry level {telemetry!r}; expected one of: "
+                f"{', '.join(TELEMETRY_LEVELS)}")
+        try:
+            dc = float(payload.get("dc_lines_per_cycle", 1.0))
+        except (TypeError, ValueError):
+            raise ValueError("dc_lines_per_cycle must be a number")
+        if dc <= 0:
+            raise ValueError("dc_lines_per_cycle must be positive")
+        max_cycles = payload.get("max_cycles")
+        if max_cycles is not None:
+            if not isinstance(max_cycles, int) or max_cycles < 1:
+                raise ValueError("max_cycles must be a positive integer")
+        params = payload.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ValueError("params must be a JSON object")
+        return cls(
+            workload=workload,
+            policy=policy,
+            engine=engine,
+            telemetry=telemetry,
+            dc_lines_per_cycle=dc,
+            perfect_l3=bool(payload.get("perfect_l3", False)),
+            max_cycles=max_cycles,
+            verify=bool(payload.get("verify", True)),
+            params=dict(params),
+        )
+
+    def to_config(self) -> GpuConfig:
+        """The :class:`GpuConfig` this spec names (validated)."""
+        config = GpuConfig(policy=parse_policy(self.policy),
+                           engine=self.engine)
+        if self.max_cycles:
+            config = dataclasses.replace(config, max_cycles=self.max_cycles)
+        config = config.with_memory(
+            dc_lines_per_cycle=self.dc_lines_per_cycle,
+            perfect_l3=self.perfect_l3)
+        if self.telemetry != "off":
+            config = config.with_telemetry(self.telemetry)
+        config.validate()
+        return config
+
+    def to_job(self) -> Job:
+        """The runner job this spec compiles to (content-keyed)."""
+        return Job(self.workload, self.to_config(),
+                   params=dict(self.params), verify=self.verify)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "engine": self.engine,
+            "telemetry": self.telemetry,
+            "dc_lines_per_cycle": self.dc_lines_per_cycle,
+            "perfect_l3": self.perfect_l3,
+            "max_cycles": self.max_cycles,
+            "verify": self.verify,
+            "params": dict(self.params),
+        }
+
+
+def result_payload(spec: JobSpec, result: KernelRunResult) -> Dict[str, Any]:
+    """Typed JSON result of one finished job.
+
+    Contains everything the differential-verify harness treats as the
+    run's identity — output-buffer digest, instruction counts, and the
+    full ALU/SIMD stats fingerprints — so bit-identity between a served
+    job and a foreground ``repro run`` (or between two deduped
+    submissions) is checkable by comparing two JSON documents.
+    """
+    from ..verify.differential import _stats_fingerprint
+
+    return {
+        "schema": RESULT_SCHEMA,
+        "workload": spec.workload,
+        "policy": spec.policy,
+        "engine": spec.engine,
+        "kernel": result.kernel,
+        "total_cycles": result.total_cycles,
+        "instructions": result.instructions,
+        "buffers_digest": result.buffers_digest,
+        "metrics": {key: value for key, value in sorted(
+            result.summary(telemetry=spec.telemetry != "off").items())},
+        "fingerprints": {
+            "alu": _stats_fingerprint(result.alu_stats),
+            "simd": _stats_fingerprint(result.simd_stats),
+        },
+    }
+
+
+@dataclass
+class JobRecord:
+    """Daemon-side state of one submission."""
+
+    id: str
+    spec: JobSpec
+    key: str  # runner content key (dedup identity)
+    client: str = ""
+    state: str = JobState.QUEUED
+    submitted_at: float = 0.0  # wall-clock epoch seconds
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Seconds between submission and execution start — first-class,
+    #: never folded into execution time.
+    queue_wait: Optional[float] = None
+    #: Seconds the simulation itself took (0.0 for cache hits).
+    exec_seconds: Optional[float] = None
+    #: Primary job id this submission deduped onto (None = primary).
+    dedup_of: Optional[str] = None
+    #: Whether the result came from the on-disk cache.
+    cache_hit: bool = False
+    result: Optional[Dict[str, Any]] = None
+    #: Chrome-trace JSON path for telemetry="trace" jobs.
+    trace_path: Optional[str] = None
+    error: Optional[str] = None
+    exit_code: Optional[int] = None
+    #: Times this record survived a daemon restart via the journal.
+    recovered: int = 0
+
+    def as_status(self) -> Dict[str, Any]:
+        """The ``GET /jobs/{id}`` body."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "spec": self.spec.as_dict(),
+            "key": self.key,
+            "client": self.client,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "queue_wait_seconds": self.queue_wait,
+            "exec_seconds": self.exec_seconds,
+            "dedup_of": self.dedup_of,
+            "cache_hit": self.cache_hit,
+            "has_result": self.result is not None,
+            "has_trace": self.trace_path is not None,
+            "error": self.error,
+            "exit_code": self.exit_code,
+            "recovered": self.recovered,
+        }

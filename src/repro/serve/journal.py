@@ -1,0 +1,77 @@
+"""Durable JSONL job journal for the ``repro serve`` daemon.
+
+Same idiom as :class:`repro.runner.CheckpointJournal` (one header line
+binding the file to a schema, then one fsynced record per event,
+tolerating a torn trailing line), but for the service's job lifecycle
+instead of a sweep grid: ``submit`` / ``resolve`` / ``cancel`` events
+keyed by job id.  A restarted daemon replays the journal to recover its
+job table — resolved jobs keep serving their results, and jobs that
+were submitted but never resolved re-enter the queue.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List
+
+
+class ServeJournal:
+    """Append-only event log of the daemon's job table."""
+
+    SCHEMA = 1
+    SERVICE = "repro-serve"
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+
+    def load(self) -> List[Dict[str, Any]]:
+        """Ordered journal events; ``[]`` for missing/foreign files.
+
+        Undecodable lines (torn writes from a crash mid-append) are
+        skipped, salvaging every event before and after them.
+        """
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return []
+        if not lines:
+            return []
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return []
+        if (not isinstance(header, dict)
+                or header.get("schema") != self.SCHEMA
+                or header.get("service") != self.SERVICE):
+            return []
+        events: List[Dict[str, Any]] = []
+        for line in lines[1:]:
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write: keep everything else
+            if isinstance(entry, dict) and "event" in entry and "id" in entry:
+                events.append(entry)
+        return events
+
+    def append(self, event: str, job_id: str, **data: Any) -> None:
+        """Durably journal one job event."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists()
+        with open(self.path, "a", encoding="utf-8") as fh:
+            if fresh:
+                fh.write(json.dumps({"schema": self.SCHEMA,
+                                     "service": self.SERVICE}) + "\n")
+            fh.write(json.dumps({"event": event, "id": job_id, **data},
+                                sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def discard(self) -> None:
+        """Delete the journal (tests and explicit resets only)."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

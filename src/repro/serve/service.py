@@ -1,0 +1,510 @@
+"""The ``repro serve`` job service: queue, dedup, journal, metrics.
+
+This is the daemon's engine room, deliberately independent of HTTP so
+it can be driven directly by tests (and embedded elsewhere).  One
+asyncio *dispatcher* task pulls queued jobs in batches and feeds them to
+the existing :class:`repro.runner.Runner` — inheriting its process-pool
+fan-out, content-keyed result cache, typed failures, bounded retries and
+per-job watchdog wholesale — while the service layer adds what a
+long-lived daemon needs on top:
+
+* **in-flight dedup** — a submission whose content key matches a
+  queued/running job becomes a *subscriber* of that job: one execution,
+  N identical results (the runner's cache only collapses *completed*
+  duplicates; this collapses concurrent ones);
+* **a durable job journal** (:class:`~repro.serve.journal.ServeJournal`)
+  so a restarted daemon recovers submitted and completed state;
+* **admission control** — a bounded queue (:class:`QueueFullError`,
+  HTTP 503) and per-client token-bucket rate limiting
+  (:class:`RateLimitError`, HTTP 429);
+* **graceful drain** — stop admitting, finish the running batch, leave
+  queued jobs journaled for the next daemon;
+* **service metrics** — a telemetry
+  :class:`~repro.telemetry.counters.CounterRegistry` of
+  submitted/deduped/cache-hit/executed/failed/recovered counts plus
+  queue depth and worker occupancy, served at ``GET /metrics``.
+
+Queue wait and execution time are tracked separately per job (the PR-3
+deadline fix made that split load-bearing): ``queue_wait`` is
+everything between submission and the simulation starting, and
+``exec_seconds`` is the simulation alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+import uuid
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import (
+    QueueFullError,
+    RateLimitError,
+    ServiceError,
+    describe,
+    exit_code_for,
+)
+from ..runner import JobEvent, Runner
+from ..telemetry.counters import CounterRegistry
+from .jobs import JobRecord, JobSpec, JobState, result_payload
+from .journal import ServeJournal
+
+_id_counter = itertools.count(1)
+
+
+class NotCancellableError(ServiceError):
+    """The job exists but is not in a cancellable state (HTTP 409)."""
+
+    http_status = 409
+
+
+class UnknownJobError(ServiceError):
+    """No job with the requested id (HTTP 404)."""
+
+    http_status = 404
+
+
+def _new_job_id() -> str:
+    """Short, collision-safe job id (unique across daemon restarts)."""
+    return f"j{next(_id_counter):05d}-{uuid.uuid4().hex[:8]}"
+
+
+class RateLimiter:
+    """Per-client token bucket: *rate* submissions/second, *burst* deep."""
+
+    def __init__(self, rate: float, burst: Optional[int] = None) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self.burst = float(burst if burst is not None else max(1, int(rate)))
+        self._buckets: Dict[str, Tuple[float, float]] = {}  # client -> (tokens, last)
+
+    def allow(self, client: str, now: Optional[float] = None) -> bool:
+        if now is None:
+            now = time.monotonic()
+        tokens, last = self._buckets.get(client, (self.burst, now))
+        tokens = min(self.burst, tokens + (now - last) * self.rate)
+        if tokens < 1.0:
+            self._buckets[client] = (tokens, now)
+            return False
+        self._buckets[client] = (tokens - 1.0, now)
+        return True
+
+
+class JobService:
+    """Long-lived job queue on top of the shared :class:`Runner`.
+
+    Single-threaded discipline: every public method runs on the event
+    loop thread (the HTTP layer and the dispatcher both live there);
+    only the runner batch itself runs in a worker thread, reporting
+    back via ``loop.call_soon_threadsafe``.
+    """
+
+    def __init__(
+        self,
+        data_dir: Any,
+        workers: int = 1,
+        cache: Any = "default",
+        queue_limit: int = 64,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[int] = None,
+        batch_max: int = 32,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        verify: bool = True,
+        runner: Optional[Runner] = None,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.trace_dir = self.data_dir / "traces"
+        self.journal = ServeJournal(self.data_dir / "jobs.jsonl")
+        self.runner = runner if runner is not None else Runner(
+            workers=workers, cache=cache, verify=verify,
+            timeout=timeout, retries=retries, strict=False)
+        self.queue_limit = queue_limit
+        self.batch_max = batch_max
+        self.limiter = (RateLimiter(rate_limit, rate_burst)
+                        if rate_limit else None)
+        self.counters = CounterRegistry()
+        self.started_at = time.time()
+
+        #: Every known job, including recovered and terminal ones.
+        self.jobs: Dict[str, JobRecord] = {}
+        self._queue: deque = deque()  # primary job ids awaiting dispatch
+        self._inflight: Dict[str, str] = {}  # content key -> primary id
+        self._subs: Dict[str, List[str]] = {}  # primary id -> subscriber ids
+        self._busy = 0  # primaries in the currently-running batch
+        self._draining = False
+        self._wake: Optional[asyncio.Event] = None
+        self._done: Optional[asyncio.Event] = None
+        self._task: Optional[asyncio.Task] = None
+        self._recover()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the dispatcher task (idempotent)."""
+        if self._task is not None:
+            return
+        self._wake = asyncio.Event()
+        self._done = asyncio.Event()
+        if self._queue:
+            self._wake.set()
+        self._task = asyncio.create_task(self._dispatch_loop())
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop admitting, finish the running batch.
+
+        Jobs still queued stay journaled as submitted; the next daemon
+        pointed at the same data dir re-enqueues them (the restart
+        recovery the CI smoke job asserts).
+        """
+        self._draining = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._task is not None:
+            await self._done.wait()
+            await self._task
+            self._task = None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- journal recovery --------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild the job table from the journal (restart path)."""
+        for entry in self.journal.load():
+            kind = entry["event"]
+            if kind == "submit":
+                try:
+                    spec = JobSpec.from_payload(entry.get("spec", {}))
+                except ValueError:
+                    continue  # a workload this build no longer knows
+                record = JobRecord(
+                    id=entry["id"], spec=spec,
+                    key=entry.get("key", ""),
+                    client=entry.get("client", ""),
+                    submitted_at=entry.get("submitted_at", 0.0))
+                self.jobs[record.id] = record
+            elif kind == "resolve":
+                record = self.jobs.get(entry["id"])
+                if record is None:
+                    continue
+                record.state = entry.get("state", JobState.FAILED)
+                record.queue_wait = entry.get("queue_wait")
+                record.exec_seconds = entry.get("exec_seconds")
+                record.finished_at = entry.get("finished_at")
+                record.cache_hit = bool(entry.get("cache_hit", False))
+                record.dedup_of = entry.get("dedup_of")
+                record.result = entry.get("result")
+                record.trace_path = entry.get("trace_path")
+                record.error = entry.get("error")
+                record.exit_code = entry.get("exit_code")
+            elif kind == "cancel":
+                record = self.jobs.get(entry["id"])
+                if record is not None:
+                    record.state = JobState.CANCELLED
+        # Unresolved submissions go back in the queue, dedup rebuilt in
+        # submission order so subscribers reattach to their primary.
+        pending = sorted(
+            (r for r in self.jobs.values()
+             if r.state not in JobState.TERMINAL),
+            key=lambda r: (r.submitted_at, r.id))
+        for record in pending:
+            record.state = JobState.QUEUED
+            record.started_at = None
+            record.recovered += 1
+            self.counters.incr("serve.jobs.recovered")
+            primary_id = self._inflight.get(record.key)
+            if primary_id is not None:
+                record.dedup_of = primary_id
+                self._subs.setdefault(primary_id, []).append(record.id)
+            else:
+                record.dedup_of = None
+                self._inflight[record.key] = record.id
+                self._queue.append(record.id)
+
+    # -- submission / cancellation / queries -------------------------------
+
+    def submit(self, payload: Any, client: str = "") -> JobRecord:
+        """Admit one job; raises the typed admission errors.
+
+        ``ValueError`` means a malformed spec (HTTP 400);
+        :class:`RateLimitError` and :class:`QueueFullError` are
+        backpressure (HTTP 429 / 503).
+        """
+        if self._draining:
+            self.counters.incr("serve.jobs.rejected.draining")
+            raise QueueFullError("daemon is draining; not accepting jobs")
+        if self.limiter is not None and not self.limiter.allow(client or "-"):
+            self.counters.incr("serve.jobs.rejected.rate_limited")
+            raise RateLimitError(
+                f"client {client or '-'!r} exceeded "
+                f"{self.limiter.rate:g} submissions/s")
+        spec = JobSpec.from_payload(payload)
+        job = spec.to_job()
+        record = JobRecord(id=_new_job_id(), spec=spec, key=job.key,
+                           client=client, submitted_at=time.time())
+        primary_id = self._inflight.get(job.key)
+        if primary_id is not None:
+            # Identical job already queued or executing: subscribe.
+            record.dedup_of = primary_id
+            self._subs.setdefault(primary_id, []).append(record.id)
+            primary = self.jobs[primary_id]
+            if primary.state == JobState.RUNNING:
+                record.state = JobState.RUNNING
+                record.started_at = primary.started_at
+            self.counters.incr("serve.jobs.deduped")
+        else:
+            if len(self._queue) >= self.queue_limit:
+                self.counters.incr("serve.jobs.rejected.queue_full")
+                raise QueueFullError(
+                    f"job queue is full ({self.queue_limit} deep)")
+            self._inflight[job.key] = record.id
+            self._queue.append(record.id)
+        self.jobs[record.id] = record
+        self.counters.incr("serve.jobs.submitted")
+        self.journal.append("submit", record.id, spec=spec.as_dict(),
+                            key=record.key, client=client,
+                            submitted_at=record.submitted_at,
+                            dedup_of=record.dedup_of)
+        if self._wake is not None:
+            self._wake.set()
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        record = self.jobs.get(job_id)
+        if record is None:
+            raise UnknownJobError(f"no job {job_id!r}")
+        return record
+
+    def list_jobs(self, state: Optional[str] = None,
+                  workload: Optional[str] = None,
+                  client: Optional[str] = None,
+                  limit: Optional[int] = None) -> List[JobRecord]:
+        """Submission-ordered job records, optionally filtered."""
+        records = sorted(self.jobs.values(),
+                         key=lambda r: (r.submitted_at, r.id))
+        if state:
+            records = [r for r in records if r.state == state]
+        if workload:
+            records = [r for r in records if r.spec.workload == workload]
+        if client:
+            records = [r for r in records if r.client == client]
+        if limit is not None:
+            records = records[-limit:]
+        return records
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a queued job; running/terminal jobs are not cancellable.
+
+        Cancelling a primary that has dedup subscribers promotes the
+        oldest subscriber to primary (its submission is still owed a
+        result) instead of cancelling work other clients asked for.
+        """
+        record = self.get(job_id)
+        if record.state != JobState.QUEUED:
+            raise NotCancellableError(
+                f"job {job_id} is {record.state}; only queued jobs can "
+                f"be cancelled")
+        if record.dedup_of is not None:
+            # A subscriber: detach from its primary and stop.
+            siblings = self._subs.get(record.dedup_of, [])
+            if job_id in siblings:
+                siblings.remove(job_id)
+        else:
+            subscribers = self._subs.pop(job_id, [])
+            live = [s for s in subscribers
+                    if self.jobs[s].state == JobState.QUEUED]
+            if live:
+                heir = self.jobs[live[0]]
+                heir.dedup_of = None
+                self._subs[heir.id] = live[1:]
+                for sid in live[1:]:
+                    self.jobs[sid].dedup_of = heir.id
+                self._inflight[record.key] = heir.id
+                # Keep the queue position the cancelled primary held.
+                self._queue = deque(heir.id if qid == job_id else qid
+                                    for qid in self._queue)
+            else:
+                self._inflight.pop(record.key, None)
+                try:
+                    self._queue.remove(job_id)
+                except ValueError:
+                    pass
+        record.state = JobState.CANCELLED
+        record.finished_at = time.time()
+        self.counters.incr("serve.jobs.cancelled")
+        self.journal.append("cancel", job_id)
+        return record
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        try:
+            while True:
+                await self._wake.wait()
+                self._wake.clear()
+                while self._queue and not self._draining:
+                    batch = [self._queue.popleft()
+                             for _ in range(min(len(self._queue),
+                                                self.batch_max))]
+                    await self._run_batch(batch)
+                if self._draining:
+                    return
+        finally:
+            self._done.set()
+
+    async def _run_batch(self, batch_ids: List[str]) -> None:
+        """Feed one batch of primaries through the runner."""
+        now = time.time()
+        records = [self.jobs[i] for i in batch_ids
+                   if self.jobs[i].state == JobState.QUEUED]
+        if not records:
+            return
+        jobs = []
+        key_to_id: Dict[str, str] = {}
+        for record in records:
+            record.state = JobState.RUNNING
+            record.started_at = now
+            for sid in self._subs.get(record.id, []):
+                subscriber = self.jobs[sid]
+                if subscriber.state == JobState.QUEUED:
+                    subscriber.state = JobState.RUNNING
+                    subscriber.started_at = now
+            job = record.spec.to_job()
+            jobs.append(job)
+            key_to_id[job.key] = record.id
+        self._busy = len(records)
+        self.counters.incr("serve.batches")
+        loop = asyncio.get_running_loop()
+
+        def progress(event: JobEvent) -> None:
+            # Called from the runner's worker thread: hop back onto the
+            # loop so all record/journal mutation stays single-threaded.
+            loop.call_soon_threadsafe(self._resolve_event, key_to_id, event)
+
+        self.runner.progress = progress
+        try:
+            await asyncio.to_thread(self.runner.run, jobs, strict=False)
+        except Exception as exc:  # runner itself died, not one job
+            for record in records:
+                if record.state == JobState.RUNNING:
+                    self._resolve_group(record, "failed", error=exc)
+        finally:
+            self.runner.progress = None
+            self._busy = 0
+            stats = self.runner.last_stats
+            for name in ("retried", "degraded", "timeouts"):
+                value = getattr(stats, name)
+                if value:
+                    self.counters.incr(f"serve.runner.{name}", value)
+
+    def _resolve_event(self, key_to_id: Dict[str, str],
+                       event: JobEvent) -> None:
+        """One runner job finished (loop thread; via call_soon_threadsafe)."""
+        record_id = key_to_id.get(event.job.key)
+        record = self.jobs.get(record_id) if record_id else None
+        if record is None or record.state in JobState.TERMINAL:
+            return
+        if event.status == "failed":
+            self._resolve_group(record, "failed", error=event.error,
+                                exec_seconds=event.elapsed)
+        else:
+            self._resolve_group(record, event.status, result=event.result,
+                                exec_seconds=event.elapsed)
+
+    def _resolve_group(self, record: JobRecord, status: str,
+                       result=None, error: Optional[BaseException] = None,
+                       exec_seconds: float = 0.0) -> None:
+        """Resolve a primary and every live subscriber with one outcome."""
+        now = time.time()
+        subscribers = self._subs.pop(record.id, [])
+        self._inflight.pop(record.key, None)
+        group = [record] + [
+            self.jobs[sid] for sid in subscribers
+            if self.jobs[sid].state not in JobState.TERMINAL]
+        payload = trace_path = None
+        if error is None and result is not None:
+            payload = result_payload(record.spec, result)
+            if record.spec.telemetry == "trace" and result.telemetry is not None:
+                trace_path = self._export_trace(record, result)
+        cache_hit = status == "cached"
+        if error is not None:
+            self.counters.incr("serve.jobs.failed")
+        elif cache_hit:
+            self.counters.incr("serve.jobs.cache_hits")
+        else:
+            self.counters.incr("serve.jobs.executed")
+            self.counters.incr("serve.exec.seconds", exec_seconds)
+        for member in group:
+            member.finished_at = now
+            member.exec_seconds = exec_seconds
+            member.queue_wait = max(
+                0.0, (now - member.submitted_at) - exec_seconds)
+            member.cache_hit = cache_hit
+            self.counters.incr("serve.queue.wait_seconds", member.queue_wait)
+            if error is not None:
+                member.state = JobState.FAILED
+                member.error = describe(error)
+                member.exit_code = exit_code_for(error)
+            else:
+                member.state = JobState.DONE
+                member.result = payload
+                member.trace_path = trace_path
+            self.journal.append(
+                "resolve", member.id, state=member.state,
+                queue_wait=member.queue_wait,
+                exec_seconds=member.exec_seconds,
+                finished_at=member.finished_at,
+                cache_hit=member.cache_hit, dedup_of=member.dedup_of,
+                result=member.result, trace_path=member.trace_path,
+                error=member.error, exit_code=member.exit_code)
+
+    def _export_trace(self, record: JobRecord, result) -> Optional[str]:
+        from ..telemetry import export_chrome_trace
+
+        self.trace_dir.mkdir(parents=True, exist_ok=True)
+        path = self.trace_dir / f"{record.id}.json"
+        try:
+            export_chrome_trace(result.telemetry, path,
+                                kernel=record.spec.workload,
+                                policy=record.spec.policy)
+        except (OSError, ValueError):  # pragma: no cover - best effort
+            return None
+        return str(path)
+
+    # -- metrics -----------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        """The ``GET /metrics`` body: counters plus live gauges."""
+        states: Dict[str, int] = {}
+        for record in self.jobs.values():
+            states[record.state] = states.get(record.state, 0) + 1
+        body: Dict[str, Any] = {
+            "counters": self.counters.as_dict(),
+            "queue_depth": len(self._queue),
+            "queue_limit": self.queue_limit,
+            "workers": self.runner.workers,
+            "workers_busy": min(self._busy, self.runner.workers),
+            "worker_occupancy": (min(self._busy, self.runner.workers)
+                                 / self.runner.workers),
+            "draining": self._draining,
+            "uptime_seconds": time.time() - self.started_at,
+            "jobs_by_state": dict(sorted(states.items())),
+        }
+        cache = self.runner.cache
+        if cache is not None:
+            body["cache"] = {"hits": cache.hits, "misses": cache.misses,
+                             "corrupt": cache.corrupt,
+                             "migrated": cache.migrated}
+        return body

@@ -14,8 +14,8 @@ class TestAtomicWrites:
     def test_no_temp_files_survive_a_store(self, tmp_path):
         cache = ResultCache(tmp_path)
         Runner(workers=1, cache=cache).run_one("va")
-        assert list(tmp_path.glob("*.pkl"))
-        assert not list(tmp_path.glob(".*.tmp"))
+        assert list(tmp_path.glob("*/*/*.pkl"))
+        assert not list(tmp_path.glob("*/*/.*.tmp"))
 
     def test_interrupted_write_leaves_entry_intact(self, tmp_path,
                                                    monkeypatch):
@@ -24,7 +24,7 @@ class TestAtomicWrites:
         cache = ResultCache(tmp_path)
         runner = Runner(workers=1, cache=cache)
         reference = runner.run_one("va")
-        entry = next(tmp_path.glob("*.pkl"))
+        entry = next(tmp_path.glob("*/*/*.pkl"))
         good_bytes = entry.read_bytes()
 
         def exploding_replace(src, dst):
@@ -35,7 +35,7 @@ class TestAtomicWrites:
             cache.store(Job("va"), reference)
         monkeypatch.undo()
         assert entry.read_bytes() == good_bytes
-        assert not list(tmp_path.glob(".*.tmp"))  # temp cleaned up
+        assert not list(tmp_path.glob("*/*/.*.tmp"))  # temp cleaned up
 
     def test_clear_sweeps_stale_temp_files(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -50,7 +50,7 @@ class TestQuarantine:
     def _poison(self, tmp_path):
         cache = ResultCache(tmp_path)
         Runner(workers=1, cache=cache).run_one("va")
-        entry = next(tmp_path.glob("*.pkl"))
+        entry = next(tmp_path.glob("*/*/*.pkl"))
         entry.write_bytes(b"definitely not a pickle")
         return entry
 
@@ -79,7 +79,7 @@ class TestQuarantine:
     def test_wrong_type_quarantined_too(self, tmp_path):
         cache = ResultCache(tmp_path)
         Runner(workers=1, cache=cache).run_one("va")
-        entry = next(tmp_path.glob("*.pkl"))
+        entry = next(tmp_path.glob("*/*/*.pkl"))
         entry.write_bytes(pickle.dumps({"not": "a result"}))
         again = ResultCache(tmp_path)
         assert again.load(Job("va")) is None

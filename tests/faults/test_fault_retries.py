@@ -195,6 +195,6 @@ class TestInterrupt:
                         retry_backoff=0.0, timeout=2.0, strict=False)
         runner.run([Job("va"), Job("fault_spin")])
         # va cached; the fault job left nothing behind.
-        names = [p.name for p in tmp_path.glob("*.pkl")]
+        names = [p.name for p in tmp_path.glob("*/*/*.pkl")]
         assert len(names) == 1 and names[0].startswith("va-")
         assert not Job("fault_spin").cacheable

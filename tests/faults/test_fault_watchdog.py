@@ -92,7 +92,7 @@ class TestFaultWorkloadHygiene:
         from repro.kernels import DIVERGENT_WORKLOADS, FAULT_WORKLOADS
 
         assert set(FAULT_WORKLOADS) == {"fault_spin", "fault_sleep",
-                                        "fault_crash"}
+                                        "fault_crash", "fault_count"}
         assert all(name in WORKLOAD_REGISTRY for name in FAULT_WORKLOADS)
         assert not set(FAULT_WORKLOADS) & set(DIVERGENT_WORKLOADS)
 

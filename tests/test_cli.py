@@ -48,6 +48,27 @@ class TestRunCommand:
         with pytest.raises(ValueError):
             main(["run", "va", "--policy", "tbc"])
 
+    def test_json_payload_matches_serve_schema(self, tmp_path, capsys):
+        """`run --json` emits the daemon's typed result payload."""
+        import json
+
+        out_path = tmp_path / "result.json"
+        assert main(["run", "va", "--policy", "scc",
+                     "--json", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        from repro.serve.jobs import RESULT_SCHEMA
+
+        assert payload["schema"] == RESULT_SCHEMA
+        assert payload["workload"] == "va"
+        assert payload["policy"] == "scc"
+        assert len(payload["buffers_digest"]) == 64
+        assert set(payload["fingerprints"]) == {"alu", "simd"}
+
+        capsys.readouterr()
+        assert main(["run", "va", "--policy", "scc", "--json", "-"]) == 0
+        streamed = json.loads(capsys.readouterr().out)
+        assert streamed == payload  # deterministic and path-independent
+
 
 class TestRunVerificationFailure:
     @staticmethod

@@ -114,7 +114,7 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         runner = Runner(workers=1, cache=cache)
         reference = runner.run_one("va")
-        entries = list(tmp_path.glob("*.pkl"))
+        entries = list(tmp_path.glob("*/*/*.pkl"))
         assert len(entries) == 1
         entries[0].write_bytes(b"definitely not a pickle")
 
@@ -129,7 +129,7 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         runner = Runner(workers=1, cache=cache)
         runner.run_one("va")
-        entry = next(tmp_path.glob("*.pkl"))
+        entry = next(tmp_path.glob("*/*/*.pkl"))
         entry.write_bytes(pickle.dumps({"not": "a result"}))
 
         again = ResultCache(tmp_path)
@@ -140,7 +140,7 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         Runner(workers=1, cache=cache).run_one("va")
         assert cache.clear() == 1
-        assert not list(tmp_path.glob("*.pkl"))
+        assert not list(tmp_path.glob("*/*/*.pkl"))
 
     def test_parallel_run_populates_cache(self, tmp_path):
         pool = Runner(workers=2, cache=ResultCache(tmp_path))
@@ -151,6 +151,96 @@ class TestResultCache:
         warm.run(_grid_jobs())
         assert warm.last_stats.executed == 0
         assert warm.last_stats.cache_hits == len(_grid_jobs())
+
+
+class TestShardedLayout:
+    def test_entries_land_in_two_level_shards(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        Runner(workers=1, cache=cache).run_one("va")
+        entry = next(tmp_path.glob("*/*/*.pkl"))
+        digest = entry.name.rsplit("-", 1)[1].removesuffix(".pkl")
+        # ab/cd/<name>-abcd....pkl: shard dirs are the digest prefix.
+        assert entry.parent.name == digest[2:4]
+        assert entry.parent.parent.name == digest[:2]
+        assert entry == cache.path_for(Job("va"))
+
+    def test_legacy_flat_entry_read_through_and_migrated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        Runner(workers=1, cache=cache).run_one("va")
+        job = Job("va")
+        sharded = cache.path_for(job)
+        legacy = cache.legacy_path_for(job)
+        # Rewind to the pre-sharding on-disk layout.
+        legacy.write_bytes(sharded.read_bytes())
+        sharded.unlink()
+
+        reopened = ResultCache(tmp_path)
+        runner = Runner(workers=1, cache=reopened)
+        runner.run_one("va")
+        assert runner.last_stats.cache_hits == 1  # served from flat file
+        assert runner.last_stats.executed == 0
+        assert reopened.migrated == 1
+        assert sharded.exists() and not legacy.exists()
+        # Second read comes straight from the sharded path.
+        rewarm = ResultCache(tmp_path)
+        assert rewarm.load(job) is not None
+        assert rewarm.migrated == 0
+
+    def test_corrupt_legacy_entry_quarantined_not_migrated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = Job("va")
+        cache.legacy_path_for(job).write_bytes(b"garbage from the past")
+        assert cache.load(job) is None
+        assert cache.corrupt == 1
+        assert cache.migrated == 0
+        assert not cache.legacy_path_for(job).exists()  # quarantined
+
+    def test_clear_sweeps_both_layouts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        Runner(workers=1, cache=cache).run_one("va")
+        legacy = cache.legacy_path_for(Job("dp"))
+        legacy.write_bytes(b"stale flat entry")
+        assert cache.clear() == 2
+        assert not list(tmp_path.glob("*/*/*.pkl")) and not legacy.exists()
+
+
+class TestQueueWaitAccounting:
+    def test_serial_batch_waits_accumulate(self, tmp_path):
+        events = []
+        runner = Runner(workers=1, cache=False, progress=events.append)
+        jobs = [Job("fault_sleep", params={"seconds": 0.2, "n": 8}),
+                Job("fault_sleep", params={"seconds": 0.0, "n": 8})]
+        runner.run(jobs)
+        waited = {e.job.key: e for e in events}
+        first, second = (waited[j.key] for j in jobs)
+        # The second job queued behind the first's 0.2s sleep; its own
+        # execution clock excludes that wait entirely.
+        assert second.queue_wait >= first.elapsed * 0.9
+        assert first.queue_wait < first.elapsed
+        assert runner.last_stats.queue_seconds >= second.queue_wait
+        assert (runner.last_stats.host_seconds
+                >= first.elapsed + second.elapsed - 1e-6)
+
+    def test_cache_hits_report_no_wait(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        Runner(workers=1, cache=cache).run_one("va")
+        events = []
+        warm = Runner(workers=1, cache=cache, progress=events.append)
+        warm.run_one("va")
+        assert events[-1].status == "cached"
+        assert events[-1].queue_wait == 0.0
+        assert warm.last_stats.queue_seconds == 0.0
+
+    def test_pool_waits_recorded_per_job(self, tmp_path):
+        events = []
+        runner = Runner(workers=2, cache=ResultCache(tmp_path),
+                        progress=events.append)
+        runner.run(_grid_jobs())
+        executed = [e for e in events if e.status == "executed"]
+        assert len(executed) == len(_grid_jobs())
+        assert all(e.queue_wait >= 0.0 for e in executed)
+        assert runner.last_stats.queue_seconds == pytest.approx(
+            sum(e.queue_wait for e in executed), abs=1e-6)
 
 
 class TestProgressAndStats:
@@ -184,7 +274,7 @@ class TestInlineFactories:
         job = Job("va_inline", factory=lambda: vector_add(n=64))
         result = runner.run([job])[job]
         assert isinstance(result, KernelRunResult)
-        assert not list(tmp_path.glob("*.pkl"))
+        assert not list(tmp_path.glob("*/*/*.pkl"))
 
 
 class TestDefaultRunner:

@@ -1,0 +1,199 @@
+"""HTTP-layer tests for the ``repro serve`` daemon.
+
+Boots the real asyncio server (ephemeral port) in a background thread
+and drives it with the real :class:`repro.serve.ServeClient` — the same
+path the CLI and the CI smoke job use.  Covers the route surface, the
+typed error mapping (400/404/405/409/429/503), the Chrome-trace
+endpoint, and daemon-vs-foreground result bit-identity.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.gpu.config import GpuConfig
+from repro.kernels import WORKLOAD_REGISTRY, run_workload
+from repro.serve import JobSpec, ServeClient, ServeClientError, result_payload
+from repro.serve.http import serve_forever
+from repro.serve.service import JobService
+from repro.telemetry.chrome_trace import validate_chrome_trace
+
+
+class DaemonHandle:
+    """One live daemon: its service, port, and a way to stop it."""
+
+    def __init__(self, service, port, loop, stop, thread):
+        self.service = service
+        self.port = port
+        self._loop = loop
+        self._stop = stop
+        self._thread = thread
+
+    def client(self, client_id="pytest"):
+        return ServeClient(port=self.port, client_id=client_id)
+
+    def shutdown(self):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+        assert not self._thread.is_alive(), "daemon failed to drain"
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    """A real daemon on an ephemeral port, drained at teardown."""
+    box = {}
+    started = threading.Event()
+
+    def run():
+        async def main():
+            service = JobService(tmp_path / "data", cache=tmp_path / "cache")
+            stop = asyncio.Event()
+            box.update(service=service, stop=stop,
+                       loop=asyncio.get_running_loop())
+
+            def ready(bound):
+                box["port"] = bound[1]
+                started.set()
+
+            await serve_forever(service, "127.0.0.1", 0, ready=ready,
+                                install_signals=False, stop=stop)
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(timeout=30), "daemon did not start"
+    handle = DaemonHandle(box["service"], box["port"], box["loop"],
+                          box["stop"], thread)
+    yield handle
+    handle.shutdown()
+
+
+class TestRoutes:
+    def test_health_and_metrics(self, daemon):
+        client = daemon.client()
+        health = client.health()
+        assert health["ok"] is True
+        assert health["draining"] is False
+        metrics = client.metrics()
+        assert metrics["queue_depth"] == 0
+        assert metrics["workers"] == 1
+        assert "counters" in metrics and "cache" in metrics
+
+    def test_submit_watch_result_roundtrip(self, daemon):
+        client = daemon.client()
+        status = client.submit({"workload": "va", "policy": "scc"})
+        assert status["state"] in ("queued", "running")
+        final = client.watch(status["id"], timeout=120)
+        assert final["state"] == "done"
+        assert final["cache_hit"] is False
+        body = client.result(status["id"])
+        result = body["result"]
+        assert result["workload"] == "va"
+        assert result["policy"] == "scc"
+        assert result["total_cycles"] > 0
+        assert len(result["buffers_digest"]) == 64
+        assert set(result["fingerprints"]) == {"alu", "simd"}
+        listing = client.jobs(state="done")
+        assert any(job["id"] == status["id"] for job in listing["jobs"])
+
+    def test_duplicate_submissions_share_one_execution(self, daemon):
+        client = daemon.client()
+        first = client.submit({"workload": "dp"})
+        second = client.submit({"workload": "dp"})
+        assert second["dedup_of"] == first["id"]
+        one = client.watch(first["id"], timeout=120)
+        two = client.watch(second["id"], timeout=120)
+        assert one["state"] == two["state"] == "done"
+        assert (client.result(first["id"])["result"]
+                == client.result(second["id"])["result"])
+        counters = client.metrics()["counters"]
+        assert counters.get("serve.jobs.deduped") == 1
+        assert counters.get("serve.jobs.executed") == 1
+
+    def test_repeat_submission_after_completion_hits_cache(self, daemon):
+        client = daemon.client()
+        first = client.submit({"workload": "mvm"})
+        client.watch(first["id"], timeout=120)
+        again = client.submit({"workload": "mvm"})
+        final = client.watch(again["id"], timeout=120)
+        assert final["dedup_of"] is None  # not in flight anymore
+        assert final["cache_hit"] is True
+        assert client.metrics()["counters"].get("serve.jobs.cache_hits") == 1
+
+    def test_trace_endpoint_serves_valid_chrome_trace(self, daemon):
+        client = daemon.client()
+        status = client.submit({"workload": "va", "telemetry": "trace"})
+        client.watch(status["id"], timeout=120)
+        trace = client.trace(status["id"])
+        assert validate_chrome_trace(trace) > 0  # raises if malformed
+        assert trace["traceEvents"]
+
+    def test_result_bit_identical_to_foreground_run(self, daemon, tmp_path):
+        """The e2e acceptance check: daemon result JSON == repro run."""
+        spec = {"workload": "gnoise", "policy": "bcc"}
+        client = daemon.client()
+        status = client.submit(spec)
+        client.watch(status["id"], timeout=120)
+        served = client.result(status["id"])["result"]
+
+        parsed = JobSpec.from_payload(spec)
+        result = run_workload(WORKLOAD_REGISTRY["gnoise"](),
+                              parsed.to_config(), verify=True)
+        assert served == result_payload(parsed, result)
+
+
+class TestErrorMapping:
+    def test_bad_spec_is_400(self, daemon):
+        with pytest.raises(ServeClientError) as excinfo:
+            daemon.client().submit({"workload": "no_such_workload"})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServeClientError) as excinfo:
+            daemon.client().submit({"workload": "va", "surprise": 1})
+        assert excinfo.value.status == 400
+
+    def test_unknown_job_is_404(self, daemon):
+        client = daemon.client()
+        for probe in (client.status, client.result, client.trace,
+                      client.cancel):
+            with pytest.raises(ServeClientError) as excinfo:
+                probe("j00000-missing")
+            assert excinfo.value.status == 404
+
+    def test_result_before_completion_is_409(self, daemon):
+        client = daemon.client()
+        # Submit-then-cancel leaves a terminal job with no result.
+        status = client.submit({"workload": "fault_count"})
+        try:
+            client.cancel(status["id"])
+        except ServeClientError:
+            pass  # already dispatched: fine, it will finish instead
+        else:
+            with pytest.raises(ServeClientError) as excinfo:
+                client.result(status["id"])
+            assert excinfo.value.status == 409
+
+    def test_trace_missing_is_404(self, daemon):
+        client = daemon.client()
+        status = client.submit({"workload": "va"})  # telemetry off
+        client.watch(status["id"], timeout=120)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.trace(status["id"])
+        assert excinfo.value.status == 404
+
+    def test_unknown_route_and_method(self, daemon):
+        client = daemon.client()
+        with pytest.raises(ServeClientError) as excinfo:
+            client.request("GET", "/nope")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServeClientError) as excinfo:
+            client.request("PUT", "/jobs")
+        assert excinfo.value.status == 405
+
+    def test_unreachable_daemon_is_typed(self):
+        client = ServeClient(port=1, timeout=0.5)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 0
+        assert excinfo.value.exit_code == 7
