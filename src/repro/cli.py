@@ -19,7 +19,11 @@ Commands:
   top of the shared runner (submit/status/result/trace/cancel), with
   in-flight dedup, a durable job journal, and graceful SIGTERM drain.
 * ``client`` — talk to a running ``serve`` daemon: submit jobs, watch
-  them, fetch results/traces/metrics.
+  them, fetch results/traces/metrics.  Transient failures (connection
+  reset, 429, 503) retry transparently with jittered backoff.
+* ``worker`` — join a ``serve`` daemon's fleet: long-poll for queued
+  jobs, execute them under a heartbeat-renewed lease, and publish
+  typed results back.  Run any number, on any number of hosts.
 
 Failures are typed (:mod:`repro.errors`) and map to stable exit codes:
 0 success, 1 verification mismatch, 2 usage error, 3 simulated deadlock,
@@ -625,6 +629,9 @@ def _cmd_serve(args) -> int:
         rate_limit=args.rate_limit,
         rate_burst=args.rate_burst,
         batch_max=args.batch_max,
+        lease_ttl=args.lease_ttl,
+        max_assignments=args.max_assignments,
+        local_exec=not args.no_local_exec,
     )
     recovered = int(service.counters.get("serve.jobs.recovered"))
     if recovered:
@@ -678,7 +685,8 @@ def _cmd_client(args) -> int:
     from .serve.client import ServeClient
 
     client = ServeClient(host=args.host, port=args.port,
-                         client_id=args.client_id)
+                         client_id=args.client_id,
+                         max_retries=0 if args.no_retry else args.max_retries)
 
     def emit(body: Any, path: Optional[str] = None) -> None:
         text = json.dumps(body, indent=2, sort_keys=True)
@@ -724,6 +732,27 @@ def _cmd_client(args) -> int:
     elif action == "health":
         emit(client.health())
     return 0
+
+
+def _cmd_worker(args) -> int:
+    from .serve.client import ServeClient
+    from .serve.worker import ServeWorker
+
+    client = ServeClient(host=args.host, port=args.port,
+                         timeout=max(args.poll_wait + 30.0, 60.0),
+                         max_retries=0 if args.no_retry else args.max_retries)
+    worker = ServeWorker(
+        client,
+        name=args.name,
+        max_jobs=args.max_jobs,
+        poll_wait=args.poll_wait,
+        heartbeat_interval=args.heartbeat_interval,
+        exit_on_drain=args.exit_on_drain,
+        idle_exit=args.idle_exit,
+        startup_timeout=args.startup_timeout,
+    )
+    worker.install_signal_handlers()
+    return worker.run()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -896,6 +925,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "one batch (default 32)")
     serve.add_argument("--no-verify", action="store_true",
                        help="skip host reference checks for served jobs")
+    serve.add_argument("--lease-ttl", type=float, default=30.0, metavar="SEC",
+                       help="worker lease time-to-live; a job whose worker "
+                            "misses this many seconds of heartbeats is "
+                            "reassigned (default 30)")
+    serve.add_argument("--max-assignments", type=int, default=3, metavar="N",
+                       help="times a job may be handed out (lease grants + "
+                            "local pickups) before it fails as a worker "
+                            "crash (default 3)")
+    serve.add_argument("--no-local-exec", action="store_true",
+                       help="never execute jobs in-process; act purely as "
+                            "the fleet coordinator for `repro worker` "
+                            "processes")
     _add_runner_flags(serve)
 
     client = sub.add_parser(
@@ -905,6 +946,12 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument("--client-id", default="",
                         help="client identity sent as X-Repro-Client "
                              "(rate limits apply per identity)")
+    client.add_argument("--max-retries", type=int, default=3, metavar="N",
+                        help="transparent retries for transient failures — "
+                             "connection reset, 429, 503 (default 3)")
+    client.add_argument("--no-retry", action="store_true",
+                        help="fail fast on transient errors (same as "
+                             "--max-retries 0)")
     csub = client.add_subparsers(dest="action", required=True)
 
     submit = csub.add_parser("submit", help="submit one job")
@@ -957,6 +1004,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     csub.add_parser("metrics", help="service counters and gauges")
     csub.add_parser("health", help="daemon liveness")
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a `repro serve` daemon's fleet: lease queued jobs, "
+             "execute them under heartbeat, publish typed results")
+    worker.add_argument("--host", default="127.0.0.1",
+                        help="daemon address (default 127.0.0.1)")
+    worker.add_argument("--port", type=int, default=8642)
+    worker.add_argument("--name", default=None, metavar="NAME",
+                        help="fleet-unique worker identity (default "
+                             "<hostname>-<pid>)")
+    worker.add_argument("--max-jobs", type=int, default=0, metavar="N",
+                        help="exit after executing N jobs (default: work "
+                             "forever)")
+    worker.add_argument("--poll-wait", type=float, default=5.0, metavar="SEC",
+                        help="long-poll duration per lease request "
+                             "(default 5)")
+    worker.add_argument("--heartbeat-interval", type=float, default=None,
+                        metavar="SEC",
+                        help="lease renewal period (default: a third of the "
+                             "TTL the daemon grants)")
+    worker.add_argument("--exit-on-drain", action="store_true",
+                        help="exit 0 when the daemon reports it is draining")
+    worker.add_argument("--idle-exit", type=float, default=None, metavar="SEC",
+                        help="exit 0 after SEC seconds without work")
+    worker.add_argument("--startup-timeout", type=float, default=60.0,
+                        metavar="SEC",
+                        help="exit 7 if the daemon is never reachable for "
+                             "SEC seconds (default 60)")
+    worker.add_argument("--max-retries", type=int, default=3, metavar="N",
+                        help="transparent retries for transient failures "
+                             "(default 3)")
+    worker.add_argument("--no-retry", action="store_true",
+                        help="fail fast on transient errors")
     return parser
 
 
@@ -972,6 +1053,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": _cmd_verify,
         "serve": _cmd_serve,
         "client": _cmd_client,
+        "worker": _cmd_worker,
     }
     try:
         return handlers[args.command](args)

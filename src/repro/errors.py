@@ -30,7 +30,8 @@ The service errors double as HTTP statuses: every
 :class:`SimulationError` carries an ``http_status`` class attribute the
 ``repro serve`` daemon uses verbatim when a request maps onto that
 failure (429 for :class:`RateLimitError`, 503 for
-:class:`QueueFullError`, 500 otherwise).
+:class:`QueueFullError`, 409 for :class:`FenceRejectedError`,
+500 otherwise).
 """
 
 from __future__ import annotations
@@ -45,6 +46,7 @@ __all__ = [
     "ServiceError",
     "QueueFullError",
     "RateLimitError",
+    "FenceRejectedError",
     "exit_code_for",
     "describe",
 ]
@@ -158,6 +160,20 @@ class RateLimitError(ServiceError):
 
     http_status = 429
     transient = True
+
+
+class FenceRejectedError(ServiceError):
+    """A worker acted on a lease it no longer holds (zombie fencing).
+
+    Raised by the daemon's lease table when a heartbeat, result, or
+    failure post carries a stale fence token — the lease expired and the
+    job was reassigned, or it belongs to a different worker now.  Mapped
+    to HTTP 409; the correct worker reaction is to *drop* the job (its
+    result is owned by whoever holds the current fence), so unlike the
+    backpressure errors this is **not** transient and never retried.
+    """
+
+    http_status = 409
 
 
 def exit_code_for(exc: BaseException) -> int:

@@ -1,18 +1,29 @@
 """Synchronous client for the ``repro serve`` daemon.
 
 Thin stdlib-``http.client`` wrapper used by the ``repro client`` CLI,
-the test-suite, and the CI smoke job.  Every method returns the decoded
-JSON body; non-2xx responses raise :class:`ServeClientError` carrying
-the HTTP status and the daemon's error message, and
-:meth:`ServeClient.watch` polls a job to a terminal state.
+the ``repro worker`` fleet process, the test-suite, and the CI smoke
+jobs.  Every method returns the decoded JSON body; non-2xx responses
+raise :class:`ServeClientError` carrying the HTTP status and the
+daemon's error message, and :meth:`ServeClient.watch` polls a job to a
+terminal state.
+
+Transient failures are retried *transparently*: connection resets and
+refusals (``OSError``), 429 rate limiting, and 503 backpressure back
+off with exponential, decorrelated jitter — honoring the daemon's
+``Retry-After`` header when one is sent — up to ``max_retries``
+attempts before the typed error propagates.  Deterministic errors
+(400/404/409, including fence rejections) never retry.  Submissions are
+safe to retry because identical submissions dedup onto one execution
+daemon-side (at-least-once posting, exactly-once execution).
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from ..errors import ServiceError
 
@@ -21,30 +32,54 @@ WATCH_INTERVAL = 0.25
 
 TERMINAL = ("done", "failed", "cancelled")
 
+#: HTTP statuses worth retrying: backpressure, not failure.
+RETRYABLE_STATUSES = (429, 503)
+
 
 class ServeClientError(ServiceError):
     """The daemon answered with an error status."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(message)
         self.status = status
+        #: Parsed ``Retry-After`` hint (seconds), when the daemon sent one.
+        self.retry_after = retry_after
 
 
 class ServeClient:
-    """One daemon endpoint (``host:port``), one request per call."""
+    """One daemon endpoint (``host:port``), one request per call.
+
+    Args:
+        max_retries: transient-failure retries per request (0 disables;
+            the ``repro client``/``repro worker`` ``--no-retry`` flag).
+        retry_base: floor of the decorrelated-jitter backoff (seconds).
+        retry_cap: ceiling of any single backoff sleep (seconds).
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8642,
-                 client_id: str = "", timeout: float = 30.0) -> None:
+                 client_id: str = "", timeout: float = 30.0,
+                 max_retries: int = 3, retry_base: float = 0.1,
+                 retry_cap: float = 2.0) -> None:
         self.host = host
         self.port = port
         self.client_id = client_id
         self.timeout = timeout
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.max_retries = max_retries
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        #: Transient-failure retries performed over this client's life.
+        self.retries_attempted = 0
+        self._rng = random.Random()
+        self._sleep = time.sleep  # test seam
 
     # -- transport ---------------------------------------------------------
 
-    def request(self, method: str, path: str,
-                body: Optional[Any] = None) -> Any:
-        """One JSON round-trip; typed error on non-2xx responses."""
+    def _once(self, method: str, path: str,
+              body: Optional[Any]) -> Tuple[int, Any, Optional[float]]:
+        """One HTTP round-trip: (status, decoded body, Retry-After)."""
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         headers = {"Content-Type": "application/json",
@@ -58,21 +93,67 @@ class ServeClient:
                          headers=headers)
             response = conn.getresponse()
             raw = response.read()
-        except OSError as exc:
-            raise ServeClientError(
-                0, f"cannot reach repro serve at "
-                   f"{self.host}:{self.port}: {exc}") from exc
+            retry_after = _parse_retry_after(
+                response.getheader("Retry-After"))
         finally:
             conn.close()
         try:
             payload = json.loads(raw.decode("utf-8")) if raw else {}
         except (json.JSONDecodeError, UnicodeDecodeError):
             payload = {"error": raw[:200].decode("latin-1")}
-        if response.status >= 400:
-            message = (payload.get("error", f"HTTP {response.status}")
-                       if isinstance(payload, dict) else str(payload))
-            raise ServeClientError(response.status, message)
-        return payload
+        return response.status, payload, retry_after
+
+    def request(self, method: str, path: str, body: Optional[Any] = None,
+                retries: Optional[int] = None) -> Any:
+        """One JSON exchange with transparent transient-failure retry.
+
+        *retries* overrides the client-wide ``max_retries`` for this
+        call (``0`` = fail fast; :meth:`wait_ready` uses that to run
+        its own startup loop).  Typed error on non-2xx responses.
+        """
+        budget = self.max_retries if retries is None else retries
+        sleep = self.retry_base
+        attempt = 0
+        while True:
+            retry_after = None
+            try:
+                status, payload, retry_after = self._once(method, path, body)
+            except OSError as exc:
+                if attempt < budget:
+                    attempt += 1
+                    self.retries_attempted += 1
+                    sleep = self._backoff(sleep, None)
+                    continue
+                raise ServeClientError(
+                    0, f"cannot reach repro serve at "
+                       f"{self.host}:{self.port}: {exc}") from exc
+            if status in RETRYABLE_STATUSES and attempt < budget:
+                attempt += 1
+                self.retries_attempted += 1
+                sleep = self._backoff(sleep, retry_after)
+                continue
+            if status >= 400:
+                message = (payload.get("error", f"HTTP {status}")
+                           if isinstance(payload, dict) else str(payload))
+                raise ServeClientError(status, message,
+                                       retry_after=retry_after)
+            return payload
+
+    def _backoff(self, sleep: float,
+                 retry_after: Optional[float]) -> float:
+        """Sleep before a retry; returns the next backoff state.
+
+        Decorrelated jitter (``sleep = uniform(base, 3 * sleep)``,
+        capped) spreads a fleet's retries instead of synchronizing
+        them; an explicit ``Retry-After`` from the daemon wins.
+        """
+        if retry_after is not None:
+            delay = min(max(0.0, retry_after), 30.0)
+        else:
+            delay = sleep
+        self._sleep(delay)
+        return min(self.retry_cap,
+                   self._rng.uniform(self.retry_base, 3.0 * sleep))
 
     # -- endpoints ---------------------------------------------------------
 
@@ -103,6 +184,40 @@ class ServeClient:
                          if value is not None)
         return self.request("GET", "/jobs" + (f"?{query}" if query else ""))
 
+    # -- fleet (worker) endpoints ------------------------------------------
+
+    def lease(self, worker: str, max_jobs: int = 1,
+              wait: float = 0.0) -> Dict[str, Any]:
+        """Claim queued jobs under a lease; long-polls up to *wait* s."""
+        return self.request("POST", "/work/lease",
+                            body={"worker": worker, "max_jobs": max_jobs,
+                                  "wait": wait})
+
+    def heartbeat(self, job_id: str, worker: str,
+                  fence: int) -> Dict[str, Any]:
+        """Renew a lease; raises 409 :class:`ServeClientError` when
+        fenced out (the worker must then abandon the job)."""
+        return self.request("POST", f"/work/{job_id}/heartbeat",
+                            body={"worker": worker, "fence": fence})
+
+    def post_result(self, job_id: str, worker: str, fence: int,
+                    result: Dict[str, Any],
+                    exec_seconds: float = 0.0) -> Dict[str, Any]:
+        """Publish a finished job's typed result payload."""
+        return self.request("POST", f"/work/{job_id}/result",
+                            body={"worker": worker, "fence": fence,
+                                  "result": result,
+                                  "exec_seconds": exec_seconds})
+
+    def post_failure(self, job_id: str, worker: str, fence: int,
+                     error: str, exit_code: Optional[int] = None,
+                     transient: bool = False) -> Dict[str, Any]:
+        """Publish a typed failure for a leased job."""
+        return self.request("POST", f"/work/{job_id}/fail",
+                            body={"worker": worker, "fence": fence,
+                                  "error": error, "exit_code": exit_code,
+                                  "transient": transient})
+
     # -- conveniences ------------------------------------------------------
 
     def watch(self, job_id: str, timeout: float = 300.0,
@@ -129,7 +244,8 @@ class ServeClient:
         deadline = time.monotonic() + timeout
         while True:
             try:
-                return self.health()
+                # retries=0: this loop *is* the retry policy here.
+                return self.request("GET", "/healthz", retries=0)
             except ServeClientError:
                 if time.monotonic() >= deadline:
                     raise
@@ -140,3 +256,13 @@ class ServeClient:
         """Watch several jobs, yielding each as it completes."""
         for job_id in job_ids:
             yield self.watch(job_id, timeout=timeout)
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Seconds from a ``Retry-After`` header (delta form), else None."""
+    if not value:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None

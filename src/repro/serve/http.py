@@ -14,13 +14,19 @@ Routes::
     GET    /jobs/{id}/result typed result payload        (done jobs)
     GET    /jobs/{id}/trace  Chrome trace JSON           (telemetry=trace)
     DELETE /jobs/{id}        cancel a queued job
-    GET    /metrics          service counters + gauges
-    GET    /healthz          liveness (also reports draining)
+    POST   /work/lease       claim queued jobs under a lease (long-poll)
+    POST   /work/{id}/heartbeat  renew a lease           (fence-checked)
+    POST   /work/{id}/result     publish a remote result (fence-checked)
+    POST   /work/{id}/fail       publish a typed failure (fence-checked)
+    GET    /metrics          service counters + fleet gauges
+    GET    /healthz          liveness (draining + lease degradation)
 
 Error mapping is typed end to end: admission and lookup failures are
 :class:`~repro.errors.SimulationError` subclasses whose ``http_status``
 chooses the response code (429 rate limit, 503 queue full/draining,
-404 unknown job, 409 not cancellable), and malformed specs are 400s.
+404 unknown job, 409 not cancellable / stale fence), and malformed
+specs are 400s.  Backpressure responses (429/503) carry a
+``Retry-After`` header that the client's transparent retry honors.
 """
 
 from __future__ import annotations
@@ -67,6 +73,7 @@ class ServeApp:
     async def handle(self, reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
         """One connection, one request, one JSON response."""
+        extra_headers: Dict[str, str] = {}
         try:
             status, body = await self._dispatch(reader, writer)
         except HttpError as exc:
@@ -74,17 +81,23 @@ class ServeApp:
         except SimulationError as exc:
             status = exc.http_status
             body = {"error": str(exc), "exit_code": exc.exit_code}
+            if status in (429, 503):
+                # Backpressure: tell clients when a retry is worthwhile.
+                extra_headers["Retry-After"] = "1"
         except (asyncio.IncompleteReadError, ConnectionError):
             writer.close()
             return
         except Exception as exc:  # pragma: no cover - defensive
             status, body = 500, {"error": f"internal error: {exc}"}
         payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        extras = "".join(f"{name}: {value}\r\n"
+                         for name, value in extra_headers.items())
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(payload)}\r\n"
             f"Server: repro-serve/{__version__}\r\n"
+            f"{extras}"
             f"Connection: close\r\n\r\n").encode("ascii")
         try:
             writer.write(head + payload)
@@ -119,13 +132,17 @@ class ServeApp:
         peer = writer.get_extra_info("peername")
         client = headers.get("x-repro-client") or (
             peer[0] if isinstance(peer, tuple) and peer else "-")
-        return self._route(method, split.path, query, raw, client)
+        routed = self._route(method, split.path, query, raw, client)
+        if asyncio.iscoroutine(routed):  # long-polling handlers
+            routed = await routed
+        return routed
 
     def _route(self, method: str, path: str, query: Dict[str, str],
-               raw: bytes, client: str) -> Tuple[int, Dict[str, Any]]:
+               raw: bytes, client: str):
         segments = [s for s in path.split("/") if s]
         if segments == ["healthz"] and method == "GET":
-            return 200, {"ok": True, "draining": self.service.draining,
+            return 200, {"ok": True, "status": self.service.health_status(),
+                         "draining": self.service.draining,
                          "version": __version__}
         if segments == ["metrics"] and method == "GET":
             return 200, self.service.metrics()
@@ -148,6 +165,19 @@ class ServeApp:
                     return self._result(job_id)
                 if segments[2] == "trace":
                     return self._trace(job_id)
+        if segments and segments[0] == "work":
+            if method != "POST":
+                raise HttpError(405, f"{method} not allowed under /work")
+            if segments == ["work", "lease"]:
+                return self._lease(raw)
+            if len(segments) == 3:
+                job_id, action = segments[1], segments[2]
+                if action == "heartbeat":
+                    return self._heartbeat(job_id, raw)
+                if action == "result":
+                    return self._work_result(job_id, raw)
+                if action == "fail":
+                    return self._work_fail(job_id, raw)
         raise HttpError(404, f"no route for {method} {path}")
 
     # -- handlers ----------------------------------------------------------
@@ -190,6 +220,64 @@ class ServeApp:
                      "queue_wait_seconds": record.queue_wait,
                      "exec_seconds": record.exec_seconds,
                      "result": record.result}
+
+    # -- fleet (worker-facing) handlers ------------------------------------
+
+    @staticmethod
+    def _work_body(raw: bytes, context: str) -> Dict[str, Any]:
+        try:
+            payload = json.loads(raw.decode("utf-8") or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"{context} body is not JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise HttpError(400, f"{context} body must be a JSON object")
+        return payload
+
+    async def _lease(self, raw: bytes) -> Tuple[int, Dict[str, Any]]:
+        body = self._work_body(raw, "lease")
+        try:
+            leases = await self.service.lease(
+                worker=body.get("worker"),
+                max_jobs=body.get("max_jobs", 1),
+                wait=body.get("wait", 0.0))
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, str(exc))
+        return 200, {"leases": leases,
+                     "draining": self.service.draining}
+
+    def _heartbeat(self, job_id: str,
+                   raw: bytes) -> Tuple[int, Dict[str, Any]]:
+        body = self._work_body(raw, "heartbeat")
+        try:
+            return 200, self.service.heartbeat(
+                job_id, body.get("worker"), body.get("fence"))
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, str(exc))
+
+    def _work_result(self, job_id: str,
+                     raw: bytes) -> Tuple[int, Dict[str, Any]]:
+        body = self._work_body(raw, "result")
+        try:
+            record = self.service.complete_remote(
+                job_id, body.get("worker"), body.get("fence"),
+                body.get("result"),
+                exec_seconds=body.get("exec_seconds", 0.0))
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, str(exc))
+        return 200, record.as_status()
+
+    def _work_fail(self, job_id: str,
+                   raw: bytes) -> Tuple[int, Dict[str, Any]]:
+        body = self._work_body(raw, "fail")
+        try:
+            record = self.service.fail_remote(
+                job_id, body.get("worker"), body.get("fence"),
+                error=body.get("error", ""),
+                exit_code=body.get("exit_code"),
+                transient=bool(body.get("transient", False)))
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, str(exc))
+        return 200, record.as_status()
 
     def _trace(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
         record = self.service.get(job_id)

@@ -212,6 +212,19 @@ class JobRecord:
     exit_code: Optional[int] = None
     #: Times this record survived a daemon restart via the journal.
     recovered: int = 0
+    #: Remote worker currently leasing (or, once terminal, the worker
+    #: whose fenced post resolved) this job; None for local execution.
+    worker: Optional[str] = None
+    #: Fence token of the job's current lease (None when unleased).
+    fence: Optional[int] = None
+    #: Times this job has been handed out for execution — lease grants
+    #: plus local-dispatcher pickups.  Bounded by the service's
+    #: ``max_assignments``; exceeding it fails the job as a
+    #: :class:`~repro.errors.WorkerCrashError`.
+    assignments: int = 0
+    #: Fence token that resolved the job (duplicate result posts with
+    #: the same token are answered idempotently, not fence-rejected).
+    resolved_fence: Optional[int] = None
 
     def as_status(self) -> Dict[str, Any]:
         """The ``GET /jobs/{id}`` body."""
@@ -233,4 +246,6 @@ class JobRecord:
             "error": self.error,
             "exit_code": self.exit_code,
             "recovered": self.recovered,
+            "worker": self.worker,
+            "assignments": self.assignments,
         }

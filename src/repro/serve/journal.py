@@ -3,18 +3,31 @@
 Same idiom as :class:`repro.runner.CheckpointJournal` (one header line
 binding the file to a schema, then one fsynced record per event,
 tolerating a torn trailing line), but for the service's job lifecycle
-instead of a sweep grid: ``submit`` / ``resolve`` / ``cancel`` events
-keyed by job id.  A restarted daemon replays the journal to recover its
-job table — resolved jobs keep serving their results, and jobs that
-were submitted but never resolved re-enter the queue.
+instead of a sweep grid: ``submit`` / ``resolve`` / ``cancel`` events —
+plus the fleet's lease transitions (``lease`` / ``renew`` / ``expire``
+/ ``reassign`` / ``fence_reject``) — keyed by job id.  A restarted
+daemon replays the journal to recover its job table *and* its in-flight
+lease state: resolved jobs keep serving their results, jobs that were
+submitted but never resolved re-enter the queue, and leased jobs keep
+their worker/fence/deadline so a live remote worker can finish a job
+across a daemon restart.
+
+Crash tolerance: a daemon killed mid-append leaves a truncated (or, on
+some filesystems, garbled) trailing line.  :meth:`ServeJournal.load`
+never raises for that — the bad bytes are *quarantined* to a sidecar
+file (``<journal>.quarantine``) for post-mortem, a warning is logged,
+and every decodable record before and after is salvaged.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Any, Dict, List
+
+logger = logging.getLogger("repro.serve.journal")
 
 
 class ServeJournal:
@@ -25,36 +38,65 @@ class ServeJournal:
 
     def __init__(self, path: os.PathLike) -> None:
         self.path = Path(path)
+        #: Undecodable lines skipped (and quarantined) by the last load.
+        self.quarantined = 0
+
+    @property
+    def quarantine_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".quarantine")
 
     def load(self) -> List[Dict[str, Any]]:
         """Ordered journal events; ``[]`` for missing/foreign files.
 
-        Undecodable lines (torn writes from a crash mid-append) are
-        skipped, salvaging every event before and after them.
+        Undecodable lines — a torn write from a crash mid-append, or a
+        corrupted stretch of the file — are logged, quarantined to
+        ``<journal>.quarantine``, and skipped, salvaging every intact
+        event before and after them.  Never raises for bad content.
         """
+        self.quarantined = 0
         try:
-            lines = self.path.read_text(encoding="utf-8").splitlines()
+            raw_lines = self.path.read_bytes().splitlines()
         except OSError:
             return []
-        if not lines:
+        if not raw_lines:
             return []
         try:
-            header = json.loads(lines[0])
-        except json.JSONDecodeError:
+            header = json.loads(raw_lines[0].decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(1, raw_lines[0])
             return []
         if (not isinstance(header, dict)
                 or header.get("schema") != self.SCHEMA
                 or header.get("service") != self.SERVICE):
             return []
         events: List[Dict[str, Any]] = []
-        for line in lines[1:]:
+        for number, raw in enumerate(raw_lines[1:], start=2):
+            if not raw.strip():
+                continue
             try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn write: keep everything else
+                entry = json.loads(raw.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                # Torn/corrupt write: keep everything else.
+                self._quarantine(number, raw)
+                continue
             if isinstance(entry, dict) and "event" in entry and "id" in entry:
                 events.append(entry)
         return events
+
+    def _quarantine(self, line_number: int, raw: bytes) -> None:
+        """Preserve one undecodable line for post-mortem and move on."""
+        self.quarantined += 1
+        logger.warning(
+            "journal %s line %d is not decodable (%d bytes; crash "
+            "mid-append?); quarantining to %s and skipping",
+            self.path, line_number, len(raw), self.quarantine_path)
+        try:
+            with open(self.quarantine_path, "ab") as fh:
+                fh.write(f"# {self.path} line {line_number}\n"
+                         .encode("utf-8"))
+                fh.write(raw + b"\n")
+        except OSError:  # pragma: no cover - quarantine is best-effort
+            pass
 
     def append(self, event: str, job_id: str, **data: Any) -> None:
         """Durably journal one job event."""

@@ -19,10 +19,20 @@ long-lived daemon needs on top:
   (:class:`RateLimitError`, HTTP 429);
 * **graceful drain** — stop admitting, finish the running batch, leave
   queued jobs journaled for the next daemon;
+* **fleet coordination** — remote ``repro worker`` processes claim
+  queued jobs under time-bounded, fence-tokened leases
+  (:class:`~repro.serve.leases.LeaseTable`); a worker that misses its
+  heartbeat deadline (crash, partition, ``kill -9``) has its jobs
+  reassigned — to another worker or the local dispatcher — with stale
+  fenced posts rejected, a bounded assignment count before the job is
+  failed as :class:`~repro.errors.WorkerCrashError`, and every lease
+  transition journaled so a restarted daemon rebuilds in-flight lease
+  state;
 * **service metrics** — a telemetry
   :class:`~repro.telemetry.counters.CounterRegistry` of
   submitted/deduped/cache-hit/executed/failed/recovered counts plus
-  queue depth and worker occupancy, served at ``GET /metrics``.
+  queue depth, worker occupancy, and the fleet's lease/worker gauges,
+  served at ``GET /metrics``.
 
 Queue wait and execution time are tracked separately per job (the PR-3
 deadline fix made that split load-bearing): ``queue_wait`` is
@@ -41,9 +51,11 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import (
+    FenceRejectedError,
     QueueFullError,
     RateLimitError,
     ServiceError,
+    WorkerCrashError,
     describe,
     exit_code_for,
 )
@@ -51,6 +63,7 @@ from ..runner import JobEvent, Runner
 from ..telemetry.counters import CounterRegistry
 from .jobs import JobRecord, JobSpec, JobState, result_payload
 from .journal import ServeJournal
+from .leases import Lease, LeaseTable
 
 _id_counter = itertools.count(1)
 
@@ -116,11 +129,19 @@ class JobService:
         retries: int = 2,
         verify: bool = True,
         runner: Optional[Runner] = None,
+        lease_ttl: float = 30.0,
+        max_assignments: int = 3,
+        local_exec: bool = True,
+        sweep_interval: Optional[float] = None,
     ) -> None:
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
         if batch_max < 1:
             raise ValueError("batch_max must be >= 1")
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        if max_assignments < 1:
+            raise ValueError("max_assignments must be >= 1")
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.trace_dir = self.data_dir / "traces"
@@ -134,6 +155,19 @@ class JobService:
                         if rate_limit else None)
         self.counters = CounterRegistry()
         self.started_at = time.time()
+        self.lease_ttl = lease_ttl
+        self.max_assignments = max_assignments
+        #: When False the daemon is a pure fleet coordinator: the local
+        #: dispatcher never picks jobs up, only remote workers do.
+        self.local_exec = local_exec
+        self.sweep_interval = (sweep_interval if sweep_interval is not None
+                               else min(1.0, max(0.05, lease_ttl / 4.0)))
+        #: How long since last contact a worker still counts as active.
+        self.worker_horizon = max(2.0 * lease_ttl, 10.0)
+        self.leases = LeaseTable()
+        #: Wall clock used for every lease decision; tests replace it to
+        #: step expiry deterministically.
+        self._now = time.time
 
         #: Every known job, including recovered and terminal ones.
         self.jobs: Dict[str, JobRecord] = {}
@@ -143,32 +177,49 @@ class JobService:
         self._busy = 0  # primaries in the currently-running batch
         self._draining = False
         self._wake: Optional[asyncio.Event] = None
+        self._work: Optional[asyncio.Event] = None  # lease long-poll wakeup
         self._done: Optional[asyncio.Event] = None
         self._task: Optional[asyncio.Task] = None
+        self._sweeper: Optional[asyncio.Task] = None
         self._recover()
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Spawn the dispatcher task (idempotent)."""
+        """Spawn the dispatcher and lease-sweeper tasks (idempotent)."""
         if self._task is not None:
             return
         self._wake = asyncio.Event()
+        self._work = asyncio.Event()
         self._done = asyncio.Event()
         if self._queue:
             self._wake.set()
+            self._work.set()
         self._task = asyncio.create_task(self._dispatch_loop())
+        self._sweeper = asyncio.create_task(self._sweep_loop())
 
     async def drain(self) -> None:
         """Graceful shutdown: stop admitting, finish the running batch.
 
-        Jobs still queued stay journaled as submitted; the next daemon
-        pointed at the same data dir re-enqueues them (the restart
-        recovery the CI smoke job asserts).
+        Jobs still queued stay journaled as submitted, and jobs leased
+        to remote workers stay journaled as leased; the next daemon
+        pointed at the same data dir re-enqueues the former and restores
+        the latter's lease state (the restart recovery the CI smoke
+        jobs assert).  Remote workers long-polling for work are released
+        with an empty, ``draining`` response.
         """
         self._draining = True
         if self._wake is not None:
             self._wake.set()
+        if self._work is not None:
+            self._work.set()
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            try:
+                await self._sweeper
+            except asyncio.CancelledError:
+                pass
+            self._sweeper = None
         if self._task is not None:
             await self._done.wait()
             await self._task
@@ -181,7 +232,17 @@ class JobService:
     # -- journal recovery --------------------------------------------------
 
     def _recover(self) -> None:
-        """Rebuild the job table from the journal (restart path)."""
+        """Rebuild the job table from the journal (restart path).
+
+        Lease transitions replay too: a job that was leased to a remote
+        worker (and neither expired, reassigned, nor resolved) comes
+        back *still leased* — same worker, same fence token, same
+        deadline — so a live worker finishes its job across a daemon
+        restart, and a dead worker's lease expires on the first sweep.
+        The fence counter resumes past the highest journaled token, so
+        post-restart grants stay strictly monotonic.
+        """
+        live_leases: Dict[str, Lease] = {}
         for entry in self.journal.load():
             kind = entry["event"]
             if kind == "submit":
@@ -209,28 +270,76 @@ class JobService:
                 record.trace_path = entry.get("trace_path")
                 record.error = entry.get("error")
                 record.exit_code = entry.get("exit_code")
+                record.worker = entry.get("worker", record.worker)
+                record.resolved_fence = entry.get("fence")
+                live_leases.pop(entry["id"], None)
             elif kind == "cancel":
                 record = self.jobs.get(entry["id"])
                 if record is not None:
                     record.state = JobState.CANCELLED
-        # Unresolved submissions go back in the queue, dedup rebuilt in
-        # submission order so subscribers reattach to their primary.
+            elif kind == "lease":
+                record = self.jobs.get(entry["id"])
+                fence = int(entry.get("fence", 0))
+                self.leases.observe_fence(fence)
+                if record is None:
+                    continue
+                record.assignments = int(
+                    entry.get("assignments", record.assignments + 1))
+                live_leases[entry["id"]] = Lease(
+                    job_id=entry["id"],
+                    worker=entry.get("worker", ""),
+                    fence=fence,
+                    granted_at=entry.get("granted_at", 0.0),
+                    deadline=entry.get("deadline", 0.0))
+            elif kind == "renew":
+                lease = live_leases.get(entry["id"])
+                if lease is not None and entry.get("fence") == lease.fence:
+                    lease.deadline = entry.get("deadline", lease.deadline)
+                    lease.renewals += 1
+            elif kind in ("expire", "reassign"):
+                live_leases.pop(entry["id"], None)
+                record = self.jobs.get(entry["id"])
+                if record is not None and kind == "reassign":
+                    record.assignments = int(
+                        entry.get("assignments", record.assignments))
+            elif kind == "fence_reject":
+                self.leases.observe_fence(int(entry.get("fence", 0)))
+        # Unresolved submissions go back in the queue (or keep their
+        # live lease), dedup rebuilt in submission order so subscribers
+        # reattach to their primary.  A record holding a live lease must
+        # win primary selection for its content key regardless of
+        # submission order (the lease names *that* job id).
         pending = sorted(
             (r for r in self.jobs.values()
              if r.state not in JobState.TERMINAL),
-            key=lambda r: (r.submitted_at, r.id))
+            key=lambda r: (r.id not in live_leases, r.submitted_at, r.id))
         for record in pending:
-            record.state = JobState.QUEUED
-            record.started_at = None
             record.recovered += 1
             self.counters.incr("serve.jobs.recovered")
             primary_id = self._inflight.get(record.key)
             if primary_id is not None:
                 record.dedup_of = primary_id
                 self._subs.setdefault(primary_id, []).append(record.id)
+                record.state = self.jobs[primary_id].state
+                record.started_at = self.jobs[primary_id].started_at
+                continue
+            record.dedup_of = None
+            self._inflight[record.key] = record.id
+            lease = live_leases.get(record.id)
+            if lease is not None:
+                # Still owned by its worker; expiry sweep handles the
+                # rest if that worker is gone.
+                self.leases.restore(lease)
+                record.state = JobState.RUNNING
+                record.started_at = lease.granted_at
+                record.worker = lease.worker
+                record.fence = lease.fence
+                self.counters.incr("serve.leases.restored")
             else:
-                record.dedup_of = None
-                self._inflight[record.key] = record.id
+                record.state = JobState.QUEUED
+                record.started_at = None
+                record.worker = None
+                record.fence = None
                 self._queue.append(record.id)
 
     # -- submission / cancellation / queries -------------------------------
@@ -279,6 +388,8 @@ class JobService:
                             dedup_of=record.dedup_of)
         if self._wake is not None:
             self._wake.set()
+        if self._work is not None and self._queue:
+            self._work.set()
         return record
 
     def get(self, job_id: str) -> JobRecord:
@@ -347,6 +458,283 @@ class JobService:
         self.journal.append("cancel", job_id)
         return record
 
+    # -- fleet coordination (lease / heartbeat / result / fail) ------------
+
+    async def lease(self, worker: str, max_jobs: int = 1,
+                    wait: float = 0.0) -> List[Dict[str, Any]]:
+        """Claim up to *max_jobs* queued jobs for *worker* (long-poll).
+
+        Returns lease grants — ``{id, spec, fence, lease_ttl,
+        deadline, assignments}`` each — parking the caller for up to
+        *wait* seconds when the queue is empty.  Draining daemons
+        release waiters immediately with no grants.
+        """
+        if not isinstance(worker, str) or not worker:
+            raise ValueError("lease request needs a 'worker' name")
+        max_jobs = max(1, int(max_jobs))
+        wait = min(max(0.0, float(wait)), 60.0)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + wait
+        while True:
+            # Promptly reassign anything whose owner went silent, so a
+            # polling worker picks up crashed peers' jobs immediately.
+            self.expire_leases()
+            self.leases.touch(worker, self._now())
+            if self._draining:
+                return []
+            grants = self._grant_jobs(worker, max_jobs)
+            if grants:
+                return grants
+            remaining = deadline - loop.time()
+            if remaining <= 0 or self._work is None:
+                return []
+            try:
+                await asyncio.wait_for(self._work.wait(),
+                                       timeout=min(remaining,
+                                                   self.sweep_interval))
+            except asyncio.TimeoutError:
+                continue
+            self._work.clear()
+
+    def _grant_jobs(self, worker: str,
+                    max_jobs: int) -> List[Dict[str, Any]]:
+        """Pop queued primaries and lease them to *worker* (loop thread)."""
+        grants: List[Dict[str, Any]] = []
+        now = self._now()
+        while self._queue and len(grants) < max_jobs:
+            job_id = self._queue.popleft()
+            record = self.jobs[job_id]
+            if record.state != JobState.QUEUED:
+                continue
+            record.assignments += 1
+            lease = self.leases.grant(job_id, worker, self.lease_ttl, now)
+            record.state = JobState.RUNNING
+            record.started_at = now
+            record.worker = worker
+            record.fence = lease.fence
+            for sid in self._subs.get(job_id, []):
+                subscriber = self.jobs[sid]
+                if subscriber.state == JobState.QUEUED:
+                    subscriber.state = JobState.RUNNING
+                    subscriber.started_at = now
+            self.counters.incr("serve.leases.granted")
+            self.journal.append(
+                "lease", job_id, worker=worker, fence=lease.fence,
+                granted_at=now, deadline=lease.deadline,
+                assignments=record.assignments)
+            grants.append({
+                "id": job_id,
+                "spec": record.spec.as_dict(),
+                "fence": lease.fence,
+                "lease_ttl": self.lease_ttl,
+                "deadline": lease.deadline,
+                "assignments": record.assignments,
+                "max_assignments": self.max_assignments,
+            })
+        if self._queue and self._work is not None:
+            self._work.set()  # more work: release other pollers
+        return grants
+
+    def _fence_reject(self, job_id: str, worker: str, fence: Any,
+                      action: str, detail: str = "") -> None:
+        """Record and raise one zombie-fencing rejection."""
+        self.counters.incr("serve.leases.fence_rejected")
+        self.journal.append("fence_reject", job_id, worker=worker,
+                            fence=fence, action=action)
+        raise FenceRejectedError(
+            detail or f"worker {worker!r} tried to {action} job {job_id} "
+                      f"with stale fence {fence}")
+
+    def _fenced_record(self, job_id: str, worker: str, fence: Any,
+                       action: str) -> JobRecord:
+        """Look up + fence-check one lease-owned job, or raise.
+
+        Returns the record with its lease still in place; ``None``-like
+        duplicate handling (an already-resolved job re-posted under the
+        fence that resolved it) is the *caller's* business — this only
+        authenticates live ownership.
+        """
+        record = self.get(job_id)
+        if not isinstance(worker, str) or not worker:
+            raise ValueError(f"{action} for job {job_id} needs a "
+                             f"'worker' name")
+        if not isinstance(fence, int):
+            raise ValueError(f"{action} for job {job_id} needs an integer "
+                             f"'fence' token")
+        try:
+            self.leases.validate(job_id, worker, fence, action=action)
+        except FenceRejectedError as exc:
+            self._fence_reject(job_id, worker, fence, action,
+                               detail=str(exc))
+        return record
+
+    def heartbeat(self, job_id: str, worker: str,
+                  fence: Any) -> Dict[str, Any]:
+        """Renew *worker*'s lease on *job_id*; fence-checked.
+
+        A heartbeat for a job that already resolved under this very
+        fence (the result post and a final heartbeat can race) is
+        answered benignly with the terminal state so the worker stops;
+        any other stale fence is rejected.
+        """
+        record = self.jobs.get(job_id)
+        if (record is not None and record.state in JobState.TERMINAL
+                and record.resolved_fence == fence
+                and record.worker == worker):
+            return {"id": job_id, "state": record.state,
+                    "lease_ttl": self.lease_ttl}
+        record = self._fenced_record(job_id, worker, fence, "heartbeat")
+        now = self._now()
+        lease = self.leases.renew(job_id, worker, fence, self.lease_ttl, now)
+        self.counters.incr("serve.leases.renewed")
+        self.journal.append("renew", job_id, worker=worker, fence=fence,
+                            deadline=lease.deadline)
+        return {"id": job_id, "state": record.state,
+                "deadline": lease.deadline, "lease_ttl": self.lease_ttl,
+                "renewals": lease.renewals}
+
+    def complete_remote(self, job_id: str, worker: str, fence: Any,
+                        result: Any,
+                        exec_seconds: float = 0.0) -> JobRecord:
+        """Accept a remote worker's typed result payload; fence-checked.
+
+        Exactly-once resolution under at-least-once posting: a
+        duplicate post carrying the fence that already resolved the job
+        (worker retried after a dropped response) is answered
+        idempotently; a post under any *other* fence — a zombie whose
+        lease expired and whose job was reassigned — is rejected and
+        journaled as ``fence_reject``.
+        """
+        record = self.jobs.get(job_id)
+        if (record is not None and record.state in JobState.TERMINAL
+                and record.resolved_fence == fence
+                and record.worker == worker):
+            self.counters.incr("serve.work.duplicate_results")
+            return record
+        record = self._fenced_record(job_id, worker, fence, "complete")
+        if not isinstance(result, dict):
+            raise ValueError(f"result for job {job_id} must be the typed "
+                             f"JSON result payload")
+        exec_seconds = max(0.0, float(exec_seconds or 0.0))
+        self.leases.release(job_id)
+        now = self._now()
+        info = self.leases.touch(worker, now)
+        info.completed += 1
+        record.resolved_fence = fence
+        record.worker = worker
+        self.counters.incr("serve.jobs.remote_completed")
+        self._resolve_group(record, "executed", payload=result,
+                            exec_seconds=exec_seconds)
+        return record
+
+    def fail_remote(self, job_id: str, worker: str, fence: Any,
+                    error: str, exit_code: Optional[int] = None,
+                    transient: bool = False) -> JobRecord:
+        """Accept a remote worker's typed failure; fence-checked.
+
+        Transient failures (worker crash taxonomy) requeue the job —
+        subject to the same bounded assignment count as lease expiry —
+        while deterministic ones (deadlock, verification, timeout)
+        resolve the whole dedup group as failed with the worker's
+        reported error and exit code.
+        """
+        record = self.jobs.get(job_id)
+        if (record is not None and record.state in JobState.TERMINAL
+                and record.resolved_fence == fence
+                and record.worker == worker):
+            self.counters.incr("serve.work.duplicate_results")
+            return record
+        record = self._fenced_record(job_id, worker, fence, "fail")
+        self.leases.release(job_id)
+        now = self._now()
+        info = self.leases.touch(worker, now)
+        info.failed += 1
+        error = str(error or "remote worker failure")
+        self.counters.incr("serve.jobs.remote_failed")
+        if transient:
+            # _requeue enforces the assignment bound: at the cap this
+            # resolves the job as a WorkerCrashError, same as expiry.
+            self._requeue(record,
+                          reason=f"worker {worker!r} reported a transient "
+                                 f"failure: {error}")
+            return record
+        record.resolved_fence = fence
+        record.worker = worker
+        self._resolve_group(
+            record, "failed", error_text=error,
+            error_code=exit_code if isinstance(exit_code, int)
+            else ServiceError.exit_code)
+        return record
+
+    # -- lease expiry / reassignment ---------------------------------------
+
+    def expire_leases(self, now: Optional[float] = None) -> int:
+        """Reassign every job whose lease deadline has passed.
+
+        Returns the number of leases expired.  Runs from the sweep task,
+        from every lease poll, and from tests stepping a fake clock.
+        """
+        if now is None:
+            now = self._now()
+        expired = self.leases.expired(now)
+        for lease in expired:
+            self.leases.release(lease.job_id)
+            self.counters.incr("serve.leases.expired")
+            self.journal.append("expire", lease.job_id, worker=lease.worker,
+                                fence=lease.fence, deadline=lease.deadline)
+            record = self.jobs.get(lease.job_id)
+            if record is None or record.state in JobState.TERMINAL:
+                continue
+            self._requeue(record,
+                          reason=f"lease fence {lease.fence} held by "
+                                 f"worker {lease.worker!r} expired "
+                                 f"(missed heartbeat deadline)")
+        return len(expired)
+
+    def _requeue(self, record: JobRecord, reason: str) -> None:
+        """Give a lease-lost job back to the queue — or fail it typed.
+
+        The bounded-assignment backstop: a job that keeps losing its
+        owner (crashing workers, flapping network) is failed as a
+        :class:`WorkerCrashError` after ``max_assignments`` hand-outs
+        rather than ping-ponging around the fleet forever.
+        """
+        if record.assignments >= self.max_assignments:
+            self._resolve_group(record, "failed", error=WorkerCrashError(
+                f"job {record.id} ({record.spec.workload}) lost its worker "
+                f"{record.assignments} time(s) (assignment bound "
+                f"{self.max_assignments}); last: {reason}"))
+            return
+        record.state = JobState.QUEUED
+        record.started_at = None
+        record.worker = None
+        record.fence = None
+        for sid in self._subs.get(record.id, []):
+            subscriber = self.jobs[sid]
+            if subscriber.state == JobState.RUNNING:
+                subscriber.state = JobState.QUEUED
+                subscriber.started_at = None
+        # Head of the queue: a reassigned job has already waited once.
+        self._queue.appendleft(record.id)
+        self.counters.incr("serve.leases.reassigned")
+        self.journal.append("reassign", record.id,
+                            assignments=record.assignments, reason=reason)
+        if self._wake is not None:
+            self._wake.set()
+        if self._work is not None:
+            self._work.set()
+
+    async def _sweep_loop(self) -> None:
+        """Background heartbeat-deadline enforcement."""
+        while not self._draining:
+            await asyncio.sleep(self.sweep_interval)
+            self.expire_leases()
+
+    def health_status(self) -> str:
+        """``ok`` normally; ``degraded`` when a lease has expired but
+        its job has not been reassigned yet."""
+        return "degraded" if self.leases.expired(self._now()) else "ok"
+
     # -- dispatch ----------------------------------------------------------
 
     async def _dispatch_loop(self) -> None:
@@ -354,7 +742,8 @@ class JobService:
             while True:
                 await self._wake.wait()
                 self._wake.clear()
-                while self._queue and not self._draining:
+                while (self.local_exec and self._queue
+                       and not self._draining):
                     batch = [self._queue.popleft()
                              for _ in range(min(len(self._queue),
                                                 self.batch_max))]
@@ -376,6 +765,7 @@ class JobService:
         for record in records:
             record.state = JobState.RUNNING
             record.started_at = now
+            record.assignments += 1  # local pickup counts like a lease
             for sid in self._subs.get(record.id, []):
                 subscriber = self.jobs[sid]
                 if subscriber.state == JobState.QUEUED:
@@ -424,22 +814,36 @@ class JobService:
                                 exec_seconds=event.elapsed)
 
     def _resolve_group(self, record: JobRecord, status: str,
-                       result=None, error: Optional[BaseException] = None,
+                       result=None, payload: Optional[Dict[str, Any]] = None,
+                       error: Optional[BaseException] = None,
+                       error_text: Optional[str] = None,
+                       error_code: Optional[int] = None,
                        exec_seconds: float = 0.0) -> None:
-        """Resolve a primary and every live subscriber with one outcome."""
+        """Resolve a primary and every live subscriber with one outcome.
+
+        The outcome is either a local :class:`KernelRunResult`
+        (*result*, from the runner path), a prebuilt typed JSON
+        *payload* (from a remote worker's result post), a local
+        exception (*error*), or a remote worker's reported failure
+        (*error_text* + *error_code*).
+        """
         now = time.time()
         subscribers = self._subs.pop(record.id, [])
         self._inflight.pop(record.key, None)
         group = [record] + [
             self.jobs[sid] for sid in subscribers
             if self.jobs[sid].state not in JobState.TERMINAL]
-        payload = trace_path = None
-        if error is None and result is not None:
+        if error is not None:
+            error_text = describe(error)
+            error_code = exit_code_for(error)
+        failed = error_text is not None
+        trace_path = None
+        if not failed and payload is None and result is not None:
             payload = result_payload(record.spec, result)
             if record.spec.telemetry == "trace" and result.telemetry is not None:
                 trace_path = self._export_trace(record, result)
         cache_hit = status == "cached"
-        if error is not None:
+        if failed:
             self.counters.incr("serve.jobs.failed")
         elif cache_hit:
             self.counters.incr("serve.jobs.cache_hits")
@@ -453,10 +857,10 @@ class JobService:
                 0.0, (now - member.submitted_at) - exec_seconds)
             member.cache_hit = cache_hit
             self.counters.incr("serve.queue.wait_seconds", member.queue_wait)
-            if error is not None:
+            if failed:
                 member.state = JobState.FAILED
-                member.error = describe(error)
-                member.exit_code = exit_code_for(error)
+                member.error = error_text
+                member.exit_code = error_code
             else:
                 member.state = JobState.DONE
                 member.result = payload
@@ -468,7 +872,8 @@ class JobService:
                 finished_at=member.finished_at,
                 cache_hit=member.cache_hit, dedup_of=member.dedup_of,
                 result=member.result, trace_path=member.trace_path,
-                error=member.error, exit_code=member.exit_code)
+                error=member.error, exit_code=member.exit_code,
+                worker=record.worker, fence=record.resolved_fence)
 
     def _export_trace(self, record: JobRecord, result) -> Optional[str]:
         from ..telemetry import export_chrome_trace
@@ -486,12 +891,42 @@ class JobService:
     # -- metrics -----------------------------------------------------------
 
     def metrics(self) -> Dict[str, Any]:
-        """The ``GET /metrics`` body: counters plus live gauges."""
+        """The ``GET /metrics`` body: counters plus live gauges.
+
+        The fleet view rides along: ``serve.workers.active`` (a gauge,
+        folded into the counter namespace for scrapers), the
+        ``serve.leases.*`` transition counters, and per-worker
+        last-heartbeat ages under ``fleet.workers``.
+        """
         states: Dict[str, int] = {}
         for record in self.jobs.values():
             states[record.state] = states.get(record.state, 0) + 1
+        now = self._now()
+        active = self.leases.active_workers(now, self.worker_horizon)
+        counters = self.counters.as_dict()
+        counters["serve.workers.active"] = float(len(active))
         body: Dict[str, Any] = {
-            "counters": self.counters.as_dict(),
+            "counters": counters,
+            "fleet": {
+                "workers_active": len(active),
+                "lease_ttl": self.lease_ttl,
+                "max_assignments": self.max_assignments,
+                "local_exec": self.local_exec,
+                "leases_active": len(self.leases),
+                "leases_expired_pending": len(self.leases.expired(now)),
+                "workers": {
+                    info.name: {
+                        "last_heartbeat_age": max(0.0, now - info.last_seen),
+                        "leases_granted": info.leases_granted,
+                        "completed": info.completed,
+                        "failed": info.failed,
+                        "active": now - info.last_seen
+                                  <= self.worker_horizon,
+                    }
+                    for info in sorted(self.leases.workers.values(),
+                                       key=lambda w: w.name)
+                },
+            },
             "queue_depth": len(self._queue),
             "queue_limit": self.queue_limit,
             "workers": self.runner.workers,

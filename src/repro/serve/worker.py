@@ -1,0 +1,349 @@
+"""Pull-based remote worker for the ``repro serve`` fleet.
+
+``repro worker`` points one of these at a running daemon (usually on
+another machine): it long-polls ``POST /work/lease`` to claim queued
+jobs under a time-bounded, fence-tokened lease, executes each through
+the existing :func:`repro.kernels.run_workload` path — the *same*
+simulation a foreground ``repro run`` performs, so results are
+bit-identical by construction — heartbeats the lease from a background
+thread while simulating, and publishes the typed result payload (or a
+typed failure from the :mod:`repro.errors` taxonomy) back to the
+daemon.
+
+Crash semantics are the daemon's lease table's business, not ours: a
+worker that dies mid-job (``kill -9``, OOM, power loss) simply stops
+heartbeating, its lease expires, and the job is reassigned.  A worker
+that *survives* a partition may find itself fenced out — its token
+stale because the job moved on — in which case every post is rejected
+with HTTP 409 and the only correct reaction, implemented here, is to
+drop the job on the floor.
+
+Chaos hooks: the ``$REPRO_WORKER_CHAOS`` environment variable injects
+faults for the chaos harness (``tests/chaos/``) and the CI
+fleet-chaos-smoke job — see :class:`ChaosHooks`.  Production workers
+never set it.
+
+Exit codes follow the CLI contract: 0 for a clean exit (drain,
+``--max-jobs`` reached, idle timeout, SIGTERM), 7
+(:class:`~repro.errors.ServiceError`) when the daemon was never
+reachable.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from ..errors import (
+    ServiceError,
+    SimulationError,
+    describe,
+    exit_code_for,
+)
+from .client import ServeClient, ServeClientError
+from .jobs import JobSpec, JobState, result_payload
+
+#: Environment variable carrying comma-separated chaos fault hooks.
+CHAOS_ENV = "REPRO_WORKER_CHAOS"
+
+
+class ChaosHooks:
+    """Parsed fault-injection hooks (``$REPRO_WORKER_CHAOS``).
+
+    Supported hooks (comma-separated; unknown names raise):
+
+    * ``die-after-lease`` — ``os._exit`` right after claiming a job,
+      before executing: models a worker crashing at pickup.
+    * ``die-before-result`` — execute the job fully, then ``os._exit``
+      without posting: models a crash after the side effects ran but
+      before the daemon heard about them (the at-least-once case).
+    * ``drop-heartbeats`` — the heartbeat thread goes silent: models a
+      network partition; the lease expires under a live worker, which
+      must then be fenced out.
+    * ``dup-result`` — post the result twice: models a retried post
+      whose first response was lost; the daemon must answer the second
+      idempotently.
+    """
+
+    NAMES = ("die-after-lease", "die-before-result", "drop-heartbeats",
+             "dup-result")
+
+    def __init__(self, spec: str = "") -> None:
+        hooks = {part.strip() for part in (spec or "").split(",")
+                 if part.strip()}
+        unknown = hooks - set(self.NAMES)
+        if unknown:
+            raise ValueError(
+                f"unknown chaos hook(s): {', '.join(sorted(unknown))}; "
+                f"expected any of: {', '.join(self.NAMES)}")
+        self.die_after_lease = "die-after-lease" in hooks
+        self.die_before_result = "die-before-result" in hooks
+        self.drop_heartbeats = "drop-heartbeats" in hooks
+        self.dup_result = "dup-result" in hooks
+
+    @classmethod
+    def from_env(cls) -> "ChaosHooks":
+        return cls(os.environ.get(CHAOS_ENV, ""))
+
+
+class _Heartbeater(threading.Thread):
+    """Renews one job's lease every *interval* seconds until stopped.
+
+    Transport errors are tolerated (the daemon may be restarting; the
+    lease TTL is the real judge of our liveness) but a fence rejection
+    is terminal: it means the lease moved on and the executing thread
+    must drop its result.
+    """
+
+    def __init__(self, client: ServeClient, job_id: str, worker: str,
+                 fence: int, interval: float, chaos: ChaosHooks,
+                 log) -> None:
+        super().__init__(daemon=True,
+                         name=f"heartbeat-{job_id}")
+        self.client = client
+        self.job_id = job_id
+        self.worker = worker
+        self.fence = fence
+        self.interval = interval
+        self.chaos = chaos
+        self.log = log
+        self.fenced = False
+        self.sent = 0
+        # NB: not named _stop — threading.Thread.join() calls a private
+        # _stop() method internally and an Event here would shadow it.
+        self._halt = threading.Event()
+
+    def stop(self) -> None:
+        self._halt.set()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            if self.chaos.drop_heartbeats:
+                continue  # chaos: simulate a partitioned worker
+            try:
+                body = self.client.heartbeat(self.job_id, self.worker,
+                                             self.fence)
+            except ServeClientError as exc:
+                if exc.status == 409:
+                    self.fenced = True
+                    self.log(f"job {self.job_id}: fenced out "
+                             f"(fence {self.fence} stale): {exc}")
+                    return
+                # Unreachable or 5xx: keep beating; the TTL decides.
+            else:
+                if body.get("state") in JobState.TERMINAL:
+                    return
+
+
+class ServeWorker:
+    """One fleet worker: lease, heartbeat, execute, publish, repeat.
+
+    Args:
+        client: transport to the daemon (its transparent retry policy
+            rides along for every lease/heartbeat/result post).
+        name: fleet-unique worker identity (defaults to
+            ``<hostname>-<pid>``); the daemon keys leases, fences, and
+            per-worker metrics by it.
+        max_jobs: exit 0 after executing this many jobs (0 = forever).
+        poll_wait: long-poll duration per lease request.
+        heartbeat_interval: lease renewal period; defaults to a third
+            of the TTL the daemon advertises with each grant.
+        exit_on_drain: exit 0 when the daemon reports it is draining.
+        idle_exit: exit 0 after this many seconds without work (None =
+            wait forever).
+        startup_timeout: exit 7 if the daemon was never reachable for
+            this long.
+        chaos: fault hooks; defaults to ``$REPRO_WORKER_CHAOS``.
+    """
+
+    def __init__(self, client: ServeClient, name: Optional[str] = None,
+                 max_jobs: int = 0, poll_wait: float = 5.0,
+                 heartbeat_interval: Optional[float] = None,
+                 exit_on_drain: bool = False,
+                 idle_exit: Optional[float] = None,
+                 startup_timeout: float = 60.0,
+                 chaos: Optional[ChaosHooks] = None,
+                 log=None) -> None:
+        self.client = client
+        self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        self.max_jobs = max(0, int(max_jobs))
+        self.poll_wait = max(0.0, float(poll_wait))
+        self.heartbeat_interval = heartbeat_interval
+        self.exit_on_drain = exit_on_drain
+        self.idle_exit = idle_exit
+        self.startup_timeout = startup_timeout
+        self.chaos = chaos if chaos is not None else ChaosHooks.from_env()
+        self.log = log if log is not None else self._log_stderr
+        self.completed = 0
+        self.failed = 0
+        self.fenced_drops = 0
+        self._connected = False
+        self._stop = threading.Event()
+
+    def _log_stderr(self, message: str) -> None:
+        print(f"worker {self.name}: {message}", file=sys.stderr, flush=True)
+
+    def stop(self) -> None:
+        """Request a graceful exit (finish the current job first)."""
+        self._stop.set()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT trigger a graceful stop (CLI entry point)."""
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                signal.signal(signum, lambda *_: self.stop())
+            except ValueError:  # pragma: no cover - non-main thread
+                pass
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> int:
+        """Work until stopped; returns the process exit code."""
+        started = time.monotonic()
+        idle_since = time.monotonic()
+        while not self._stop.is_set():
+            try:
+                body = self.client.lease(self.name, max_jobs=1,
+                                         wait=self.poll_wait)
+            except ServeClientError as exc:
+                now = time.monotonic()
+                if (not self._connected
+                        and now - started > self.startup_timeout):
+                    self.log(f"daemon never reachable: {exc}")
+                    return ServiceError.exit_code
+                # Unreachable time counts as idle: a worker whose
+                # daemon vanished exits bounded under --idle-exit
+                # instead of spinning forever.
+                if (self.idle_exit is not None
+                        and now - idle_since > self.idle_exit):
+                    self.log(f"no work for {self.idle_exit:g}s (daemon "
+                             f"unreachable); exiting")
+                    return 0
+                self.log(f"lease request failed ({exc}); retrying")
+                time.sleep(min(1.0, self.poll_wait or 1.0))
+                continue
+            self._connected = True
+            leases = body.get("leases", [])
+            if not leases:
+                if body.get("draining") and self.exit_on_drain:
+                    self.log("daemon draining; exiting")
+                    return 0
+                if (self.idle_exit is not None
+                        and time.monotonic() - idle_since > self.idle_exit):
+                    self.log(f"idle for {self.idle_exit:g}s; exiting")
+                    return 0
+                continue
+            for grant in leases:
+                self._execute(grant)
+                idle_since = time.monotonic()
+                if self.max_jobs and self.completed >= self.max_jobs:
+                    self.log(f"executed {self.completed} job(s); exiting")
+                    return 0
+        self.log("stopped")
+        return 0
+
+    # -- one job -----------------------------------------------------------
+
+    def _execute(self, grant: Dict[str, Any]) -> None:
+        job_id = grant["id"]
+        fence = int(grant["fence"])
+        ttl = float(grant.get("lease_ttl", 30.0))
+        self.log(f"leased job {job_id} (fence {fence}, ttl {ttl:g}s, "
+                 f"assignment {grant.get('assignments')})")
+        if self.chaos.die_after_lease:
+            os._exit(137)  # chaos: crashed at pickup
+        try:
+            spec = JobSpec.from_payload(grant.get("spec", {}))
+        except ValueError as exc:
+            # Version skew: this build can't run the spec; another
+            # worker (or the daemon itself) may, so fail transient.
+            self._post_failure(job_id, fence,
+                               f"ValueError: worker {self.name} cannot "
+                               f"build spec: {exc}",
+                               ServiceError.exit_code, transient=True)
+            return
+        interval = self.heartbeat_interval or max(0.05, ttl / 3.0)
+        beater = _Heartbeater(self.client, job_id, self.name, fence,
+                              interval, self.chaos, self.log)
+        beater.start()
+        try:
+            payload, elapsed = self._simulate(spec)
+        except SimulationError as exc:
+            beater.stop()
+            beater.join()
+            self.failed += 1
+            if beater.fenced:
+                self.fenced_drops += 1
+                return  # the job moved on; our failure is nobody's news
+            self._post_failure(job_id, fence, describe(exc),
+                               exit_code_for(exc), transient=exc.transient)
+            return
+        except Exception as exc:  # unclassified: worker-crash taxonomy
+            beater.stop()
+            beater.join()
+            self.failed += 1
+            if beater.fenced:
+                self.fenced_drops += 1
+                return
+            self._post_failure(job_id, fence,
+                               f"WorkerCrashError: worker {self.name} "
+                               f"raised {describe(exc)}", 5, transient=True)
+            return
+        beater.stop()
+        beater.join()
+        if self.chaos.die_before_result:
+            os._exit(137)  # chaos: crashed between execution and post
+        if beater.fenced:
+            self.fenced_drops += 1
+            self.log(f"job {job_id}: dropping result (fenced out mid-job)")
+            return
+        self._post_result(job_id, fence, payload, elapsed)
+
+    def _simulate(self, spec: JobSpec):
+        """The existing foreground execution path, verbatim."""
+        from ..kernels import WORKLOAD_REGISTRY, run_workload
+
+        workload = WORKLOAD_REGISTRY[spec.workload](**dict(spec.params))
+        start = time.perf_counter()
+        result = run_workload(workload, spec.to_config(),
+                              verify=spec.verify)
+        elapsed = time.perf_counter() - start
+        return result_payload(spec, result), elapsed
+
+    def _post_result(self, job_id: str, fence: int,
+                     payload: Dict[str, Any], elapsed: float) -> None:
+        posts = 2 if self.chaos.dup_result else 1
+        for attempt in range(posts):
+            try:
+                self.client.post_result(job_id, self.name, fence, payload,
+                                        exec_seconds=elapsed)
+            except ServeClientError as exc:
+                if exc.status == 409:
+                    self.fenced_drops += 1
+                    self.log(f"job {job_id}: result rejected "
+                             f"(stale fence {fence}); dropped")
+                    return
+                self.log(f"job {job_id}: result post failed: {exc}")
+                return
+            if attempt == 0:
+                self.completed += 1
+                self.log(f"job {job_id}: done ({elapsed:.2f}s)")
+
+    def _post_failure(self, job_id: str, fence: int, error: str,
+                      exit_code: int, transient: bool) -> None:
+        try:
+            self.client.post_failure(job_id, self.name, fence, error,
+                                     exit_code=exit_code,
+                                     transient=transient)
+        except ServeClientError as exc:
+            if exc.status == 409:
+                self.fenced_drops += 1
+                return
+            self.log(f"job {job_id}: failure post failed: {exc}")
+        else:
+            self.log(f"job {job_id}: failed ({error})")

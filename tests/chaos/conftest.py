@@ -1,0 +1,29 @@
+"""Fixtures for the fleet chaos harness (see fleet_harness.py)."""
+
+import pytest
+from fleet_harness import Daemon, start_worker
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A fleet-coordinator daemon (no local execution, fast leases)."""
+    handle = Daemon(tmp_path, "--no-local-exec", "--lease-ttl", "2")
+    handle.start()
+    spawned = []
+
+    def worker(name, *flags, chaos=""):
+        proc = start_worker(handle.port, name, *flags, chaos=chaos,
+                            log=tmp_path / f"{name}.log")
+        spawned.append(proc)
+        return proc
+
+    handle.worker = worker
+    try:
+        yield handle
+    finally:
+        for proc in spawned:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30.0)
+        if handle.proc.poll() is None:
+            handle.terminate()

@@ -1,0 +1,106 @@
+"""Process-level fixtures for the fleet chaos harness.
+
+Runs the real thing: a ``repro serve`` daemon and ``repro worker``
+processes as subprocesses of the test, so ``kill -9`` means actual
+SIGKILL mid-simulation — no mocks, no monkeypatching.  Faults are
+injected via the worker's ``$REPRO_WORKER_CHAOS`` hooks and plain
+``os.kill``.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = str(REPO / "src")
+
+#: Generous terminal-wait budget (slow CI boxes).
+WAIT = 120.0
+
+
+def _env(extra=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(extra or {})
+    return env
+
+
+class Daemon:
+    """One ``repro serve`` subprocess bound to an OS-assigned port."""
+
+    def __init__(self, tmp_path: Path, *flags: str):
+        self.data_dir = tmp_path / "serve-data"
+        self.cache_dir = tmp_path / "serve-cache"
+        self.log = tmp_path / f"serve-{int(time.time()*1e6)}.log"
+        self.flags = list(flags)
+        self.port = 0
+        self.proc = None
+
+    def start(self):
+        assert self.proc is None or self.proc.poll() is not None
+        cmd = [sys.executable, "-m", "repro", "serve",
+               "--port", str(self.port),
+               "--data-dir", str(self.data_dir),
+               "--cache-dir", str(self.cache_dir)] + self.flags
+        self.log.touch()
+        with open(self.log, "ab") as log:
+            self.proc = subprocess.Popen(cmd, env=_env(), stderr=log,
+                                         stdout=subprocess.DEVNULL)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            match = re.search(rb"listening on http://[^:]+:(\d+)",
+                              self.log.read_bytes())
+            if match:
+                self.port = int(match.group(1))
+                return self
+            assert self.proc.poll() is None, (
+                f"daemon died on startup:\n{self.log.read_text()}")
+            time.sleep(0.05)
+        raise AssertionError(f"daemon never came up:\n{self.log.read_text()}")
+
+    def client(self, **kwargs):
+        from repro.serve.client import ServeClient
+
+        kwargs.setdefault("max_retries", 5)
+        client = ServeClient(port=self.port, **kwargs)
+        client.wait_ready(timeout=30.0)
+        return client
+
+    def kill9(self):
+        """SIGKILL: the crash the journal + lease restore must survive."""
+        self.proc.kill()
+        self.proc.wait(timeout=30.0)
+
+    def terminate(self, timeout=WAIT) -> int:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+        return self.proc.wait(timeout=timeout)
+
+    def restart(self):
+        """Same data dir, same port: a daemon reboot, not a new daemon."""
+        return self.start()
+
+
+def start_worker(port: int, name: str, *flags: str, chaos: str = "",
+                 log: Path = None) -> subprocess.Popen:
+    cmd = [sys.executable, "-m", "repro", "worker",
+           "--port", str(port), "--name", name,
+           "--poll-wait", "1", "--max-retries", "6"] + list(flags)
+    extra = {"REPRO_WORKER_CHAOS": chaos} if chaos else {}
+    stderr = open(log, "ab") if log else subprocess.DEVNULL
+    return subprocess.Popen(cmd, env=_env(extra), stderr=stderr,
+                            stdout=subprocess.DEVNULL)
+
+
+def wait_for(predicate, timeout=WAIT, interval=0.05, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {message}")

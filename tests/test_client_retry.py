@@ -1,0 +1,173 @@
+"""Transparent-retry tests for :class:`repro.serve.ServeClient`.
+
+A scripted flaky HTTP server (real sockets, stdlib ``http.server``)
+answers each request per a script — connection reset, 429/503 with or
+without ``Retry-After``, then success — proving the client retries
+transient failures with jittered backoff, honors the daemon's
+``Retry-After`` hint, never retries deterministic errors, and fails
+fast under ``--no-retry`` (``max_retries=0``).
+"""
+
+import http.server
+import json
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeClientError
+
+
+class _FlakyHandler(http.server.BaseHTTPRequestHandler):
+    """Answers per the server's script; counts every arrival."""
+
+    def _serve(self):
+        server = self.server
+        server.hits += 1
+        action = server.script.pop(0) if server.script else ("200", None)
+        status, retry_after = action
+        if status == "reset":
+            # Abrupt close with no response -> OSError client-side.
+            self.connection.close()
+            return
+        body = json.dumps({"ok": True, "hits": server.hits}
+                          if int(status) < 400 else
+                          {"error": f"scripted {status}"}).encode()
+        self.send_response(int(status))
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = _serve
+    do_POST = _serve
+
+    def log_message(self, *args):  # keep pytest output clean
+        pass
+
+
+@pytest.fixture
+def flaky():
+    """A scripted server; yields (server, make_client)."""
+    server = http.server.ThreadingHTTPServer(("127.0.0.1", 0),
+                                             _FlakyHandler)
+    server.script = []
+    server.hits = 0
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    sleeps = []
+
+    def make_client(**kwargs):
+        kwargs.setdefault("timeout", 5.0)
+        client = ServeClient(host="127.0.0.1",
+                             port=server.server_address[1], **kwargs)
+        client._sleep = sleeps.append  # no real waiting in tests
+        client.sleeps = sleeps
+        return client
+
+    try:
+        yield server, make_client
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+class TestTransientRetry:
+    def test_503_then_success(self, flaky):
+        server, make_client = flaky
+        server.script = [("503", None), ("503", None), ("200", None)]
+        client = make_client()
+        body = client.request("GET", "/healthz")
+        assert body["ok"] is True
+        assert server.hits == 3
+        assert client.retries_attempted == 2
+
+    def test_connection_reset_then_success(self, flaky):
+        server, make_client = flaky
+        server.script = [("reset", None), ("200", None)]
+        client = make_client()
+        body = client.request("GET", "/healthz")
+        assert body["ok"] is True
+        assert client.retries_attempted == 1
+
+    def test_429_honors_retry_after(self, flaky):
+        server, make_client = flaky
+        server.script = [("429", "7"), ("200", None)]
+        client = make_client()
+        assert client.request("GET", "/jobs")["ok"] is True
+        # The daemon's hint wins over the jitter schedule.
+        assert client.sleeps == [7.0]
+
+    def test_exhausted_budget_raises_typed(self, flaky):
+        server, make_client = flaky
+        server.script = [("503", None)] * 10
+        client = make_client(max_retries=2)
+        with pytest.raises(ServeClientError) as info:
+            client.request("GET", "/healthz")
+        assert info.value.status == 503
+        assert server.hits == 3  # initial try + 2 retries
+
+    def test_unreachable_exhausts_then_typed(self, flaky):
+        server, make_client = flaky
+        client = make_client(max_retries=2)
+        client.port = 1  # nothing listens here
+        with pytest.raises(ServeClientError) as info:
+            client.request("GET", "/healthz")
+        assert info.value.status == 0
+        assert "cannot reach repro serve" in str(info.value)
+        assert client.retries_attempted == 2
+
+
+class TestNoRetry:
+    def test_no_retry_fails_fast(self, flaky):
+        server, make_client = flaky
+        server.script = [("503", None), ("200", None)]
+        client = make_client(max_retries=0)
+        with pytest.raises(ServeClientError) as info:
+            client.request("GET", "/healthz")
+        assert info.value.status == 503
+        assert server.hits == 1
+        assert client.sleeps == []
+
+    def test_per_call_override_beats_client_default(self, flaky):
+        server, make_client = flaky
+        server.script = [("503", None), ("200", None)]
+        client = make_client(max_retries=5)
+        with pytest.raises(ServeClientError):
+            client.request("GET", "/healthz", retries=0)
+        assert server.hits == 1
+
+
+class TestDeterministicErrorsNeverRetry:
+    @pytest.mark.parametrize("status", ["400", "404", "409"])
+    def test_client_errors_surface_immediately(self, flaky, status):
+        server, make_client = flaky
+        server.script = [(status, None), ("200", None)]
+        client = make_client()
+        with pytest.raises(ServeClientError) as info:
+            client.request("GET", "/jobs/nope")
+        assert info.value.status == int(status)
+        assert server.hits == 1  # no second arrival
+
+    def test_retry_after_surfaces_on_final_error(self, flaky):
+        server, make_client = flaky
+        server.script = [("503", "3")]
+        client = make_client(max_retries=0)
+        with pytest.raises(ServeClientError) as info:
+            client.request("GET", "/healthz")
+        assert info.value.retry_after == 3.0
+
+
+class TestBackoffShape:
+    def test_decorrelated_jitter_bounds(self, flaky):
+        """Each backoff draw lands in [base, cap]; sleeps grow from the
+        base (first sleep IS the base) and never exceed the cap."""
+        server, make_client = flaky
+        server.script = [("503", None)] * 6 + [("200", None)]
+        client = make_client(max_retries=6, retry_base=0.05, retry_cap=0.4)
+        client._rng.seed(42)
+        assert client.request("GET", "/healthz")["ok"] is True
+        assert client.sleeps[0] == 0.05
+        assert all(0.05 <= s <= 0.4 for s in client.sleeps)

@@ -1,0 +1,121 @@
+"""Crash-tolerance tests for the serve journal (``ServeJournal``).
+
+A daemon killed mid-append leaves a truncated trailing line; a bad
+disk or an overeager editor can corrupt a line in the middle.  Either
+way :meth:`ServeJournal.load` must salvage every intact record, log +
+skip the damage, and quarantine the bad bytes to a sidecar for
+post-mortem — never raise, never drop good events.
+"""
+
+import asyncio
+import json
+import logging
+
+from repro.serve import JobService, JobState
+from repro.serve.journal import ServeJournal
+
+
+def _journal(tmp_path):
+    journal = ServeJournal(tmp_path / "journal.jsonl")
+    for n in range(3):
+        journal.append("submit", f"j{n}", spec={"workload": "va"},
+                       key=f"k{n}", submitted_at=float(n))
+    return journal
+
+
+class TestTruncatedTail:
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        """Truncating mid-record (kill -9 during append) loses only
+        the torn record."""
+        journal = _journal(tmp_path)
+        raw = journal.path.read_bytes()
+        journal.path.write_bytes(raw[:-20])  # tear the last record
+        events = journal.load()
+        assert [e["id"] for e in events] == ["j0", "j1"]
+        assert journal.quarantined == 1
+
+    def test_quarantine_sidecar_preserves_bad_bytes(self, tmp_path):
+        journal = _journal(tmp_path)
+        raw = journal.path.read_bytes()
+        journal.path.write_bytes(raw[:-20])
+        journal.load()
+        sidecar = journal.quarantine_path.read_bytes()
+        assert b"line 4" in sidecar  # header + 3 records -> line 4
+        assert raw[:-20].splitlines()[-1] in sidecar
+
+    def test_load_logs_a_warning(self, tmp_path, caplog):
+        journal = _journal(tmp_path)
+        journal.path.write_bytes(journal.path.read_bytes()[:-5])
+        with caplog.at_level(logging.WARNING, "repro.serve.journal"):
+            journal.load()
+        assert any("quarantin" in rec.message for rec in caplog.records)
+
+
+class TestCorruptMiddle:
+    def test_garbled_middle_line_salvages_rest(self, tmp_path):
+        """Records *after* the corruption survive too — load keeps
+        going instead of stopping at the first bad line."""
+        journal = _journal(tmp_path)
+        lines = journal.path.read_bytes().splitlines()
+        lines[2] = b"\xff\xfe not json at all \x00"
+        journal.path.write_bytes(b"\n".join(lines) + b"\n")
+        events = journal.load()
+        assert [e["id"] for e in events] == ["j0", "j2"]
+        assert journal.quarantined == 1
+
+    def test_multiple_bad_lines_all_quarantined(self, tmp_path):
+        journal = _journal(tmp_path)
+        lines = journal.path.read_bytes().splitlines()
+        lines[1] = b"{truncated"
+        lines[3] = b"\x00\x01\x02"
+        journal.path.write_bytes(b"\n".join(lines) + b"\n")
+        events = journal.load()
+        assert [e["id"] for e in events] == ["j1"]
+        assert journal.quarantined == 2
+
+    def test_garbled_header_quarantines_everything(self, tmp_path):
+        journal = _journal(tmp_path)
+        lines = journal.path.read_bytes().splitlines()
+        lines[0] = b"\xffgarbage"
+        journal.path.write_bytes(b"\n".join(lines) + b"\n")
+        assert journal.load() == []
+        assert journal.quarantined == 1
+
+    def test_blank_lines_are_not_quarantined(self, tmp_path):
+        journal = _journal(tmp_path)
+        with open(journal.path, "ab") as fh:
+            fh.write(b"\n\n")
+        events = journal.load()
+        assert len(events) == 3
+        assert journal.quarantined == 0
+
+
+class TestServiceRecoveryThroughDamage:
+    def test_daemon_restart_with_torn_tail_recovers_intact_jobs(
+            self, tmp_path):
+        """End to end: jobs journaled before the tear re-enter the
+        queue; the torn record is quarantined, not fatal."""
+        async def first_run():
+            service = JobService(tmp_path / "data", cache=tmp_path / "cache",
+                                 local_exec=False)
+            for n in range(2):
+                service.submit({"workload": "fault_count",
+                                "params": {"counter": str(tmp_path / f"c{n}")}})
+            return service
+
+        service = asyncio.run(first_run())
+        path = service.journal.path
+        # Simulate kill -9 mid-append of a third submission.
+        with open(path, "ab") as fh:
+            fh.write(b'{"event": "submit", "id": "j00003-dead", "spe')
+
+        async def restart():
+            return JobService(tmp_path / "data", cache=tmp_path / "cache",
+                              local_exec=False)
+
+        reborn = asyncio.run(restart())
+        states = {r.id: r.state for r in reborn.list_jobs()}
+        assert len(states) == 2
+        assert all(s == JobState.QUEUED for s in states.values())
+        assert reborn.journal.quarantined == 1
+        assert reborn.journal.quarantine_path.exists()

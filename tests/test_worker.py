@@ -1,0 +1,361 @@
+"""Lease-semantics tests for the multi-host worker fleet.
+
+Exercises the service's fleet layer directly (no HTTP, no processes)
+with an injected clock: lease grant/renew/expiry clock edges, fence
+rejection of a zombie's late posts, the bounded-reassignment backstop
+(-> typed :class:`WorkerCrashError`), journal-replayed lease state
+across a daemon restart, and the fleet metrics / degraded-health view.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import FenceRejectedError, WorkerCrashError
+from repro.serve import JobService, JobState
+
+TTL = 30.0
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _fleet(tmp_path, clock=None, **kwargs):
+    """A coordinator-only service with a deterministic clock."""
+    kwargs.setdefault("cache", tmp_path / "cache")
+    kwargs.setdefault("local_exec", False)
+    kwargs.setdefault("lease_ttl", TTL)
+    service = JobService(tmp_path / "data", **kwargs)
+    if clock is not None:
+        service._now = clock
+    return service
+
+
+def _lease_one(service, worker):
+    """Grant one lease synchronously (lease() is a coroutine)."""
+    grants = asyncio.run(service.lease(worker, max_jobs=1, wait=0.0))
+    assert grants, f"no grant for {worker}"
+    return grants[0]
+
+
+def _payload(job_id="x"):
+    """complete_remote only validates shape; content is the worker's."""
+    return {"schema": 1, "workload": "va", "buffers_digest": f"d-{job_id}"}
+
+
+class TestLeaseGrant:
+    def test_grant_carries_fence_and_marks_running(self, tmp_path):
+        clock = FakeClock()
+        service = _fleet(tmp_path, clock)
+        record = service.submit({"workload": "va"})
+        grant = _lease_one(service, "w1")
+        assert grant["id"] == record.id
+        assert grant["fence"] == 1
+        assert grant["lease_ttl"] == TTL
+        assert grant["deadline"] == clock.now + TTL
+        assert grant["assignments"] == 1
+        assert record.state == JobState.RUNNING
+        assert record.worker == "w1"
+        assert record.fence == 1
+
+    def test_fence_tokens_strictly_increase(self, tmp_path):
+        service = _fleet(tmp_path, FakeClock())
+        for policy in ("ivb", "bcc", "scc"):
+            service.submit({"workload": "va", "policy": policy})
+        fences = [_lease_one(service, f"w{n}")["fence"] for n in range(3)]
+        assert fences == [1, 2, 3]
+
+    def test_empty_queue_returns_no_grants(self, tmp_path):
+        service = _fleet(tmp_path, FakeClock())
+        assert asyncio.run(service.lease("w1", wait=0.0)) == []
+
+    def test_dedup_subscriber_follows_lease_state(self, tmp_path):
+        service = _fleet(tmp_path, FakeClock())
+        first = service.submit({"workload": "va"})
+        second = service.submit({"workload": "va"})
+        assert second.dedup_of == first.id
+        _lease_one(service, "w1")
+        assert second.state == JobState.RUNNING
+        service.complete_remote(first.id, "w1", 1, _payload())
+        assert first.state == JobState.DONE
+        assert second.state == JobState.DONE
+        assert second.result == first.result
+
+
+class TestExpiryClockEdges:
+    def test_lease_at_exact_deadline_still_holds(self, tmp_path):
+        """now == deadline is NOT expired (strict >): the worker gets
+        the whole TTL, to the last tick."""
+        clock = FakeClock()
+        service = _fleet(tmp_path, clock)
+        record = service.submit({"workload": "va"})
+        _lease_one(service, "w1")
+        clock.advance(TTL)  # exactly at the deadline
+        assert service.expire_leases() == 0
+        assert record.state == JobState.RUNNING
+        assert service.health_status() == "ok"
+
+    def test_one_tick_past_deadline_reassigns(self, tmp_path):
+        clock = FakeClock()
+        service = _fleet(tmp_path, clock)
+        record = service.submit({"workload": "va"})
+        _lease_one(service, "w1")
+        clock.advance(TTL + 0.001)
+        # Expired-but-not-yet-swept is the degraded health window.
+        assert service.health_status() == "degraded"
+        assert service.expire_leases() == 1
+        assert service.health_status() == "ok"
+        assert record.state == JobState.QUEUED
+        assert record.worker is None and record.fence is None
+        assert service.counters.get("serve.leases.expired") == 1
+        assert service.counters.get("serve.leases.reassigned") == 1
+
+    def test_heartbeat_pushes_deadline_out(self, tmp_path):
+        clock = FakeClock()
+        service = _fleet(tmp_path, clock)
+        record = service.submit({"workload": "va"})
+        grant = _lease_one(service, "w1")
+        clock.advance(TTL - 1.0)
+        body = service.heartbeat(record.id, "w1", grant["fence"])
+        assert body["deadline"] == clock.now + TTL
+        assert body["renewals"] == 1
+        clock.advance(TTL - 1.0)  # past the *original* deadline
+        assert service.expire_leases() == 0
+        assert record.state == JobState.RUNNING
+
+    def test_heartbeat_after_expiry_is_fence_rejected(self, tmp_path):
+        clock = FakeClock()
+        service = _fleet(tmp_path, clock)
+        record = service.submit({"workload": "va"})
+        grant = _lease_one(service, "w1")
+        clock.advance(TTL + 1.0)
+        service.expire_leases()
+        with pytest.raises(FenceRejectedError):
+            service.heartbeat(record.id, "w1", grant["fence"])
+        assert service.counters.get("serve.leases.fence_rejected") == 1
+
+
+class TestZombieFencing:
+    def test_zombies_late_result_is_rejected(self, tmp_path):
+        """The tentpole acceptance case: w1 stalls past its lease, the
+        job is reassigned to w2, and w1's late post must NOT clobber
+        anything — 409, counted, journaled."""
+        clock = FakeClock()
+        service = _fleet(tmp_path, clock)
+        record = service.submit({"workload": "va"})
+        stale = _lease_one(service, "w1")
+        clock.advance(TTL + 1.0)
+        service.expire_leases()
+        fresh = _lease_one(service, "w2")
+        assert fresh["fence"] > stale["fence"]
+        with pytest.raises(FenceRejectedError):
+            service.complete_remote(record.id, "w1", stale["fence"],
+                                    _payload())
+        # The job is untouched, still w2's.
+        assert record.state == JobState.RUNNING
+        assert record.worker == "w2"
+        service.complete_remote(record.id, "w2", fresh["fence"], _payload())
+        assert record.state == JobState.DONE
+        assert record.worker == "w2"
+        assert service.counters.get("serve.leases.fence_rejected") == 1
+
+    def test_zombie_rejected_even_after_resolution(self, tmp_path):
+        clock = FakeClock()
+        service = _fleet(tmp_path, clock)
+        record = service.submit({"workload": "va"})
+        stale = _lease_one(service, "w1")
+        clock.advance(TTL + 1.0)
+        service.expire_leases()
+        fresh = _lease_one(service, "w2")
+        service.complete_remote(record.id, "w2", fresh["fence"], _payload())
+        with pytest.raises(FenceRejectedError):
+            service.complete_remote(record.id, "w1", stale["fence"],
+                                    _payload())
+        assert record.resolved_fence == fresh["fence"]
+
+    def test_wrong_worker_same_fence_is_rejected(self, tmp_path):
+        service = _fleet(tmp_path, FakeClock())
+        record = service.submit({"workload": "va"})
+        grant = _lease_one(service, "w1")
+        with pytest.raises(FenceRejectedError):
+            service.complete_remote(record.id, "imposter", grant["fence"],
+                                    _payload())
+
+    def test_duplicate_result_same_fence_is_idempotent(self, tmp_path):
+        """At-least-once posting: a worker that retried a result post
+        whose first response was lost gets a friendly answer, and the
+        job resolves exactly once."""
+        service = _fleet(tmp_path, FakeClock())
+        record = service.submit({"workload": "va"})
+        grant = _lease_one(service, "w1")
+        service.complete_remote(record.id, "w1", grant["fence"], _payload())
+        finished_at = record.finished_at
+        again = service.complete_remote(record.id, "w1", grant["fence"],
+                                        _payload())
+        assert again is record
+        assert record.finished_at == finished_at  # not re-resolved
+        assert service.counters.get("serve.work.duplicate_results") == 1
+        assert service.counters.get("serve.jobs.executed") == 1
+
+
+class TestReassignmentBound:
+    def test_cap_fails_job_as_worker_crash(self, tmp_path):
+        clock = FakeClock()
+        service = _fleet(tmp_path, clock, max_assignments=2)
+        record = service.submit({"workload": "va"})
+        for n in range(2):
+            _lease_one(service, f"w{n}")
+            clock.advance(TTL + 1.0)
+            service.expire_leases()
+        assert record.state == JobState.FAILED
+        assert record.exit_code == WorkerCrashError.exit_code  # 5
+        assert "lost its worker 2 time(s)" in record.error
+        assert "assignment bound 2" in record.error
+
+    def test_transient_failure_counts_toward_cap(self, tmp_path):
+        service = _fleet(tmp_path, FakeClock(), max_assignments=2)
+        record = service.submit({"workload": "va"})
+        grant = _lease_one(service, "w1")
+        service.fail_remote(record.id, "w1", grant["fence"],
+                            "WorkerCrashError: boom", transient=True)
+        assert record.state == JobState.QUEUED  # one strike left
+        grant = _lease_one(service, "w2")
+        service.fail_remote(record.id, "w2", grant["fence"],
+                            "WorkerCrashError: boom again", transient=True)
+        assert record.state == JobState.FAILED
+        assert record.exit_code == WorkerCrashError.exit_code
+
+    def test_deterministic_failure_resolves_immediately(self, tmp_path):
+        """A typed simulation failure (deadlock, verification...) is the
+        job's real answer — no requeue, worker's exit code preserved."""
+        service = _fleet(tmp_path, FakeClock(), max_assignments=3)
+        record = service.submit({"workload": "va"})
+        grant = _lease_one(service, "w1")
+        service.fail_remote(record.id, "w1", grant["fence"],
+                            "DeadlockError: no runnable warp",
+                            exit_code=3, transient=False)
+        assert record.state == JobState.FAILED
+        assert record.exit_code == 3
+        assert record.assignments == 1
+
+
+class TestRestartRecovery:
+    def test_live_lease_survives_daemon_restart(self, tmp_path):
+        """A worker mid-job keeps its lease across a daemon crash: the
+        journal replays grant+renewals, and the worker's eventual
+        result post lands under the same fence."""
+        clock = FakeClock()
+        service = _fleet(tmp_path, clock)
+        record = service.submit({"workload": "va"})
+        grant = _lease_one(service, "w1")
+        service.heartbeat(record.id, "w1", grant["fence"])
+        reborn = _fleet(tmp_path, clock)  # same data dir = restart
+        again = reborn.get(record.id)
+        assert again.state == JobState.RUNNING
+        assert again.worker == "w1"
+        assert again.fence == grant["fence"]
+        lease = reborn.leases.get(record.id)
+        assert lease is not None and lease.worker == "w1"
+        assert reborn.counters.get("serve.leases.restored") == 1
+        # ... and the worker finishes as if nothing happened.
+        reborn.complete_remote(record.id, "w1", grant["fence"], _payload())
+        assert reborn.get(record.id).state == JobState.DONE
+
+    def test_restored_fence_counter_stays_monotonic(self, tmp_path):
+        clock = FakeClock()
+        service = _fleet(tmp_path, clock)
+        service.submit({"workload": "va"})
+        service.submit({"workload": "va", "policy": "bcc"})
+        stale = _lease_one(service, "w1")
+        reborn = _fleet(tmp_path, clock)
+        fresh = _lease_one(reborn, "w2")
+        assert fresh["fence"] > stale["fence"]
+
+    def test_dead_workers_restored_lease_expires_normally(self, tmp_path):
+        clock = FakeClock()
+        service = _fleet(tmp_path, clock)
+        record = service.submit({"workload": "va"})
+        _lease_one(service, "w1")
+        clock.advance(5.0)
+        reborn = _fleet(tmp_path, clock)
+        assert reborn.get(record.id).state == JobState.RUNNING
+        clock.advance(TTL)  # now > restored deadline
+        assert reborn.expire_leases() == 1
+        assert reborn.get(record.id).state == JobState.QUEUED
+
+    def test_fence_rejection_survives_restart(self, tmp_path):
+        """Even if the daemon restarts between reassignment and the
+        zombie's late post, the replayed fence state still rejects it."""
+        clock = FakeClock()
+        service = _fleet(tmp_path, clock)
+        record = service.submit({"workload": "va"})
+        stale = _lease_one(service, "w1")
+        clock.advance(TTL + 1.0)
+        service.expire_leases()
+        fresh = _lease_one(service, "w2")
+        reborn = _fleet(tmp_path, clock)
+        with pytest.raises(FenceRejectedError):
+            reborn.complete_remote(record.id, "w1", stale["fence"],
+                                   _payload())
+        reborn.complete_remote(record.id, "w2", fresh["fence"], _payload())
+        assert reborn.get(record.id).state == JobState.DONE
+
+
+class TestFleetMetrics:
+    def test_fleet_view_tracks_workers_and_leases(self, tmp_path):
+        clock = FakeClock()
+        service = _fleet(tmp_path, clock)
+        service.submit({"workload": "va"})
+        grant = _lease_one(service, "w1")
+        clock.advance(3.0)
+        asyncio.run(service.lease("w2", wait=0.0))  # polls, gets nothing
+        body = service.metrics()
+        fleet = body["fleet"]
+        assert fleet["workers_active"] == 2
+        assert fleet["leases_active"] == 1
+        assert fleet["local_exec"] is False
+        assert fleet["workers"]["w1"]["last_heartbeat_age"] == 3.0
+        assert fleet["workers"]["w1"]["leases_granted"] == 1
+        assert fleet["workers"]["w2"]["last_heartbeat_age"] == 0.0
+        assert body["counters"]["serve.workers.active"] == 2.0
+        assert body["counters"]["serve.leases.granted"] == 1.0
+        service.complete_remote(grant["id"], "w1", grant["fence"],
+                                _payload())
+        assert service.metrics()["fleet"]["workers"]["w1"]["completed"] == 1
+
+    def test_expired_unswept_lease_reports_degraded(self, tmp_path):
+        clock = FakeClock()
+        service = _fleet(tmp_path, clock)
+        service.submit({"workload": "va"})
+        _lease_one(service, "w1")
+        clock.advance(TTL + 5.0)
+        body = service.metrics()
+        assert body["fleet"]["leases_expired_pending"] == 1
+        assert service.health_status() == "degraded"
+
+
+class TestLocalExecGate:
+    def test_coordinator_never_runs_jobs_itself(self, tmp_path):
+        """local_exec=False: the dispatcher leaves the queue to the
+        fleet even while the service is running."""
+        async def scenario():
+            service = _fleet(tmp_path)
+            record = service.submit({"workload": "fault_count",
+                                     "params": {"counter":
+                                                str(tmp_path / "c.txt")}})
+            await service.start()
+            await asyncio.sleep(0.3)
+            state = record.state
+            await service.drain()
+            return state
+
+        assert asyncio.run(scenario()) == JobState.QUEUED
+        assert not (tmp_path / "c.txt").exists()
