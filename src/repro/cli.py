@@ -3,6 +3,9 @@
 Commands:
 
 * ``list`` — enumerate simulator workloads and synthetic traces;
+* ``kernels`` — list every kernel with its frontend (hand-assembled or
+  Python DSL) and instruction count, or inspect one kernel — including
+  generated ``stress_*`` names — down to its lowered assembly;
 * ``run WORKLOAD`` — simulate one workload and print its metrics;
 * ``profile NAME_OR_FILE`` — profile a built-in or on-disk mask trace;
 * ``mask HEX`` — analyse one execution mask: cycles under every policy,
@@ -28,7 +31,7 @@ Commands:
 Failures are typed (:mod:`repro.errors`) and map to stable exit codes:
 0 success, 1 verification mismatch, 2 usage error, 3 simulated deadlock,
 4 wall-clock timeout, 5 worker crash, 6 cache corruption, 7 service
-error, 130 interrupt.  Every failure prints a one-line diagnosis on
+error, 9 kernel build error, 130 interrupt.  Every failure prints a one-line diagnosis on
 stderr — never a traceback.
 """
 
@@ -51,6 +54,7 @@ from .errors import SimulationError, describe, exit_code_for
 from .gpu.config import GpuConfig
 from .kernels import (
     DIVERGENT_WORKLOADS,
+    DSL_WORKLOADS,
     FAULT_WORKLOADS,
     RODINIA_WORKLOADS,
     WORKLOAD_REGISTRY,
@@ -107,6 +111,81 @@ def _cmd_list(_args) -> int:
         rows.append([name, "trace", "divergent",
                      f"synthetic trace, {profile.num_instructions} instructions"])
     print(format_table(["name", "source", "class", "description"], rows))
+    return 0
+
+
+def _kernel_frontend(name: str, factory) -> str:
+    """'dsl' for Python-authored kernels, 'asm' for hand-built programs."""
+    from .dsl.stress import parse_stress_name
+
+    if getattr(factory, "is_dsl", False) or parse_stress_name(name):
+        return "dsl"
+    return "asm"
+
+
+def _cmd_kernels(args) -> int:
+    from .isa.asm import program_to_text
+
+    if args.name:
+        factory = WORKLOAD_REGISTRY.get(args.name)
+        if factory is None:
+            print(f"unknown kernel {args.name!r}; `kernels` lists them "
+                  f"(generated stress_sS_dD_eE_tT_mM names also resolve)",
+                  file=sys.stderr)
+            return 2
+        workload = factory()
+        program = workload.program
+        info: Dict[str, Any] = {
+            "name": workload.name,
+            "frontend": _kernel_frontend(args.name, factory),
+            "class": workload.category,
+            "simd_width": program.simd_width,
+            "instructions": len(program.instructions),
+            "registers": program.num_regs,
+            "params": [{"name": p.name, "kind": p.kind.name.lower()}
+                       for p in program.params],
+            "buffers": {bname: {"dtype": str(data.dtype),
+                                "size": int(data.size)}
+                        for bname, data in sorted(workload.buffers.items())},
+            "launches": (len(workload.steps)
+                         if isinstance(workload.steps, list) else "host-loop"),
+            "description": workload.description,
+        }
+        if args.asm or args.json:
+            info["asm"] = program_to_text(program)
+        if args.json:
+            print(json.dumps(info, indent=2, sort_keys=True))
+            return 0
+        for key in ("name", "frontend", "class", "simd_width", "instructions",
+                    "registers", "launches", "description"):
+            print(f"{key:14} {info[key]}")
+        print(f"{'params':14} " + ", ".join(
+            f"{p['name']} ({p['kind']})" for p in info["params"]))
+        for bname, spec in info["buffers"].items():
+            print(f"{'buffer':14} {bname}: {spec['dtype']}[{spec['size']}]")
+        if args.asm:
+            print()
+            print(info["asm"])
+        return 0
+
+    rows = []
+    records = []
+    for name, factory in sorted(WORKLOAD_REGISTRY.items()):
+        workload = factory()
+        frontend = _kernel_frontend(name, factory)
+        count = len(workload.program.instructions)
+        rows.append([name, frontend, workload.category,
+                     workload.program.simd_width, count,
+                     workload.description])
+        records.append({"name": name, "frontend": frontend,
+                        "class": workload.category,
+                        "simd_width": workload.program.simd_width,
+                        "instructions": count})
+    if args.json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+        return 0
+    print(format_table(
+        ["name", "frontend", "class", "simd", "insts", "description"], rows))
     return 0
 
 
@@ -316,7 +395,27 @@ WORKLOAD_GROUPS = {
                          if n not in FAULT_WORKLOADS),
     "divergent": lambda: DIVERGENT_WORKLOADS,
     "rodinia": lambda: RODINIA_WORKLOADS,
+    "dsl": lambda: DSL_WORKLOADS,
 }
+
+
+def _with_stress(names: List[str], args) -> List[str]:
+    """Append `--stress N` generated scenario names to a workload list."""
+    count = getattr(args, "stress", 0) or 0
+    if count:
+        from .dsl.stress import stress_batch
+
+        names = names + stress_batch(count, seed=args.stress_seed)
+    return list(dict.fromkeys(names))
+
+
+def _add_stress_flags(parser) -> None:
+    parser.add_argument("--stress", type=int, default=0, metavar="N",
+                        help="also include N generated divergence-stress "
+                             "kernels (repro.dsl.stress); with no "
+                             "--workloads, run only the stress batch")
+    parser.add_argument("--stress-seed", type=int, default=0, metavar="S",
+                        help="base seed for the --stress batch (default 0)")
 
 
 def _sweep_workloads(spec: str) -> List[str]:
@@ -356,11 +455,17 @@ def _sweep_record(point, result) -> Dict[str, Any]:
 def _cmd_sweep(args) -> int:
     from .runner import CheckpointJournal, Job, stable_digest
 
-    names = _sweep_workloads(args.workloads)
+    spec = args.workloads
+    if spec is None:
+        spec = "" if args.stress else "divergent"
+    names = _with_stress(_sweep_workloads(spec), args)
     unknown = [n for n in names if n not in WORKLOAD_REGISTRY]
     if unknown:
         print(f"unknown workload(s): {', '.join(unknown)}; try `list`",
               file=sys.stderr)
+        return 2
+    if not names:
+        print("nothing to sweep: empty workload list", file=sys.stderr)
         return 2
     try:
         policies = [parse_policy(p) for p in args.policies.split(",") if p]
@@ -545,7 +650,10 @@ def _cmd_sweep(args) -> int:
 def _cmd_verify(args) -> int:
     from .verify import run_verify
 
-    names = _sweep_workloads("all" if args.all else args.workloads)
+    spec = "all" if args.all else args.workloads
+    if spec is None:
+        spec = "" if args.stress else "all"
+    names = _with_stress(_sweep_workloads(spec), args)
     unknown = [n for n in names if n not in WORKLOAD_REGISTRY]
     if unknown:
         print(f"unknown workload(s): {', '.join(unknown)}; try `list`",
@@ -764,6 +872,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list workloads and traces")
 
+    kernels = sub.add_parser(
+        "kernels",
+        help="list every kernel with its frontend (asm or Python DSL), or "
+             "inspect one kernel down to its lowered assembly")
+    kernels.add_argument("name", nargs="?", default=None,
+                         help="kernel to inspect (registry names and "
+                              "generated stress_* names both resolve); "
+                              "omit for the full listing")
+    kernels.add_argument("--asm", action="store_true",
+                         help="with NAME: also print the kernel's assembly "
+                              "(the round-trippable repro.isa.asm text)")
+    kernels.add_argument("--json", action="store_true",
+                         help="emit JSON to stdout instead of the table")
+
     run = sub.add_parser("run", help="simulate one workload")
     run.add_argument("workload")
     run.add_argument("--policy", default="ivb",
@@ -824,9 +946,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep",
         help="run a workload x policy x memory grid through the shared runner")
-    sweep.add_argument("--workloads", default="divergent",
+    sweep.add_argument("--workloads", default=None,
                        help="comma-separated workload names and/or groups "
-                            "(all, divergent, rodinia); default: divergent")
+                            "(all, divergent, rodinia, dsl); generated "
+                            "stress_* names resolve too; default: divergent")
+    _add_stress_flags(sweep)
     sweep.add_argument("--engine", choices=("interp", "fast"),
                        default="interp",
                        help="execution core for every grid point (see "
@@ -865,9 +989,11 @@ def build_parser() -> argparse.ArgumentParser:
         "verify",
         help="differentially verify every compaction policy against the "
              "others and fuzz the analytic core")
-    verify.add_argument("--workloads", default="all",
+    verify.add_argument("--workloads", default=None,
                         help="comma-separated workload names and/or groups "
-                             "(all, divergent, rodinia); default: all")
+                             "(all, divergent, rodinia, dsl); generated "
+                             "stress_* names resolve too; default: all")
+    _add_stress_flags(verify)
     verify.add_argument("--all", action="store_true",
                         help="verify every non-fault registry workload "
                              "(same as --workloads all)")
@@ -1045,6 +1171,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "list": _cmd_list,
+        "kernels": _cmd_kernels,
         "run": _cmd_run,
         "profile": _cmd_profile,
         "mask": _cmd_mask,

@@ -1,0 +1,75 @@
+"""Example DSL kernels, registered in :data:`repro.kernels.WORKLOAD_REGISTRY`.
+
+These serve three roles: living documentation of the frontend, golden
+subjects for the lowering tests, and extra coherent/divergent data
+points for the compaction experiments.  ``dsl_axpy`` lowers to the same
+instruction mix as the hand-written ``axpy`` kernel (one shared address
+computation, one MAD); the other three exercise padding guards,
+if/else divergence, data-dependent loop divergence, and escape-time
+loops respectively.
+"""
+
+from __future__ import annotations
+
+from . import expr as dsl
+from .frontend import In, InOut, Out, Scalar, kernel
+
+
+@kernel(n=512, seed=11, name="dsl_axpy",
+        description="y = a*x + y written in the Python DSL (coherent)")
+def dsl_axpy(k, x=In("f32"), y=InOut("f32"), a=Scalar("f32", default=1.5)):
+    i = k.gid
+    y[i] = a * x[i] + y[i]
+
+
+@kernel(n=500, seed=12, name="dsl_clip",
+        description="branchy per-element transform with a padded launch")
+def dsl_clip(k, x=In("f32"), y=Out("f32"), s=Scalar("f32", default=2.0)):
+    i = k.gid
+    v = k.var(x[i])
+    with k.if_(v < 0.5):
+        v.set(dsl.sqrt(v) * s)
+        k.else_()
+        v.set(dsl.sin(v) + 1.0)
+    y[i] = v
+
+
+@kernel(n=256, seed=13, name="dsl_collatz",
+        description="Collatz step counts: data-dependent loop divergence")
+def dsl_collatz(k, x=In("i32"), steps=Out("i32")):
+    i = k.gid
+    v = k.var(x[i] + 1)  # inputs are 0-based; Collatz needs v >= 1
+    count = k.var(0, "i32")
+    with k.while_((v != 1) & (count < 40)):
+        with k.if_((v & 1) == 1):
+            v.set(v * 3 + 1)
+            k.else_()
+            v.set(v >> 1)
+        count.set(count + 1)
+    steps[i] = count
+
+
+@kernel(n=256, seed=14, name="dsl_mandel",
+        description="16x16 Mandelbrot escape iterations (loop divergence)")
+def dsl_mandel(k, out=Out("i32")):
+    xi = k.gid & 15
+    yi = k.gid >> 4
+    cx = dsl.cast(xi, "f32") * (2.5 / 16.0) - 2.0
+    cy = dsl.cast(yi, "f32") * (2.0 / 16.0) - 1.0
+    zx = k.var(0.0, "f32")
+    zy = k.var(0.0, "f32")
+    r2 = k.var(0.0, "f32")
+    it = k.var(0, "i32")
+    with k.while_((r2 <= 4.0) & (it < 32)):
+        tmp = k.var(zx * zx - zy * zy + cx)
+        zy.set(zx * zy * 2.0 + cy)
+        zx.set(tmp)
+        r2.set(zx * zx + zy * zy)
+        it.set(it + 1)
+    out[k.gid] = it
+
+
+#: Factories exported to the workload registry (name -> DslKernel).
+DSL_KERNELS = {
+    fn.name: fn for fn in (dsl_axpy, dsl_clip, dsl_collatz, dsl_mandel)
+}

@@ -1,0 +1,191 @@
+"""Seeded divergence-stress kernel generator.
+
+Mass-produces DSL workloads with controlled divergence characteristics,
+for fuzzing the compaction policies (every generated kernel must be
+bit-identical across raw/ivb/bcc/scc and both engines) and for scaling
+experiments along the paper's divergence axes:
+
+* ``depth`` — branch nesting depth (Table 2's L1..L4 axis);
+* ``entropy`` — percentage of branch conditions drawn from a hashed,
+  lane-uncorrelated pattern rather than a structured lane split;
+* ``trip`` — loop trip-count variance: each work-item's loop runs
+  ``base + (gid & (2**trip - 1))`` iterations;
+* ``mem`` — number of gather accesses using strided-permuted (rather
+  than unit-stride) indices.
+
+Workload names encode every parameter —
+``stress_s7_d3_e80_t2_m1`` — so the run cache keys them correctly and
+any repro command accepts them like built-in registry names.
+
+Generation is deterministic: the kernel body is derived from
+``numpy.random.default_rng([seed, depth, entropy, trip, mem])``, so the
+same name always produces the same program and data.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import BuildError
+
+if TYPE_CHECKING:  # lazy for the same reason as repro.dsl.frontend
+    from ..kernels.workload import Workload
+from . import expr as dsl
+from .frontend import In, Out, kernel
+from .trace import KernelTrace
+
+#: Registry-name prefix of generated stress workloads.
+STRESS_PREFIX = "stress_"
+
+_NAME_RE = re.compile(r"^stress_s(\d+)_d(\d+)_e(\d+)_t(\d+)_m(\d+)$")
+
+#: Problem size (power of two so gathers can be masked into range).
+_DEFAULT_N = 128
+
+
+def stress_name(seed: int = 0, depth: int = 2, entropy: int = 50,
+                trip: int = 2, mem: int = 1) -> str:
+    """The canonical registry name for one stress parameter point."""
+    return f"stress_s{seed}_d{depth}_e{entropy}_t{trip}_m{mem}"
+
+
+def parse_stress_name(name: str) -> Optional[Dict[str, int]]:
+    """Decode a ``stress_*`` name back to its parameters (None if not one)."""
+    match = _NAME_RE.match(name)
+    if match is None:
+        return None
+    seed, depth, entropy, trip, mem = (int(g) for g in match.groups())
+    return {"seed": seed, "depth": depth, "entropy": entropy,
+            "trip": trip, "mem": mem}
+
+
+def dynamic_factory(name: str):
+    """Workload factory for a ``stress_*`` registry name, or None."""
+    params = parse_stress_name(name)
+    if params is None:
+        return None
+
+    def factory(**overrides) -> Workload:
+        merged = dict(params)
+        merged.update({k: int(v) for k, v in overrides.items()})
+        return stress_workload(**merged)
+
+    factory.__name__ = name
+    return factory
+
+
+def stress_batch(count: int, seed: int = 0) -> List[str]:
+    """Names of *count* distinct stress scenarios sweeping all four axes."""
+    names = []
+    for i in range(count):
+        names.append(stress_name(
+            seed=seed + i,
+            depth=1 + i % 3,
+            entropy=(i * 37) % 101,
+            trip=i % 3,
+            mem=i % 2,
+        ))
+    return names
+
+
+def stress_workload(seed: int = 0, depth: int = 2, entropy: int = 50,
+                    trip: int = 2, mem: int = 1, n: int = _DEFAULT_N,
+                    simd_width: int = 16) -> Workload:
+    """Build one divergence-stress workload (see module docstring)."""
+    if n & (n - 1) or n <= 0:
+        raise BuildError(f"stress n must be a power of two, got {n}")
+    if not 0 <= entropy <= 100:
+        raise BuildError(f"entropy is a percentage, got {entropy}")
+    if not 0 <= depth <= 6:
+        raise BuildError(f"depth out of range 0..6: {depth}")
+    if not 0 <= trip <= 4:
+        raise BuildError(f"trip out of range 0..4: {trip}")
+    if not 0 <= mem <= 4:
+        raise BuildError(f"mem out of range 0..4: {mem}")
+
+    name = stress_name(seed, depth, entropy, trip, mem)
+
+    def body(k: KernelTrace, x, w, y, c) -> None:
+        # A fresh generator per trace keeps repeated builds identical.
+        rng = np.random.default_rng([seed, depth, entropy, trip, mem])
+        gid = k.gid
+        acc = k.var(x[gid])
+        cnt = k.var(0, "i32")
+
+        def gather_index():
+            """Unit-stride or permuted index, depending on the mem axis."""
+            if rng.integers(0, mem + 1) == 0:
+                return gid
+            stride = int(rng.integers(0, n // 2)) * 2 + 1  # odd => permutation
+            offset = int(rng.integers(0, n))
+            return (gid * stride + offset) & (n - 1)
+
+        def condition(noisy: bool) -> dsl.Cond:
+            if noisy:
+                mult = int(rng.integers(0, 1 << 15)) * 2 + 1
+                shift = int(rng.integers(1, 5))
+                return ((gid * mult) ^ (gid >> shift)) & 1 == 1
+            kind = rng.integers(0, 3)
+            if kind == 0:
+                return k.lane < int(rng.integers(1, simd_width))
+            if kind == 1:
+                bit = 1 << int(rng.integers(0, 4))
+                return (k.lane & bit) == 0
+            return acc > float(np.float32(rng.uniform(0.2, 0.8)))
+
+        def work() -> None:
+            scale = float(np.float32(rng.uniform(0.95, 1.05)))
+            acc.set(acc * scale + w[gather_index()])
+            cnt.set(cnt + 1)
+
+        def branches(level: int) -> None:
+            noisy = bool(rng.uniform() * 100.0 < entropy)
+            with k.if_(condition(noisy)):
+                work()
+                if level + 1 < depth:
+                    branches(level + 1)
+                if rng.uniform() < 0.75:
+                    k.else_()
+                    work()
+                    if level + 1 < depth and rng.uniform() < 0.5:
+                        branches(level + 1)
+
+        work()
+        if depth > 0:
+            branches(0)
+        if trip > 0:
+            base = int(rng.integers(2, 5))
+            bound = base + (gid & ((1 << trip) - 1))
+            t = k.var(0, "i32")
+            with k.while_(t < bound):
+                t.set(t + 1)  # unconditional progress: loop always drains
+                work()
+                if depth > 0:
+                    branches(0)
+                if rng.uniform() < 0.5:
+                    k.break_if(condition(True) & (t > base))
+            if depth > 0:
+                branches(0)
+        y[gid] = acc
+        c[gid] = cnt
+
+    factory = kernel(
+        n=n, simd_width=simd_width, seed=seed + 7919, name=name,
+        description=(f"generated divergence stress (depth={depth}, "
+                     f"entropy={entropy}%, trip={trip}, mem={mem})"),
+    )(_with_signature(body))
+    return factory()
+
+
+def _with_signature(body):
+    """Wrap the raw body with the In/Out parameter defaults @kernel expects."""
+
+    def fn(k, x=In("f32"), w=In("f32"), y=Out("f32"), c=Out("i32")):
+        body(k, x, w, y, c)
+
+    fn.__name__ = "stress"
+    fn.__doc__ = body.__doc__
+    return fn

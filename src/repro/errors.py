@@ -23,6 +23,7 @@ code  exception                  meaning
 6     :class:`CacheCorruptionError`  unreadable result-cache entry
 7     :class:`ServiceError`      serve daemon rejected / lost a request
 8     :class:`SimulationError`   any other typed simulation failure
+9     :class:`BuildError`        kernel construction / DSL lowering failed
 130   ``KeyboardInterrupt``      interrupted (resumable via --resume)
 ====  =========================  =============================
 
@@ -38,6 +39,7 @@ from __future__ import annotations
 
 __all__ = [
     "SimulationError",
+    "BuildError",
     "DeadlockError",
     "VerificationError",
     "WorkerCrashError",
@@ -91,6 +93,34 @@ class VerificationError(SimulationError, AssertionError):
     """
 
     exit_code = 1
+
+
+class BuildError(SimulationError, ValueError):
+    """Kernel construction failed: builder misuse or DSL lowering error.
+
+    Raised by :class:`repro.isa.builder.KernelBuilder` (and the DSL
+    lowering built on it) in place of bare ``ValueError``/asserts, so a
+    malformed kernel is distinguishable from a malformed *run*.  Carries
+    the offending kernel name and, when the failure is attributable to a
+    specific emitted instruction, its index in the program.
+
+    Subclasses :class:`ValueError` so existing callers that caught the
+    builder's bare ``ValueError`` keep working.
+    """
+
+    exit_code = 9
+
+    def __init__(self, message: str, *, kernel: "str | None" = None,
+                 instruction_index: "int | None" = None) -> None:
+        prefix = ""
+        if kernel is not None:
+            prefix = f"kernel {kernel!r}"
+            if instruction_index is not None:
+                prefix += f", instruction {instruction_index}"
+            prefix += ": "
+        super().__init__(prefix + message)
+        self.kernel = kernel
+        self.instruction_index = instruction_index
 
 
 class JobTimeoutError(SimulationError):

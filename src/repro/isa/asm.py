@@ -32,6 +32,9 @@ predicates prefix in parentheses (``(~f1)``); register operands are
 their type (``2.5:f32``, ``7:i32``); CVT spells both types
 (``cvt.f32.i32 dst, src``); memory instructions name their surface as
 ``@surfN``; SLM accesses use ``load_slm``/``store_slm`` with no surface.
+An instruction whose execution width differs from the program's SIMD
+width carries a trailing ``.wN`` mnemonic suffix (``mov.f32.w8``), so
+``assemble(program_to_text(p))`` reproduces every program bit-identically.
 """
 
 from __future__ import annotations
@@ -76,7 +79,7 @@ def _operand_to_text(op, dtype: DType) -> str:
     raise TypeError(f"cannot serialize operand {op!r}")
 
 
-def _instruction_to_text(inst: Instruction) -> str:
+def _instruction_to_text(inst: Instruction, program_width: Optional[int] = None) -> str:
     op = inst.opcode
     mnemonic = op.mnemonic
     if op is Opcode.CMP:
@@ -85,6 +88,11 @@ def _instruction_to_text(inst: Instruction) -> str:
         mnemonic += f".{inst.dtype.label}.{inst.src_dtype.label}"
     elif op.writes_dst or op.is_memory:
         mnemonic += f".{inst.dtype.label}"
+    # Per-instruction width overrides (rare, but the builder allows them)
+    # serialize as a trailing .wN so the round trip is bit-identical;
+    # without it the parser would silently widen to the program width.
+    if program_width is not None and inst.width != program_width:
+        mnemonic += f".w{inst.width}"
 
     operands: List[str] = []
     if op is Opcode.CMP:
@@ -126,7 +134,7 @@ def program_to_text(program: Program) -> str:
             lines.append(f"param {param.name}: {param.kind.value} @r{param.reg}")
     lines.append("")
     for inst in program.instructions:
-        lines.append("    " + _instruction_to_text(inst))
+        lines.append("    " + _instruction_to_text(inst, program.simd_width))
     return "\n".join(lines) + "\n"
 
 
@@ -157,9 +165,19 @@ def _parse_operand(token: str, lineno: int):
     raise AsmError(lineno, f"cannot parse operand {token!r}")
 
 
+_WIDTH_SUFFIX_RE = re.compile(r"^w(\d+)$")
+
+
 def _parse_mnemonic(word: str, lineno: int) -> Tuple[Opcode, Optional[CmpOp],
-                                                     DType, Optional[DType]]:
+                                                     DType, Optional[DType],
+                                                     Optional[int]]:
     parts = word.split(".")
+    inst_width: Optional[int] = None
+    if len(parts) > 1:
+        match = _WIDTH_SUFFIX_RE.match(parts[-1])
+        if match:
+            inst_width = int(match.group(1))
+            parts = parts[:-1]
     name = parts[0]
     if name not in _OPCODES:
         raise AsmError(lineno, f"unknown opcode {name!r}")
@@ -183,7 +201,7 @@ def _parse_mnemonic(word: str, lineno: int) -> Tuple[Opcode, Optional[CmpOp],
         dtype = _DTYPES[parts[1]]
     elif len(parts) > 2:
         raise AsmError(lineno, f"malformed mnemonic {word!r}")
-    return opcode, cmp_op, dtype, src_dtype
+    return opcode, cmp_op, dtype, src_dtype, inst_width
 
 
 def _parse_instruction(line: str, width: int, lineno: int) -> Instruction:
@@ -195,7 +213,10 @@ def _parse_instruction(line: str, width: int, lineno: int) -> Instruction:
         line = match.group(2)
 
     pieces = line.split(None, 1)
-    opcode, cmp_op, dtype, src_dtype = _parse_mnemonic(pieces[0], lineno)
+    opcode, cmp_op, dtype, src_dtype, inst_width = _parse_mnemonic(pieces[0],
+                                                                   lineno)
+    if inst_width is not None:
+        width = inst_width
     tokens = ([t.strip() for t in pieces[1].split(",")] if len(pieces) > 1
               else [])
 

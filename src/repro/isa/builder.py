@@ -38,8 +38,9 @@ Control flow uses flags and context managers::
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
+from ..errors import BuildError
 from .instruction import Instruction
 from .opcodes import Opcode
 from .program import KernelParam, ParamKind, Program
@@ -49,13 +50,26 @@ from .types import CmpOp, DType
 #: Anything a convenience method accepts as a source.
 SourceLike = Union[RegRef, Imm, int, float]
 
+#: Opcodes whose operands must be integer-typed (bitwise/shift family);
+#: numpy raises at simulation time if these ever see float lanes, so the
+#: builder rejects the misuse at construction time instead.
+_INTEGER_ONLY_OPCODES = frozenset(
+    (Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOT, Opcode.SHL, Opcode.SHR)
+)
+
 
 class KernelBuilder:
-    """Incremental assembler for one kernel program."""
+    """Incremental assembler for one kernel program.
+
+    Misuse (dtype, surface, flag, or control-flow errors) raises a typed
+    :class:`~repro.errors.BuildError` carrying the kernel name and — for
+    failures attributable to one instruction — its index in the program.
+    """
 
     def __init__(self, name: str, simd_width: int, slm_bytes: int = 0) -> None:
         if simd_width not in (1, 4, 8, 16, 32):
-            raise ValueError(f"unsupported SIMD width {simd_width}")
+            raise BuildError(f"unsupported SIMD width {simd_width}",
+                             kernel=name)
         self.name = name
         self.simd_width = simd_width
         self.slm_bytes = slm_bytes
@@ -66,6 +80,14 @@ class KernelBuilder:
         self._gid: Optional[RegRef] = None
         self._lid: Optional[RegRef] = None
         self._finished = False
+        # Released temp spans by size, reusable by .temp() — the DSL
+        # lowering churns through short-lived expression temporaries and
+        # would exhaust the GRF without reuse.
+        self._free_spans: Dict[int, List[int]] = {}
+
+    def _error(self, message: str, at_instruction: Optional[int] = None) -> BuildError:
+        return BuildError(message, kernel=self.name,
+                          instruction_index=at_instruction)
 
     # -- register and argument allocation ---------------------------------
 
@@ -73,13 +95,26 @@ class KernelBuilder:
         width = width if width is not None else self.simd_width
         span = dtype.regs_for_width(width)
         if self._next_reg + span > NUM_GRF_REGS:
-            raise ValueError(
-                f"kernel {self.name!r} exhausted the GRF "
+            raise self._error(
+                f"exhausted the GRF "
                 f"({self._next_reg + span} > {NUM_GRF_REGS} registers)"
             )
         ref = RegRef(self._next_reg, dtype)
         self._next_reg += span
         return ref
+
+    def temp(self, dtype: DType = DType.F32) -> RegRef:
+        """Allocate a scratch register, reusing a released span if one fits."""
+        span = dtype.regs_for_width(self.simd_width)
+        free = self._free_spans.get(span)
+        if free:
+            return RegRef(free.pop(), dtype)
+        return self._alloc(dtype)
+
+    def release(self, ref: RegRef) -> None:
+        """Return a :meth:`temp` register span to the free pool."""
+        span = ref.dtype.regs_for_width(self.simd_width)
+        self._free_spans.setdefault(span, []).append(ref.reg)
 
     def vreg(self, dtype: DType = DType.F32) -> RegRef:
         """Allocate a fresh SIMD-width virtual register."""
@@ -105,6 +140,11 @@ class KernelBuilder:
         self._params.append(KernelParam(name=name, kind=kind, reg=ref.reg))
         return ref
 
+    @property
+    def num_surfaces(self) -> int:
+        """Number of surface (buffer) arguments declared so far."""
+        return self._next_surface
+
     def surface_arg(self, name: str) -> int:
         """Declare a buffer argument; returns its binding-table index."""
         self._check_param_name(name)
@@ -117,14 +157,38 @@ class KernelBuilder:
 
     def _check_param_name(self, name: str) -> None:
         if any(p.name == name for p in self._params):
-            raise ValueError(f"duplicate kernel parameter {name!r}")
+            raise self._error(f"duplicate kernel parameter {name!r}")
 
     # -- instruction emission ----------------------------------------------
 
     def emit(self, inst: Instruction) -> Instruction:
-        """Append a raw instruction (escape hatch for tests/tools)."""
+        """Append a raw instruction (escape hatch for tests/tools).
+
+        Validates structural well-formedness eagerly so a misused opcode
+        fails at the call site, with the instruction index, instead of
+        surfacing later as a bare ``ValueError`` from finalization.
+        """
         if self._finished:
-            raise ValueError("cannot emit into a finished kernel")
+            raise self._error("cannot emit into a finished kernel")
+        index = len(self._instructions)
+        try:
+            inst.validate()
+        except ValueError as exc:
+            raise self._error(str(exc), at_instruction=index) from exc
+        if inst.opcode in _INTEGER_ONLY_OPCODES and inst.dtype.is_float:
+            raise self._error(
+                f"{inst.opcode.mnemonic} requires an integer dtype, "
+                f"got {inst.dtype.label}", at_instruction=index)
+        if inst.opcode in (Opcode.LOAD, Opcode.STORE) and not (
+                0 <= inst.surface < self._next_surface):
+            raise self._error(
+                f"surface {inst.surface} is not a declared buffer argument "
+                f"({self._next_surface} declared)", at_instruction=index)
+        for flag in (inst.pred, inst.flag_dst):
+            if flag is not None and not 0 <= flag.index < NUM_FLAGS:
+                raise self._error(
+                    f"flag f{flag.index} out of range (have {NUM_FLAGS})",
+                    at_instruction=index)
         self._instructions.append(inst)
         return inst
 
@@ -368,9 +432,13 @@ class KernelBuilder:
     # -- finalization ----------------------------------------------------------
 
     def finish(self) -> Program:
-        """Append EOT, finalize control flow, and return the Program."""
+        """Append EOT, finalize control flow, and return the Program.
+
+        Control-flow imbalance (an IF without ENDIF, a stray WHILE)
+        surfaces here as a :class:`~repro.errors.BuildError`.
+        """
         if self._finished:
-            raise ValueError(f"kernel {self.name!r} already finished")
+            raise self._error("already finished")
         self.emit(Instruction(opcode=Opcode.EOT, width=self.simd_width))
         self._finished = True
         program = Program(
@@ -382,4 +450,9 @@ class KernelBuilder:
         )
         program.gid_reg = self._gid.reg if self._gid is not None else None
         program.lid_reg = self._lid.reg if self._lid is not None else None
-        return program.finalize()
+        try:
+            return program.finalize()
+        except BuildError:
+            raise
+        except ValueError as exc:
+            raise self._error(str(exc)) from exc

@@ -9,6 +9,8 @@ names where one exists.
 
 from typing import Callable, Dict
 
+from ..dsl.kernels import DSL_KERNELS
+from ..dsl.stress import dynamic_factory, parse_stress_name
 from .faults import (
     FAULT_PREFIX,
     count_executions,
@@ -35,8 +37,39 @@ from .solvers import floyd_warshall, gauss, lu_decompose, pathfinder, tridiagona
 from .rodinia import bfs, hotspot, lavamd, nw, particlefilter
 from .workload import LaunchStep, Workload, run_workload, run_workload_all_policies
 
+class WorkloadRegistry(Dict[str, Callable[[], Workload]]):
+    """The workload name -> factory mapping, plus generated families.
+
+    Behaves like a plain dict for every statically registered workload,
+    but additionally resolves the parameterized ``stress_*`` family
+    (:mod:`repro.dsl.stress`): any well-formed stress name — e.g.
+    ``stress_s7_d3_e80_t2_m1`` — looks up, ``in``-tests, and ``get``s as
+    if it were registered, so run/sweep/verify/serve/worker accept
+    stress workloads exactly like built-ins.  Dynamic names are *not*
+    memoized into the dict: iteration and ``len`` only ever see the
+    static entries, keeping experiment groups stable.
+    """
+
+    def __missing__(self, name: str) -> Callable[[], Workload]:
+        factory = dynamic_factory(name)
+        if factory is None:
+            raise KeyError(name)
+        return factory
+
+    def __contains__(self, name: object) -> bool:
+        if super().__contains__(name):
+            return True
+        return isinstance(name, str) and parse_stress_name(name) is not None
+
+    def get(self, name, default=None):
+        try:
+            return self[name]
+        except KeyError:
+            return default
+
+
 #: name -> factory for every simulator workload, coherent and divergent.
-WORKLOAD_REGISTRY: Dict[str, Callable[[], Workload]] = {
+WORKLOAD_REGISTRY: Dict[str, Callable[[], Workload]] = WorkloadRegistry({
     # coherent
     "va": vector_add,
     "dp": dot_product,
@@ -96,7 +129,13 @@ WORKLOAD_REGISTRY: Dict[str, Callable[[], Workload]] = {
     "fault_sleep": sleep_then_run,
     "fault_crash": crash_once,
     "fault_count": count_executions,
-}
+})
+
+#: Kernels authored in the Python DSL (repro.dsl) — part of the registry
+#: but excluded from the paper-figure groups, whose workload sets are
+#: fixed by the source material.
+DSL_WORKLOADS = tuple(sorted(DSL_KERNELS))
+WORKLOAD_REGISTRY.update(DSL_KERNELS)
 
 #: Fault-injection entries: in the registry (so workers can rebuild them
 #: by name) but outside every experiment group.
@@ -111,7 +150,7 @@ DIVERGENT_WORKLOADS = tuple(
     if name not in (
         "va", "dp", "mvm", "transpose", "mm", "bscholes", "bop", "boxfilter",
         "mt", "dct8", "fwht", "dwth", "scnv", "aes", "trd",
-    ) + FAULT_WORKLOADS
+    ) + FAULT_WORKLOADS + DSL_WORKLOADS
 )
 
 #: The Rodinia subset of Figure 12.
@@ -119,8 +158,11 @@ RODINIA_WORKLOADS = ("bfs", "hotspot", "lavamd", "nw", "particlefilter")
 
 __all__ = [
     "DIVERGENT_WORKLOADS",
+    "DSL_KERNELS",
+    "DSL_WORKLOADS",
     "FAULT_PREFIX",
     "FAULT_WORKLOADS",
+    "WorkloadRegistry",
     "aes_round",
     "backprop_layer",
     "binary_search",

@@ -68,7 +68,8 @@ CACHE_SCHEMA = 1
 
 #: Subpackages whose source participates in the cache code salt: exactly
 #: the ones that can change what a simulation measures.
-_SIM_PACKAGES = ("core", "eu", "gpu", "isa", "kernels", "memory", "trace")
+_SIM_PACKAGES = ("core", "dsl", "eu", "gpu", "isa", "kernels", "memory",
+                 "trace")
 
 _inline_ids = itertools.count()
 _tmp_ids = itertools.count()

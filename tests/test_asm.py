@@ -159,3 +159,33 @@ class TestRoundTrip:
 
         with pytest.raises(ValueError, match="finalized"):
             program_to_text(Program("p", 16))
+
+
+class TestBitIdentity:
+    """Round trips must reproduce programs *bit-identically*, width
+    overrides included — the ``.wN`` mnemonic suffix exists for this."""
+
+    def test_width_override_carries_suffix(self):
+        from repro.isa.builder import KernelBuilder
+
+        b = KernelBuilder("w", simd_width=16)
+        r = b.temp()
+        b.alu(Opcode.MOV, r, 1.0, width=8)
+        b.add(r, r, 2.0)
+        program = b.finish()
+        text = program_to_text(program)
+        assert "mov.f32.w8" in text
+        assert ".w16" not in text  # program-width instructions stay bare
+        assert assemble(text).instructions == program.instructions
+
+    @pytest.mark.parametrize("width", [1, 4, 8])
+    def test_every_narrow_width_round_trips(self, width):
+        from repro.isa.builder import KernelBuilder
+
+        b = KernelBuilder("w", simd_width=16)
+        r = b.temp()
+        b.alu(Opcode.ADD, r, r, 1.5, width=width)
+        program = b.finish()
+        rebuilt = assemble(program_to_text(program))
+        assert rebuilt.instructions == program.instructions
+        assert rebuilt.instructions[0].width == width
