@@ -31,7 +31,8 @@ The service errors double as HTTP statuses: every
 :class:`SimulationError` carries an ``http_status`` class attribute the
 ``repro serve`` daemon uses verbatim when a request maps onto that
 failure (429 for :class:`RateLimitError`, 503 for
-:class:`QueueFullError`, 409 for :class:`FenceRejectedError`,
+:class:`QueueFullError`, 409 for :class:`FenceRejectedError`, 404 for
+:class:`CacheMissError`, 412 for :class:`CodeSaltMismatchError`,
 500 otherwise).
 """
 
@@ -49,6 +50,8 @@ __all__ = [
     "QueueFullError",
     "RateLimitError",
     "FenceRejectedError",
+    "CacheMissError",
+    "CodeSaltMismatchError",
     "exit_code_for",
     "describe",
 ]
@@ -190,6 +193,35 @@ class RateLimitError(ServiceError):
 
     http_status = 429
     transient = True
+
+
+class CacheMissError(ServiceError):
+    """The fleet result cache has no entry for the requested key.
+
+    Raised by the daemon's ``GET /cache/{key}`` endpoint (HTTP 404) and
+    re-raised typed by :meth:`repro.serve.client.ServeClient.cache_fetch`
+    so a worker's pre-simulation probe can distinguish "not cached yet —
+    go simulate" from a transport failure.  A miss is the *normal* cold
+    path, never retried.
+    """
+
+    http_status = 404
+
+
+class CodeSaltMismatchError(ServiceError):
+    """A cache fetch or publish crossed a simulator-version boundary.
+
+    Every fleet cache exchange carries the caller's *code salt* — the
+    digest of the simulator source that defines what a result means
+    (:func:`repro.runner.code_salt`).  A worker running different
+    simulator code than the daemon must neither be served nor allowed to
+    publish entries: mixed-version results would be silently
+    non-bit-identical.  Mapped to HTTP 412 (Precondition Failed) —
+    deterministic version skew, never retried; the fix is redeploying
+    the fleet onto one build.
+    """
+
+    http_status = 412
 
 
 class FenceRejectedError(ServiceError):

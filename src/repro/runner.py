@@ -55,6 +55,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from .errors import (
     CacheCorruptionError,
+    CodeSaltMismatchError,
     JobTimeoutError,
     SimulationError,
     WorkerCrashError,
@@ -306,25 +307,118 @@ class ResultCache:
         return self.root / "quarantine"
 
     def _entry_name(self, job: Job) -> str:
-        name = re.sub(r"[^A-Za-z0-9_.-]", "_", job.workload)
+        return self._entry_name_for_key(job.key)
+
+    def _entry_name_for_key(self, key: str) -> str:
+        # A content key's first |-separated part is the workload name
+        # (see Job._compute_key), kept in the entry name for humans.
+        workload = key.split("|", 1)[0]
+        name = re.sub(r"[^A-Za-z0-9_.-]", "_", workload)
         digest = hashlib.sha256(
-            f"{job.key}|{self.salt}".encode("utf-8")
+            f"{key}|{self.salt}".encode("utf-8")
         ).hexdigest()[:32]
         return f"{name}-{digest}.pkl"
 
     def path_for(self, job: Job) -> Path:
-        """Sharded location of *job*'s entry: ``<root>/ab/cd/<entry>``.
+        """Sharded location of *job*'s entry: ``<root>/ab/cd/<entry>``."""
+        return self.path_for_key(job.key)
+
+    def path_for_key(self, key: str) -> Path:
+        """Sharded location of the entry for a raw content *key*.
 
         The shard is the first four hex digits of the entry digest (the
-        trailing part of the file name), giving a 256x256 fanout.
+        trailing part of the file name), giving a 256x256 fanout.  This
+        is the fleet-facing address: the serve daemon's cache endpoints
+        resolve ``GET/POST /cache/{key}`` through it without needing to
+        rebuild a :class:`Job` (whose constructor validates the workload
+        registry — irrelevant for a pure byte fetch).
         """
-        entry = self._entry_name(job)
+        entry = self._entry_name_for_key(key)
         digest = entry.rsplit("-", 1)[1]
         return self.root / digest[:2] / digest[2:4] / entry
 
     def legacy_path_for(self, job: Job) -> Path:
         """Pre-sharding flat location (read-through migration source)."""
         return self.root / self._entry_name(job)
+
+    # -- bytes-level fleet surface -----------------------------------------
+
+    @staticmethod
+    def serialize(result: KernelRunResult) -> bytes:
+        """The exact bytes :meth:`store` writes for *result*."""
+        return pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def deserialize(data: bytes) -> KernelRunResult:
+        """Decode :meth:`serialize` output; typed error on garbage."""
+        try:
+            result = pickle.loads(data)
+            if not isinstance(result, KernelRunResult):
+                raise TypeError(
+                    f"cache payload holds {type(result).__name__}")
+        except CacheCorruptionError:
+            raise
+        except Exception as exc:
+            raise CacheCorruptionError(
+                f"cache payload is unreadable "
+                f"({type(exc).__name__}: {exc})") from exc
+        return result
+
+    def fetch(self, key: str) -> Optional[Tuple[bytes, KernelRunResult]]:
+        """Raw entry bytes (plus the decoded result) for *key*, or None.
+
+        The fleet fetch path: the bytes are what ``GET /cache/{key}``
+        ships to workers, and the decoded result proves they are
+        servable before they leave the daemon.  A corrupt entry is
+        quarantined and reported as a miss (strict mode raises), same
+        contract as :meth:`load`.
+        """
+        path = self.path_for_key(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            result = self.deserialize(data)
+        except CacheCorruptionError:
+            self.corrupt += 1
+            moved = self._quarantine(path)
+            if self.strict:
+                where = f"; quarantined to {moved}" if moved else ""
+                raise CacheCorruptionError(
+                    f"cache entry {path.name} is unreadable{where}")
+            return None
+        return data, result
+
+    def store_payload(self, key: str, data: bytes,
+                      salt: Optional[str] = None,
+                      expect_digest: Optional[str] = None
+                      ) -> KernelRunResult:
+        """Ingest serialized result bytes published by a fleet peer.
+
+        Salt-gated and digest-verified: *salt* (when given) must match
+        this cache's code salt — a publish from a worker running
+        different simulator source raises
+        :class:`~repro.errors.CodeSaltMismatchError` rather than
+        poisoning the store — and the decoded result's buffer digest
+        must match *expect_digest* (when given) or the payload is
+        rejected as corrupt.  Returns the verified, reconstructed
+        :class:`KernelRunResult`; the original bytes are written
+        atomically (same crash-safety as :meth:`store`).
+        """
+        if salt is not None and salt != self.salt:
+            raise CodeSaltMismatchError(
+                f"cache publish for key {key!r} carries code salt "
+                f"{salt!r} but this store is salted {self.salt!r} "
+                f"(mixed simulator versions in the fleet)")
+        result = self.deserialize(data)
+        if expect_digest is not None and result.buffers_digest != expect_digest:
+            raise CacheCorruptionError(
+                f"cache publish for key {key!r} decodes to buffer digest "
+                f"{result.buffers_digest[:16]}... but claimed "
+                f"{str(expect_digest)[:16]}...")
+        self._write(self.path_for_key(key), data)
+        return result
 
     def load(self, job: Job) -> Optional[KernelRunResult]:
         path = self.path_for(job)
@@ -389,7 +483,9 @@ class ResultCache:
         return target
 
     def store(self, job: Job, result: KernelRunResult) -> None:
-        path = self.path_for(job)
+        self._write(self.path_for(job), self.serialize(result))
+
+    def _write(self, path: Path, data: bytes) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         # Unique per (process, sequence number): concurrent writers of
         # the same entry never collide, and a crash mid-write leaves only
@@ -397,8 +493,7 @@ class ResultCache:
         tmp = path.with_name(f".{path.name}.{os.getpid()}.{next(_tmp_ids)}.tmp")
         try:
             with open(tmp, "wb") as fh:
-                fh.write(pickle.dumps(result,
-                                      protocol=pickle.HIGHEST_PROTOCOL))
+                fh.write(data)
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, path)  # atomic publish

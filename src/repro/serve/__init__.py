@@ -9,7 +9,10 @@ worker`` processes on any number of hosts join the daemon's fleet:
 they claim queued jobs under time-bounded, fence-tokened leases, and
 a worker that crashes mid-job simply stops heartbeating — the lease
 expires and the job is reassigned, up to a bounded number of
-attempts.  Stdlib only.
+attempts.  The fleet shares one content-keyed result store: workers
+fetch from ``GET /cache/{key}`` before simulating and publish
+serialized results back (salt-gated, digest-verified), so one grid
+over N workers is exactly one execution per point.  Stdlib only.
 
 Layers (each importable on its own):
 
@@ -23,7 +26,15 @@ Layers (each importable on its own):
 """
 
 from .client import ServeClient, ServeClientError
-from .jobs import RESULT_SCHEMA, JobRecord, JobSpec, JobState, result_payload
+from .jobs import (
+    RESULT_SCHEMA,
+    JobRecord,
+    JobSpec,
+    JobState,
+    result_blob,
+    result_from_blob,
+    result_payload,
+)
 from .journal import ServeJournal
 from .leases import Lease, LeaseTable, WorkerInfo
 from .service import (
@@ -51,5 +62,7 @@ __all__ = [
     "ServeWorker",
     "UnknownJobError",
     "WorkerInfo",
+    "result_blob",
+    "result_from_blob",
     "result_payload",
 ]

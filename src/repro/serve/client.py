@@ -12,7 +12,8 @@ refusals (``OSError``), 429 rate limiting, and 503 backpressure back
 off with exponential, decorrelated jitter — honoring the daemon's
 ``Retry-After`` header when one is sent — up to ``max_retries``
 attempts before the typed error propagates.  Deterministic errors
-(400/404/409, including fence rejections) never retry.  Submissions are
+(400/404/409/412, including fence rejections, cache misses, and
+code-salt skew) never retry.  Submissions are
 safe to retry because identical submissions dedup onto one execution
 daemon-side (at-least-once posting, exactly-once execution).
 """
@@ -24,8 +25,9 @@ import json
 import random
 import time
 from typing import Any, Dict, Iterator, Optional, Tuple
+from urllib.parse import quote
 
-from ..errors import ServiceError
+from ..errors import CacheMissError, ServiceError
 
 #: Poll period for :meth:`ServeClient.watch` (seconds).
 WATCH_INTERVAL = 0.25
@@ -201,13 +203,58 @@ class ServeClient:
                             body={"worker": worker, "fence": fence})
 
     def post_result(self, job_id: str, worker: str, fence: int,
-                    result: Dict[str, Any],
-                    exec_seconds: float = 0.0) -> Dict[str, Any]:
-        """Publish a finished job's typed result payload."""
-        return self.request("POST", f"/work/{job_id}/result",
-                            body={"worker": worker, "fence": fence,
-                                  "result": result,
-                                  "exec_seconds": exec_seconds})
+                    result: Dict[str, Any], exec_seconds: float = 0.0,
+                    cache: Optional[Dict[str, Any]] = None,
+                    cached: bool = False) -> Dict[str, Any]:
+        """Publish a finished job's typed result payload.
+
+        *cache*, when given, is the full serialized result blob
+        (:func:`~repro.serve.jobs.result_blob`) the daemon persists
+        into the fleet-shared cache before resolving subscribers.
+        *cached* marks a result the worker served from the fleet cache
+        rather than simulating, so the daemon books it under
+        ``serve.jobs.cache_hits``.
+        """
+        body: Dict[str, Any] = {"worker": worker, "fence": fence,
+                                "result": result,
+                                "exec_seconds": exec_seconds}
+        if cache is not None:
+            body["cache"] = cache
+        if cached:
+            body["cached"] = True
+        return self.request("POST", f"/work/{job_id}/result", body=body)
+
+    # -- fleet-shared cache endpoints --------------------------------------
+
+    def cache_fetch(self, key: str,
+                    salt: Optional[str] = None) -> Dict[str, Any]:
+        """Fetch one fleet cache entry by runner content key.
+
+        Returns the blob envelope (decode it with
+        :func:`~repro.serve.jobs.result_from_blob`).  A miss raises the
+        typed :class:`~repro.errors.CacheMissError` — the normal cold
+        path, distinguishable from transport failure — and a 412 (the
+        daemon runs different simulator source) propagates as a plain
+        :class:`ServeClientError`; neither is ever retried.
+        """
+        path = "/cache/" + quote(key, safe="")
+        if salt:
+            path += f"?salt={quote(salt, safe='')}"
+        try:
+            return self.request("GET", path)
+        except ServeClientError as exc:
+            if exc.status == 404:
+                raise CacheMissError(
+                    f"no fleet cache entry for key {key!r}") from exc
+            raise
+
+    def cache_publish(self, key: str, blob: Dict[str, Any],
+                      worker: str = "",
+                      job_id: str = "") -> Dict[str, Any]:
+        """Publish a serialized result blob into the fleet cache."""
+        return self.request("POST", "/cache/" + quote(key, safe=""),
+                            body={"blob": blob, "worker": worker,
+                                  "job": job_id})
 
     def post_failure(self, job_id: str, worker: str, fence: int,
                      error: str, exit_code: Optional[int] = None,

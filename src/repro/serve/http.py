@@ -18,8 +18,17 @@ Routes::
     POST   /work/{id}/heartbeat  renew a lease           (fence-checked)
     POST   /work/{id}/result     publish a remote result (fence-checked)
     POST   /work/{id}/fail       publish a typed failure (fence-checked)
+    GET    /cache/{key}      fetch a fleet cache entry (salt-checked;
+                             404 on miss, 412 on simulator-version skew)
+    POST   /cache/{key}      publish a serialized result into the fleet
+                             cache (salt-gated, digest-verified)
     GET    /metrics          service counters + fleet gauges
     GET    /healthz          liveness (draining + lease degradation)
+
+Cache keys are runner content keys (``workload|params|config`` digests,
+see :attr:`repro.runner.Job.key`); the ``|`` separators make
+percent-encoding mandatory, so the ``/cache/{key}`` segment is
+URL-decoded before lookup.
 
 Error mapping is typed end to end: admission and lookup failures are
 :class:`~repro.errors.SimulationError` subclasses whose ``http_status``
@@ -36,19 +45,22 @@ import json
 import signal
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
-from urllib.parse import parse_qs, urlsplit
+from urllib.parse import parse_qs, unquote, urlsplit
 
 from .. import __version__
 from ..errors import SimulationError
 from .jobs import JobState
 from .service import JobService
 
-#: Largest request body the daemon will read (a JobSpec is tiny).
-MAX_BODY = 1 << 20
+#: Largest request body the daemon will read.  A JobSpec is tiny, but
+#: result posts and cache publishes carry a base64-armored serialized
+#: KernelRunResult (telemetry included), so the bound is generous.
+MAX_BODY = 8 << 20
 
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    405: "Method Not Allowed", 409: "Conflict",
+    412: "Precondition Failed", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -178,6 +190,15 @@ class ServeApp:
                     return self._work_result(job_id, raw)
                 if action == "fail":
                     return self._work_fail(job_id, raw)
+        if len(segments) == 2 and segments[0] == "cache":
+            # Content keys contain '|' and arbitrary params digests, so
+            # the key segment arrives percent-encoded.
+            key = unquote(segments[1])
+            if method == "GET":
+                return self._cache_fetch(key, query)
+            if method == "POST":
+                return self._cache_publish(key, raw)
+            raise HttpError(405, f"{method} not allowed on /cache/{{key}}")
         raise HttpError(404, f"no route for {method} {path}")
 
     # -- handlers ----------------------------------------------------------
@@ -261,10 +282,32 @@ class ServeApp:
             record = self.service.complete_remote(
                 job_id, body.get("worker"), body.get("fence"),
                 body.get("result"),
-                exec_seconds=body.get("exec_seconds", 0.0))
+                exec_seconds=body.get("exec_seconds", 0.0),
+                cache=body.get("cache"),
+                cached=bool(body.get("cached", False)))
         except (TypeError, ValueError) as exc:
             raise HttpError(400, str(exc))
         return 200, record.as_status()
+
+    # -- fleet-shared cache handlers ---------------------------------------
+
+    def _cache_fetch(self, key: str,
+                     query: Dict[str, str]) -> Tuple[int, Dict[str, Any]]:
+        try:
+            return 200, self.service.cache_fetch(key,
+                                                 salt=query.get("salt"))
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, str(exc))
+
+    def _cache_publish(self, key: str,
+                       raw: bytes) -> Tuple[int, Dict[str, Any]]:
+        body = self._work_body(raw, "cache publish")
+        try:
+            return 200, self.service.cache_publish(
+                key, body.get("blob"), worker=body.get("worker", ""),
+                job_id=body.get("job", ""))
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, str(exc))
 
     def _work_fail(self, job_id: str,
                    raw: bytes) -> Tuple[int, Dict[str, Any]]:

@@ -14,6 +14,8 @@ deadline bug), dedup linkage, and the typed JSON result payload.
 
 from __future__ import annotations
 
+import base64
+import binascii
 import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
@@ -21,7 +23,7 @@ from typing import Any, Dict, Mapping, Optional
 from ..core.policy import CompactionPolicy, parse_policy
 from ..gpu.config import ENGINES, GpuConfig
 from ..gpu.results import KernelRunResult
-from ..runner import Job
+from ..runner import Job, ResultCache, code_salt
 
 #: Bump when the result-payload layout changes incompatibly.
 RESULT_SCHEMA = 1
@@ -182,6 +184,79 @@ def result_payload(spec: JobSpec, result: KernelRunResult) -> Dict[str, Any]:
             "simd": _stats_fingerprint(result.simd_stats),
         },
     }
+
+
+#: Wire encoding of a serialized KernelRunResult (the only one so far).
+BLOB_ENCODING = "pickle+base64"
+
+
+def result_blob(result: KernelRunResult,
+                salt: Optional[str] = None) -> Dict[str, Any]:
+    """JSON-safe envelope of one full :class:`KernelRunResult`.
+
+    The fleet cache's wire format: the exact bytes the daemon's
+    :class:`~repro.runner.ResultCache` would store, base64-armored, plus
+    the sender's code salt and the result's buffer digest so the
+    receiving side can gate and verify the payload *before* letting it
+    near its store (:meth:`ResultCache.store_payload`).  Rides both the
+    worker's result post (``cache`` field) and the standalone
+    ``POST /cache/{key}`` publish.
+    """
+    return blob_envelope(ResultCache.serialize(result),
+                         salt if salt is not None else code_salt(),
+                         result.buffers_digest)
+
+
+def blob_envelope(data: bytes, salt: str, digest: str) -> Dict[str, Any]:
+    """Wrap already-serialized result bytes (the fetch path reuses the
+    stored bytes verbatim instead of re-pickling)."""
+    return {
+        "encoding": BLOB_ENCODING,
+        "salt": salt,
+        "digest": digest,
+        "size": len(data),
+        "data": base64.b64encode(data).decode("ascii"),
+    }
+
+
+def blob_bytes(blob: Any) -> bytes:
+    """The serialized result bytes inside an envelope; ValueError when
+    the envelope itself (not the pickle) is malformed."""
+    if not isinstance(blob, Mapping):
+        raise ValueError("result blob must be a JSON object")
+    if blob.get("encoding") != BLOB_ENCODING:
+        raise ValueError(
+            f"unknown result blob encoding {blob.get('encoding')!r}; "
+            f"expected {BLOB_ENCODING!r}")
+    raw = blob.get("data")
+    if not isinstance(raw, str):
+        raise ValueError("result blob needs a base64 'data' string")
+    try:
+        return base64.b64decode(raw.encode("ascii"), validate=True)
+    except (binascii.Error, UnicodeEncodeError) as exc:
+        raise ValueError(f"result blob data is not base64: {exc}") from exc
+
+
+def result_from_blob(blob: Any) -> KernelRunResult:
+    """Decode and verify a :func:`result_blob` envelope.
+
+    Raises ``ValueError`` for a malformed envelope and
+    :class:`~repro.errors.CacheCorruptionError` when the bytes do not
+    decode to a :class:`KernelRunResult` whose buffer digest matches the
+    envelope's claim.  Salt gating is the *caller's* job (the daemon
+    checks against its cache's salt; workers check against their own
+    :func:`~repro.runner.code_salt`) — this only proves integrity.
+    """
+    from ..errors import CacheCorruptionError
+
+    result = ResultCache.deserialize(blob_bytes(blob))
+    digest = blob.get("digest")
+    if digest is not None and result.buffers_digest != digest:
+        raise CacheCorruptionError(
+            f"result blob decodes to buffer digest "
+            f"{result.buffers_digest[:16]}... but claimed "
+            f"{str(digest)[:16]}...")
+    return result
 
 
 @dataclass

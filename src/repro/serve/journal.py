@@ -5,7 +5,9 @@ binding the file to a schema, then one fsynced record per event,
 tolerating a torn trailing line), but for the service's job lifecycle
 instead of a sweep grid: ``submit`` / ``resolve`` / ``cancel`` events —
 plus the fleet's lease transitions (``lease`` / ``renew`` / ``expire``
-/ ``reassign`` / ``fence_reject``) — keyed by job id.  A restarted
+/ ``reassign`` / ``fence_reject``) and fleet-cache ``publish`` events
+(who stored which content key, with what digest, via which path — so
+cache state is explainable post-mortem) — keyed by job id.  A restarted
 daemon replays the journal to recover its job table *and* its in-flight
 lease state: resolved jobs keep serving their results, jobs that were
 submitted but never resolved re-enter the queue, and leased jobs keep

@@ -77,6 +77,14 @@ class LeaseTable:
         self._leases: Dict[str, Lease] = {}
         self._fence = 0
         self.workers: Dict[str, WorkerInfo] = {}
+        #: Workers retired for silence (count + folded throughput
+        #: totals).  Worker names default to ``<hostname>-<pid>``, so a
+        #: churning fleet mints a fresh name per restart; without
+        #: retirement the table — and the /metrics fleet view built
+        #: from it — would grow one dead entry per restart forever.
+        self.retired = 0
+        self.retired_totals: Dict[str, int] = {
+            "leases_granted": 0, "completed": 0, "failed": 0}
 
     # -- introspection -----------------------------------------------------
 
@@ -181,3 +189,24 @@ class LeaseTable:
         """Workers heard from within *horizon* seconds of *now*."""
         return [info for info in self.workers.values()
                 if now - info.last_seen <= horizon]
+
+    def retire_idle(self, now: float, horizon: float) -> List[WorkerInfo]:
+        """Drop workers silent for more than *horizon* seconds.
+
+        A worker holding a live lease is never retired regardless of
+        silence (expiry, not retirement, judges lease ownership).  The
+        retired workers' throughput counts fold into
+        :attr:`retired_totals` so fleet-lifetime aggregates survive the
+        bookkeeping cleanup; returns the retired entries.
+        """
+        holders = {lease.worker for lease in self._leases.values()}
+        gone = [info for info in self.workers.values()
+                if now - info.last_seen > horizon
+                and info.name not in holders]
+        for info in gone:
+            del self.workers[info.name]
+            self.retired += 1
+            self.retired_totals["leases_granted"] += info.leases_granted
+            self.retired_totals["completed"] += info.completed
+            self.retired_totals["failed"] += info.failed
+        return gone

@@ -28,6 +28,14 @@ long-lived daemon needs on top:
   failed as :class:`~repro.errors.WorkerCrashError`, and every lease
   transition journaled so a restarted daemon rebuilds in-flight lease
   state;
+* **a fleet-shared result cache** — the runner's sharded
+  :class:`~repro.runner.ResultCache` is exposed over ``GET/POST
+  /cache/{key}``: workers probe it before simulating and publish full
+  serialized results back (salt-gated, digest-verified), and every
+  accepted remote result post is persisted into the store before
+  subscribers resolve — so N workers x one grid is exactly one
+  execution per point fleet-wide, and post-restart resubmissions (or a
+  foreground ``repro run`` over the same cache dir) are cache hits;
 * **service metrics** — a telemetry
   :class:`~repro.telemetry.counters.CounterRegistry` of
   submitted/deduped/cache-hit/executed/failed/recovered counts plus
@@ -51,6 +59,8 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import (
+    CacheMissError,
+    CodeSaltMismatchError,
     FenceRejectedError,
     QueueFullError,
     RateLimitError,
@@ -59,9 +69,16 @@ from ..errors import (
     describe,
     exit_code_for,
 )
-from ..runner import JobEvent, Runner
+from ..runner import JobEvent, Runner, code_salt
 from ..telemetry.counters import CounterRegistry
-from .jobs import JobRecord, JobSpec, JobState, result_payload
+from .jobs import (
+    JobRecord,
+    JobSpec,
+    JobState,
+    blob_bytes,
+    blob_envelope,
+    result_payload,
+)
 from .journal import ServeJournal
 from .leases import Lease, LeaseTable
 
@@ -133,6 +150,7 @@ class JobService:
         max_assignments: int = 3,
         local_exec: bool = True,
         sweep_interval: Optional[float] = None,
+        worker_retire_horizon: Optional[float] = None,
     ) -> None:
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
@@ -164,6 +182,16 @@ class JobService:
                                else min(1.0, max(0.05, lease_ttl / 4.0)))
         #: How long since last contact a worker still counts as active.
         self.worker_horizon = max(2.0 * lease_ttl, 10.0)
+        #: How long since last contact before a worker's bookkeeping
+        #: entry is retired outright (default names come as
+        #: ``<hostname>-<pid>``, so every restart is a "new" worker —
+        #: without retirement the table and /metrics grow forever).
+        self.worker_retire_horizon = (
+            float(worker_retire_horizon) if worker_retire_horizon is not None
+            else max(10.0 * lease_ttl, 3.0 * self.worker_horizon))
+        if self.worker_retire_horizon <= self.worker_horizon:
+            raise ValueError("worker_retire_horizon must exceed the "
+                             "active-worker horizon")
         self.leases = LeaseTable()
         #: Wall clock used for every lease decision; tests replace it to
         #: step expiry deterministically.
@@ -594,8 +622,9 @@ class JobService:
                 "renewals": lease.renewals}
 
     def complete_remote(self, job_id: str, worker: str, fence: Any,
-                        result: Any,
-                        exec_seconds: float = 0.0) -> JobRecord:
+                        result: Any, exec_seconds: float = 0.0,
+                        cache: Any = None,
+                        cached: bool = False) -> JobRecord:
         """Accept a remote worker's typed result payload; fence-checked.
 
         Exactly-once resolution under at-least-once posting: a
@@ -604,6 +633,22 @@ class JobService:
         idempotently; a post under any *other* fence — a zombie whose
         lease expired and whose job was reassigned — is rejected and
         journaled as ``fence_reject``.
+
+        *cache*, when present, is the full serialized result
+        (:func:`~repro.serve.jobs.result_blob`): it is salt-gated,
+        digest-verified, and persisted into the daemon's
+        :class:`~repro.runner.ResultCache` **before** subscribers are
+        resolved, so post-restart resubmissions and foreground
+        ``repro run``s of the same point hit cache.  A bad blob rejects
+        the whole post (the lease stays live): a malformed envelope is
+        a 400, a mixed-simulator-version salt a typed
+        :class:`~repro.errors.CodeSaltMismatchError` (412).
+
+        *cached* marks a post whose payload the worker served from the
+        fleet cache instead of simulating: the resolution is booked
+        under ``serve.jobs.cache_hits`` (the record's ``cache_hit``
+        flag rides the journal), leaving ``serve.jobs.executed`` an
+        honest count of actual simulations.
         """
         record = self.jobs.get(job_id)
         if (record is not None and record.state in JobState.TERMINAL
@@ -616,6 +661,16 @@ class JobService:
             raise ValueError(f"result for job {job_id} must be the typed "
                              f"JSON result payload")
         exec_seconds = max(0.0, float(exec_seconds or 0.0))
+        reconstructed = None
+        if cache is not None:
+            reconstructed = self._ingest_result_blob(record, cache, result,
+                                                     worker)
+        trace_path = None
+        if (reconstructed is not None and record.spec.telemetry == "trace"
+                and reconstructed.telemetry is not None):
+            # The blob hands us what remote execution previously lost:
+            # the full result object, trace included.
+            trace_path = self._export_trace(record, reconstructed)
         self.leases.release(job_id)
         now = self._now()
         info = self.leases.touch(worker, now)
@@ -623,9 +678,119 @@ class JobService:
         record.resolved_fence = fence
         record.worker = worker
         self.counters.incr("serve.jobs.remote_completed")
-        self._resolve_group(record, "executed", payload=result,
-                            exec_seconds=exec_seconds)
+        self._resolve_group(record, "cached" if cached else "executed",
+                            payload=result, exec_seconds=exec_seconds,
+                            trace_path=trace_path)
         return record
+
+    def _ingest_result_blob(self, record: JobRecord, blob: Any,
+                            result: Dict[str, Any], worker: str):
+        """Persist a result post's serialized blob into the shared cache.
+
+        Returns the verified reconstructed result (None when there is
+        nothing to store: no cache configured, or the entry already
+        exists — a pre-post publish or a racing peer won).
+        """
+        data = blob_bytes(blob)  # ValueError (400) on a bad envelope
+        salt = blob.get("salt")
+        if not isinstance(salt, str) or not salt:
+            raise ValueError(f"cache blob for job {record.id} needs the "
+                             f"sender's code salt")
+        claimed = blob.get("digest")
+        posted = result.get("buffers_digest")
+        if (claimed is not None and posted is not None
+                and claimed != posted):
+            raise ValueError(
+                f"cache blob for job {record.id} claims buffer digest "
+                f"{str(claimed)[:16]}... but the posted result payload "
+                f"says {str(posted)[:16]}...")
+        store = self.runner.cache
+        gate = store.salt if store is not None else code_salt()
+        if salt != gate:
+            raise CodeSaltMismatchError(
+                f"worker {worker!r} posted job {record.id} with code salt "
+                f"{salt!r} but the daemon runs {gate!r} (mixed simulator "
+                f"versions in the fleet)")
+        if store is None or store.path_for_key(record.key).exists():
+            return None
+        reconstructed = store.store_payload(record.key, data, salt=salt,
+                                            expect_digest=claimed)
+        self.counters.incr("serve.cache.published")
+        self.journal.append("publish", record.id, key=record.key,
+                            worker=worker,
+                            digest=reconstructed.buffers_digest,
+                            via="result_post")
+        return reconstructed
+
+    # -- fleet-shared result cache (fetch / publish) -----------------------
+
+    def cache_fetch(self, key: str,
+                    salt: Optional[str] = None) -> Dict[str, Any]:
+        """Serve one cache entry by content key (``GET /cache/{key}``).
+
+        Code-salt-checked: a caller that presents a salt different from
+        the store's is running different simulator source and gets a
+        typed :class:`~repro.errors.CodeSaltMismatchError` (412) instead
+        of bytes its build would misinterpret.  A miss — no store, no
+        entry, or a quarantined-corrupt entry — is a typed
+        :class:`~repro.errors.CacheMissError` (404): the normal cold
+        path, after which the caller simulates.
+        """
+        self.counters.incr("serve.cache.fetch")
+        if not isinstance(key, str) or not key:
+            raise ValueError("cache fetch needs a content key")
+        store = self.runner.cache
+        gate = store.salt if store is not None else code_salt()
+        if salt is not None and salt != gate:
+            raise CodeSaltMismatchError(
+                f"cache fetch for key {key!r} carries code salt {salt!r} "
+                f"but the daemon runs {gate!r}")
+        entry = store.fetch(key) if store is not None else None
+        if entry is None:
+            raise CacheMissError(f"no cache entry for key {key!r}")
+        data, result = entry
+        self.counters.incr("serve.cache.fetch_hits")
+        return dict(blob_envelope(data, gate, result.buffers_digest),
+                    key=key)
+
+    def cache_publish(self, key: str, blob: Any, worker: str = "",
+                      job_id: str = "") -> Dict[str, Any]:
+        """Ingest one published entry (``POST /cache/{key}``).
+
+        The fleet-internal publish path workers use *before* posting
+        their result, so a fully-computed answer survives a worker that
+        dies between execution and lease resolution.  Deliberately not
+        fence-checked — entries are content-keyed pure data, verified by
+        digest and gated by code salt, so even a fenced-out zombie's
+        publish is bit-identical to the live owner's.
+        """
+        if not isinstance(key, str) or not key:
+            raise ValueError("cache publish needs a content key")
+        data = blob_bytes(blob)
+        salt = blob.get("salt")
+        if not isinstance(salt, str) or not salt:
+            raise ValueError("cache publish needs the sender's code salt")
+        store = self.runner.cache
+        gate = store.salt if store is not None else code_salt()
+        if salt != gate:
+            raise CodeSaltMismatchError(
+                f"cache publish for key {key!r} carries code salt "
+                f"{salt!r} but the daemon runs {gate!r} (mixed simulator "
+                f"versions in the fleet)")
+        if worker:
+            self.leases.touch(worker, self._now())
+        if store is None:
+            return {"key": key, "stored": False, "reason": "no cache"}
+        if store.path_for_key(key).exists():
+            return {"key": key, "stored": False, "reason": "exists"}
+        result = store.store_payload(key, data, salt=salt,
+                                     expect_digest=blob.get("digest"))
+        self.counters.incr("serve.cache.published")
+        self.journal.append("publish", job_id or "-", key=key,
+                            worker=worker, digest=result.buffers_digest,
+                            via="endpoint")
+        return {"key": key, "stored": True,
+                "digest": result.buffers_digest}
 
     def fail_remote(self, job_id: str, worker: str, fence: Any,
                     error: str, exit_code: Optional[int] = None,
@@ -689,6 +854,9 @@ class JobService:
                           reason=f"lease fence {lease.fence} held by "
                                  f"worker {lease.worker!r} expired "
                                  f"(missed heartbeat deadline)")
+        retired = self.leases.retire_idle(now, self.worker_retire_horizon)
+        if retired:
+            self.counters.incr("serve.workers.retired", len(retired))
         return len(expired)
 
     def _requeue(self, record: JobRecord, reason: str) -> None:
@@ -818,7 +986,8 @@ class JobService:
                        error: Optional[BaseException] = None,
                        error_text: Optional[str] = None,
                        error_code: Optional[int] = None,
-                       exec_seconds: float = 0.0) -> None:
+                       exec_seconds: float = 0.0,
+                       trace_path: Optional[str] = None) -> None:
         """Resolve a primary and every live subscriber with one outcome.
 
         The outcome is either a local :class:`KernelRunResult`
@@ -837,7 +1006,6 @@ class JobService:
             error_text = describe(error)
             error_code = exit_code_for(error)
         failed = error_text is not None
-        trace_path = None
         if not failed and payload is None and result is not None:
             payload = result_payload(record.spec, result)
             if record.spec.telemetry == "trace" and result.telemetry is not None:
@@ -909,6 +1077,9 @@ class JobService:
             "counters": counters,
             "fleet": {
                 "workers_active": len(active),
+                "workers_known": len(self.leases.workers),
+                "workers_retired": self.leases.retired,
+                "retired_totals": dict(self.leases.retired_totals),
                 "lease_ttl": self.lease_ttl,
                 "max_assignments": self.max_assignments,
                 "local_exec": self.local_exec,

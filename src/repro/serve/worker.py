@@ -10,6 +10,14 @@ thread while simulating, and publishes the typed result payload (or a
 typed failure from the :mod:`repro.errors` taxonomy) back to the
 daemon.
 
+The fleet-shared result cache rides the same loop: before simulating,
+the worker probes ``GET /cache/{key}`` (code-salt-checked; opt out with
+``--no-cache-fetch``) and serves a verified hit instead of
+re-executing; after a fresh execution it publishes the serialized
+result to ``POST /cache/{key}`` *before* posting — so a crash between
+execution and resolution leaves the answer in the store — and attaches
+the same blob to the result post as the guaranteed ingest path.
+
 Crash semantics are the daemon's lease table's business, not ours: a
 worker that dies mid-job (``kill -9``, OOM, power loss) simply stops
 heartbeating, its lease expires, and the job is reassigned.  A worker
@@ -40,16 +48,30 @@ import time
 from typing import Any, Dict, Optional
 
 from ..errors import (
+    CacheCorruptionError,
+    CacheMissError,
     ServiceError,
     SimulationError,
     describe,
     exit_code_for,
 )
+from ..runner import code_salt
 from .client import ServeClient, ServeClientError
-from .jobs import JobSpec, JobState, result_payload
+from .jobs import JobSpec, JobState, result_blob, result_from_blob, \
+    result_payload
 
 #: Environment variable carrying comma-separated chaos fault hooks.
 CHAOS_ENV = "REPRO_WORKER_CHAOS"
+
+#: Don't attach a serialized-result blob to posts past this raw size —
+#: base64 expansion would blow the daemon's request body bound.
+MAX_BLOB_BYTES = 6 << 20
+
+#: Result-post failures worth retrying at the worker level (on top of
+#: the client's per-request transparent retry): transport loss (status
+#: 0) and server-side transient conditions.  Deterministic rejections
+#: (400, 409 fence, 412 salt) never burn a retry.
+RETRY_POST_STATUSES = (0, 429, 500, 502, 503)
 
 
 class ChaosHooks:
@@ -65,13 +87,17 @@ class ChaosHooks:
     * ``drop-heartbeats`` — the heartbeat thread goes silent: models a
       network partition; the lease expires under a live worker, which
       must then be fenced out.
+    * ``die-after-publish`` — execute the job, publish the serialized
+      result into the fleet cache, then ``os._exit`` before posting:
+      models a crash in the window between cache publish and lease
+      resolution (the reassigned run must be served from cache).
     * ``dup-result`` — post the result twice: models a retried post
       whose first response was lost; the daemon must answer the second
       idempotently.
     """
 
-    NAMES = ("die-after-lease", "die-before-result", "drop-heartbeats",
-             "dup-result")
+    NAMES = ("die-after-lease", "die-before-result", "die-after-publish",
+             "drop-heartbeats", "dup-result")
 
     def __init__(self, spec: str = "") -> None:
         hooks = {part.strip() for part in (spec or "").split(",")
@@ -83,6 +109,7 @@ class ChaosHooks:
                 f"expected any of: {', '.join(self.NAMES)}")
         self.die_after_lease = "die-after-lease" in hooks
         self.die_before_result = "die-before-result" in hooks
+        self.die_after_publish = "die-after-publish" in hooks
         self.drop_heartbeats = "drop-heartbeats" in hooks
         self.dup_result = "dup-result" in hooks
 
@@ -113,6 +140,9 @@ class _Heartbeater(threading.Thread):
         self.chaos = chaos
         self.log = log
         self.fenced = False
+        #: The daemon reported the job already terminal (someone else's
+        #: post — or our own, with the response lost — resolved it).
+        self.terminal = False
         self.sent = 0
         # NB: not named _stop — threading.Thread.join() calls a private
         # _stop() method internally and an Event here would shadow it.
@@ -137,6 +167,7 @@ class _Heartbeater(threading.Thread):
                 # Unreachable or 5xx: keep beating; the TTL decides.
             else:
                 if body.get("state") in JobState.TERMINAL:
+                    self.terminal = True
                     return
 
 
@@ -149,7 +180,8 @@ class ServeWorker:
         name: fleet-unique worker identity (defaults to
             ``<hostname>-<pid>``); the daemon keys leases, fences, and
             per-worker metrics by it.
-        max_jobs: exit 0 after executing this many jobs (0 = forever).
+        max_jobs: exit 0 after executing this many jobs — completed,
+            failed, and fenced-dropped alike (0 = forever).
         poll_wait: long-poll duration per lease request.
         heartbeat_interval: lease renewal period; defaults to a third
             of the TTL the daemon advertises with each grant.
@@ -158,6 +190,13 @@ class ServeWorker:
             wait forever).
         startup_timeout: exit 7 if the daemon was never reachable for
             this long.
+        fetch_cache: probe the daemon's fleet-shared result cache
+            before simulating (the ``--no-cache-fetch`` opt-out);
+            publishing back is always attempted for fresh executions.
+        result_post_retries: bounded worker-level retries of a failed
+            result post (the worker keeps heartbeating throughout, so
+            the lease survives a daemon blip instead of burning an
+            assignment on a fully-computed result).
         chaos: fault hooks; defaults to ``$REPRO_WORKER_CHAOS``.
     """
 
@@ -167,6 +206,8 @@ class ServeWorker:
                  exit_on_drain: bool = False,
                  idle_exit: Optional[float] = None,
                  startup_timeout: float = 60.0,
+                 fetch_cache: bool = True,
+                 result_post_retries: int = 8,
                  chaos: Optional[ChaosHooks] = None,
                  log=None) -> None:
         self.client = client
@@ -177,13 +218,21 @@ class ServeWorker:
         self.exit_on_drain = exit_on_drain
         self.idle_exit = idle_exit
         self.startup_timeout = startup_timeout
+        self.fetch_cache = fetch_cache
+        self.result_post_retries = max(0, int(result_post_retries))
         self.chaos = chaos if chaos is not None else ChaosHooks.from_env()
         self.log = log if log is not None else self._log_stderr
         self.completed = 0
         self.failed = 0
         self.fenced_drops = 0
+        #: Jobs this worker ran (or served from cache) to a conclusion,
+        #: whatever became of the post — the ``--max-jobs`` odometer.
+        self.executed = 0
+        self.cache_hits = 0
+        self.published = 0
         self._connected = False
         self._stop = threading.Event()
+        self._sleep = time.sleep  # test seam (result-post retry backoff)
 
     def _log_stderr(self, message: str) -> None:
         print(f"worker {self.name}: {message}", file=sys.stderr, flush=True)
@@ -241,8 +290,11 @@ class ServeWorker:
             for grant in leases:
                 self._execute(grant)
                 idle_since = time.monotonic()
-                if self.max_jobs and self.completed >= self.max_jobs:
-                    self.log(f"executed {self.completed} job(s); exiting")
+                # Count every executed job — completed, failed, or
+                # fenced-dropped — toward the cap: a worker whose jobs
+                # all fail must still honor --max-jobs and exit.
+                if self.max_jobs and self.executed >= self.max_jobs:
+                    self.log(f"executed {self.executed} job(s); exiting")
                     return 0
         self.log("stopped")
         return 0
@@ -259,7 +311,8 @@ class ServeWorker:
             os._exit(137)  # chaos: crashed at pickup
         try:
             spec = JobSpec.from_payload(grant.get("spec", {}))
-        except ValueError as exc:
+            key = spec.to_job().key  # content address in the fleet cache
+        except (KeyError, ValueError) as exc:
             # Version skew: this build can't run the spec; another
             # worker (or the daemon itself) may, so fail transient.
             self._post_failure(job_id, fence,
@@ -271,38 +324,62 @@ class ServeWorker:
         beater = _Heartbeater(self.client, job_id, self.name, fence,
                               interval, self.chaos, self.log)
         beater.start()
-        try:
-            payload, elapsed = self._simulate(spec)
-        except SimulationError as exc:
-            beater.stop()
-            beater.join()
-            self.failed += 1
-            if beater.fenced:
-                self.fenced_drops += 1
-                return  # the job moved on; our failure is nobody's news
-            self._post_failure(job_id, fence, describe(exc),
-                               exit_code_for(exc), transient=exc.transient)
-            return
-        except Exception as exc:  # unclassified: worker-crash taxonomy
-            beater.stop()
-            beater.join()
-            self.failed += 1
-            if beater.fenced:
-                self.fenced_drops += 1
+        blob = None
+        cached = self._fetch_cached(key) if self.fetch_cache else None
+        if cached is not None:
+            payload, elapsed = result_payload(spec, cached), 0.0
+        else:
+            try:
+                result, elapsed = self._simulate(spec)
+            except SimulationError as exc:
+                beater.stop()
+                beater.join()
+                self.failed += 1
+                self.executed += 1
+                if beater.fenced:
+                    self.fenced_drops += 1
+                    return  # the job moved on; our failure is nobody's news
+                self._post_failure(job_id, fence, describe(exc),
+                                   exit_code_for(exc),
+                                   transient=exc.transient)
                 return
-            self._post_failure(job_id, fence,
-                               f"WorkerCrashError: worker {self.name} "
-                               f"raised {describe(exc)}", 5, transient=True)
-            return
-        beater.stop()
-        beater.join()
+            except Exception as exc:  # unclassified: worker-crash taxonomy
+                beater.stop()
+                beater.join()
+                self.failed += 1
+                self.executed += 1
+                if beater.fenced:
+                    self.fenced_drops += 1
+                    return
+                self._post_failure(job_id, fence,
+                                   f"WorkerCrashError: worker {self.name} "
+                                   f"raised {describe(exc)}", 5,
+                                   transient=True)
+                return
+            payload = result_payload(spec, result)
+            blob = result_blob(result)
+            # Publish before posting: if we die in between, the answer
+            # already lives in the fleet store and the reassigned run
+            # is a cache hit instead of a re-execution.
+            self._publish(key, blob, job_id)
+            if self.chaos.die_after_publish:
+                os._exit(137)  # chaos: crashed between publish and post
+        self.executed += 1
         if self.chaos.die_before_result:
             os._exit(137)  # chaos: crashed between execution and post
         if beater.fenced:
+            beater.stop()
+            beater.join()
             self.fenced_drops += 1
             self.log(f"job {job_id}: dropping result (fenced out mid-job)")
             return
-        self._post_result(job_id, fence, payload, elapsed)
+        # The heartbeater stays alive through the post (and its bounded
+        # retries): a daemon blip must not cost us the lease while we
+        # hold a fully-computed result.
+        self._post_result(job_id, fence, payload, elapsed, cache=blob,
+                          beater=beater, cached=cached is not None)
+        beater.stop()
+        beater.join()
 
     def _simulate(self, spec: JobSpec):
         """The existing foreground execution path, verbatim."""
@@ -313,26 +390,124 @@ class ServeWorker:
         result = run_workload(workload, spec.to_config(),
                               verify=spec.verify)
         elapsed = time.perf_counter() - start
-        return result_payload(spec, result), elapsed
+        return result, elapsed
+
+    # -- fleet-shared cache ------------------------------------------------
+
+    def _fetch_cached(self, key: str):
+        """The daemon's cached result for *key*, or None (then simulate).
+
+        Misses and transport trouble both fall back to simulating —
+        the cache is an optimization, never a dependency — but a served
+        blob is digest-verified before it is trusted.
+        """
+        try:
+            body = self.client.cache_fetch(key, salt=code_salt())
+        except CacheMissError:
+            return None
+        except ServeClientError as exc:
+            self.log(f"cache fetch failed ({exc}); simulating")
+            return None
+        try:
+            result = result_from_blob(body)
+        except (ValueError, CacheCorruptionError) as exc:
+            self.log(f"cache fetch returned an unusable blob "
+                     f"({describe(exc)}); simulating")
+            return None
+        self.cache_hits += 1
+        self.log(f"serving from fleet cache (key {key.split('|')[0]}|...)")
+        return result
+
+    def _publish(self, key: str, blob: Dict[str, Any],
+                 job_id: str) -> None:
+        """Best-effort pre-post publish of a fresh result (never fatal:
+        the result post carries the same blob as a fallback)."""
+        if blob.get("size", 0) > MAX_BLOB_BYTES:
+            self.log(f"job {job_id}: result too large to publish "
+                     f"({blob['size']} bytes); posting inline only")
+            return
+        try:
+            body = self.client.cache_publish(key, blob, worker=self.name,
+                                             job_id=job_id)
+        except ServeClientError as exc:
+            self.log(f"job {job_id}: cache publish failed ({exc}); "
+                     f"the result post still carries the blob")
+            return
+        if body.get("stored"):
+            self.published += 1
 
     def _post_result(self, job_id: str, fence: int,
-                     payload: Dict[str, Any], elapsed: float) -> None:
+                     payload: Dict[str, Any], elapsed: float,
+                     cache: Optional[Dict[str, Any]] = None,
+                     beater: Optional[_Heartbeater] = None,
+                     cached: bool = False) -> bool:
+        """Deliver a computed result; bounded retry on transport loss.
+
+        A fully-computed result is too expensive to drop on a daemon
+        blip: transient post failures retry (decaying backoff, the
+        heartbeater keeping the lease alive meanwhile) until the post
+        lands, we are fenced out, the job turns terminal elsewhere, or
+        the retry budget runs dry.  Deterministic rejections — 409
+        (stale fence) and 400 — drop immediately; a 412 means the
+        *cache blob* crossed a simulator-version boundary, so the post
+        is retried once without it (the JSON payload is still valid).
+
+        *cached* marks a fleet-cache serve, so the daemon books the
+        resolution under ``serve.jobs.cache_hits`` instead of
+        ``serve.jobs.executed``.
+        """
+        if cache is not None and cache.get("size", 0) > MAX_BLOB_BYTES:
+            cache = None
         posts = 2 if self.chaos.dup_result else 1
-        for attempt in range(posts):
-            try:
-                self.client.post_result(job_id, self.name, fence, payload,
-                                        exec_seconds=elapsed)
-            except ServeClientError as exc:
-                if exc.status == 409:
+        delivered = False
+        for duplicate in range(posts):
+            attempt = 0
+            delay = 0.2
+            while True:
+                if beater is not None and beater.fenced:
                     self.fenced_drops += 1
-                    self.log(f"job {job_id}: result rejected "
-                             f"(stale fence {fence}); dropped")
-                    return
-                self.log(f"job {job_id}: result post failed: {exc}")
-                return
-            if attempt == 0:
-                self.completed += 1
-                self.log(f"job {job_id}: done ({elapsed:.2f}s)")
+                    self.log(f"job {job_id}: dropping result "
+                             f"(fenced out during post)")
+                    return delivered
+                try:
+                    self.client.post_result(job_id, self.name, fence,
+                                            payload, exec_seconds=elapsed,
+                                            cache=cache, cached=cached)
+                except ServeClientError as exc:
+                    if exc.status == 409:
+                        self.fenced_drops += 1
+                        self.log(f"job {job_id}: result rejected "
+                                 f"(stale fence {fence}); dropped")
+                        return delivered
+                    if exc.status == 412 and cache is not None:
+                        self.log(f"job {job_id}: cache blob rejected "
+                                 f"(code-salt skew: {exc}); reposting "
+                                 f"without it")
+                        cache = None
+                        continue
+                    if beater is not None and beater.terminal:
+                        self.log(f"job {job_id}: already terminal at the "
+                                 f"daemon; dropping post")
+                        return delivered
+                    if (exc.status in RETRY_POST_STATUSES
+                            and attempt < self.result_post_retries):
+                        attempt += 1
+                        self.log(f"job {job_id}: result post failed "
+                                 f"({exc}); retry "
+                                 f"{attempt}/{self.result_post_retries}")
+                        self._sleep(delay)
+                        delay = min(2.0, delay * 2.0)
+                        continue
+                    self.failed += 1
+                    self.log(f"job {job_id}: result post failed "
+                             f"permanently ({exc}); result lost")
+                    return delivered
+                if not delivered:
+                    delivered = True
+                    self.completed += 1
+                    self.log(f"job {job_id}: done ({elapsed:.2f}s)")
+                break
+        return delivered
 
     def _post_failure(self, job_id: str, fence: int, error: str,
                       exit_code: int, transient: bool) -> None:

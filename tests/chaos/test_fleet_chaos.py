@@ -59,8 +59,11 @@ class TestWorkerKill9:
         counter = tmp_path / "tally.txt"
         job = client.submit(_count_spec(counter, sleep=3.0))
         victim = daemon.worker("w1")
-        wait_for(lambda: client.status(job["id"]).get("worker") == "w1",
-                 message="w1 to lease the job")
+        # Wait for w1's tally line, not just the lease: fault_count
+        # appends its pid *before* sleeping, so one line means w1 is
+        # past the cache probe and inside the 3-second window.
+        wait_for(lambda: len(_tally(counter)) == 1,
+                 message="w1 to start executing the job")
         victim.kill()  # SIGKILL, mid-sleep
         victim.wait(timeout=30.0)
         daemon.worker("w2")
@@ -172,3 +175,68 @@ class TestDaemonCrash:
                 worker.wait(timeout=30.0)
             if daemon.proc.poll() is None:
                 daemon.terminate()
+
+
+class TestCachePublishCrash:
+    def test_die_after_publish_serves_reassigned_run_from_cache(
+            self, daemon, tmp_path):
+        """SIGKILL the worker in the window between its cache publish
+        and its result post (die-after-publish): the lease expires, the
+        job is reassigned, and the second worker must serve the
+        *published* result instead of re-executing — the tally shows
+        exactly ONE execution across both assignments.  A daemon
+        restart plus resubmission of the same spec is then a cache hit
+        too: still one tally line, zero new simulations."""
+        client = daemon.client()
+        counter = tmp_path / "tally.txt"
+        spec_body = _count_spec(counter)
+        job = client.submit(spec_body)
+        daemon.worker("w1", chaos="die-after-publish")
+        # w1 executes, publishes, dies before posting.
+        wait_for(lambda: client.metrics()["counters"].get(
+            "serve.cache.published", 0) >= 1,
+            message="w1 to publish its result into the fleet cache")
+        assert len(_tally(counter)) == 1  # executed exactly once so far
+        daemon.worker("w2")
+        final = client.watch(job["id"], timeout=WAIT)
+        assert final["state"] == "done"
+        assert final["worker"] == "w2"
+        assert final["assignments"] == 2
+        assert len(_tally(counter)) == 1  # w2 served, never re-executed
+        assert final["cache_hit"] is True
+        counters = client.metrics()["counters"]
+        assert counters["serve.cache.fetch_hits"] >= 1
+        # w1's real execution died before its post, and w2's post is
+        # marked as a cache serve: nothing books under jobs.executed.
+        assert counters.get("serve.jobs.executed", 0) == 0
+        assert counters.get("serve.jobs.cache_hits", 0) == 1
+
+        # Daemon restart + resubmission: the store outlives the daemon.
+        daemon.kill9()
+        daemon.restart()
+        client = daemon.client()
+        again = client.submit(spec_body)
+        assert again["id"] != job["id"]
+        final = client.watch(again["id"], timeout=WAIT)
+        assert final["state"] == "done"
+        assert len(_tally(counter)) == 1  # STILL one execution, ever
+        assert client.metrics()["counters"]["serve.cache.fetch_hits"] >= 1
+
+    def test_cache_served_result_is_bit_identical(self, daemon, tmp_path):
+        """The result the second worker serves from the fleet cache
+        must equal a foreground run bit for bit — same contract as a
+        re-execution, without the execution."""
+        spec_body = {"workload": "va", "policy": "bcc"}
+        client = daemon.client()
+        job = client.submit(spec_body)
+        daemon.worker("w1", chaos="die-after-publish")
+        wait_for(lambda: client.metrics()["counters"].get(
+            "serve.cache.published", 0) >= 1,
+            message="w1 to publish its result into the fleet cache")
+        daemon.worker("w2")
+        final = client.watch(job["id"], timeout=WAIT)
+        assert final["state"] == "done"
+        assert final["worker"] == "w2"
+        assert client.metrics()["counters"]["serve.cache.fetch_hits"] >= 1
+        body = client.result(job["id"])
+        assert body["result"] == _foreground_payload(spec_body)

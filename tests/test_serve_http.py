@@ -197,3 +197,94 @@ class TestErrorMapping:
             client.health()
         assert excinfo.value.status == 0
         assert excinfo.value.exit_code == 7
+
+
+class TestCacheEndpoints:
+    """The fleet-shared cache over HTTP: GET/POST /cache/{key}."""
+
+    def test_fetch_miss_is_typed_404(self, daemon):
+        from repro.errors import CacheMissError
+        from repro.runner import code_salt
+
+        client = daemon.client()
+        with pytest.raises(CacheMissError) as excinfo:
+            client.cache_fetch("va|nope|nope", salt=code_salt())
+        assert excinfo.value.http_status == 404
+
+    def test_local_run_is_fetchable_by_key(self, daemon):
+        """A job the daemon executed locally lands in the same store
+        the fleet endpoints serve: content key in, verified blob out,
+        percent-encoded round trip included (keys contain '|')."""
+        from repro.runner import code_salt
+        from repro.serve.jobs import result_from_blob
+
+        client = daemon.client()
+        spec_body = {"workload": "va", "policy": "scc"}
+        status = client.submit(spec_body)
+        client.watch(status["id"], timeout=120)
+        key = JobSpec.from_payload(spec_body).to_job().key
+        assert "|" in key  # the encoding actually gets exercised
+        body = client.cache_fetch(key, salt=code_salt())
+        assert body["key"] == key
+        served = result_from_blob(body)
+        digest = client.result(status["id"])["result"]["buffers_digest"]
+        assert served.buffers_digest == digest
+
+    def test_fetch_salt_skew_is_412(self, daemon):
+        client = daemon.client()
+        status = client.submit({"workload": "va"})
+        client.watch(status["id"], timeout=120)
+        key = JobSpec.from_payload({"workload": "va"}).to_job().key
+        with pytest.raises(ServeClientError) as excinfo:
+            client.cache_fetch(key, salt="someone-elses-simulator")
+        assert excinfo.value.status == 412
+
+    def test_publish_then_fetch_round_trip(self, daemon):
+        from repro.runner import code_salt
+        from repro.serve.jobs import result_blob, result_from_blob
+
+        client = daemon.client()
+        spec = JobSpec.from_payload({"workload": "dp", "policy": "bcc"})
+        workload = WORKLOAD_REGISTRY[spec.workload]()
+        result = run_workload(workload, spec.to_config(), verify=True)
+        key = spec.to_job().key
+        blob = result_blob(result)
+        body = client.cache_publish(key, blob, worker="wtest")
+        assert body["stored"] is True
+        assert body["digest"] == result.buffers_digest
+        again = client.cache_publish(key, blob, worker="wtest")
+        assert again["stored"] is False and again["reason"] == "exists"
+        served = result_from_blob(client.cache_fetch(key,
+                                                     salt=code_salt()))
+        assert served.buffers_digest == result.buffers_digest
+        counters = client.metrics()["counters"]
+        assert counters["serve.cache.published"] == 1
+        assert counters["serve.cache.fetch_hits"] == 1
+
+    def test_publish_salt_skew_is_412_and_stores_nothing(self, daemon):
+        from repro.errors import CacheMissError
+        from repro.runner import code_salt
+        from repro.serve.jobs import result_blob
+
+        client = daemon.client()
+        spec = JobSpec.from_payload({"workload": "mvm"})
+        result = run_workload(WORKLOAD_REGISTRY["mvm"](), spec.to_config())
+        blob = dict(result_blob(result), salt="stale-build")
+        with pytest.raises(ServeClientError) as excinfo:
+            client.cache_publish(spec.to_job().key, blob)
+        assert excinfo.value.status == 412
+        with pytest.raises(CacheMissError):
+            client.cache_fetch(spec.to_job().key, salt=code_salt())
+
+    def test_publish_malformed_blob_is_400(self, daemon):
+        client = daemon.client()
+        with pytest.raises(ServeClientError) as excinfo:
+            client.cache_publish("va|x|y", {"encoding": "gzip",
+                                            "salt": "s", "data": "AA"})
+        assert excinfo.value.status == 400
+
+    def test_cache_route_method_gate(self, daemon):
+        client = daemon.client()
+        with pytest.raises(ServeClientError) as excinfo:
+            client.request("DELETE", "/cache/whatever")
+        assert excinfo.value.status == 405

@@ -342,6 +342,82 @@ class TestFleetMetrics:
         assert service.health_status() == "degraded"
 
 
+class TestWorkerRetirement:
+    """Worker names default to ``<hostname>-<pid>``: every restart is a
+    "new" worker, so the bookkeeping table must retire silent entries
+    or grow one dead row per restart forever (the pre-fix bug)."""
+
+    def test_silent_workers_retired_after_horizon(self, tmp_path):
+        clock = FakeClock()
+        service = _fleet(tmp_path, clock)
+        service.submit({"workload": "va"})
+        grant = _lease_one(service, "w1")
+        service.complete_remote(grant["id"], "w1", grant["fence"],
+                                _payload())
+        asyncio.run(service.lease("w2", wait=0.0))  # polled once, then died
+        assert set(service.metrics()["fleet"]["workers"]) == {"w1", "w2"}
+        clock.advance(service.worker_retire_horizon + 1.0)
+        service.expire_leases()
+        fleet = service.metrics()["fleet"]
+        assert fleet["workers"] == {}
+        assert fleet["workers_known"] == 0
+        assert fleet["workers_retired"] == 2
+        # Fleet-lifetime throughput survives the bookkeeping cleanup.
+        assert fleet["retired_totals"] == {"leases_granted": 1,
+                                           "completed": 1, "failed": 0}
+        assert service.counters.get("serve.workers.retired") == 2
+
+    def test_table_stays_bounded_under_worker_churn(self, tmp_path):
+        """A crash-looping host mints a fresh name per restart; the
+        table must track only the recent generation, not all of them."""
+        clock = FakeClock()
+        service = _fleet(tmp_path, clock)
+        step = service.worker_retire_horizon / 4.0
+        for generation in range(20):
+            service.submit({"workload": "va", "params": {"n": 64 + generation}})
+            grant = _lease_one(service, f"host-{1000 + generation}")
+            service.complete_remote(grant["id"],
+                                    f"host-{1000 + generation}",
+                                    grant["fence"], _payload(grant["id"]))
+            clock.advance(step)
+            service.expire_leases()
+        fleet = service.metrics()["fleet"]
+        assert len(fleet["workers"]) <= 5  # bounded by the horizon window
+        assert (fleet["workers_retired"]
+                + len(fleet["workers"])) == 20
+        assert fleet["retired_totals"]["completed"] == fleet[
+            "workers_retired"]
+
+    def test_contact_within_horizon_defers_retirement(self, tmp_path):
+        clock = FakeClock()
+        service = _fleet(tmp_path, clock)
+        asyncio.run(service.lease("w1", wait=0.0))
+        clock.advance(service.worker_retire_horizon - 1.0)
+        service.expire_leases()
+        fleet = service.metrics()["fleet"]
+        assert "w1" in fleet["workers"]
+        assert fleet["workers"]["w1"]["active"] is False  # silent, kept
+        assert fleet["workers_retired"] == 0
+
+    def test_lease_holder_is_never_retired(self):
+        """Silence is judged by lease expiry, not retirement: a worker
+        still holding a live lease keeps its bookkeeping entry however
+        stale its last contact looks."""
+        from repro.serve import LeaseTable
+
+        table = LeaseTable()
+        table.grant("j1", "w1", ttl=10_000.0, now=0.0)
+        table.touch("w2", 0.0)
+        gone = table.retire_idle(now=500.0, horizon=100.0)
+        assert [info.name for info in gone] == ["w2"]
+        assert "w1" in table.workers
+        assert table.retired == 1
+
+    def test_retire_horizon_must_exceed_active_horizon(self, tmp_path):
+        with pytest.raises(ValueError):
+            _fleet(tmp_path, FakeClock(), worker_retire_horizon=1.0)
+
+
 class TestLocalExecGate:
     def test_coordinator_never_runs_jobs_itself(self, tmp_path):
         """local_exec=False: the dispatcher leaves the queue to the
